@@ -1,0 +1,40 @@
+//! Criterion bench for experiments E3/E4: flat PageRank vs the layered
+//! pipeline on the synthetic campus web.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lmm_core::siterank::{flat_pagerank, layered_doc_rank, LayeredRankConfig};
+use lmm_graph::generator::CampusWebConfig;
+use lmm_graph::sitegraph::{SiteGraph, SiteGraphOptions};
+use lmm_linalg::PowerOptions;
+use std::hint::black_box;
+
+fn bench_campus(c: &mut Criterion) {
+    let graph = CampusWebConfig::small().generate().expect("campus web");
+    let power = PowerOptions::with_tol(1e-10);
+    let mut group = c.benchmark_group("campus");
+    group.sample_size(10);
+
+    group.bench_function("generate_graph", |b| {
+        b.iter(|| black_box(CampusWebConfig::small().generate().expect("campus web")))
+    });
+    group.bench_function("flat_pagerank", |b| {
+        b.iter(|| black_box(flat_pagerank(&graph, 0.85, &power).expect("flat")))
+    });
+    group.bench_function("layered_pipeline", |b| {
+        b.iter(|| {
+            black_box(layered_doc_rank(&graph, &LayeredRankConfig::default()).expect("layered"))
+        })
+    });
+    group.bench_function("sitegraph_derivation", |b| {
+        b.iter(|| {
+            black_box(SiteGraph::from_doc_graph(
+                &graph,
+                &SiteGraphOptions::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campus);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion bench for experiment E10c's computational side: power-method
+//! convergence cost as a function of the damping factor and tolerance.
+//!
+//! Higher damping mixes slower (the spectral gap of the Google matrix is
+//! `1 − f`), so iterations — and wall time — grow sharply toward `f = 1`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmm_core::synth::random_sparse_stochastic;
+use lmm_rank::pagerank::PageRank;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let chain = random_sparse_stochastic(2_000, 8, &mut rng);
+    let mut group = c.benchmark_group("convergence");
+    group.sample_size(10);
+    for damping in [0.5f64, 0.7, 0.85, 0.95] {
+        group.bench_with_input(
+            BenchmarkId::new("damping", format!("{damping}")),
+            &damping,
+            |b, &f| {
+                b.iter(|| {
+                    let r = PageRank::new()
+                        .damping(f)
+                        .tol(1e-10)
+                        .run(black_box(&chain))
+                        .expect("converges");
+                    black_box(r)
+                })
+            },
+        );
+    }
+    // The paper's cited alternative: accelerate the centralized iteration
+    // by extrapolation (Kamvar et al.). Compare plain vs Aitken at high
+    // damping, where the spectral gap is smallest.
+    for (name, acceleration) in [
+        ("plain", lmm_linalg::Acceleration::None),
+        ("aitken_5", lmm_linalg::Acceleration::Aitken { period: 5 }),
+        ("aitken_10", lmm_linalg::Acceleration::Aitken { period: 10 }),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("acceleration", name),
+            &acceleration,
+            |b, &acc| {
+                b.iter(|| {
+                    let r = PageRank::new()
+                        .damping(0.95)
+                        .tol(1e-12)
+                        .acceleration(acc)
+                        .run(black_box(&chain))
+                        .expect("converges");
+                    black_box(r)
+                })
+            },
+        );
+    }
+    for tol in [1e-6f64, 1e-9, 1e-12] {
+        group.bench_with_input(
+            BenchmarkId::new("tolerance", format!("{tol:e}")),
+            &tol,
+            |b, &tol| {
+                b.iter(|| {
+                    let r = PageRank::new()
+                        .tol(tol)
+                        .run(black_box(&chain))
+                        .expect("converges");
+                    black_box(r)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

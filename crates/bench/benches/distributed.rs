@@ -1,0 +1,43 @@
+//! Criterion bench for experiment E7: full distributed runs per
+//! architecture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lmm_graph::generator::CampusWebConfig;
+use lmm_p2p::runner::{run_distributed, Architecture, DistributedConfig};
+use std::hint::black_box;
+
+fn bench_distributed(c: &mut Criterion) {
+    let mut cfg = CampusWebConfig::small();
+    cfg.total_docs = 1_000;
+    cfg.n_sites = 20;
+    // The small preset hosts its second farm on site 23; rehome the farms
+    // inside the shrunken site range.
+    cfg.spam_farms.truncate(1);
+    cfg.spam_farms[0].host_site = 9;
+    cfg.spam_farms[0].n_pages = 100;
+    let graph = cfg.generate().expect("campus web");
+    let mut group = c.benchmark_group("distributed");
+    group.sample_size(10);
+    for (name, arch) in [
+        ("flat", Architecture::Flat),
+        ("superpeer_5", Architecture::SuperPeer { n_groups: 5 }),
+        ("hybrid", Architecture::Hybrid),
+        ("centralized", Architecture::Centralized),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    run_distributed(
+                        &graph,
+                        &DistributedConfig::default().with_architecture(arch),
+                    )
+                    .expect("run"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributed);
+criterion_main!(benches);

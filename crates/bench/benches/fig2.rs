@@ -1,0 +1,25 @@
+//! Criterion bench for experiment E2: the four ranking approaches on the
+//! paper's 12-state worked example.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lmm_core::approaches::{compute, LmmParams, RankApproach};
+use lmm_core::worked_example::paper_model;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let model = paper_model().expect("paper model builds");
+    let params = LmmParams::default();
+    let mut group = c.benchmark_group("fig2_worked_example");
+    for approach in RankApproach::ALL {
+        group.bench_function(format!("approach_{}", approach.number()), |b| {
+            b.iter(|| {
+                let r = compute(black_box(&model), approach, &params).expect("ranks");
+                black_box(r)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench for experiment E6: centralized (explicit `W`, implicit
+//! factored operator) vs the Layered Method as the model grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lmm_core::approaches::{compute, LmmParams, RankApproach};
+use lmm_core::global::{global_transition_matrix, phase_gatekeeper_distributions};
+use lmm_core::synth::random_sparse_model;
+use lmm_linalg::power::stationary_distribution;
+use std::hint::black_box;
+
+fn bench_scalability(c: &mut Criterion) {
+    let params = LmmParams::default();
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    for (n_phases, sub) in [(8usize, 50usize), (16, 100), (32, 200)] {
+        let model = random_sparse_model(n_phases, sub, 6, 42);
+        let states = model.total_states();
+        group.throughput(Throughput::Elements(states as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("explicit_w", states),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    let dists =
+                        phase_gatekeeper_distributions(model, params.alpha, &params.power)
+                            .expect("gatekeepers");
+                    let w = global_transition_matrix(model, &dists).expect("W");
+                    let (pi, _) =
+                        stationary_distribution(&w, &params.power).expect("stationary");
+                    black_box(pi)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("implicit_a2", states),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    black_box(
+                        compute(model, RankApproach::StationaryOfGlobal, &params)
+                            .expect("A2"),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("layered_a4", states),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    black_box(compute(model, RankApproach::Layered, &params).expect("A4"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

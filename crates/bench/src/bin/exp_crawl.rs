@@ -1,0 +1,79 @@
+//! Experiment E11: partial-crawl ranking stability (Section 2.2's
+//! self-similarity argument).
+//!
+//! The paper motivates bottom-up, decentralized ranking with the Web's
+//! self-similarity: "part of it demonstrates properties similar to those of
+//! the whole Web", so rankings computed on partial views should already be
+//! useful. This experiment crawls the synthetic campus web from the portal
+//! root with growing page budgets (exactly the paper's crawl methodology),
+//! ranks each partial graph with both methods, and measures agreement with
+//! the full-graph ranking over the crawled pages.
+//!
+//! Run: `cargo run --release -p lmm-bench --bin exp_crawl`
+
+use lmm_bench::section;
+use lmm_core::siterank::{flat_pagerank, layered_doc_rank, LayeredRankConfig};
+use lmm_graph::crawler::{crawl, CrawlConfig};
+use lmm_graph::generator::CampusWebConfig;
+use lmm_graph::DocId;
+use lmm_linalg::PowerOptions;
+use lmm_rank::{metrics, Ranking};
+
+/// Restricts a full-graph score vector to the crawled pages (in crawl
+/// numbering) and renormalizes, so partial and full rankings compare over
+/// the same item set.
+fn restrict(full_scores: &[f64], visited: &[DocId]) -> Ranking {
+    let weights: Vec<f64> = visited.iter().map(|d| full_scores[d.index()]).collect();
+    Ranking::from_weights(weights).expect("positive scores")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = CampusWebConfig::paper_scale();
+    cfg.total_docs = 20_000;
+    let graph = cfg.generate()?;
+    let power = PowerOptions::with_tol(1e-10);
+    let full_flat = flat_pagerank(&graph, 0.85, &power)?;
+    let full_layered = layered_doc_rank(&graph, &LayeredRankConfig::default())?;
+    let spam = graph.spam_labels();
+
+    section("Ranking stability vs crawl coverage (BFS from the portal root)");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>14} {:>14}",
+        "budget", "coverage", "tau flat", "tau layered", "flat spam@15", "lmm spam@15"
+    );
+    for budget_pct in [5usize, 10, 20, 40, 60, 80, 100] {
+        let budget = (graph.n_docs() * budget_pct).div_ceil(100);
+        let result = crawl(&graph, &CrawlConfig::from_seed(DocId(0), budget))?;
+        let partial_flat = flat_pagerank(&result.graph, 0.85, &power)?;
+        let partial_layered = layered_doc_rank(&result.graph, &LayeredRankConfig::default())?;
+
+        let tau_flat = metrics::kendall_tau(
+            &partial_flat.ranking,
+            &restrict(full_flat.ranking.scores(), &result.visited),
+        );
+        let tau_layered = metrics::kendall_tau(
+            &partial_layered.global,
+            &restrict(full_layered.global.scores(), &result.visited),
+        );
+        let partial_spam: Vec<bool> = result
+            .visited
+            .iter()
+            .map(|d| spam[d.index()])
+            .collect();
+        println!(
+            "{:>9}% {:>9.1}% {:>12.3} {:>12.3} {:>13.0}% {:>13.0}%",
+            budget_pct,
+            100.0 * result.coverage(&graph),
+            tau_flat,
+            tau_layered,
+            100.0 * metrics::labeled_share_at_k(&partial_flat.ranking, &partial_spam, 15),
+            100.0 * metrics::labeled_share_at_k(&partial_layered.global, &partial_spam, 15),
+        );
+    }
+    println!(
+        "\nReading: high tau at small coverage supports the paper's self-similarity\n\
+         argument — partial (per-peer) views already induce the full ranking's order,\n\
+         and the layered method's spam resistance holds at every coverage level."
+    );
+    Ok(())
+}

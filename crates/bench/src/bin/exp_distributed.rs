@@ -1,0 +1,88 @@
+//! Experiment E7: distributed-deployment traffic and latency.
+//!
+//! Measures what each architecture moves over the (simulated) wire on the
+//! campus web: the paper's P2P motivation made quantitative. Also sweeps
+//! message-loss rates to show the protocol converges to the identical
+//! ranking while paying retransmission traffic.
+//!
+//! Run: `cargo run --release -p lmm-bench --bin exp_distributed [--full]`
+
+use lmm_bench::{campus_config_from_args, human_bytes, section};
+use lmm_linalg::vec_ops;
+use lmm_p2p::runner::{run_distributed, Architecture, DistributedConfig};
+use lmm_p2p::FaultConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = campus_config_from_args();
+    // Traffic scales are clearer on a mid-size instance; trim the default.
+    if !std::env::args().any(|a| a == "--full") {
+        cfg.total_docs = 20_000;
+    }
+    let graph = cfg.generate()?;
+    section("Deployment comparison");
+    println!(
+        "graph: {} docs, {} sites, {} links\n",
+        graph.n_docs(),
+        graph.n_sites(),
+        graph.n_links()
+    );
+
+    println!(
+        "{:<28} {:>12} {:>12} {:>8} {:>12}",
+        "architecture", "messages", "bytes", "rounds", "wall"
+    );
+    let mut flat_ranking: Option<Vec<f64>> = None;
+    for arch in [
+        Architecture::Flat,
+        Architecture::SuperPeer { n_groups: 16 },
+        Architecture::Hybrid,
+        Architecture::Centralized,
+    ] {
+        let outcome =
+            run_distributed(&graph, &DistributedConfig::default().with_architecture(arch))?;
+        let total = outcome.stats.total();
+        println!(
+            "{:<28} {:>12} {:>12} {:>8} {:>12.2?}",
+            arch.to_string(),
+            total.messages,
+            human_bytes(total.bytes),
+            outcome.siterank_rounds,
+            outcome.stats.total_wall()
+        );
+        if arch == Architecture::Flat {
+            flat_ranking = Some(outcome.global.scores().to_vec());
+        } else if !matches!(arch, Architecture::Centralized) {
+            let diff = vec_ops::l1_diff(
+                flat_ranking.as_deref().expect("flat first"),
+                outcome.global.scores(),
+            );
+            assert!(diff < 1e-6, "{arch}: diverged by {diff}");
+        }
+    }
+
+    section("Phase breakdown (flat architecture)");
+    let flat = run_distributed(&graph, &DistributedConfig::default())?;
+    println!("{}", flat.stats);
+
+    section("Message-loss sweep (flat architecture)");
+    println!(
+        "{:>10} {:>12} {:>16} {:>14}",
+        "loss", "messages", "retransmissions", "result drift"
+    );
+    let clean = run_distributed(&graph, &DistributedConfig::default())?;
+    for drop_prob in [0.0, 0.05, 0.1, 0.2, 0.4] {
+        let mut cfg = DistributedConfig::default();
+        if drop_prob > 0.0 {
+            cfg.fault = Some(FaultConfig { drop_prob, seed: 3 });
+        }
+        let outcome = run_distributed(&graph, &cfg)?;
+        println!(
+            "{:>9.0}% {:>12} {:>16} {:>14.2e}",
+            drop_prob * 100.0,
+            outcome.stats.total().messages,
+            outcome.stats.total().retransmissions,
+            vec_ops::l1_diff(clean.global.scores(), outcome.global.scores())
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,320 @@
+//! Incremental maintenance of the layered DocRank under graph changes.
+//!
+//! The paper's Section 1.2 motivation: centralized PageRank has "a limited
+//! potential of keeping up with the Web growth" because any change anywhere
+//! invalidates the global computation. The layered decomposition localizes
+//! change: if only site `s`'s internal pages/links changed, only `π_D(s)`
+//! must be recomputed; the SiteRank is touched only when *cross-site* links
+//! changed. [`incremental_update`] implements exactly that contract and the
+//! tests verify it reproduces a from-scratch recomputation.
+
+use crate::error::Result;
+use crate::siterank::{layered_doc_rank, LayeredDocRank, LayeredRankConfig};
+use lmm_graph::docgraph::DocGraph;
+use lmm_graph::ids::SiteId;
+use lmm_graph::sitegraph::SiteGraph;
+use lmm_rank::pagerank::PageRank;
+use lmm_rank::Ranking;
+
+/// What changed between two versions of a document graph (same document
+/// set and site partition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteDelta {
+    /// Sites whose intra-site subgraph changed (local ranks stale).
+    pub changed_sites: Vec<usize>,
+    /// Whether any cross-site link changed (SiteRank stale).
+    pub cross_links_changed: bool,
+}
+
+impl SiteDelta {
+    /// `true` when nothing changed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.changed_sites.is_empty() && !self.cross_links_changed
+    }
+}
+
+/// Cost accounting of one incremental update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UpdateStats {
+    /// Local DocRanks recomputed.
+    pub sites_recomputed: usize,
+    /// Local DocRanks reused untouched.
+    pub sites_reused: usize,
+    /// Whether the SiteRank power iteration ran.
+    pub site_rank_recomputed: bool,
+}
+
+/// Compares two same-shape graphs and reports which layers are stale.
+///
+/// # Errors
+/// Returns an error when the graphs have different document counts or site
+/// partitions — incremental maintenance presumes an in-place recrawl, not a
+/// re-discovery of the web. (Structural growth is handled by rebuilding the
+/// affected site from scratch, which is what this delta would report
+/// anyway.)
+pub fn diff_sites(old: &DocGraph, new: &DocGraph) -> Result<SiteDelta> {
+    if old.n_docs() != new.n_docs() || old.n_sites() != new.n_sites() {
+        return Err(crate::error::LmmError::InvalidModel {
+            reason: format!(
+                "incremental diff needs matching shapes: {}x{} docs, {}x{} sites",
+                old.n_docs(),
+                new.n_docs(),
+                old.n_sites(),
+                new.n_sites()
+            ),
+        });
+    }
+    if old.site_assignments() != new.site_assignments() {
+        return Err(crate::error::LmmError::InvalidModel {
+            reason: "incremental diff needs an identical site partition".into(),
+        });
+    }
+    let mut changed_sites = Vec::new();
+    for s in 0..old.n_sites() {
+        if old.site_subgraph(SiteId(s)) != new.site_subgraph(SiteId(s)) {
+            changed_sites.push(s);
+        }
+    }
+    // Cross-site links changed iff the full adjacency differs by more than
+    // the intra-site differences — cheapest check: compare cross-link
+    // multisets via the SiteGraphs (counts per ordered site pair).
+    let opts = lmm_graph::sitegraph::SiteGraphOptions::default();
+    let cross_links_changed = SiteGraph::from_doc_graph(old, &opts).weights()
+        != SiteGraph::from_doc_graph(new, &opts).weights();
+    Ok(SiteDelta {
+        changed_sites,
+        cross_links_changed,
+    })
+}
+
+/// Applies an incremental update: recomputes only the stale layers of
+/// `previous` against `new_graph` and recomposes the global ranking.
+///
+/// Local recomputations warm-start from the previous local vectors, so a
+/// small intra-site edit converges in a handful of iterations.
+///
+/// # Errors
+/// Propagates PageRank failures; delta/shape mismatches surface from
+/// [`diff_sites`] (call it to obtain `delta`).
+pub fn incremental_update(
+    previous: &LayeredDocRank,
+    new_graph: &DocGraph,
+    delta: &SiteDelta,
+    config: &LayeredRankConfig,
+) -> Result<(LayeredDocRank, UpdateStats)> {
+    let n_sites = new_graph.n_sites();
+    let mut stats = UpdateStats::default();
+
+    // SiteRank: reuse or recompute (warm-started from the previous vector).
+    let (site_rank, site_report) = if delta.cross_links_changed {
+        stats.site_rank_recomputed = true;
+        let site_graph = SiteGraph::from_doc_graph(new_graph, &config.site_options);
+        let mut pr = PageRank::new();
+        pr.damping(config.site_damping)
+            .tol(config.power.tol)
+            .max_iters(config.power.max_iters)
+            .initial(previous.site_rank.scores().to_vec());
+        if let Some(v) = &config.site_personalization {
+            pr.personalization(v.clone());
+        }
+        let result = pr.run(&site_graph.to_stochastic()?)?;
+        (result.ranking, result.report)
+    } else {
+        (previous.site_rank.clone(), previous.site_report)
+    };
+
+    // Local ranks: recompute only the changed sites.
+    let mut local_ranks = previous.local_ranks.clone();
+    let mut total_local_iterations = 0usize;
+    let mut max_local_iterations = 0usize;
+    for &s in &delta.changed_sites {
+        let sub = new_graph.site_subgraph(SiteId(s));
+        let mut pr = PageRank::new();
+        pr.damping(config.local_damping)
+            .tol(config.power.tol)
+            .max_iters(config.power.max_iters);
+        // Warm start only when the site kept its size (it always does under
+        // the diff contract, but stay defensive).
+        if previous.local_ranks[s].len() == sub.members.len() {
+            pr.initial(previous.local_ranks[s].scores().to_vec());
+        }
+        if let Some(v) = config.local_personalization.get(&s) {
+            pr.personalization(v.clone());
+        }
+        let result = pr.run_adjacency(sub.adjacency)?;
+        total_local_iterations += result.report.iterations;
+        max_local_iterations = max_local_iterations.max(result.report.iterations);
+        local_ranks[s] = result.ranking;
+    }
+    stats.sites_recomputed = delta.changed_sites.len();
+    stats.sites_reused = n_sites - stats.sites_recomputed;
+
+    // Recompose (O(N) — the Partition Theorem's aggregation step).
+    let mut scores = vec![0.0f64; new_graph.n_docs()];
+    for (s, ranks) in local_ranks.iter().enumerate() {
+        let weight = site_rank.score(s);
+        for (local, doc) in new_graph.docs_of_site(SiteId(s)).iter().enumerate() {
+            scores[doc.index()] = weight * ranks.score(local);
+        }
+    }
+    let global = Ranking::from_scores(scores)?;
+    Ok((
+        LayeredDocRank {
+            site_rank,
+            local_ranks,
+            global,
+            site_report,
+            total_local_iterations,
+            max_local_iterations,
+        },
+        stats,
+    ))
+}
+
+/// Convenience: diff + update + (in debug builds) equivalence check against
+/// a full recomputation.
+///
+/// # Errors
+/// See [`diff_sites`] and [`incremental_update`].
+pub fn refresh(
+    previous: &LayeredDocRank,
+    old_graph: &DocGraph,
+    new_graph: &DocGraph,
+    config: &LayeredRankConfig,
+) -> Result<(LayeredDocRank, UpdateStats)> {
+    let delta = diff_sites(old_graph, new_graph)?;
+    if delta.is_empty() {
+        return Ok((previous.clone(), UpdateStats {
+            sites_reused: new_graph.n_sites(),
+            ..UpdateStats::default()
+        }));
+    }
+    let (updated, stats) = incremental_update(previous, new_graph, &delta, config)?;
+    debug_assert!(
+        {
+            let full = layered_doc_rank(new_graph, config)?;
+            lmm_linalg::vec_ops::l1_diff(full.global.scores(), updated.global.scores()) < 1e-6
+        },
+        "incremental update diverged from full recomputation"
+    );
+    Ok((updated, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmm_graph::docgraph::DocGraphBuilder;
+    use lmm_graph::generator::CampusWebConfig;
+    use lmm_graph::DocId;
+    use lmm_linalg::vec_ops;
+
+    fn campus() -> DocGraph {
+        let mut cfg = CampusWebConfig::small();
+        cfg.total_docs = 600;
+        cfg.n_sites = 12;
+        cfg.spam_farms.clear();
+        cfg.generate().unwrap()
+    }
+
+    /// Rewires one intra-site link inside `site` and returns the new graph.
+    fn edit_intra_site(graph: &DocGraph, site: usize) -> DocGraph {
+        let docs = graph.docs_of_site(SiteId(site));
+        let (a, b, c) = (docs[0], docs[1], docs[docs.len() - 1]);
+        let mut builder = DocGraphBuilder::from_graph(graph);
+        builder.remove_link(a, b);
+        builder.add_link(b, c).unwrap();
+        builder.add_link(c, a).unwrap();
+        builder.build()
+    }
+
+    #[test]
+    fn diff_detects_local_change_only() {
+        let old = campus();
+        let new = edit_intra_site(&old, 3);
+        let delta = diff_sites(&old, &new).unwrap();
+        assert_eq!(delta.changed_sites, vec![3]);
+        assert!(!delta.cross_links_changed);
+        assert!(!delta.is_empty());
+    }
+
+    #[test]
+    fn diff_detects_cross_change() {
+        let old = campus();
+        let src = old.docs_of_site(SiteId(2))[1];
+        let dst = old.docs_of_site(SiteId(9))[0];
+        let mut builder = DocGraphBuilder::from_graph(&old);
+        builder.add_link(src, dst).unwrap();
+        let new = builder.build();
+        let delta = diff_sites(&old, &new).unwrap();
+        assert!(delta.cross_links_changed);
+        // The source doc's out-row changed but no intra-site subgraph did.
+        assert!(delta.changed_sites.is_empty());
+    }
+
+    #[test]
+    fn diff_rejects_shape_changes() {
+        let old = campus();
+        let mut builder = DocGraphBuilder::from_graph(&old);
+        builder.add_doc("brand-new.site", "http://brand-new.site/");
+        let new = builder.build();
+        assert!(diff_sites(&old, &new).is_err());
+    }
+
+    #[test]
+    fn incremental_equals_full_recompute_local_edit() {
+        let old = campus();
+        let cfg = LayeredRankConfig::default();
+        let base = layered_doc_rank(&old, &cfg).unwrap();
+        let new = edit_intra_site(&old, 5);
+        let (updated, stats) = refresh(&base, &old, &new, &cfg).unwrap();
+        let full = layered_doc_rank(&new, &cfg).unwrap();
+        assert!(vec_ops::l1_diff(updated.global.scores(), full.global.scores()) < 1e-8);
+        assert_eq!(stats.sites_recomputed, 1);
+        assert_eq!(stats.sites_reused, new.n_sites() - 1);
+        assert!(!stats.site_rank_recomputed);
+    }
+
+    #[test]
+    fn incremental_equals_full_recompute_cross_edit() {
+        let old = campus();
+        let cfg = LayeredRankConfig::default();
+        let base = layered_doc_rank(&old, &cfg).unwrap();
+        let src = old.docs_of_site(SiteId(1))[2];
+        let dst = old.docs_of_site(SiteId(7))[0];
+        let mut builder = DocGraphBuilder::from_graph(&old);
+        builder.add_link(src, dst).unwrap();
+        let new = builder.build();
+        let (updated, stats) = refresh(&base, &old, &new, &cfg).unwrap();
+        let full = layered_doc_rank(&new, &cfg).unwrap();
+        assert!(vec_ops::l1_diff(updated.global.scores(), full.global.scores()) < 1e-8);
+        assert!(stats.site_rank_recomputed);
+        assert_eq!(stats.sites_recomputed, 0);
+    }
+
+    #[test]
+    fn no_change_reuses_everything() {
+        let old = campus();
+        let cfg = LayeredRankConfig::default();
+        let base = layered_doc_rank(&old, &cfg).unwrap();
+        let (same, stats) = refresh(&base, &old, &old.clone(), &cfg).unwrap();
+        assert_eq!(same.global.scores(), base.global.scores());
+        assert_eq!(stats.sites_recomputed, 0);
+        assert_eq!(stats.sites_reused, old.n_sites());
+        assert!(!stats.site_rank_recomputed);
+    }
+
+    #[test]
+    fn warm_start_converges_quickly() {
+        let old = campus();
+        let cfg = LayeredRankConfig::default();
+        let base = layered_doc_rank(&old, &cfg).unwrap();
+        let new = edit_intra_site(&old, 5);
+        let delta = diff_sites(&old, &new).unwrap();
+        let (updated, _) = incremental_update(&base, &new, &delta, &cfg).unwrap();
+        // The single changed site should converge from the warm start in
+        // far fewer iterations than the cold full pipeline's worst site.
+        assert!(updated.max_local_iterations <= base.max_local_iterations);
+        let _ = DocId(0);
+    }
+}

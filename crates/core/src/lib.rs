@@ -1,0 +1,68 @@
+//! The Layered Markov Model (LMM) for distributed web ranking — the primary
+//! contribution of *Wu & Aberer, ICDCS 2005*.
+//!
+//! A two-layer LMM (Definition 1) is the 6-tuple `(P, Y, vY, O, U, vU)`:
+//! a phase-layer transition matrix `Y` over `N_P` phases (Web sites) and,
+//! for each phase, a sub-state transition matrix `U_I` over its `n_I`
+//! sub-states (Web documents), with initial distributions at both layers.
+//!
+//! Under **layer-decomposability** (Definition 3) every transition between
+//! global states factors through the destination phase's *gatekeeper*
+//! sub-state, giving the global transition matrix (eq. 3):
+//!
+//! ```text
+//! w_(I,i)(J,j) = y_IJ · u_Gj^J
+//! ```
+//!
+//! where `u_G·^J` is the gatekeeper out-distribution of phase `J`, computed
+//! by minimal irreducibility — equivalently, PageRank of `U_J`
+//! (Section 2.3.2).
+//!
+//! The crate implements all four ranking approaches of Section 2.3 and the
+//! **Partition Theorem** (Theorem 2) asserting Approach 2 ≡ Approach 4:
+//!
+//! | approach | kind | computation |
+//! |----------|------|-------------|
+//! | 1 | centralized | PageRank (maximal irreducibility) on `W` |
+//! | 2 | centralized | stationary distribution of the primitive `W` |
+//! | 3 | decentralized | `πY(I) · π_G^I(i)` with `πY` = PageRank of `Y` |
+//! | 4 | decentralized | `π̃Y(I) · π_G^I(i)` with `π̃Y` = stationary of `Y` — **the Layered Method** |
+//!
+//! [`siterank`] instantiates the model for the Web (Section 3.2):
+//! SiteRank × local DocRank over a [`lmm_graph::DocGraph`], and
+//! [`worked_example`] reproduces the paper's 12-state example with its
+//! printed vectors.
+//!
+//! # Example
+//!
+//! ```
+//! use lmm_core::worked_example;
+//! use lmm_linalg::vec_ops;
+//!
+//! # fn main() -> Result<(), lmm_core::LmmError> {
+//! let model = worked_example::paper_model()?;
+//! let layered = model.layered_method(0.85)?;        // Approach 4
+//! let central = model.stationary_of_global(0.85)?;  // Approach 2
+//! // Partition Theorem: identical distributions.
+//! assert!(lmm_linalg::vec_ops::linf_diff(layered.scores(), central.scores()) < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod approaches;
+pub mod error;
+pub mod global;
+pub mod incremental;
+pub mod model;
+pub mod multilayer;
+pub mod partition;
+pub mod personalize;
+pub mod siterank;
+pub mod synth;
+pub mod worked_example;
+
+pub use approaches::{GlobalRanking, LmmParams, RankApproach};
+pub use error::{LmmError, Result};
+pub use model::{GlobalState, LayeredMarkovModel, PhaseModel};
+pub use partition::{verify_partition_theorem, PartitionCheck};
+pub use siterank::{layered_doc_rank, LayeredDocRank, LayeredRankConfig};

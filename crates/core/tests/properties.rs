@@ -1,0 +1,121 @@
+//! Property-based tests of the LMM core: structural invariants of the
+//! global operator, the composition law, and parameter monotonicity.
+
+use lmm_core::approaches::{compute, LmmParams, RankApproach};
+use lmm_core::global::{
+    global_transition_matrix, phase_gatekeeper_distributions, GlobalOperator,
+};
+use lmm_core::synth::{random_model, random_sparse_model};
+use lmm_linalg::{vec_ops, LinearOperator, PowerOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The materialized W is row-stochastic and its rows are constant within
+    /// each phase block (the paper's observation below eq. 3).
+    #[test]
+    fn w_structure_invariants(
+        n_phases in 2usize..5,
+        max_sub in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let model = random_model(n_phases, 1, max_sub, seed);
+        let dists = phase_gatekeeper_distributions(&model, 0.85, &PowerOptions::default())
+            .expect("gatekeepers");
+        let w = global_transition_matrix(&model, &dists).expect("W");
+        for s in w.row_sums() {
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+        let offsets = model.offsets();
+        let dense = w.to_dense().expect("small");
+        for i_phase in 0..model.n_phases() {
+            let first = dense.row(offsets[i_phase]);
+            for r in offsets[i_phase]..offsets[i_phase + 1] {
+                prop_assert_eq!(dense.row(r), first, "rows differ within block {}", i_phase);
+            }
+        }
+    }
+
+    /// The implicit factored operator agrees with the explicit Wᵀx on
+    /// arbitrary input vectors — not just on distributions.
+    #[test]
+    fn implicit_operator_matches_explicit(
+        n_phases in 2usize..5,
+        max_sub in 2usize..5,
+        seed in any::<u64>(),
+        raw in prop::collection::vec(-3.0f64..3.0, 1..32),
+    ) {
+        let model = random_model(n_phases, 1, max_sub, seed);
+        let dists = phase_gatekeeper_distributions(&model, 0.85, &PowerOptions::default())
+            .expect("gatekeepers");
+        let w = global_transition_matrix(&model, &dists).expect("W");
+        let op = GlobalOperator::new(&model, &dists).expect("operator");
+        let n = model.total_states();
+        let x: Vec<f64> = (0..n).map(|i| raw[i % raw.len()]).collect();
+        let explicit = w.apply_transpose(&x).expect("dims");
+        let mut implicit = vec![0.0; n];
+        op.apply_to(&x, &mut implicit).expect("dims");
+        prop_assert!(vec_ops::l1_diff(&explicit, &implicit) < 1e-9);
+    }
+
+    /// Composition law (eq. 5): every global score factors exactly into
+    /// site weight x local gatekeeper weight.
+    #[test]
+    fn composition_law(
+        n_phases in 2usize..6,
+        max_sub in 1usize..6,
+        alpha in 0.2f64..0.95,
+        seed in any::<u64>(),
+    ) {
+        let model = random_model(n_phases, 1, max_sub, seed);
+        let params = LmmParams::with_factor(alpha);
+        let a4 = compute(&model, RankApproach::Layered, &params).expect("A4");
+        let dists = phase_gatekeeper_distributions(&model, alpha, &params.power)
+            .expect("gatekeepers");
+        // Recover the site vector by summing each phase block; then check
+        // every entry factors.
+        let offsets = model.offsets();
+        for i_phase in 0..model.n_phases() {
+            let block = &a4.scores()[offsets[i_phase]..offsets[i_phase + 1]];
+            let site_mass: f64 = block.iter().sum();
+            for (i, &score) in block.iter().enumerate() {
+                prop_assert!(
+                    (score - site_mass * dists[i_phase].score(i)).abs() < 1e-9
+                );
+            }
+        }
+    }
+
+    /// Sparse models: Approach 2 through the factored operator equals the
+    /// layered method (Partition Theorem on the web-like regime).
+    #[test]
+    fn partition_theorem_sparse(
+        n_phases in 2usize..6,
+        sub in 5usize..30,
+        seed in any::<u64>(),
+    ) {
+        let model = random_sparse_model(n_phases, sub, 3, seed);
+        let params = LmmParams::default();
+        let a2 = compute(&model, RankApproach::StationaryOfGlobal, &params).expect("A2");
+        let a4 = compute(&model, RankApproach::Layered, &params).expect("A4");
+        prop_assert!(vec_ops::linf_diff(a2.scores(), a4.scores()) < 1e-9);
+    }
+
+    /// GlobalRanking's state labeling is a bijection consistent with the
+    /// model's.
+    #[test]
+    fn state_labels_roundtrip(
+        n_phases in 1usize..6,
+        max_sub in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let model = random_model(n_phases, 1, max_sub, seed);
+        let r = model.layered_method(0.85).expect("ranks");
+        for idx in 0..r.len() {
+            let state = r.state_of(idx);
+            prop_assert_eq!(model.state_index(state), idx);
+            prop_assert!((r.score_state(state) - r.scores()[idx]).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for web-graph construction, generation and IO.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors produced by graph construction, generation and IO.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An edge endpoint references a document that was never added.
+    UnknownDoc {
+        /// The offending document index.
+        doc: usize,
+        /// Number of documents known at the time.
+        n_docs: usize,
+    },
+    /// A generator configuration parameter is invalid.
+    InvalidConfig {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A snapshot file is malformed.
+    ParseSnapshot {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// Underlying IO failure while reading or writing a snapshot.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownDoc { doc, n_docs } => {
+                write!(f, "unknown document {doc} (graph has {n_docs} documents)")
+            }
+            GraphError::InvalidConfig { reason } => {
+                write!(f, "invalid generator configuration: {reason}")
+            }
+            GraphError::ParseSnapshot { line, reason } => {
+                write!(f, "malformed snapshot at line {line}: {reason}")
+            }
+            GraphError::Io(e) => write!(f, "snapshot io error: {e}"),
+        }
+    }
+}
+
+impl StdError for GraphError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = GraphError::UnknownDoc { doc: 9, n_docs: 3 };
+        assert!(e.to_string().contains('9'));
+        let e = GraphError::ParseSnapshot {
+            line: 4,
+            reason: "bad header".into(),
+        };
+        assert!(e.to_string().contains("line 4"));
+    }
+
+    #[test]
+    fn io_source_preserved() {
+        let e = GraphError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn assert_bounds<E: StdError + Send + Sync + 'static>() {}
+        assert_bounds::<GraphError>();
+    }
+}

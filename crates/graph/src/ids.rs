@@ -1,0 +1,99 @@
+//! Typed identifiers for documents and sites.
+//!
+//! [`DocId`] and [`SiteId`] are zero-cost newtypes over `usize` that keep
+//! the two index spaces (documents in the DocGraph, sites in the SiteGraph)
+//! statically distinct — mixing them up is a compile error rather than a
+//! silently wrong ranking.
+
+use std::fmt;
+
+/// Identifier of a Web document (an index into a [`DocGraph`]).
+///
+/// [`DocGraph`]: crate::docgraph::DocGraph
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DocId(pub usize);
+
+/// Identifier of a Web site (an index into a [`SiteGraph`]).
+///
+/// [`SiteGraph`]: crate::sitegraph::SiteGraph
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SiteId(pub usize);
+
+impl DocId {
+    /// The underlying index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl SiteId {
+    /// The underlying index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<usize> for DocId {
+    fn from(i: usize) -> Self {
+        DocId(i)
+    }
+}
+
+impl From<usize> for SiteId {
+    fn from(i: usize) -> Self {
+        SiteId(i)
+    }
+}
+
+impl From<DocId> for usize {
+    fn from(id: DocId) -> usize {
+        id.0
+    }
+}
+
+impl From<SiteId> for usize {
+    fn from(id: SiteId) -> usize {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_distinguishes_spaces() {
+        assert_eq!(DocId(3).to_string(), "d3");
+        assert_eq!(SiteId(3).to_string(), "s3");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let d: DocId = 7usize.into();
+        let i: usize = d.into();
+        assert_eq!(i, 7);
+        assert_eq!(d.index(), 7);
+        let s: SiteId = 9usize.into();
+        assert_eq!(s.index(), 9);
+    }
+
+    #[test]
+    fn ordering_by_index() {
+        assert!(DocId(1) < DocId(2));
+        assert!(SiteId(0) < SiteId(5));
+    }
+}

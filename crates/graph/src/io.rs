@@ -1,0 +1,267 @@
+//! Plain-text snapshot format for document graphs.
+//!
+//! A hand-rolled line format (no serialization dependency) with a strict
+//! reader and round-trip guarantees:
+//!
+//! ```text
+//! lmm-graph v1
+//! sites <n_sites>
+//! <site_id> <host-name>            (n_sites lines)
+//! docs <n_docs>
+//! <doc_id> <site_id> <kind-tag> <url>   (n_docs lines)
+//! links <n_links>
+//! <from> <to>                      (n_links lines)
+//! ```
+//!
+//! URLs must not contain whitespace (true of crawled and generated URLs).
+
+use std::io::{BufRead, Write};
+
+use crate::docgraph::{DocGraph, DocGraphBuilder, PageKind};
+use crate::error::{GraphError, Result};
+use crate::ids::{DocId, SiteId};
+
+const MAGIC: &str = "lmm-graph v1";
+
+/// Writes a snapshot of `graph` to `w`.
+///
+/// A mutable reference works as well: `write_snapshot(&g, &mut file)`.
+///
+/// # Errors
+/// Propagates IO failures as [`GraphError::Io`].
+pub fn write_snapshot<W: Write>(graph: &DocGraph, mut w: W) -> Result<()> {
+    writeln!(w, "{MAGIC}")?;
+    writeln!(w, "sites {}", graph.n_sites())?;
+    for s in 0..graph.n_sites() {
+        writeln!(w, "{s} {}", graph.site_name(SiteId(s)))?;
+    }
+    writeln!(w, "docs {}", graph.n_docs())?;
+    for d in 0..graph.n_docs() {
+        let doc = DocId(d);
+        writeln!(
+            w,
+            "{d} {} {} {}",
+            graph.site_of(doc).index(),
+            graph.kind(doc).tag(),
+            graph.url(doc)
+        )?;
+    }
+    writeln!(w, "links {}", graph.n_links())?;
+    for (from, to) in graph.links() {
+        writeln!(w, "{} {}", from.index(), to.index())?;
+    }
+    Ok(())
+}
+
+/// Reads a snapshot previously produced by [`write_snapshot`].
+///
+/// A mutable reference works as well: `read_snapshot(&mut reader)`.
+///
+/// # Errors
+/// Returns [`GraphError::ParseSnapshot`] with the offending line number for
+/// any structural violation, and [`GraphError::Io`] for IO failures.
+pub fn read_snapshot<R: BufRead>(r: R) -> Result<DocGraph> {
+    let mut lines = r.lines().enumerate();
+
+    let mut next_line = |expected: &'static str| -> Result<(usize, String)> {
+        match lines.next() {
+            Some((idx, Ok(line))) => Ok((idx + 1, line)),
+            Some((idx, Err(e))) => Err(GraphError::ParseSnapshot {
+                line: idx + 1,
+                reason: format!("io error: {e}"),
+            }),
+            None => Err(GraphError::ParseSnapshot {
+                line: 0,
+                reason: format!("unexpected end of file, expected {expected}"),
+            }),
+        }
+    };
+
+    let (line_no, magic) = next_line("magic header")?;
+    if magic.trim() != MAGIC {
+        return Err(GraphError::ParseSnapshot {
+            line: line_no,
+            reason: format!("bad magic {magic:?}, expected {MAGIC:?}"),
+        });
+    }
+
+    let parse_count = |line_no: usize, line: &str, keyword: &str| -> Result<usize> {
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(k), Some(n), None) if k == keyword => {
+                n.parse().map_err(|_| GraphError::ParseSnapshot {
+                    line: line_no,
+                    reason: format!("bad count {n:?}"),
+                })
+            }
+            _ => Err(GraphError::ParseSnapshot {
+                line: line_no,
+                reason: format!("expected {keyword:?} <count>, got {line:?}"),
+            }),
+        }
+    };
+
+    // Sites.
+    let (line_no, header) = next_line("sites header")?;
+    let n_sites = parse_count(line_no, &header, "sites")?;
+    let mut site_names = Vec::with_capacity(n_sites);
+    for expect in 0..n_sites {
+        let (line_no, line) = next_line("site line")?;
+        let mut parts = line.split_whitespace();
+        let id: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| GraphError::ParseSnapshot {
+                line: line_no,
+                reason: "missing site id".into(),
+            })?;
+        let name = parts.next().ok_or_else(|| GraphError::ParseSnapshot {
+            line: line_no,
+            reason: "missing site name".into(),
+        })?;
+        if id != expect {
+            return Err(GraphError::ParseSnapshot {
+                line: line_no,
+                reason: format!("site ids must be dense and ordered, got {id}, expected {expect}"),
+            });
+        }
+        site_names.push(name.to_string());
+    }
+
+    // Docs.
+    let (line_no, header) = next_line("docs header")?;
+    let n_docs = parse_count(line_no, &header, "docs")?;
+    let mut builder = DocGraphBuilder::with_capacity(n_docs, 0);
+    for expect in 0..n_docs {
+        let (line_no, line) = next_line("doc line")?;
+        let mut parts = line.split_whitespace();
+        let bad = |reason: String| GraphError::ParseSnapshot { line: line_no, reason };
+        let id: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("missing doc id".into()))?;
+        let site: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("missing site id".into()))?;
+        let kind = parts
+            .next()
+            .and_then(|t| t.chars().next())
+            .and_then(PageKind::from_tag)
+            .ok_or_else(|| bad("missing or unknown kind tag".into()))?;
+        let url = parts.next().ok_or_else(|| bad("missing url".into()))?;
+        if id != expect {
+            return Err(bad(format!(
+                "doc ids must be dense and ordered, got {id}, expected {expect}"
+            )));
+        }
+        if site >= n_sites {
+            return Err(bad(format!("doc {id} references unknown site {site}")));
+        }
+        builder.add_doc_with_kind(&site_names[site], url, kind);
+    }
+
+    // Links.
+    let (line_no, header) = next_line("links header")?;
+    let n_links = parse_count(line_no, &header, "links")?;
+    for _ in 0..n_links {
+        let (line_no, line) = next_line("link line")?;
+        let mut parts = line.split_whitespace();
+        let bad = |reason: String| GraphError::ParseSnapshot { line: line_no, reason };
+        let from: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("missing link source".into()))?;
+        let to: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad("missing link target".into()))?;
+        builder
+            .add_link(DocId(from), DocId(to))
+            .map_err(|e| bad(e.to_string()))?;
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::CampusWebConfig;
+
+    fn sample_graph() -> DocGraph {
+        let mut b = DocGraphBuilder::new();
+        let a = b.add_doc_with_kind("a.org", "http://a.org/", PageKind::SiteRoot);
+        let x = b.add_doc("a.org", "http://a.org/x");
+        let c = b.add_doc_with_kind("c.org", "http://c.org/spam?1", PageKind::SpamFarm);
+        b.add_link(a, x).unwrap();
+        b.add_link(x, c).unwrap();
+        b.add_link(c, a).unwrap();
+        b.build()
+    }
+
+    fn roundtrip(g: &DocGraph) -> DocGraph {
+        let mut buf = Vec::new();
+        write_snapshot(g, &mut buf).unwrap();
+        read_snapshot(buf.as_slice()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = sample_graph();
+        assert_eq!(roundtrip(&g), g);
+    }
+
+    #[test]
+    fn roundtrip_generated_graph() {
+        let mut cfg = CampusWebConfig::small();
+        cfg.total_docs = 400;
+        cfg.n_sites = 10;
+        cfg.spam_farms.truncate(1);
+        cfg.spam_farms[0].host_site = 2;
+        cfg.spam_farms[0].n_pages = 30;
+        let g = cfg.generate().unwrap();
+        assert_eq!(roundtrip(&g), g);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_snapshot("not a snapshot\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::ParseSnapshot { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut buf = Vec::new();
+        write_snapshot(&sample_graph(), &mut buf).unwrap();
+        // Drop the last line.
+        let text = String::from_utf8(buf).unwrap();
+        let truncated = &text[..text.trim_end().rfind('\n').unwrap()];
+        assert!(read_snapshot(truncated.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_site_reference() {
+        let text = "lmm-graph v1\nsites 1\n0 a.org\ndocs 1\n0 7 R http://a.org/\nlinks 0\n";
+        let err = read_snapshot(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::ParseSnapshot { line: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_kind_tag() {
+        let text = "lmm-graph v1\nsites 1\n0 a.org\ndocs 1\n0 0 Z http://a.org/\nlinks 0\n";
+        assert!(read_snapshot(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_link() {
+        let text =
+            "lmm-graph v1\nsites 1\n0 a.org\ndocs 1\n0 0 R http://a.org/\nlinks 1\n0 9\n";
+        assert!(read_snapshot(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_non_dense_doc_ids() {
+        let text = "lmm-graph v1\nsites 1\n0 a.org\ndocs 2\n0 0 R u0\n5 0 R u1\nlinks 0\n";
+        assert!(read_snapshot(text.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Descriptive statistics of document graphs, for experiment tables.
+
+use crate::docgraph::{DocGraph, PageKind};
+use crate::ids::{DocId, SiteId};
+
+/// Five-number-ish summary of a degree (or size) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest value.
+    pub min: usize,
+    /// Largest value.
+    pub max: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (lower median for even counts).
+    pub median: usize,
+}
+
+impl DegreeStats {
+    /// Computes the summary of a non-empty sample.
+    ///
+    /// Returns `None` for an empty sample.
+    #[must_use]
+    pub fn of(values: &[usize]) -> Option<Self> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        Some(Self {
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            mean: sorted.iter().sum::<usize>() as f64 / sorted.len() as f64,
+            median: sorted[(sorted.len() - 1) / 2],
+        })
+    }
+}
+
+impl std::fmt::Display for DegreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min={} median={} mean={:.1} max={}",
+            self.min, self.median, self.mean, self.max
+        )
+    }
+}
+
+/// Whole-graph summary used by the experiment binaries to print a
+/// crawl-statistics header comparable to the paper's Section 3.3 figures
+/// (218 sites, 433,707 pages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSummary {
+    /// Number of documents.
+    pub n_docs: usize,
+    /// Number of sites.
+    pub n_sites: usize,
+    /// Number of deduplicated links.
+    pub n_links: usize,
+    /// Links whose endpoints belong to different sites.
+    pub cross_site_links: usize,
+    /// Links within one site.
+    pub intra_site_links: usize,
+    /// Number of pages labeled as spam-farm members.
+    pub n_spam_pages: usize,
+    /// In-degree distribution summary.
+    pub in_degree: DegreeStats,
+    /// Out-degree distribution summary.
+    pub out_degree: DegreeStats,
+    /// Site-size distribution summary.
+    pub site_size: DegreeStats,
+}
+
+impl std::fmt::Display for GraphSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} sites, {} pages, {} links ({} cross-site, {} intra-site), {} spam pages",
+            self.n_sites,
+            self.n_docs,
+            self.n_links,
+            self.cross_site_links,
+            self.intra_site_links,
+            self.n_spam_pages
+        )?;
+        writeln!(f, "  in-degree:  {}", self.in_degree)?;
+        writeln!(f, "  out-degree: {}", self.out_degree)?;
+        write!(f, "  site size:  {}", self.site_size)
+    }
+}
+
+/// Summarizes a document graph.
+///
+/// # Panics
+/// Panics if the graph has no documents or no sites (generated and built
+/// graphs always have both).
+#[must_use]
+pub fn summarize(graph: &DocGraph) -> GraphSummary {
+    let in_degrees = graph.in_degrees();
+    let out_degrees: Vec<usize> = (0..graph.n_docs())
+        .map(|d| graph.out_degree(DocId(d)))
+        .collect();
+    let site_sizes: Vec<usize> = (0..graph.n_sites())
+        .map(|s| graph.site_size(SiteId(s)))
+        .collect();
+    let cross = graph.cross_site_links();
+    let n_spam = (0..graph.n_docs())
+        .filter(|&d| graph.kind(DocId(d)) == PageKind::SpamFarm)
+        .count();
+    GraphSummary {
+        n_docs: graph.n_docs(),
+        n_sites: graph.n_sites(),
+        n_links: graph.n_links(),
+        cross_site_links: cross,
+        intra_site_links: graph.n_links() - cross,
+        n_spam_pages: n_spam,
+        in_degree: DegreeStats::of(&in_degrees).expect("graph has documents"),
+        out_degree: DegreeStats::of(&out_degrees).expect("graph has documents"),
+        site_size: DegreeStats::of(&site_sizes).expect("graph has sites"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docgraph::DocGraphBuilder;
+    use crate::generator::CampusWebConfig;
+
+    #[test]
+    fn degree_stats_known_sample() {
+        let s = DegreeStats::of(&[3, 1, 2, 10]).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 10);
+        assert_eq!(s.median, 2);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!(s.to_string().contains("max=10"));
+    }
+
+    #[test]
+    fn degree_stats_empty_is_none() {
+        assert!(DegreeStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_of_small_graph() {
+        let mut b = DocGraphBuilder::new();
+        let a = b.add_doc("a.org", "u0");
+        let x = b.add_doc("a.org", "u1");
+        let c = b.add_doc("c.org", "u2");
+        b.add_link(a, x).unwrap();
+        b.add_link(x, c).unwrap();
+        let g = b.build();
+        let s = summarize(&g);
+        assert_eq!(s.n_docs, 3);
+        assert_eq!(s.n_sites, 2);
+        assert_eq!(s.n_links, 2);
+        assert_eq!(s.cross_site_links, 1);
+        assert_eq!(s.intra_site_links, 1);
+        assert_eq!(s.n_spam_pages, 0);
+        assert!(s.to_string().contains("2 sites"));
+    }
+
+    #[test]
+    fn summary_counts_spam() {
+        let g = CampusWebConfig::small().generate().unwrap();
+        let s = summarize(&g);
+        let expected: usize = CampusWebConfig::small()
+            .spam_farms
+            .iter()
+            .map(|f| f.n_pages)
+            .sum();
+        assert_eq!(s.n_spam_pages, expected);
+    }
+}

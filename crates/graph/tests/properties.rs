@@ -1,0 +1,134 @@
+//! Property-based tests of the web-graph substrate: structural invariants
+//! of generated graphs and consistency between DocGraph and SiteGraph
+//! views.
+
+use lmm_graph::generator::{random_web, CampusWebConfig, ZipfSampler};
+use lmm_graph::sitegraph::{SiteGraph, SiteGraphOptions, SiteLinkWeighting};
+use lmm_graph::{DocId, SiteId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_campus(seed: u64, n_sites: usize, total_docs: usize) -> lmm_graph::DocGraph {
+    let mut cfg = CampusWebConfig::small();
+    cfg.seed = seed;
+    cfg.n_sites = n_sites;
+    cfg.total_docs = total_docs;
+    cfg.spam_farms.truncate(1);
+    cfg.spam_farms[0].host_site = n_sites / 2;
+    cfg.spam_farms[0].n_pages = 25;
+    cfg.generate().expect("campus web")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Site membership partitions the documents: every doc belongs to
+    /// exactly one site's member list, at its own index.
+    #[test]
+    fn site_membership_is_a_partition(seed in any::<u64>(), n_sites in 4usize..12) {
+        let g = small_campus(seed, n_sites, 400);
+        let mut seen = vec![false; g.n_docs()];
+        for s in 0..g.n_sites() {
+            for d in g.docs_of_site(SiteId(s)) {
+                prop_assert!(!seen[d.index()], "doc {} in two sites", d);
+                seen[d.index()] = true;
+                prop_assert_eq!(g.site_of(*d), SiteId(s));
+            }
+        }
+        prop_assert!(seen.into_iter().all(|x| x));
+    }
+
+    /// SiteGraph link-count weights tally exactly the cross-site doc links.
+    #[test]
+    fn sitegraph_weights_count_cross_links(seed in any::<u64>()) {
+        let g = small_campus(seed, 8, 400);
+        let s = SiteGraph::from_doc_graph(&g, &SiteGraphOptions::default());
+        let total_weight: f64 = s.weights().iter().map(|(_, _, w)| w).sum();
+        prop_assert_eq!(total_weight as usize, g.cross_site_links());
+        // With self-loops the total covers every link.
+        let s_all = SiteGraph::from_doc_graph(
+            &g,
+            &SiteGraphOptions { include_self_loops: true, ..SiteGraphOptions::default() },
+        );
+        let total_all: f64 = s_all.weights().iter().map(|(_, _, w)| w).sum();
+        prop_assert_eq!(total_all as usize, g.n_links());
+    }
+
+    /// Site subgraphs contain exactly the intra-site edges.
+    #[test]
+    fn subgraph_edge_counts_are_consistent(seed in any::<u64>()) {
+        let g = small_campus(seed, 8, 400);
+        let intra_total: usize = (0..g.n_sites())
+            .map(|s| g.site_subgraph(SiteId(s)).adjacency.nnz())
+            .sum();
+        prop_assert_eq!(intra_total, g.n_links() - g.cross_site_links());
+    }
+
+    /// Generation is a pure function of the configuration.
+    #[test]
+    fn generation_deterministic(seed in any::<u64>()) {
+        let g1 = small_campus(seed, 6, 300);
+        let g2 = small_campus(seed, 6, 300);
+        prop_assert_eq!(g1, g2);
+    }
+
+    /// Uniform weighting never exceeds count weighting and log weighting
+    /// sits in between for counts >= 1.
+    #[test]
+    fn weighting_orderings(seed in any::<u64>()) {
+        let g = small_campus(seed, 8, 400);
+        let count = SiteGraph::from_doc_graph(&g, &SiteGraphOptions::default());
+        let uniform = SiteGraph::from_doc_graph(&g, &SiteGraphOptions {
+            weighting: SiteLinkWeighting::Uniform, ..SiteGraphOptions::default()
+        });
+        let log = SiteGraph::from_doc_graph(&g, &SiteGraphOptions {
+            weighting: SiteLinkWeighting::LogCount, ..SiteGraphOptions::default()
+        });
+        for (r, c, w) in count.weights().iter() {
+            let u = uniform.weights().get(r, c);
+            let l = log.weights().get(r, c);
+            prop_assert_eq!(u, 1.0);
+            prop_assert!(l <= w.max(1.0) + 1e-12);
+            prop_assert!(l > 0.0);
+        }
+    }
+
+    /// Random webs have the advertised shape and no self-loops.
+    #[test]
+    fn random_web_shape(
+        n_docs in 10usize..200,
+        n_sites in 1usize..10,
+        links in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(n_sites <= n_docs);
+        let g = random_web(n_docs, n_sites, links, seed).expect("random web");
+        prop_assert_eq!(g.n_docs(), n_docs);
+        prop_assert_eq!(g.n_sites(), n_sites);
+        for (from, to) in g.links() {
+            prop_assert_ne!(from, to, "self-loop generated");
+        }
+        // In/out degree sums both equal the edge count.
+        let in_sum: usize = g.in_degrees().iter().sum();
+        let out_sum: usize = (0..n_docs).map(|d| g.out_degree(DocId(d))).sum();
+        prop_assert_eq!(in_sum, g.n_links());
+        prop_assert_eq!(out_sum, g.n_links());
+    }
+
+    /// Zipf samples stay in range and low indices dominate on average.
+    #[test]
+    fn zipf_sampler_in_range(n in 2usize..100, seed in any::<u64>()) {
+        let z = ZipfSampler::new(n, 1.2).expect("valid");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut first_half = 0usize;
+        for _ in 0..200 {
+            let s = z.sample(&mut rng);
+            prop_assert!(s < n);
+            if s < n.div_ceil(2) {
+                first_half += 1;
+            }
+        }
+        prop_assert!(first_half >= 100, "only {} of 200 in the head", first_half);
+    }
+}

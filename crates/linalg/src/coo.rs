@@ -1,0 +1,226 @@
+//! Coordinate-format (triplet) sparse matrix builder.
+//!
+//! [`CooMatrix`] is the mutable staging form used while assembling a sparse
+//! matrix (for example while scanning the edges of a web graph); it converts
+//! into the immutable compute-oriented [`CsrMatrix`] with
+//! [`CooMatrix::to_csr`], summing duplicate entries in the process.
+
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix under construction, stored as `(row, col, value)` triplets.
+///
+/// Duplicate `(row, col)` pairs are allowed and are summed during conversion
+/// to CSR — convenient when counting multi-edges such as SiteLinks.
+///
+/// # Example
+/// ```
+/// use lmm_linalg::CooMatrix;
+///
+/// let mut coo = CooMatrix::new(2, 2);
+/// coo.push(0, 1, 1.0);
+/// coo.push(0, 1, 2.0); // duplicate: summed
+/// let csr = coo.to_csr();
+/// assert_eq!(csr.get(0, 1), 3.0);
+/// assert_eq!(csr.nnz(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `nrows x ncols` triplet matrix.
+    #[must_use]
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty triplet matrix with preallocated capacity.
+    #[must_use]
+    pub fn with_capacity(nrows: usize, ncols: usize, capacity: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triplets (duplicates counted individually).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no triplet has been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends a triplet.
+    ///
+    /// # Panics
+    /// Panics if `row` or `col` is out of bounds — triplet pushes happen in
+    /// tight graph-assembly loops where an early panic is preferable to a
+    /// deferred, harder-to-attribute error at conversion time.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "triplet ({row}, {col}) out of bounds for {}x{} matrix",
+            self.nrows,
+            self.ncols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Iterates over the raw triplets in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Converts to compressed sparse row form.
+    ///
+    /// Duplicate `(row, col)` entries are summed; entries that sum to exactly
+    /// zero are kept (callers that want to drop them can use
+    /// [`CsrMatrix::map_values`] followed by pruning, or avoid pushing them).
+    /// Column indices within each row are sorted ascending.
+    #[must_use]
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row, then sort each row segment by column and sum
+        // duplicates. O(nnz log nnz) worst case, no hashing.
+        let mut row_counts = vec![0usize; self.nrows + 1];
+        for &(r, _, _) in &self.entries {
+            row_counts[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let mut cols = vec![0usize; self.entries.len()];
+        let mut vals = vec![0.0f64; self.entries.len()];
+        let mut cursor = row_counts.clone();
+        for &(r, c, v) in &self.entries {
+            let pos = cursor[r];
+            cols[pos] = c;
+            vals[pos] = v;
+            cursor[r] += 1;
+        }
+
+        let mut out_ptr = Vec::with_capacity(self.nrows + 1);
+        let mut out_cols = Vec::with_capacity(self.entries.len());
+        let mut out_vals = Vec::with_capacity(self.entries.len());
+        out_ptr.push(0);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..self.nrows {
+            let (start, end) = (row_counts[r], row_counts[r + 1]);
+            scratch.clear();
+            scratch.extend(cols[start..end].iter().copied().zip(vals[start..end].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let (c, mut v) = scratch[i];
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                out_cols.push(c);
+                out_vals.push(v);
+                i = j;
+            }
+            out_ptr.push(out_cols.len());
+        }
+        CsrMatrix::from_raw_parts(self.nrows, self.ncols, out_ptr, out_cols, out_vals)
+            .expect("COO conversion produces structurally valid CSR")
+    }
+}
+
+impl Extend<(usize, usize, f64)> for CooMatrix {
+    fn extend<T: IntoIterator<Item = (usize, usize, f64)>>(&mut self, iter: T) {
+        for (r, c, v) in iter {
+            self.push(r, c, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_converts() {
+        let coo = CooMatrix::new(3, 4);
+        assert!(coo.is_empty());
+        let csr = coo.to_csr();
+        assert_eq!(csr.nrows(), 3);
+        assert_eq!(csr.ncols(), 4);
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(1, 2, 1.5);
+        coo.push(1, 2, 2.5);
+        coo.push(1, 0, 1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(1, 2), 4.0);
+        assert_eq!(csr.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn columns_sorted_within_rows() {
+        let mut coo = CooMatrix::new(1, 5);
+        coo.push(0, 4, 4.0);
+        coo.push(0, 0, 0.5);
+        coo.push(0, 2, 2.0);
+        let csr = coo.to_csr();
+        let (cols, vals) = csr.row(0);
+        assert_eq!(cols, &[0, 2, 4]);
+        assert_eq!(vals, &[0.5, 2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_push_panics() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn extend_works() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.extend(vec![(0, 0, 1.0), (1, 1, 2.0)]);
+        assert_eq!(coo.len(), 2);
+        let csr = coo.to_csr();
+        assert_eq!(csr.get(0, 0), 1.0);
+        assert_eq!(csr.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn insertion_order_preserved_in_iter() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(1, 1, 1.0);
+        coo.push(0, 0, 2.0);
+        let triplets: Vec<_> = coo.iter().collect();
+        assert_eq!(triplets, vec![(1, 1, 1.0), (0, 0, 2.0)]);
+    }
+}

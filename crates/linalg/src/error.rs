@@ -1,0 +1,177 @@
+//! Error type shared by all linear-algebra operations in this crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Errors produced by linear-algebra operations.
+///
+/// Every fallible public function in this crate returns [`LinalgError`]
+/// rather than panicking, so that callers (ranking algorithms, simulators)
+/// can surface malformed inputs as recoverable errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        operation: &'static str,
+        /// Dimension the operation expected.
+        expected: usize,
+        /// Dimension actually supplied.
+        found: usize,
+    },
+    /// A matrix that must be square is not.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// An entry index is out of bounds.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Number of rows of the matrix.
+        rows: usize,
+        /// Number of columns of the matrix.
+        cols: usize,
+    },
+    /// A row of a would-be stochastic matrix does not sum to one.
+    NotStochastic {
+        /// Index of the offending row.
+        row: usize,
+        /// The actual row sum.
+        sum: f64,
+    },
+    /// A probability entry is negative, NaN or infinite.
+    InvalidProbability {
+        /// Flat index (or row index, depending on context) of the entry.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A vector that must be a probability distribution is not.
+    NotDistribution {
+        /// The actual sum of the vector.
+        sum: f64,
+    },
+    /// An operation requires a non-empty matrix or vector.
+    Empty,
+    /// The power method failed to converge within the iteration budget.
+    NotConverged {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual at the last iteration.
+        residual: f64,
+    },
+    /// An operation requires a primitive (irreducible + aperiodic) matrix.
+    NotPrimitive {
+        /// Number of strongly connected components found.
+        components: usize,
+        /// Period of the chain (meaningful when `components == 1`).
+        period: usize,
+    },
+    /// A scalar parameter lies outside its valid open or closed interval.
+    ParameterOutOfRange {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch {
+                operation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "dimension mismatch in {operation}: expected {expected}, found {found}"
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "matrix must be square, got {rows}x{cols}")
+            }
+            LinalgError::IndexOutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {rows}x{cols} matrix"
+            ),
+            LinalgError::NotStochastic { row, sum } => {
+                write!(f, "row {row} sums to {sum}, expected 1")
+            }
+            LinalgError::InvalidProbability { index, value } => {
+                write!(f, "invalid probability {value} at index {index}")
+            }
+            LinalgError::NotDistribution { sum } => {
+                write!(f, "vector sums to {sum}, expected a probability distribution")
+            }
+            LinalgError::Empty => write!(f, "operation requires a non-empty operand"),
+            LinalgError::NotConverged {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "power method did not converge after {iterations} iterations (residual {residual:e})"
+            ),
+            LinalgError::NotPrimitive { components, period } => write!(
+                f,
+                "matrix is not primitive ({components} strongly connected components, period {period})"
+            ),
+            LinalgError::ParameterOutOfRange { name, value } => {
+                write!(f, "parameter {name} = {value} is out of range")
+            }
+        }
+    }
+}
+
+impl StdError for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::DimensionMismatch {
+            operation: "apply",
+            expected: 3,
+            found: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("apply"));
+        assert!(msg.contains('3'));
+        assert!(msg.contains('4'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: StdError + Send + Sync + 'static>() {}
+        assert_error::<LinalgError>();
+    }
+
+    #[test]
+    fn not_converged_mentions_residual() {
+        let e = LinalgError::NotConverged {
+            iterations: 100,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let e = LinalgError::Empty;
+        assert_eq!(e.clone(), e);
+    }
+}

@@ -1,0 +1,518 @@
+//! Power-method engine for stationary distributions and principal
+//! eigenvectors.
+//!
+//! The engine is generic over [`LinearOperator`], the abstraction of "one
+//! rank-iteration step" `y ← op(x)`. Explicit CSR matrices participate via
+//! [`TransposeOperator`] (which computes `y = Mᵀ x`); the Layered Markov
+//! Model supplies an implicit factored operator that never materializes the
+//! global transition matrix.
+
+use crate::csr::CsrMatrix;
+use crate::error::{LinalgError, Result};
+use crate::vec_ops;
+
+/// One step of a rank iteration: `y ← op(x)` with `dim`-sized buffers.
+///
+/// Implementors must map non-negative L1-normalized input to non-negative
+/// output; the power method re-normalizes the iterate each step, so mass
+/// leakage (substochastic operators) is tolerated.
+pub trait LinearOperator {
+    /// Dimension of the operand vectors.
+    fn dim(&self) -> usize;
+
+    /// Computes `y = op(x)`.
+    ///
+    /// # Errors
+    /// Implementations return [`LinalgError::DimensionMismatch`] for wrong
+    /// buffer sizes.
+    fn apply_to(&self, x: &[f64], y: &mut [f64]) -> Result<()>;
+}
+
+/// Adapter exposing `y = Mᵀ x` of a row-stochastic [`CsrMatrix`] as a
+/// [`LinearOperator`] — the iteration map whose fixed point is the
+/// stationary distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct TransposeOperator<'a>(pub &'a CsrMatrix);
+
+impl LinearOperator for TransposeOperator<'_> {
+    fn dim(&self) -> usize {
+        self.0.nrows()
+    }
+
+    fn apply_to(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        self.0.apply_transpose_into(x, y)
+    }
+}
+
+impl<T: LinearOperator + ?Sized> LinearOperator for &T {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn apply_to(&self, x: &[f64], y: &mut [f64]) -> Result<()> {
+        (**self).apply_to(x, y)
+    }
+}
+
+/// Convergence norm used for the power-method stopping rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResidualNorm {
+    /// L1 distance between successive iterates (the PageRank convention).
+    #[default]
+    L1,
+    /// L∞ distance between successive iterates.
+    LInf,
+}
+
+/// Convergence acceleration applied on top of the plain power iteration.
+///
+/// Aitken Δ² extrapolation is the scheme from the PageRank-acceleration
+/// literature the LMM paper cites as the "speed up centralized PageRank"
+/// alternative (Kamvar, Haveliwala, Manning & Golub): periodically estimate
+/// the fixed point from three successive iterates, component-wise:
+///
+/// ```text
+/// x*_i = x_i(k−2) − (Δx_i)² / (Δ²x_i)
+/// ```
+///
+/// The extrapolated vector is clamped to be non-negative and renormalized,
+/// so the iteration stays inside the probability simplex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Acceleration {
+    /// Plain power iteration.
+    #[default]
+    None,
+    /// Aitken Δ² extrapolation every `period` iterations (sensible values
+    /// are 5–20). The formula needs three consecutive *plain* iterates, so
+    /// the effective period is clamped to at least 3; overly frequent
+    /// extrapolation amplifies noise before the iterate settles into its
+    /// dominant geometric decay.
+    Aitken {
+        /// Iterations between extrapolation steps (clamped to >= 3).
+        period: usize,
+    },
+}
+
+/// Options controlling the power iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerOptions {
+    /// Stop when the residual drops below this tolerance.
+    pub tol: f64,
+    /// Abort (with [`LinalgError::NotConverged`]) after this many iterations.
+    pub max_iters: usize,
+    /// Norm used for the residual.
+    pub norm: ResidualNorm,
+    /// When `true` (the default), a failure to converge is an error; when
+    /// `false` the best iterate so far is returned with
+    /// `ConvergenceReport::converged == false`.
+    pub require_convergence: bool,
+    /// Convergence acceleration scheme.
+    pub acceleration: Acceleration,
+}
+
+impl Default for PowerOptions {
+    fn default() -> Self {
+        Self {
+            tol: 1e-12,
+            max_iters: 10_000,
+            norm: ResidualNorm::L1,
+            require_convergence: true,
+            acceleration: Acceleration::None,
+        }
+    }
+}
+
+impl PowerOptions {
+    /// Options with a custom tolerance, other fields default.
+    #[must_use]
+    pub fn with_tol(tol: f64) -> Self {
+        Self {
+            tol,
+            ..Self::default()
+        }
+    }
+
+    /// Returns `self` with the given iteration budget.
+    #[must_use]
+    pub fn max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Returns `self` with `require_convergence` disabled: the best iterate
+    /// is returned instead of an error when the budget is exhausted.
+    #[must_use]
+    pub fn best_effort(mut self) -> Self {
+        self.require_convergence = false;
+        self
+    }
+
+    /// Returns `self` with Aitken Δ² extrapolation every `period`
+    /// iterations.
+    #[must_use]
+    pub fn aitken(mut self, period: usize) -> Self {
+        self.acceleration = Acceleration::Aitken { period };
+        self
+    }
+}
+
+/// Outcome statistics of a power iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergenceReport {
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Residual between the last two iterates.
+    pub residual: f64,
+    /// Whether the residual dropped below the tolerance.
+    pub converged: bool,
+}
+
+impl std::fmt::Display for ConvergenceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} after {} iterations (residual {:.3e})",
+            if self.converged { "converged" } else { "NOT converged" },
+            self.iterations,
+            self.residual
+        )
+    }
+}
+
+/// Runs the power method `x ← normalize(op(x))` from `x0` until the residual
+/// between successive iterates drops below `opts.tol`.
+///
+/// The iterate is L1-renormalized every step, so substochastic operators
+/// (mass-leaking chains) converge to their normalized dominant eigenvector.
+///
+/// # Errors
+/// * [`LinalgError::DimensionMismatch`] if `x0.len() != op.dim()`;
+/// * [`LinalgError::NotDistribution`] if `x0` cannot be normalized or the
+///   operator annihilates the iterate;
+/// * [`LinalgError::NotConverged`] if the budget is exhausted while
+///   `opts.require_convergence` is set.
+pub fn power_method<O: LinearOperator>(
+    op: O,
+    x0: &[f64],
+    opts: &PowerOptions,
+) -> Result<(Vec<f64>, ConvergenceReport)> {
+    let n = op.dim();
+    if x0.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            operation: "power_method x0",
+            expected: n,
+            found: x0.len(),
+        });
+    }
+    if n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let mut x = x0.to_vec();
+    vec_ops::normalize_l1(&mut x)?;
+    let mut y = vec![0.0; n];
+    let mut residual = f64::INFINITY;
+    // Trailing iterates for Aitken extrapolation (x_{k-2} and x_{k-1}).
+    let mut history: Option<(Vec<f64>, Vec<f64>)> = match opts.acceleration {
+        Acceleration::Aitken { .. } => Some((vec![0.0; n], vec![0.0; n])),
+        Acceleration::None => None,
+    };
+    for iter in 1..=opts.max_iters {
+        op.apply_to(&x, &mut y)?;
+        vec_ops::normalize_l1(&mut y)?;
+        if let (Acceleration::Aitken { period }, Some((prev2, prev1))) =
+            (opts.acceleration, &mut history)
+        {
+            // Three consecutive plain iterates are required, so never
+            // extrapolate more often than every third step.
+            let period = period.max(3);
+            if iter >= 3 && iter % period == 0 {
+                aitken_extrapolate(prev2, prev1, &mut y);
+            }
+            std::mem::swap(prev2, prev1);
+            prev1.copy_from_slice(&y);
+        }
+        residual = match opts.norm {
+            ResidualNorm::L1 => vec_ops::l1_diff(&x, &y),
+            ResidualNorm::LInf => vec_ops::linf_diff(&x, &y),
+        };
+        std::mem::swap(&mut x, &mut y);
+        if residual < opts.tol {
+            return Ok((
+                x,
+                ConvergenceReport {
+                    iterations: iter,
+                    residual,
+                    converged: true,
+                },
+            ));
+        }
+    }
+    let report = ConvergenceReport {
+        iterations: opts.max_iters,
+        residual,
+        converged: false,
+    };
+    if opts.require_convergence {
+        Err(LinalgError::NotConverged {
+            iterations: report.iterations,
+            residual: report.residual,
+        })
+    } else {
+        Ok((x, report))
+    }
+}
+
+/// Component-wise Aitken Δ² applied to the newest iterate `x_k` using the
+/// two trailing iterates; the result replaces `x_k` in place, clamped to be
+/// non-negative and L1-renormalized. Components whose second difference is
+/// numerically zero (already converged to their geometric limit) are left
+/// untouched.
+fn aitken_extrapolate(x_km2: &[f64], x_km1: &[f64], x_k: &mut [f64]) {
+    const SECOND_DIFF_FLOOR: f64 = 1e-300;
+    let mut star = Vec::with_capacity(x_k.len());
+    for ((&a, &b), &c) in x_km2.iter().zip(x_km1).zip(x_k.iter()) {
+        let d1 = b - a;
+        let d2 = c - 2.0 * b + a;
+        let value = if d2.abs() > SECOND_DIFF_FLOOR {
+            let s = a - d1 * d1 / d2;
+            if s.is_finite() {
+                s.max(0.0)
+            } else {
+                c
+            }
+        } else {
+            c
+        };
+        star.push(value);
+    }
+    // Commit only if the extrapolated vector can be renormalized back onto
+    // the simplex; otherwise keep the plain iterate.
+    if vec_ops::normalize_l1(&mut star).is_ok() {
+        x_k.copy_from_slice(&star);
+    }
+}
+
+/// Computes the stationary distribution of a row-stochastic matrix by power
+/// iteration from the uniform vector.
+///
+/// The matrix should be primitive for the result to be the unique stationary
+/// distribution; use [`crate::structure::is_primitive`] to check when in
+/// doubt (a non-primitive matrix typically surfaces as
+/// [`LinalgError::NotConverged`] here).
+///
+/// # Errors
+/// See [`power_method`]; additionally [`LinalgError::NotSquare`] for a
+/// non-square matrix.
+pub fn stationary_distribution(
+    m: &CsrMatrix,
+    opts: &PowerOptions,
+) -> Result<(Vec<f64>, ConvergenceReport)> {
+    if !m.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: m.nrows(),
+            cols: m.ncols(),
+        });
+    }
+    let x0 = vec_ops::uniform(m.nrows());
+    power_method(TransposeOperator(m), &x0, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+    use crate::dense::DenseMatrix;
+
+    fn csr_from_rows(rows: &[Vec<f64>]) -> CsrMatrix {
+        DenseMatrix::from_rows(rows).unwrap().to_csr()
+    }
+
+    #[test]
+    fn two_state_chain_known_stationary() {
+        // P = [[0.9, 0.1], [0.5, 0.5]] => pi = (5/6, 1/6)
+        let m = csr_from_rows(&[vec![0.9, 0.1], vec![0.5, 0.5]]);
+        let (pi, rep) = stationary_distribution(&m, &PowerOptions::default()).unwrap();
+        assert!(rep.converged);
+        assert!((pi[0] - 5.0 / 6.0).abs() < 1e-10);
+        assert!((pi[1] - 1.0 / 6.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn three_state_chain_matches_hand_solution() {
+        // The paper's Y matrix; hand-derived stationary vector
+        // (0.2154, 0.4154, 0.3692) (see Section 2.3.3, Approach 4).
+        let m = csr_from_rows(&[
+            vec![0.1, 0.3, 0.6],
+            vec![0.2, 0.4, 0.4],
+            vec![0.3, 0.5, 0.2],
+        ]);
+        let (pi, _) = stationary_distribution(&m, &PowerOptions::default()).unwrap();
+        assert!((pi[0] - 0.2154).abs() < 5e-5);
+        assert!((pi[1] - 0.4154).abs() < 5e-5);
+        assert!((pi[2] - 0.3692).abs() < 5e-5);
+    }
+
+    #[test]
+    fn stationary_is_fixed_point() {
+        let m = csr_from_rows(&[
+            vec![0.2, 0.3, 0.5],
+            vec![0.4, 0.1, 0.5],
+            vec![0.25, 0.25, 0.5],
+        ]);
+        let (pi, _) = stationary_distribution(&m, &PowerOptions::default()).unwrap();
+        let next = m.apply_transpose(&pi).unwrap();
+        assert!(vec_ops::l1_diff(&pi, &next) < 1e-10);
+    }
+
+    #[test]
+    fn periodic_chain_does_not_converge() {
+        // Pure 2-cycle: period 2, power method oscillates.
+        let m = csr_from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let opts = PowerOptions {
+            max_iters: 500,
+            ..PowerOptions::default()
+        };
+        let err = stationary_distribution(&m, &opts);
+        // From the uniform start the iterate is immediately the fixed point
+        // (uniform is stationary for the doubly-stochastic cycle), so seed a
+        // non-uniform start to expose the oscillation.
+        assert!(err.is_ok(), "uniform start happens to be stationary");
+        let res = power_method(TransposeOperator(&m), &[0.9, 0.1], &opts);
+        assert!(matches!(res, Err(LinalgError::NotConverged { .. })));
+    }
+
+    #[test]
+    fn best_effort_returns_report() {
+        let m = csr_from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let opts = PowerOptions {
+            max_iters: 50,
+            require_convergence: false,
+            ..PowerOptions::default()
+        };
+        let (_, rep) = power_method(TransposeOperator(&m), &[0.9, 0.1], &opts).unwrap();
+        assert!(!rep.converged);
+        assert_eq!(rep.iterations, 50);
+    }
+
+    #[test]
+    fn substochastic_operator_converges_after_renormalization() {
+        // Leaky chain: row sums 0.5; normalized iterate still converges.
+        let m = csr_from_rows(&[vec![0.25, 0.25], vec![0.25, 0.25]]);
+        let (pi, rep) =
+            power_method(TransposeOperator(&m), &[0.3, 0.7], &PowerOptions::default()).unwrap();
+        assert!(rep.converged);
+        assert!((pi[0] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_operator_errors() {
+        let coo = CooMatrix::new(2, 2);
+        let m = coo.to_csr();
+        let res = power_method(TransposeOperator(&m), &[0.5, 0.5], &PowerOptions::default());
+        assert!(matches!(res, Err(LinalgError::NotDistribution { .. })));
+    }
+
+    #[test]
+    fn x0_dimension_checked() {
+        let m = csr_from_rows(&[vec![1.0]]);
+        assert!(power_method(TransposeOperator(&m), &[0.5, 0.5], &PowerOptions::default()).is_err());
+    }
+
+    #[test]
+    fn linf_norm_stopping() {
+        let m = csr_from_rows(&[vec![0.9, 0.1], vec![0.5, 0.5]]);
+        let opts = PowerOptions {
+            norm: ResidualNorm::LInf,
+            ..PowerOptions::default()
+        };
+        let (pi, rep) = stationary_distribution(&m, &opts).unwrap();
+        assert!(rep.converged);
+        assert!((pi[0] - 5.0 / 6.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn report_display() {
+        let rep = ConvergenceReport {
+            iterations: 12,
+            residual: 1e-13,
+            converged: true,
+        };
+        let s = rep.to_string();
+        assert!(s.contains("12"));
+        assert!(s.contains("converged"));
+    }
+
+    #[test]
+    fn options_builders() {
+        let o = PowerOptions::with_tol(1e-6).max_iters(5).best_effort().aitken(10);
+        assert_eq!(o.tol, 1e-6);
+        assert_eq!(o.max_iters, 5);
+        assert!(!o.require_convergence);
+        assert_eq!(o.acceleration, Acceleration::Aitken { period: 10 });
+    }
+
+    /// A slowly mixing chain: two near-disconnected 2-cliques with weak,
+    /// asymmetric coupling eps (A leaks to B twice as fast as B to A), so
+    /// the clique-mass balance converges at rate ≈ (1 − 3·eps) and plain
+    /// power iteration crawls.
+    fn slow_chain(eps: f64) -> CsrMatrix {
+        csr_from_rows(&[
+            vec![0.7 - 2.0 * eps, 0.3, eps, eps],
+            vec![0.6, 0.4 - 2.0 * eps, eps, eps],
+            vec![eps / 2.0, eps / 2.0, 0.5 - eps, 0.5],
+            vec![eps / 2.0, eps / 2.0, 0.3, 0.7 - eps],
+        ])
+    }
+
+    #[test]
+    fn aitken_reaches_same_fixed_point() {
+        let m = slow_chain(0.01);
+        let plain = stationary_distribution(&m, &PowerOptions::default()).unwrap().0;
+        let accel = stationary_distribution(&m, &PowerOptions::default().aitken(5))
+            .unwrap()
+            .0;
+        assert!(vec_ops::l1_diff(&plain, &accel) < 1e-9);
+    }
+
+    #[test]
+    fn aitken_converges_faster_on_slow_chains() {
+        let m = slow_chain(0.001);
+        let opts = PowerOptions::with_tol(1e-12).max_iters(100_000);
+        let (_, plain) = stationary_distribution(&m, &opts).unwrap();
+        let (_, accel) = stationary_distribution(&m, &opts.clone().aitken(5)).unwrap();
+        assert!(
+            accel.iterations < plain.iterations,
+            "aitken {} vs plain {}",
+            accel.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn aitken_handles_converged_components() {
+        // A chain that converges almost immediately: extrapolation must not
+        // divide by the (zero) second difference.
+        let m = csr_from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]);
+        let (pi, rep) =
+            stationary_distribution(&m, &PowerOptions::default().aitken(1)).unwrap();
+        assert!(rep.converged);
+        assert!((pi[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aitken_period_is_clamped_to_three() {
+        // Periods 0..=2 would extrapolate from already-extrapolated
+        // iterates; they are clamped and must still converge correctly.
+        let m = slow_chain(0.01);
+        let reference = stationary_distribution(&m, &PowerOptions::default())
+            .unwrap()
+            .0;
+        for period in [0, 1, 2] {
+            let (pi, rep) =
+                stationary_distribution(&m, &PowerOptions::default().aitken(period))
+                    .unwrap();
+            assert!(rep.converged, "period {period}");
+            assert!(vec_ops::l1_diff(&pi, &reference) < 1e-9, "period {period}");
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Free functions over `&[f64]` slices used throughout the ranking stack.
+//!
+//! These are deliberately plain-slice operations (no vector newtype) so they
+//! compose with buffers owned by any caller — power-method workspaces,
+//! ranking vectors, message payloads in the P2P simulator, and so on.
+
+use crate::error::{LinalgError, Result};
+
+/// Tolerance used by [`is_distribution`] and the stochastic validators.
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// Returns the L1 norm `sum(|x_i|)` of `x`.
+///
+/// # Example
+/// ```
+/// assert_eq!(lmm_linalg::vec_ops::l1_norm(&[0.25, -0.25, 0.5]), 1.0);
+/// ```
+#[must_use]
+pub fn l1_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Returns the L2 norm `sqrt(sum(x_i^2))` of `x`.
+#[must_use]
+pub fn l2_norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Returns the L∞ norm `max(|x_i|)` of `x` (0 for an empty slice).
+#[must_use]
+pub fn linf_norm(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+}
+
+/// Returns the L1 distance `sum(|x_i - y_i|)` between two equal-length slices.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`; the callers in this workspace always pair
+/// buffers of identical, statically-known length.
+#[must_use]
+pub fn l1_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "l1_diff requires equal lengths");
+    x.iter().zip(y).map(|(a, b)| (a - b).abs()).sum()
+}
+
+/// Returns the L∞ distance `max(|x_i - y_i|)` between two equal-length slices.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn linf_diff(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "linf_diff requires equal lengths");
+    x.iter()
+        .zip(y)
+        .fold(0.0, |acc, (a, b)| acc.max((a - b).abs()))
+}
+
+/// Returns the dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot requires equal lengths");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// In-place `y += alpha * x`.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy requires equal lengths");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place multiplication of every element by `alpha`.
+pub fn scale(x: &mut [f64], alpha: f64) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Normalizes `x` in place so that its entries sum to 1 (L1, assuming
+/// non-negative entries) and returns the original sum.
+///
+/// # Errors
+/// Returns [`LinalgError::Empty`] for an empty slice and
+/// [`LinalgError::NotDistribution`] if the sum is zero, negative, or not
+/// finite (the vector cannot be normalized into a distribution).
+pub fn normalize_l1(x: &mut [f64]) -> Result<f64> {
+    if x.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    let sum: f64 = x.iter().sum();
+    if !(sum.is_finite() && sum > 0.0) {
+        return Err(LinalgError::NotDistribution { sum });
+    }
+    let inv = 1.0 / sum;
+    for v in x.iter_mut() {
+        *v *= inv;
+    }
+    Ok(sum)
+}
+
+/// Returns the uniform distribution over `n` states.
+///
+/// # Panics
+/// Panics if `n == 0`.
+#[must_use]
+pub fn uniform(n: usize) -> Vec<f64> {
+    assert!(n > 0, "uniform distribution requires n > 0");
+    vec![1.0 / n as f64; n]
+}
+
+/// Checks whether `x` is a probability distribution: all entries finite and
+/// non-negative, and the total within `tol` of 1.
+///
+/// # Errors
+/// Returns [`LinalgError::InvalidProbability`] for a bad entry or
+/// [`LinalgError::NotDistribution`] for a bad total.
+pub fn check_distribution(x: &[f64], tol: f64) -> Result<()> {
+    if x.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    for (i, &v) in x.iter().enumerate() {
+        if !v.is_finite() || v < 0.0 {
+            return Err(LinalgError::InvalidProbability { index: i, value: v });
+        }
+    }
+    let sum: f64 = x.iter().sum();
+    if (sum - 1.0).abs() > tol {
+        return Err(LinalgError::NotDistribution { sum });
+    }
+    Ok(())
+}
+
+/// Returns `true` when `x` is a probability distribution within `tol`.
+#[must_use]
+pub fn is_distribution(x: &[f64], tol: f64) -> bool {
+    check_distribution(x, tol).is_ok()
+}
+
+/// Index of the maximal element (first one on ties). `None` when empty.
+#[must_use]
+pub fn argmax(x: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in x.iter().enumerate() {
+        match best {
+            Some((_, bv)) if bv >= v => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_on_known_vectors() {
+        let x = [3.0, -4.0];
+        assert_eq!(l1_norm(&x), 7.0);
+        assert_eq!(l2_norm(&x), 5.0);
+        assert_eq!(linf_norm(&x), 4.0);
+    }
+
+    #[test]
+    fn l1_diff_and_linf_diff() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [1.5, 2.0, 1.0];
+        assert!((l1_diff(&x, &y) - 2.5).abs() < 1e-15);
+        assert!((linf_diff(&x, &y) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dot_and_axpy() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        assert_eq!(dot(&x, &y), 50.0);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn normalize_l1_makes_distribution() {
+        let mut x = vec![1.0, 3.0];
+        let sum = normalize_l1(&mut x).unwrap();
+        assert_eq!(sum, 4.0);
+        assert_eq!(x, vec![0.25, 0.75]);
+        assert!(is_distribution(&x, 1e-12));
+    }
+
+    #[test]
+    fn normalize_l1_rejects_zero_vector() {
+        let mut x = vec![0.0, 0.0];
+        assert!(matches!(
+            normalize_l1(&mut x),
+            Err(LinalgError::NotDistribution { .. })
+        ));
+    }
+
+    #[test]
+    fn normalize_l1_rejects_empty() {
+        let mut x: Vec<f64> = vec![];
+        assert_eq!(normalize_l1(&mut x), Err(LinalgError::Empty));
+    }
+
+    #[test]
+    fn uniform_is_distribution() {
+        let u = uniform(7);
+        assert!(is_distribution(&u, 1e-12));
+        assert!(u.iter().all(|&v| (v - 1.0 / 7.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn check_distribution_catches_negative() {
+        assert!(matches!(
+            check_distribution(&[0.5, -0.1, 0.6], 1e-9),
+            Err(LinalgError::InvalidProbability { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn check_distribution_catches_nan() {
+        assert!(matches!(
+            check_distribution(&[f64::NAN, 1.0], 1e-9),
+            Err(LinalgError::InvalidProbability { index: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn argmax_basics() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0]), Some(0));
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        // First index wins ties.
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0));
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(&mut x, -3.0);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Protocol-level tests of the distributed simulator: grouping topologies,
+//! determinism under faults, and accounting consistency.
+
+use lmm_graph::generator::{random_web, CampusWebConfig};
+use lmm_linalg::vec_ops;
+use lmm_p2p::runner::{run_distributed, Architecture, DistributedConfig};
+use lmm_p2p::FaultConfig;
+
+fn graph() -> lmm_graph::DocGraph {
+    let mut cfg = CampusWebConfig::small();
+    cfg.total_docs = 600;
+    cfg.n_sites = 15;
+    cfg.spam_farms.truncate(1);
+    cfg.spam_farms[0].host_site = 6;
+    cfg.spam_farms[0].n_pages = 60;
+    cfg.generate().expect("campus web")
+}
+
+#[test]
+fn all_group_counts_agree() {
+    // The group partition is a pure implementation detail: every group
+    // count from 1 (one super-peer owns everything) to n_sites (flat) must
+    // produce the same ranking.
+    let g = graph();
+    let reference = run_distributed(&g, &DistributedConfig::default()).expect("flat");
+    for n_groups in [1, 2, 3, 7, 15] {
+        let outcome = run_distributed(
+            &g,
+            &DistributedConfig::default()
+                .with_architecture(Architecture::SuperPeer { n_groups }),
+        )
+        .expect("superpeer run");
+        assert!(
+            vec_ops::l1_diff(outcome.global.scores(), reference.global.scores()) < 1e-9,
+            "{n_groups} groups diverged"
+        );
+    }
+}
+
+#[test]
+fn single_group_superpeer_has_zero_round_traffic() {
+    // With one super-peer, every SiteRank contribution is intra-group: the
+    // rounds exchange only coordinator control traffic.
+    let g = graph();
+    let outcome = run_distributed(
+        &g,
+        &DistributedConfig::default().with_architecture(Architecture::SuperPeer { n_groups: 1 }),
+    )
+    .expect("single group");
+    let rounds_phase = outcome
+        .stats
+        .phases
+        .iter()
+        .find(|p| p.name == "siterank rounds")
+        .expect("phase exists");
+    // 2 messages per round: one report up, one control down.
+    assert_eq!(
+        rounds_phase.traffic.messages,
+        u64::from(rounds_phase.rounds) * 2
+    );
+}
+
+#[test]
+fn fault_seeds_are_deterministic_and_distinct() {
+    let g = graph();
+    let run = |seed: u64| {
+        let cfg = DistributedConfig {
+            fault: Some(FaultConfig {
+                drop_prob: 0.3,
+                seed,
+            }),
+            ..DistributedConfig::default()
+        };
+        run_distributed(&g, &cfg).expect("lossy run")
+    };
+    let a1 = run(1);
+    let a2 = run(1);
+    let b = run(2);
+    assert_eq!(a1.stats.total().messages, a2.stats.total().messages);
+    // Different loss patterns, identical rankings.
+    assert_ne!(a1.stats.total().messages, b.stats.total().messages);
+    assert!(vec_ops::l1_diff(a1.global.scores(), b.global.scores()) < 1e-9);
+}
+
+#[test]
+fn works_on_unstructured_random_webs() {
+    // The protocol must not depend on the campus generator's structure.
+    let g = random_web(400, 12, 5, 77).expect("random web");
+    let outcome = run_distributed(&g, &DistributedConfig::default()).expect("flat");
+    assert_eq!(outcome.global.len(), g.n_docs());
+    let total: f64 = outcome.global.scores().iter().sum();
+    assert!((total - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn aggregation_traffic_scales_with_documents() {
+    let small = random_web(200, 10, 4, 3).expect("small web");
+    let large = random_web(800, 10, 4, 3).expect("large web");
+    let bytes_of = |g: &lmm_graph::DocGraph| {
+        let outcome = run_distributed(g, &DistributedConfig::default()).expect("run");
+        outcome
+            .stats
+            .phases
+            .iter()
+            .find(|p| p.name == "aggregation")
+            .expect("phase")
+            .traffic
+            .bytes
+    };
+    let (b_small, b_large) = (bytes_of(&small), bytes_of(&large));
+    // 4x the documents => roughly 4x the aggregation bytes (headers aside).
+    let ratio = b_large as f64 / b_small as f64;
+    assert!((3.0..5.0).contains(&ratio), "ratio {ratio}");
+}

@@ -1,0 +1,93 @@
+//! Error type for ranking algorithms.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use lmm_linalg::LinalgError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, RankError>;
+
+/// Errors produced by ranking computations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankError {
+    /// A damping / mixing factor lies outside the open interval `(0, 1)`.
+    InvalidDamping {
+        /// The offending value.
+        value: f64,
+    },
+    /// A personalization vector is not a probability distribution of the
+    /// right length.
+    InvalidPersonalization {
+        /// Human-readable cause.
+        reason: &'static str,
+    },
+    /// A block/partition labeling is inconsistent with the matrix.
+    InvalidPartition {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// The underlying linear algebra failed (dimension mismatch, divergence,
+    /// malformed matrix, ...).
+    Linalg(LinalgError),
+    /// The input graph/matrix is empty.
+    Empty,
+}
+
+impl fmt::Display for RankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RankError::InvalidDamping { value } => {
+                write!(f, "damping factor {value} must lie strictly between 0 and 1")
+            }
+            RankError::InvalidPersonalization { reason } => {
+                write!(f, "invalid personalization vector: {reason}")
+            }
+            RankError::InvalidPartition { reason } => {
+                write!(f, "invalid partition: {reason}")
+            }
+            RankError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            RankError::Empty => write!(f, "ranking requires a non-empty graph"),
+        }
+    }
+}
+
+impl StdError for RankError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            RankError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for RankError {
+    fn from(e: LinalgError) -> Self {
+        RankError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(RankError::InvalidDamping { value: 1.5 }
+            .to_string()
+            .contains("1.5"));
+        assert!(RankError::Empty.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn linalg_source_preserved() {
+        let e = RankError::from(LinalgError::Empty);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<E: StdError + Send + Sync + 'static>() {}
+        assert_bounds::<RankError>();
+    }
+}

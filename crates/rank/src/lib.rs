@@ -1,0 +1,51 @@
+//! Link-analysis ranking algorithms over sparse transition matrices.
+//!
+//! This crate implements every ranking primitive the LMM paper builds on or
+//! compares against:
+//!
+//! * [`pagerank`] — the classical PageRank with **maximal irreducibility**
+//!   (eq. 1 of the paper): `M̂ = f·M + (1−f)/N·e·vᵀ`, with personalization
+//!   and configurable dangling-row policies;
+//! * [`gatekeeper`] — the **minimal irreducibility** construction the paper
+//!   uses to obtain gatekeeper transition probabilities `u_Gj` (append a
+//!   virtual state, power-iterate, drop it and renormalize) — provably
+//!   equivalent to PageRank, which the test suite verifies numerically;
+//! * [`hits`] — Kleinberg's HITS (hubs and authorities), the other classical
+//!   algorithm the paper reviews;
+//! * [`blockrank`] — the BlockRank baseline (Kamvar et al.) whose
+//!   serialized block-weighting the paper contrasts with its parallel
+//!   SiteLink counting;
+//! * [`metrics`] — rank-comparison measures (Kendall τ, Spearman footrule,
+//!   top-k overlap, spam share) used by the evaluation harness.
+//!
+//! # Example
+//!
+//! ```
+//! use lmm_linalg::{CooMatrix, StochasticMatrix};
+//! use lmm_rank::pagerank::PageRank;
+//!
+//! # fn main() -> Result<(), lmm_rank::RankError> {
+//! // A 3-page web: 0 -> 1, 1 -> 2, 2 -> 0.
+//! let mut coo = CooMatrix::new(3, 3);
+//! coo.push(0, 1, 1.0);
+//! coo.push(1, 2, 1.0);
+//! coo.push(2, 0, 1.0);
+//! let m = StochasticMatrix::from_adjacency(coo.to_csr())?;
+//! let result = PageRank::new().damping(0.85).run(&m)?;
+//! assert!((result.ranking.scores().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod blockrank;
+pub mod error;
+pub mod gatekeeper;
+pub mod hits;
+pub mod metrics;
+pub mod pagerank;
+pub mod ranking;
+
+pub use error::{RankError, Result};
+pub use gatekeeper::{gatekeeper_distribution, GatekeeperResult};
+pub use pagerank::{PageRank, PageRankConfig, PageRankResult};
+pub use ranking::Ranking;

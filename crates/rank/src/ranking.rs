@@ -1,0 +1,243 @@
+//! The [`Ranking`] type: a probability-distribution score vector plus the
+//! order it induces.
+
+use crate::error::{RankError, Result};
+use lmm_linalg::vec_ops;
+
+/// A ranking over `n` items: non-negative scores summing to one, with
+/// helpers for the induced descending order.
+///
+/// Ties are broken by item index (lower index first) so orders are
+/// deterministic — important for reproducible experiment tables.
+///
+/// # Example
+/// ```
+/// use lmm_rank::Ranking;
+/// # fn main() -> Result<(), lmm_rank::RankError> {
+/// let r = Ranking::from_scores(vec![0.2, 0.5, 0.3])?;
+/// assert_eq!(r.order(), vec![1, 2, 0]);
+/// assert_eq!(r.position_of(1), 0); // item 1 is ranked first
+/// assert_eq!(r.top_k(2), vec![1, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranking {
+    scores: Vec<f64>,
+}
+
+impl Ranking {
+    /// Wraps a score vector that is already a probability distribution.
+    ///
+    /// # Errors
+    /// Returns [`RankError::Linalg`] when the vector has negative / non-finite
+    /// entries or does not sum to 1 within `1e-6`.
+    pub fn from_scores(scores: Vec<f64>) -> Result<Self> {
+        vec_ops::check_distribution(&scores, 1e-6)?;
+        Ok(Self { scores })
+    }
+
+    /// Normalizes an arbitrary non-negative score vector into a ranking.
+    ///
+    /// # Errors
+    /// Returns [`RankError::Linalg`] when the vector is empty, contains
+    /// negative or non-finite entries, or sums to zero.
+    pub fn from_weights(mut weights: Vec<f64>) -> Result<Self> {
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(RankError::Linalg(
+                    lmm_linalg::LinalgError::InvalidProbability { index: i, value: w },
+                ));
+            }
+        }
+        vec_ops::normalize_l1(&mut weights)?;
+        Ok(Self { scores: weights })
+    }
+
+    /// The uniform ranking over `n` items.
+    ///
+    /// # Errors
+    /// Returns [`RankError::Empty`] when `n == 0`.
+    pub fn uniform(n: usize) -> Result<Self> {
+        if n == 0 {
+            return Err(RankError::Empty);
+        }
+        Ok(Self {
+            scores: vec_ops::uniform(n),
+        })
+    }
+
+    /// Number of ranked items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Returns `true` when the ranking covers no items (never constructible
+    /// through the public API; kept for `len`/`is_empty` pairing).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// The score vector (a probability distribution).
+    #[must_use]
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Score of item `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds.
+    #[must_use]
+    pub fn score(&self, i: usize) -> f64 {
+        self.scores[i]
+    }
+
+    /// Consumes the ranking, returning the raw score vector.
+    #[must_use]
+    pub fn into_scores(self) -> Vec<f64> {
+        self.scores
+    }
+
+    /// Item indices sorted by descending score, ties broken by index.
+    #[must_use]
+    pub fn order(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.scores.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.scores[b]
+                .partial_cmp(&self.scores[a])
+                .expect("ranking scores are finite")
+                .then_with(|| a.cmp(&b))
+        });
+        idx
+    }
+
+    /// For each item, its 0-based position in the descending order
+    /// (`positions()[item] == rank of item`).
+    #[must_use]
+    pub fn positions(&self) -> Vec<usize> {
+        let order = self.order();
+        let mut pos = vec![0usize; order.len()];
+        for (p, &item) in order.iter().enumerate() {
+            pos[item] = p;
+        }
+        pos
+    }
+
+    /// 0-based rank position of a single item.
+    ///
+    /// # Panics
+    /// Panics if `item` is out of bounds.
+    #[must_use]
+    pub fn position_of(&self, item: usize) -> usize {
+        assert!(item < self.scores.len(), "item out of bounds");
+        self.positions()[item]
+    }
+
+    /// The `k` top-ranked item indices (all items when `k >= len`).
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<usize> {
+        let mut order = self.order();
+        order.truncate(k);
+        order
+    }
+
+    /// Entropy (nats) of the score distribution — a dispersion diagnostic
+    /// used by the experiment harness (`0` = all mass on one item).
+    #[must_use]
+    pub fn entropy(&self) -> f64 {
+        self.scores
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.ln())
+            .sum()
+    }
+}
+
+impl AsRef<[f64]> for Ranking {
+    fn as_ref(&self) -> &[f64] {
+        &self.scores
+    }
+}
+
+impl std::fmt::Display for Ranking {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Ranking[")?;
+        for (i, s) in self.scores.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{s:.4}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_scores_validates() {
+        assert!(Ranking::from_scores(vec![0.5, 0.5]).is_ok());
+        assert!(Ranking::from_scores(vec![0.5, 0.6]).is_err());
+        assert!(Ranking::from_scores(vec![-0.5, 1.5]).is_err());
+        assert!(Ranking::from_scores(vec![]).is_err());
+    }
+
+    #[test]
+    fn from_weights_normalizes() {
+        let r = Ranking::from_weights(vec![1.0, 3.0]).unwrap();
+        assert_eq!(r.scores(), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn from_weights_rejects_negative_and_zero_sum() {
+        assert!(Ranking::from_weights(vec![1.0, -1.0]).is_err());
+        assert!(Ranking::from_weights(vec![0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn order_descending_with_index_ties() {
+        let r = Ranking::from_scores(vec![0.25, 0.25, 0.5]).unwrap();
+        assert_eq!(r.order(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn positions_inverse_of_order() {
+        let r = Ranking::from_scores(vec![0.1, 0.4, 0.2, 0.3]).unwrap();
+        let order = r.order();
+        let pos = r.positions();
+        for (p, &item) in order.iter().enumerate() {
+            assert_eq!(pos[item], p);
+        }
+        assert_eq!(r.position_of(1), 0);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let r = Ranking::from_scores(vec![0.1, 0.4, 0.2, 0.3]).unwrap();
+        assert_eq!(r.top_k(2), vec![1, 3]);
+        assert_eq!(r.top_k(10).len(), 4);
+    }
+
+    #[test]
+    fn uniform_entropy_is_log_n() {
+        let r = Ranking::uniform(8).unwrap();
+        assert!((r.entropy() - (8f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentrated_entropy_is_zero() {
+        let r = Ranking::from_scores(vec![1.0, 0.0, 0.0]).unwrap();
+        assert_eq!(r.entropy(), 0.0);
+    }
+
+    #[test]
+    fn display_shows_scores() {
+        let r = Ranking::from_scores(vec![0.5, 0.5]).unwrap();
+        assert!(r.to_string().contains("0.5000"));
+    }
+}

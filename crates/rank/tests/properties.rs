@@ -1,0 +1,140 @@
+//! Property-based tests of the ranking algorithms: PageRank axioms, the
+//! gatekeeper ≡ PageRank identity on random chains, and the metric axioms.
+
+use lmm_linalg::{vec_ops, CooMatrix, PowerOptions, StochasticMatrix};
+use lmm_rank::gatekeeper::{gatekeeper_distribution, gatekeeper_via_pagerank};
+use lmm_rank::metrics;
+use lmm_rank::pagerank::PageRank;
+use lmm_rank::Ranking;
+use proptest::prelude::*;
+
+/// Strategy: a random web-like adjacency over `n` nodes; may contain
+/// dangling nodes and disconnected parts.
+fn random_adjacency(n: usize, max_edges: usize) -> impl Strategy<Value = StochasticMatrix> {
+    prop::collection::vec((0..n, 0..n), 0..max_edges).prop_map(move |edges| {
+        let mut coo = CooMatrix::new(n, n);
+        for (r, c) in edges {
+            coo.push(r, c, 1.0);
+        }
+        StochasticMatrix::from_adjacency(coo.to_csr()).expect("non-negative")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// PageRank always yields a strictly positive distribution (teleport
+    /// reaches every page) for any graph, including empty and dangling-heavy
+    /// ones.
+    #[test]
+    fn pagerank_is_positive_distribution(
+        n in 1usize..20,
+        m in (1usize..20).prop_flat_map(|n| random_adjacency(n, 60).prop_map(move |m| (n, m))).prop_map(|(_, m)| m),
+    ) {
+        let _ = n;
+        let result = PageRank::new().run(&m).expect("pagerank runs");
+        let scores = result.ranking.scores();
+        prop_assert!(vec_ops::is_distribution(scores, 1e-9));
+        prop_assert!(scores.iter().all(|&s| s > 0.0));
+    }
+
+    /// The minimal-irreducibility (gatekeeper) construction equals PageRank
+    /// with the teleport dangling policy on arbitrary chains — the identity
+    /// the paper's Section 2.3.2 relies on.
+    #[test]
+    fn gatekeeper_equals_pagerank(
+        m in (2usize..15).prop_flat_map(|n| random_adjacency(n, 50)),
+        alpha in 0.1f64..0.95,
+    ) {
+        let g = gatekeeper_distribution(&m, alpha, None, &PowerOptions::default())
+            .expect("gatekeeper");
+        let pr = gatekeeper_via_pagerank(&m, alpha, None, 1e-13).expect("pagerank");
+        prop_assert!(
+            vec_ops::l1_diff(g.distribution.scores(), pr.scores()) < 1e-7,
+            "alpha {}", alpha
+        );
+    }
+
+    /// Kendall tau axioms: bounded, symmetric, 1 on self.
+    #[test]
+    fn kendall_tau_axioms(
+        wa in prop::collection::vec(0.01f64..1.0, 2..30),
+        wb_seed in prop::collection::vec(0.01f64..1.0, 2..30),
+    ) {
+        let n = wa.len();
+        let wb: Vec<f64> = (0..n).map(|i| wb_seed[i % wb_seed.len()]).collect();
+        let a = Ranking::from_weights(wa).expect("weights");
+        let b = Ranking::from_weights(wb).expect("weights");
+        let tau_ab = metrics::kendall_tau(&a, &b);
+        let tau_ba = metrics::kendall_tau(&b, &a);
+        prop_assert!((-1.0..=1.0).contains(&tau_ab));
+        prop_assert!((tau_ab - tau_ba).abs() < 1e-12);
+        prop_assert!((metrics::kendall_tau(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    /// Footrule axioms: zero on self, symmetric, within the n²/2 bound.
+    #[test]
+    fn footrule_axioms(
+        wa in prop::collection::vec(0.01f64..1.0, 2..30),
+        wb_seed in prop::collection::vec(0.01f64..1.0, 2..30),
+    ) {
+        let n = wa.len();
+        let wb: Vec<f64> = (0..n).map(|i| wb_seed[i % wb_seed.len()]).collect();
+        let a = Ranking::from_weights(wa).expect("weights");
+        let b = Ranking::from_weights(wb).expect("weights");
+        prop_assert_eq!(metrics::spearman_footrule(&a, &a), 0);
+        prop_assert_eq!(
+            metrics::spearman_footrule(&a, &b),
+            metrics::spearman_footrule(&b, &a)
+        );
+        prop_assert!(metrics::spearman_footrule(&a, &b) <= (n * n / 2) as u64);
+        let norm = metrics::spearman_footrule_normalized(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&norm));
+    }
+
+    /// Top-k overlap is symmetric, in [0,1], and 1 when comparing a ranking
+    /// with itself.
+    #[test]
+    fn top_k_overlap_axioms(
+        wa in prop::collection::vec(0.01f64..1.0, 2..25),
+        k in 1usize..30,
+    ) {
+        let a = Ranking::from_weights(wa.clone()).expect("weights");
+        let reversed: Vec<f64> = wa.iter().rev().copied().collect();
+        let b = Ranking::from_weights(reversed).expect("weights");
+        let o_ab = metrics::top_k_overlap(&a, &b, k);
+        let o_ba = metrics::top_k_overlap(&b, &a, k);
+        prop_assert!((o_ab - o_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&o_ab));
+        prop_assert!((metrics::top_k_overlap(&a, &a, k) - 1.0).abs() < 1e-12);
+        prop_assert!(metrics::top_k_jaccard(&a, &b, k) <= o_ab + 1e-12);
+    }
+
+    /// Raising damping continuously deforms the vector: nearby damping
+    /// values give nearby rankings (no chaotic jumps).
+    #[test]
+    fn pagerank_continuous_in_damping(
+        m in (2usize..12).prop_flat_map(|n| random_adjacency(n, 40)),
+        f in 0.2f64..0.9,
+    ) {
+        let r1 = PageRank::new().damping(f).run(&m).expect("runs");
+        let r2 = PageRank::new().damping(f + 0.01).run(&m).expect("runs");
+        let dist = vec_ops::l1_diff(r1.ranking.scores(), r2.ranking.scores());
+        prop_assert!(dist < 0.2, "jump of {} at f = {}", dist, f);
+    }
+
+    /// Ranking::order and Ranking::positions are inverse permutations.
+    #[test]
+    fn order_positions_inverse(w in prop::collection::vec(0.01f64..1.0, 1..50)) {
+        let r = Ranking::from_weights(w).expect("weights");
+        let order = r.order();
+        let pos = r.positions();
+        for (p, &item) in order.iter().enumerate() {
+            prop_assert_eq!(pos[item], p);
+        }
+        // Scores along the order are non-increasing.
+        for w in order.windows(2) {
+            prop_assert!(r.score(w[0]) >= r.score(w[1]));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Distributed deployment comparison: flat P2P, super-peers, hybrid, and
+//! the centralized baseline, with and without message loss.
+//!
+//! Run with: `cargo run --release --example p2p_simulation`
+
+use lmm::graph::generator::CampusWebConfig;
+use lmm::linalg::vec_ops;
+use lmm::p2p::runner::{run_distributed, Architecture, DistributedConfig};
+use lmm::p2p::FaultConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cfg = CampusWebConfig::small();
+    cfg.total_docs = 1_200;
+    cfg.n_sites = 24;
+    let graph = cfg.generate()?;
+    println!(
+        "graph: {} docs, {} sites, {} links\n",
+        graph.n_docs(),
+        graph.n_sites(),
+        graph.n_links()
+    );
+
+    let architectures = [
+        Architecture::Flat,
+        Architecture::SuperPeer { n_groups: 6 },
+        Architecture::Hybrid,
+        Architecture::Centralized,
+    ];
+
+    println!(
+        "{:<28} {:>10} {:>14} {:>8} {:>12}",
+        "architecture", "messages", "bytes", "rounds", "wall"
+    );
+    let mut flat_scores: Option<Vec<f64>> = None;
+    for arch in architectures {
+        let outcome = run_distributed(
+            &graph,
+            &DistributedConfig::default().with_architecture(arch),
+        )?;
+        let total = outcome.stats.total();
+        println!(
+            "{:<28} {:>10} {:>14} {:>8} {:>12.3?}",
+            arch.to_string(),
+            total.messages,
+            total.bytes,
+            outcome.siterank_rounds,
+            outcome.stats.total_wall()
+        );
+        match arch {
+            Architecture::Flat => flat_scores = Some(outcome.global.scores().to_vec()),
+            Architecture::SuperPeer { .. } | Architecture::Hybrid => {
+                let diff = vec_ops::l1_diff(
+                    flat_scores.as_deref().expect("flat ran first"),
+                    outcome.global.scores(),
+                );
+                assert!(diff < 1e-6, "layered architectures must agree: {diff}");
+            }
+            Architecture::Centralized => {} // different semantics (flat PageRank)
+        }
+    }
+
+    // Failure injection: same answer, more traffic.
+    println!("\nwith 20% message loss (flat architecture):");
+    let lossy_cfg = DistributedConfig {
+        fault: Some(FaultConfig {
+            drop_prob: 0.2,
+            seed: 1,
+        }),
+        ..DistributedConfig::default()
+    };
+    let lossy = run_distributed(&graph, &lossy_cfg)?;
+    let clean = run_distributed(&graph, &DistributedConfig::default())?;
+    println!(
+        "  result drift vs clean run: {:.2e}",
+        vec_ops::l1_diff(lossy.global.scores(), clean.global.scores())
+    );
+    println!(
+        "  traffic: {} msgs ({} retransmissions) vs {} clean",
+        lossy.stats.total().messages,
+        lossy.stats.total().retransmissions,
+        clean.stats.total().messages
+    );
+    println!("\nPer-phase breakdown (flat):\n{}", clean.stats);
+    Ok(())
+}

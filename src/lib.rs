@@ -1,0 +1,59 @@
+//! # Layered Markov Model web ranking — facade crate
+//!
+//! A full reproduction of *Wu & Aberer, "Using a Layered Markov Model for
+//! Distributed Web Ranking Computation" (ICDCS 2005)* as a Rust workspace.
+//! This crate re-exports every workspace member under one roof so examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`linalg`] — sparse/dense matrices, power method, primitivity analysis;
+//! * [`rank`] — PageRank, gatekeeper (minimal irreducibility), HITS,
+//!   BlockRank, and rank-comparison metrics;
+//! * [`graph`] — DocGraph/SiteGraph web-graph substrate and the synthetic
+//!   campus-web generator;
+//! * [`core`] — the Layered Markov Model: Approaches 1–4, the Partition
+//!   Theorem, and the SiteRank × DocRank pipeline;
+//! * [`p2p`] — the distributed (peer-to-peer) computation simulator.
+//!
+//! # Quickstart
+//!
+//! Rank the paper's 12-state worked example with the decentralized Layered
+//! Method and confirm it matches the centralized stationary distribution:
+//!
+//! ```
+//! use lmm::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = lmm::core::worked_example::paper_model()?;
+//! let layered = model.layered_method(0.85)?;        // Approach 4
+//! let central = model.stationary_of_global(0.85)?;  // Approach 2
+//! let diff = lmm::linalg::vec_ops::linf_diff(layered.scores(), central.scores());
+//! assert!(diff < 1e-9); // Partition Theorem (Thm. 2)
+//! # Ok(())
+//! # }
+//! ```
+
+pub use lmm_core as core;
+pub use lmm_graph as graph;
+pub use lmm_linalg as linalg;
+pub use lmm_p2p as p2p;
+pub use lmm_rank as rank;
+
+/// Commonly used items, importable with `use lmm::prelude::*`.
+pub mod prelude {
+    pub use lmm_core::{
+        approaches::RankApproach, model::LayeredMarkovModel, siterank::LayeredRankConfig,
+    };
+    pub use lmm_graph::{
+        docgraph::{DocGraph, DocGraphBuilder},
+        generator::CampusWebConfig,
+        sitegraph::{SiteGraph, SiteGraphOptions},
+        DocId, SiteId,
+    };
+    pub use lmm_linalg::{
+        CooMatrix, CsrMatrix, DenseMatrix, LinalgError, PowerOptions, StochasticMatrix,
+    };
+    pub use lmm_rank::{
+        pagerank::{PageRank, PageRankConfig},
+        ranking::Ranking,
+    };
+}

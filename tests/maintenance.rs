@@ -1,0 +1,100 @@
+//! End-to-end tests of the "living web" features through the facade:
+//! incremental rank maintenance and crawl-based partial ranking.
+
+use lmm::core::incremental::{diff_sites, refresh};
+use lmm::core::siterank::{layered_doc_rank, LayeredRankConfig};
+use lmm::graph::crawler::{crawl, CrawlConfig};
+use lmm::graph::docgraph::DocGraphBuilder;
+use lmm::graph::generator::CampusWebConfig;
+use lmm::graph::{DocId, SiteId};
+use lmm::linalg::vec_ops;
+use lmm::rank::metrics;
+
+fn campus() -> lmm::graph::DocGraph {
+    let mut cfg = CampusWebConfig::small();
+    cfg.total_docs = 800;
+    cfg.n_sites = 16;
+    cfg.spam_farms.truncate(1);
+    cfg.spam_farms[0].host_site = 9;
+    cfg.spam_farms[0].n_pages = 120;
+    cfg.generate().expect("campus web")
+}
+
+#[test]
+fn repeated_incremental_edits_stay_exact() {
+    // Apply a chain of edits, refreshing incrementally each time; the final
+    // state must equal a from-scratch computation on the final graph.
+    let cfg = LayeredRankConfig::default();
+    let mut graph = campus();
+    let mut rank = layered_doc_rank(&graph, &cfg).expect("initial");
+    for step in 0..4 {
+        let site = (3 + 4 * step) % graph.n_sites();
+        let docs: Vec<DocId> = graph.docs_of_site(SiteId(site)).to_vec();
+        let mut builder = DocGraphBuilder::from_graph(&graph);
+        builder
+            .add_link(docs[step % docs.len()], docs[(step + 2) % docs.len()])
+            .expect("valid docs");
+        let new_graph = builder.build();
+        let (updated, stats) = refresh(&rank, &graph, &new_graph, &cfg).expect("refresh");
+        assert!(stats.sites_recomputed <= 1, "step {step}");
+        graph = new_graph;
+        rank = updated;
+    }
+    let full = layered_doc_rank(&graph, &cfg).expect("full recompute");
+    assert!(
+        vec_ops::l1_diff(rank.global.scores(), full.global.scores()) < 1e-7,
+        "incremental chain diverged"
+    );
+}
+
+#[test]
+fn incremental_is_cheaper_than_full() {
+    let cfg = LayeredRankConfig::default();
+    let graph = campus();
+    let base = layered_doc_rank(&graph, &cfg).expect("initial");
+    let docs = graph.docs_of_site(SiteId(2));
+    let mut builder = DocGraphBuilder::from_graph(&graph);
+    builder.add_link(docs[1], docs[3]).expect("valid");
+    let new_graph = builder.build();
+    let delta = diff_sites(&graph, &new_graph).expect("same shape");
+    assert_eq!(delta.changed_sites, vec![2]);
+    let (updated, stats) = refresh(&base, &graph, &new_graph, &cfg).expect("refresh");
+    // One warm-started site vs all sites from scratch.
+    assert_eq!(stats.sites_recomputed, 1);
+    assert!(updated.total_local_iterations < base.total_local_iterations / 4);
+}
+
+#[test]
+fn partial_crawl_ranking_correlates_with_full() {
+    let graph = campus();
+    let cfg = LayeredRankConfig::default();
+    let full = layered_doc_rank(&graph, &cfg).expect("full");
+    let result = crawl(&graph, &CrawlConfig::from_seed(DocId(0), graph.n_docs() / 2))
+        .expect("crawl");
+    let partial = layered_doc_rank(&result.graph, &cfg).expect("partial");
+    // Restrict the full ranking to the crawled pages and compare orders.
+    let restricted = lmm::rank::Ranking::from_weights(
+        result
+            .visited
+            .iter()
+            .map(|d| full.global.score(d.index()))
+            .collect(),
+    )
+    .expect("positive");
+    let tau = metrics::kendall_tau(&partial.global, &restricted);
+    assert!(tau > 0.4, "partial view too dissimilar: tau = {tau}");
+}
+
+#[test]
+fn crawl_then_rank_keeps_spam_resistance() {
+    let graph = campus();
+    let result = crawl(&graph, &CrawlConfig::from_seed(DocId(0), graph.n_docs()))
+        .expect("crawl");
+    let partial = layered_doc_rank(&result.graph, &LayeredRankConfig::default())
+        .expect("partial");
+    let spam = result.graph.spam_labels();
+    if spam.iter().any(|&s| s) {
+        let share = metrics::labeled_share_at_k(&partial.global, &spam, 15);
+        assert_eq!(share, 0.0, "layered ranking must stay spam-free on crawls");
+    }
+}

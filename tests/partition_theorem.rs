@@ -1,0 +1,78 @@
+//! Property-based verification of the Partition Theorem (Theorem 2) and
+//! the cross-layer consistency of the multi-layer extension.
+
+use lmm::core::approaches::LmmParams;
+use lmm::core::multilayer::{from_two_layer, TopLevelMethod};
+use lmm::core::synth::random_model;
+use lmm::core::verify_partition_theorem;
+use lmm::linalg::vec_ops;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Approach 2 == Approach 4 on random primitive models, for any mixing
+    /// factor — the paper's central theorem.
+    #[test]
+    fn partition_theorem_holds(
+        n_phases in 2usize..7,
+        max_sub in 2usize..8,
+        alpha in 0.05f64..0.99,
+        seed in any::<u64>(),
+    ) {
+        let model = random_model(n_phases, 1, max_sub, seed);
+        let check = verify_partition_theorem(&model, &LmmParams::with_factor(alpha))
+            .expect("positive random models are primitive");
+        prop_assert!(check.linf < 1e-9, "{check}");
+    }
+
+    /// The ranking is always a probability distribution (Theorem 1).
+    #[test]
+    fn layered_ranking_is_distribution(
+        n_phases in 1usize..6,
+        max_sub in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let model = random_model(n_phases, 1, max_sub, seed);
+        let ranking = model.layered_method(0.85).expect("layered method runs");
+        let total: f64 = ranking.scores().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(ranking.scores().iter().all(|&s| s >= 0.0));
+        prop_assert_eq!(ranking.len(), model.total_states());
+    }
+
+    /// The multi-layer generalization agrees with the two-layer Layered
+    /// Method on depth-2 hierarchies.
+    #[test]
+    fn multilayer_consistent_with_two_layer(
+        n_phases in 2usize..6,
+        max_sub in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let model = random_model(n_phases, 1, max_sub, seed);
+        let two_layer = model.layered_method(0.85).expect("layered");
+        let hier = from_two_layer(&model);
+        let multi = hier.rank(0.85, TopLevelMethod::Stationary).expect("hierarchy");
+        prop_assert!(
+            vec_ops::linf_diff(two_layer.scores(), multi.scores()) < 1e-9
+        );
+    }
+
+    /// Approach 1 and Approach 3 also produce valid distributions over the
+    /// same states (they differ from A2/A4 numerically but never break the
+    /// distribution property).
+    #[test]
+    fn centralized_pagerank_is_distribution(
+        n_phases in 2usize..5,
+        max_sub in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let model = random_model(n_phases, 1, max_sub, seed);
+        let a1 = model.pagerank_of_global(0.85).expect("A1");
+        let a3 = model.layered_with_pagerank_site(0.85).expect("A3");
+        for r in [a1, a3] {
+            let total: f64 = r.scores().iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+}
