@@ -22,12 +22,10 @@ fn bench_scalability(c: &mut Criterion) {
             &model,
             |b, model| {
                 b.iter(|| {
-                    let dists =
-                        phase_gatekeeper_distributions(model, params.alpha, &params.power)
-                            .expect("gatekeepers");
+                    let dists = phase_gatekeeper_distributions(model, params.alpha, &params.power)
+                        .expect("gatekeepers");
                     let w = global_transition_matrix(model, &dists).expect("W");
-                    let (pi, _) =
-                        stationary_distribution(&w, &params.power).expect("stationary");
+                    let (pi, _) = stationary_distribution(&w, &params.power).expect("stationary");
                     black_box(pi)
                 })
             },
@@ -38,8 +36,7 @@ fn bench_scalability(c: &mut Criterion) {
             |b, model| {
                 b.iter(|| {
                     black_box(
-                        compute(model, RankApproach::StationaryOfGlobal, &params)
-                            .expect("A2"),
+                        compute(model, RankApproach::StationaryOfGlobal, &params).expect("A2"),
                     )
                 })
             },
@@ -48,9 +45,7 @@ fn bench_scalability(c: &mut Criterion) {
             BenchmarkId::new("layered_a4", states),
             &model,
             |b, model| {
-                b.iter(|| {
-                    black_box(compute(model, RankApproach::Layered, &params).expect("A4"))
-                })
+                b.iter(|| black_box(compute(model, RankApproach::Layered, &params).expect("A4")))
             },
         );
     }

@@ -9,16 +9,21 @@
 //!
 //! Run: `cargo run --release -p lmm-bench --bin exp_ablation`
 
-use lmm_bench::{section, timed};
+use lmm_bench::{experiment_engine, section, timed};
 use lmm_core::personalize::PersonalizationBuilder;
-use lmm_core::siterank::{flat_pagerank, layered_doc_rank, LayeredRankConfig};
+use lmm_core::siterank::SiteLayerMethod;
+use lmm_engine::{BackendSpec, RankEngine};
 use lmm_graph::generator::CampusWebConfig;
 use lmm_graph::sitegraph::{SiteGraphOptions, SiteLinkWeighting};
-use lmm_linalg::PowerOptions;
+use lmm_graph::SiteId;
 use lmm_rank::blockrank::blockrank;
 use lmm_rank::hits::{hits, HitsConfig};
 use lmm_rank::metrics;
 use lmm_rank::pagerank::PageRankConfig;
+
+const LAYERED: BackendSpec = BackendSpec::Layered {
+    site_layer: SiteLayerMethod::PageRank,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = CampusWebConfig::paper_scale();
@@ -27,16 +32,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     cfg.spam_farms[1].n_pages = 600;
     let graph = cfg.generate()?;
     let spam = graph.spam_labels();
-    let power = PowerOptions::with_tol(1e-10);
-    let baseline = layered_doc_rank(&graph, &LayeredRankConfig::default())?;
-    let flat = flat_pagerank(&graph, 0.85, &power)?;
+    let baseline = experiment_engine(LAYERED)?.rank(&graph)?.clone();
+    let flat = experiment_engine(BackendSpec::FlatPageRank)?
+        .rank(&graph)?
+        .clone();
 
     section("E8: BlockRank vs the layered method");
-    let site_labels: Vec<usize> = graph
-        .site_assignments()
-        .iter()
-        .map(|s| s.index())
-        .collect();
+    let site_labels: Vec<usize> = graph.site_assignments().iter().map(|s| s.index()).collect();
     let (block, t_block) = timed(|| {
         blockrank(
             &graph.adjacency().clone(),
@@ -57,13 +59,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  tau(BlockRank approx, layered method) = {:.3}",
-        metrics::kendall_tau(&block.approximation, &baseline.global)
+        metrics::kendall_tau(&block.approximation, &baseline.ranking)
     );
     println!(
         "  spam@15: BlockRank approx {:.0}%, refined {:.0}%, layered {:.0}%",
         100.0 * metrics::labeled_share_at_k(&block.approximation, &spam, 15),
         100.0 * metrics::labeled_share_at_k(&block.refined.ranking, &spam, 15),
-        100.0 * metrics::labeled_share_at_k(&baseline.global, &spam, 15),
+        100.0 * metrics::labeled_share_at_k(&baseline.ranking, &spam, 15),
     );
     println!("  note: BlockRank's block weights need the local ranks first (serial);");
     println!("        the LMM SiteGraph uses raw link counts (parallel).");
@@ -81,16 +83,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .baseline(0.4)
             .boost(boost_site, 1.0)
             .build()?;
-        let pc = LayeredRankConfig {
-            site_personalization: Some(v),
-            ..LayeredRankConfig::default()
-        };
-        let personalized = layered_doc_rank(&graph, &pc)?;
+        let mut engine = RankEngine::builder()
+            .backend(LAYERED)
+            .damping(0.85)
+            .tolerance(1e-10)
+            .site_personalization(v)
+            .build()?;
+        engine.rank(&graph)?;
+        let neutral_site = baseline
+            .site_score(SiteId(boost_site))?
+            .expect("layered has a site layer");
+        let boosted_site = engine
+            .site_score(SiteId(boost_site))?
+            .expect("layered has a site layer");
         println!(
             "  boost {label:<14} site rank {:.4} -> {:.4}; tau vs neutral {:.3}",
-            baseline.site_rank.score(boost_site),
-            personalized.site_rank.score(boost_site),
-            metrics::kendall_tau(&baseline.global, &personalized.global)
+            neutral_site,
+            boosted_site,
+            metrics::kendall_tau(&baseline.ranking, &engine.outcome()?.ranking)
         );
     }
 
@@ -104,32 +114,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("uniform", SiteLinkWeighting::Uniform),
         ("log", SiteLinkWeighting::LogCount),
     ] {
-        let c = LayeredRankConfig {
-            site_options: SiteGraphOptions {
+        let mut engine = RankEngine::builder()
+            .backend(LAYERED)
+            .damping(0.85)
+            .tolerance(1e-10)
+            .site_options(SiteGraphOptions {
                 weighting,
                 ..SiteGraphOptions::default()
-            },
-            ..LayeredRankConfig::default()
-        };
-        let r = layered_doc_rank(&graph, &c)?;
+            })
+            .build()?;
+        let r = engine.rank(&graph)?;
         println!(
             "{name:>12} {:>14.3} {:>11.0}% {:>11.0}%",
-            metrics::kendall_tau(&baseline.global, &r.global),
-            100.0 * metrics::labeled_share_at_k(&r.global, &spam, 15),
-            100.0 * metrics::top_k_overlap(&baseline.global, &r.global, 15),
+            metrics::kendall_tau(&baseline.ranking, &r.ranking),
+            100.0 * metrics::labeled_share_at_k(&r.ranking, &spam, 15),
+            100.0 * metrics::top_k_overlap(&baseline.ranking, &r.ranking, 15),
         );
     }
 
     section("E10b: self-loop policy");
     for include in [false, true] {
-        let mut c = LayeredRankConfig::default();
-        c.site_options.include_self_loops = include;
-        let r = layered_doc_rank(&graph, &c)?;
+        let mut engine = RankEngine::builder()
+            .backend(LAYERED)
+            .damping(0.85)
+            .tolerance(1e-10)
+            .site_options(SiteGraphOptions {
+                include_self_loops: include,
+                ..SiteGraphOptions::default()
+            })
+            .build()?;
+        let r = engine.rank(&graph)?;
         println!(
             "  self-loops {:<5} tau vs default {:.3}, spam@15 {:.0}%",
             include,
-            metrics::kendall_tau(&baseline.global, &r.global),
-            100.0 * metrics::labeled_share_at_k(&r.global, &spam, 15)
+            metrics::kendall_tau(&baseline.ranking, &r.ranking),
+            100.0 * metrics::labeled_share_at_k(&r.ranking, &spam, 15)
         );
     }
 
@@ -139,13 +158,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "damping", "PR spam@15", "LMM spam@15", "tau(PR,LMM)"
     );
     for f in [0.5, 0.7, 0.85, 0.95] {
-        let fr = flat_pagerank(&graph, f, &power)?;
-        let lr = layered_doc_rank(&graph, &LayeredRankConfig::with_damping(f))?;
+        let mut flat_engine = RankEngine::builder()
+            .backend(BackendSpec::FlatPageRank)
+            .damping(f)
+            .tolerance(1e-10)
+            .build()?;
+        let fr = flat_engine.rank(&graph)?.clone();
+        let mut layered_engine = RankEngine::builder()
+            .backend(LAYERED)
+            .damping(f)
+            .tolerance(1e-10)
+            .build()?;
+        let lr = layered_engine.rank(&graph)?;
         println!(
             "{f:>8} {:>13.0}% {:>13.0}% {:>12.3}",
             100.0 * metrics::labeled_share_at_k(&fr.ranking, &spam, 15),
-            100.0 * metrics::labeled_share_at_k(&lr.global, &spam, 15),
-            metrics::kendall_tau(&fr.ranking, &lr.global)
+            100.0 * metrics::labeled_share_at_k(&lr.ranking, &spam, 15),
+            metrics::kendall_tau(&fr.ranking, &lr.ranking)
         );
     }
     Ok(())

@@ -1,19 +1,20 @@
-//! Experiments E3 + E4: Figures 3 and 4 — the campus-web evaluation.
+//! Experiments E3 + E4: Figures 3 and 4 — the campus-web evaluation,
+//! through the unified `RankEngine`.
 //!
 //! Generates the synthetic campus web (218 sites, ≈50k pages; `--full`
-//! approximates the paper's 433k), ranks it with flat PageRank (Figure 3)
-//! and the layered method (Figure 4), prints both top-15 lists, and
-//! reports the quantitative spam shares plus in-degree diagnostics
-//! matching the paper's narrative (the `Webdriver?` page with huge
-//! in-degree, etc.).
+//! approximates the paper's 433k), ranks it with the flat-PageRank backend
+//! (Figure 3) and the layered backend (Figure 4), prints both top-15
+//! lists, and reports the quantitative spam shares plus in-degree
+//! diagnostics matching the paper's narrative (the `Webdriver?` page with
+//! huge in-degree, etc.).
 //!
 //! Run: `cargo run --release -p lmm-bench --bin exp_campus [--full]`
 
-use lmm_bench::{campus_config_from_args, print_top_k, section, timed};
-use lmm_core::siterank::{flat_pagerank, layered_doc_rank, LayeredRankConfig};
+use lmm_bench::{campus_config_from_args, experiment_engine, print_top_k, section, timed};
+use lmm_core::siterank::SiteLayerMethod;
+use lmm_engine::BackendSpec;
 use lmm_graph::stats::summarize;
 use lmm_graph::DocId;
-use lmm_linalg::PowerOptions;
 use lmm_rank::metrics;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,26 +39,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         indeg[top_spam_indeg]
     );
 
-    let power = PowerOptions::with_tol(1e-10);
-    let (flat, t_flat) = timed(|| flat_pagerank(&graph, 0.85, &power));
+    let mut flat_engine = experiment_engine(BackendSpec::FlatPageRank)?;
+    let (flat, t_flat) = timed(|| flat_engine.rank(&graph).cloned());
     let flat = flat?;
-    let (layered, t_layered) = timed(|| layered_doc_rank(&graph, &LayeredRankConfig::default()));
+    let mut layered_engine = experiment_engine(BackendSpec::Layered {
+        site_layer: SiteLayerMethod::PageRank,
+    })?;
+    let (layered, t_layered) = timed(|| layered_engine.rank(&graph).cloned());
     let layered = layered?;
 
     section("Figure 3 analogue: top 15 by flat PageRank");
     print_top_k(&graph, &flat.ranking, 15);
     println!(
         "  [{} iterations, {t_flat:.2?} wall]",
-        flat.report.iterations
+        flat.telemetry.site_iterations
     );
 
     section("Figure 4 analogue: top 15 by the LMM-based layered method");
-    print_top_k(&graph, &layered.global, 15);
+    print_top_k(&graph, &layered.ranking, 15);
     println!(
         "  [site: {} iters; locals: {} total / {} critical path; {t_layered:.2?} wall]",
-        layered.site_report.iterations,
-        layered.total_local_iterations,
-        layered.max_local_iterations
+        layered.telemetry.site_iterations,
+        layered.telemetry.total_local_iterations,
+        layered.telemetry.max_local_iterations
     );
 
     section("Quantitative comparison");
@@ -65,16 +69,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  spam share @ {k:>3}:  PageRank {:>5.1}%   Layered {:>5.1}%",
             100.0 * metrics::labeled_share_at_k(&flat.ranking, &spam, k),
-            100.0 * metrics::labeled_share_at_k(&layered.global, &spam, k),
+            100.0 * metrics::labeled_share_at_k(&layered.ranking, &spam, k),
         );
     }
-    println!(
-        "  Kendall tau (PageRank vs Layered): {:.3}",
-        metrics::kendall_tau(&flat.ranking, &layered.global)
-    );
-    println!(
-        "  top-15 overlap: {:.0}%",
-        100.0 * metrics::top_k_overlap(&flat.ranking, &layered.global, 15)
-    );
+    println!("  {}", layered.compare(&flat, 15)?);
     Ok(())
 }

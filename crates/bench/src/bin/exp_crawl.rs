@@ -11,12 +11,12 @@
 //!
 //! Run: `cargo run --release -p lmm-bench --bin exp_crawl`
 
-use lmm_bench::section;
-use lmm_core::siterank::{flat_pagerank, layered_doc_rank, LayeredRankConfig};
+use lmm_bench::{experiment_engine, section};
+use lmm_core::siterank::SiteLayerMethod;
+use lmm_engine::BackendSpec;
 use lmm_graph::crawler::{crawl, CrawlConfig};
 use lmm_graph::generator::CampusWebConfig;
 use lmm_graph::DocId;
-use lmm_linalg::PowerOptions;
 use lmm_rank::{metrics, Ranking};
 
 /// Restricts a full-graph score vector to the crawled pages (in crawl
@@ -31,9 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = CampusWebConfig::paper_scale();
     cfg.total_docs = 20_000;
     let graph = cfg.generate()?;
-    let power = PowerOptions::with_tol(1e-10);
-    let full_flat = flat_pagerank(&graph, 0.85, &power)?;
-    let full_layered = layered_doc_rank(&graph, &LayeredRankConfig::default())?;
+    // One engine per method, reused across every (partial) graph — each
+    // rank() call on a new graph recomputes; unchanged graphs hit the cache.
+    let mut flat_engine = experiment_engine(BackendSpec::FlatPageRank)?;
+    let mut layered_engine = experiment_engine(BackendSpec::Layered {
+        site_layer: SiteLayerMethod::PageRank,
+    })?;
+    let full_flat = flat_engine.rank(&graph)?.clone();
+    let full_layered = layered_engine.rank(&graph)?.clone();
     let spam = graph.spam_labels();
 
     section("Ranking stability vs crawl coverage (BFS from the portal root)");
@@ -44,22 +49,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for budget_pct in [5usize, 10, 20, 40, 60, 80, 100] {
         let budget = (graph.n_docs() * budget_pct).div_ceil(100);
         let result = crawl(&graph, &CrawlConfig::from_seed(DocId(0), budget))?;
-        let partial_flat = flat_pagerank(&result.graph, 0.85, &power)?;
-        let partial_layered = layered_doc_rank(&result.graph, &LayeredRankConfig::default())?;
+        let partial_flat = flat_engine.rank(&result.graph)?.clone();
+        let partial_layered = layered_engine.rank(&result.graph)?.clone();
 
         let tau_flat = metrics::kendall_tau(
             &partial_flat.ranking,
             &restrict(full_flat.ranking.scores(), &result.visited),
         );
         let tau_layered = metrics::kendall_tau(
-            &partial_layered.global,
-            &restrict(full_layered.global.scores(), &result.visited),
+            &partial_layered.ranking,
+            &restrict(full_layered.ranking.scores(), &result.visited),
         );
-        let partial_spam: Vec<bool> = result
-            .visited
-            .iter()
-            .map(|d| spam[d.index()])
-            .collect();
+        let partial_spam: Vec<bool> = result.visited.iter().map(|d| spam[d.index()]).collect();
         println!(
             "{:>9}% {:>9.1}% {:>12.3} {:>12.3} {:>13.0}% {:>13.0}%",
             budget_pct,
@@ -67,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             tau_flat,
             tau_layered,
             100.0 * metrics::labeled_share_at_k(&partial_flat.ranking, &partial_spam, 15),
-            100.0 * metrics::labeled_share_at_k(&partial_layered.global, &partial_spam, 15),
+            100.0 * metrics::labeled_share_at_k(&partial_layered.ranking, &partial_spam, 15),
         );
     }
     println!(

@@ -1,4 +1,5 @@
-//! Experiment E7: distributed-deployment traffic and latency.
+//! Experiment E7: distributed-deployment traffic and latency, through the
+//! unified `RankEngine` with its telemetry sink.
 //!
 //! Measures what each architecture moves over the (simulated) wire on the
 //! campus web: the paper's P2P motivation made quantitative. Also sweeps
@@ -7,19 +8,21 @@
 //!
 //! Run: `cargo run --release -p lmm-bench --bin exp_distributed [--full]`
 
-use lmm_bench::{campus_config_from_args, human_bytes, section};
-use lmm_linalg::vec_ops;
+use std::sync::Arc;
+
+use lmm_bench::{human_bytes, section};
+use lmm_engine::{BackendSpec, MemorySink, RankEngine, RankOutcome};
 use lmm_p2p::runner::{run_distributed, Architecture, DistributedConfig};
 use lmm_p2p::FaultConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut cfg = campus_config_from_args();
+    let mut cfg = lmm_bench::campus_config_from_args();
     // Traffic scales are clearer on a mid-size instance; trim the default.
     if !std::env::args().any(|a| a == "--full") {
         cfg.total_docs = 20_000;
     }
     let graph = cfg.generate()?;
-    section("Deployment comparison");
+    section("Deployment comparison (engine telemetry)");
     println!(
         "graph: {} docs, {} sites, {} links\n",
         graph.n_docs(),
@@ -28,39 +31,46 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!(
-        "{:<28} {:>12} {:>12} {:>8} {:>12}",
-        "architecture", "messages", "bytes", "rounds", "wall"
+        "{:<38} {:>12} {:>12} {:>8} {:>12}",
+        "backend", "messages", "bytes", "rounds", "wall"
     );
-    let mut flat_ranking: Option<Vec<f64>> = None;
-    for arch in [
+    let sink = Arc::new(MemorySink::new());
+    let mut flat_outcome: Option<RankOutcome> = None;
+    for architecture in [
         Architecture::Flat,
         Architecture::SuperPeer { n_groups: 16 },
         Architecture::Hybrid,
         Architecture::Centralized,
     ] {
-        let outcome =
-            run_distributed(&graph, &DistributedConfig::default().with_architecture(arch))?;
-        let total = outcome.stats.total();
+        let mut engine = RankEngine::builder()
+            .backend(BackendSpec::Distributed { architecture })
+            .damping(0.85)
+            .tolerance(1e-10)
+            .telemetry(sink.clone())
+            .build()?;
+        let outcome = engine.rank(&graph)?.clone();
+        let t = &outcome.telemetry;
         println!(
-            "{:<28} {:>12} {:>12} {:>8} {:>12.2?}",
-            arch.to_string(),
-            total.messages,
-            human_bytes(total.bytes),
-            outcome.siterank_rounds,
-            outcome.stats.total_wall()
+            "{:<38} {:>12} {:>12} {:>8} {:>12.2?}",
+            outcome.backend,
+            t.messages,
+            human_bytes(t.bytes),
+            t.site_iterations,
+            t.wall
         );
-        if arch == Architecture::Flat {
-            flat_ranking = Some(outcome.global.scores().to_vec());
-        } else if !matches!(arch, Architecture::Centralized) {
-            let diff = vec_ops::l1_diff(
-                flat_ranking.as_deref().expect("flat first"),
-                outcome.global.scores(),
-            );
-            assert!(diff < 1e-6, "{arch}: diverged by {diff}");
+        if architecture == Architecture::Flat {
+            flat_outcome = Some(outcome);
+        } else if !matches!(architecture, Architecture::Centralized) {
+            let cmp = outcome.compare(flat_outcome.as_ref().expect("flat first"), 15)?;
+            assert!(cmp.l1 < 1e-6, "{architecture}: diverged — {cmp}");
         }
     }
+    println!(
+        "\n{} runs recorded by the shared telemetry sink",
+        sink.len()
+    );
 
-    section("Phase breakdown (flat architecture)");
+    section("Phase breakdown (flat architecture; low-level simulator view)");
     let flat = run_distributed(&graph, &DistributedConfig::default())?;
     println!("{}", flat.stats);
 
@@ -69,19 +79,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>10} {:>12} {:>16} {:>14}",
         "loss", "messages", "retransmissions", "result drift"
     );
-    let clean = run_distributed(&graph, &DistributedConfig::default())?;
+    let clean = flat_outcome.expect("flat ran");
     for drop_prob in [0.0, 0.05, 0.1, 0.2, 0.4] {
-        let mut cfg = DistributedConfig::default();
+        let mut builder = RankEngine::builder()
+            .backend(BackendSpec::Distributed {
+                architecture: Architecture::Flat,
+            })
+            .damping(0.85)
+            .tolerance(1e-10);
         if drop_prob > 0.0 {
-            cfg.fault = Some(FaultConfig { drop_prob, seed: 3 });
+            builder = builder.fault(FaultConfig { drop_prob, seed: 3 });
         }
-        let outcome = run_distributed(&graph, &cfg)?;
+        let mut engine = builder.build()?;
+        let outcome = engine.rank(&graph)?;
         println!(
             "{:>9.0}% {:>12} {:>16} {:>14.2e}",
             drop_prob * 100.0,
-            outcome.stats.total().messages,
-            outcome.stats.total().retransmissions,
-            vec_ops::l1_diff(clean.global.scores(), outcome.global.scores())
+            outcome.telemetry.messages,
+            outcome.telemetry.retransmissions,
+            outcome.compare(&clean, 15)?.l1
         );
     }
     Ok(())

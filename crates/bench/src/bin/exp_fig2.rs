@@ -6,7 +6,7 @@
 //!
 //! Run: `cargo run --release -p lmm-bench --bin exp_fig2`
 
-use lmm_bench::section;
+use lmm_bench::{experiment_engine, section};
 use lmm_core::approaches::LmmParams;
 use lmm_core::global::phase_gatekeeper_distributions;
 use lmm_core::model::GlobalState;
@@ -91,6 +91,26 @@ fn main() -> Result<(), LmmError> {
     let check = verify_partition_theorem(&model, &LmmParams::with_factor(alpha))?;
     println!("{check}");
     assert!(check.linf < 1e-9);
+
+    section("The same theorem through the unified RankEngine");
+    let mut cfg = lmm_graph::generator::CampusWebConfig::small();
+    cfg.total_docs = 500;
+    cfg.n_sites = 10;
+    cfg.spam_farms.clear();
+    let graph = cfg.generate().map_err(lmm_core::LmmError::Graph)?;
+    let engine_check = (|| -> Result<(), lmm_engine::EngineError> {
+        let mut a2 = experiment_engine(lmm_engine::BackendSpec::CentralizedStationary)?;
+        a2.rank(&graph)?;
+        let mut a4 = experiment_engine(lmm_engine::BackendSpec::Layered {
+            site_layer: lmm_core::siterank::SiteLayerMethod::Stationary,
+        })?;
+        a4.rank(&graph)?;
+        let cmp = a2.compare(a4.outcome()?, 10)?;
+        println!("{cmp}");
+        assert!(cmp.linf < 1e-9);
+        Ok(())
+    })();
+    engine_check.expect("engine-level Partition Theorem");
     println!("\nAll Figure 2 values reproduced.");
     Ok(())
 }

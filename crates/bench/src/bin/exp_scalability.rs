@@ -18,7 +18,7 @@
 
 use std::time::Duration;
 
-use lmm_bench::{section, timed};
+use lmm_bench::{experiment_engine, section, timed};
 use lmm_core::approaches::{compute, LmmParams, RankApproach};
 use lmm_core::global::{global_transition_matrix, phase_gatekeeper_distributions};
 use lmm_core::synth::random_sparse_model;
@@ -48,13 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let states = model.total_states();
 
         let explicit_cell = if states <= EXPLICIT_CAP {
-            let (explicit, t_explicit) =
-                timed(|| -> Result<usize, Box<dyn std::error::Error>> {
-                    let w = global_transition_matrix(&model, &dists)?;
-                    let (pi, _) = stationary_distribution(&w, &params.power)?;
-                    std::hint::black_box(pi);
-                    Ok(w.nnz())
-                });
+            let (explicit, t_explicit) = timed(|| -> Result<usize, Box<dyn std::error::Error>> {
+                let w = global_transition_matrix(&model, &dists)?;
+                let (pi, _) = stationary_distribution(&w, &params.power)?;
+                std::hint::black_box(pi);
+                Ok(w.nnz())
+            });
             let nnz_w = explicit?;
             (format!("{t_explicit:.2?}"), nnz_w.to_string())
         } else {
@@ -79,9 +78,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (dists, t_locals) =
         timed(|| phase_gatekeeper_distributions(&model, params.alpha, &params.power));
     let dists = dists?;
-    let (site, t_site) = timed(|| {
-        stationary_distribution(model.phase_matrix().matrix(), &params.power)
-    });
+    let (site, t_site) =
+        timed(|| stationary_distribution(model.phase_matrix().matrix(), &params.power));
     let (site_vec, _) = site?;
     let (_, t_compose) = timed(|| {
         let mut scores = Vec::with_capacity(model.total_states());
@@ -97,5 +95,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  O(N) composition:                            {t_compose:.2?}");
     let critical: Duration = per_phase + t_site + t_compose;
     println!("  parallel critical path total:                {critical:.2?}");
+
+    section("Engine backends on growing campus webs (wall time)");
+    println!(
+        "{:>10} {:>8} {:>14} {:>14} {:>14}",
+        "docs", "sites", "flat", "centralized", "layered"
+    );
+    for (total_docs, n_sites, seed) in
+        [(1_000usize, 20usize, 1u64), (4_000, 40, 2), (12_000, 80, 3)]
+    {
+        let mut cfg = lmm_graph::generator::CampusWebConfig::small();
+        cfg.total_docs = total_docs;
+        cfg.n_sites = n_sites;
+        cfg.seed = seed;
+        cfg.spam_farms.clear();
+        let graph = cfg.generate()?;
+        let mut row = Vec::new();
+        for backend in [
+            lmm_engine::BackendSpec::FlatPageRank,
+            lmm_engine::BackendSpec::CentralizedStationary,
+            lmm_engine::BackendSpec::Layered {
+                site_layer: lmm_core::siterank::SiteLayerMethod::Stationary,
+            },
+        ] {
+            let mut engine = experiment_engine(backend)?;
+            let (outcome, wall) = timed(|| engine.rank(&graph).cloned());
+            let _ = outcome?;
+            row.push(wall);
+        }
+        println!(
+            "{:>10} {:>8} {:>14.2?} {:>14.2?} {:>14.2?}",
+            graph.n_docs(),
+            graph.n_sites(),
+            row[0],
+            row[1],
+            row[2]
+        );
+    }
     Ok(())
 }

@@ -20,10 +20,26 @@
 
 use std::time::{Duration, Instant};
 
+use lmm_engine::{BackendSpec, EngineError, RankEngine};
 use lmm_graph::docgraph::DocGraph;
 use lmm_graph::generator::CampusWebConfig;
 use lmm_graph::DocId;
 use lmm_rank::Ranking;
+
+/// Builds a `RankEngine` with the experiments' shared defaults (damping
+/// 0.85, tolerance 1e-10) — every experiment binary goes through the
+/// unified engine API with these settings unless it sweeps them.
+///
+/// # Errors
+/// Propagates builder validation failures (none for built-in backends with
+/// these defaults).
+pub fn experiment_engine(backend: BackendSpec) -> Result<RankEngine, EngineError> {
+    RankEngine::builder()
+        .backend(backend)
+        .damping(0.85)
+        .tolerance(1e-10)
+        .build()
+}
 
 /// Prints a section separator with a title.
 pub fn section(title: &str) {

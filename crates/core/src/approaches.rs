@@ -17,8 +17,7 @@ use crate::error::{LmmError, Result};
 use crate::global::{phase_gatekeeper_distributions, GlobalOperator};
 use crate::model::{GlobalState, LayeredMarkovModel};
 use lmm_linalg::{
-    power_method, structure, vec_ops, ConvergenceReport, LinalgError, LinearOperator,
-    PowerOptions,
+    power_method, structure, vec_ops, ConvergenceReport, LinalgError, LinearOperator, PowerOptions,
 };
 use lmm_rank::pagerank::PageRank;
 use lmm_rank::Ranking;
@@ -218,7 +217,11 @@ impl LinearOperator for DampedGlobalOperator<'_> {
             .phase_matrix()
             .dangling()
             .iter()
-            .map(|&i_phase| x[offsets[i_phase]..offsets[i_phase + 1]].iter().sum::<f64>())
+            .map(|&i_phase| {
+                x[offsets[i_phase]..offsets[i_phase + 1]]
+                    .iter()
+                    .sum::<f64>()
+            })
             .sum();
         let n = self.dim() as f64;
         let sx: f64 = x.iter().sum();
@@ -299,11 +302,7 @@ pub fn compute(
 /// Composes a phase-layer vector with per-phase gatekeeper distributions:
 /// `π(I, i) = site(I) · π_G^I(i)` (eq. 5). The result is a probability
 /// distribution (Theorem 1).
-fn compose(
-    model: &LayeredMarkovModel,
-    site: &[f64],
-    dists: &[Ranking],
-) -> Result<Ranking> {
+fn compose(model: &LayeredMarkovModel, site: &[f64], dists: &[Ranking]) -> Result<Ranking> {
     let mut scores = Vec::with_capacity(model.total_states());
     for (i_phase, dist) in dists.iter().enumerate() {
         let weight = site[i_phase];
@@ -394,8 +393,7 @@ mod tests {
 
     fn model() -> LayeredMarkovModel {
         let y = stochastic(&[vec![0.1, 0.9], vec![0.6, 0.4]]);
-        let p0 =
-            PhaseModel::new(stochastic(&[vec![0.5, 0.5], vec![0.9, 0.1]]), None).unwrap();
+        let p0 = PhaseModel::new(stochastic(&[vec![0.5, 0.5], vec![0.9, 0.1]]), None).unwrap();
         let p1 = PhaseModel::new(
             stochastic(&[
                 vec![0.2, 0.3, 0.5],
@@ -437,7 +435,10 @@ mod tests {
         let a1 = m.pagerank_of_global(0.85).unwrap();
         let a2 = m.stationary_of_global(0.85).unwrap();
         let diff = vec_ops::linf_diff(a1.scores(), a2.scores());
-        assert!(diff > 1e-6, "maximal irreducibility must perturb the vector");
+        assert!(
+            diff > 1e-6,
+            "maximal irreducibility must perturb the vector"
+        );
         assert!(diff < 0.1, "but only slightly");
     }
 
@@ -457,10 +458,8 @@ mod tests {
     fn non_primitive_y_rejected_for_a2_a4() {
         // Y = pure 2-cycle: irreducible but periodic, hence not primitive.
         let y = stochastic(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
-        let p0 =
-            PhaseModel::new(stochastic(&[vec![0.5, 0.5], vec![0.9, 0.1]]), None).unwrap();
-        let p1 =
-            PhaseModel::new(stochastic(&[vec![0.3, 0.7], vec![0.6, 0.4]]), None).unwrap();
+        let p0 = PhaseModel::new(stochastic(&[vec![0.5, 0.5], vec![0.9, 0.1]]), None).unwrap();
+        let p1 = PhaseModel::new(stochastic(&[vec![0.3, 0.7], vec![0.6, 0.4]]), None).unwrap();
         let m = LayeredMarkovModel::new(y, None, vec![p0, p1]).unwrap();
         assert!(matches!(
             m.layered_method(0.85),

@@ -52,7 +52,10 @@ impl fmt::Display for LmmError {
                  Theorem 2 requires a primitive Y"
             ),
             LmmError::PhaseOutOfRange { phase, n_phases } => {
-                write!(f, "phase {phase} out of range (model has {n_phases} phases)")
+                write!(
+                    f,
+                    "phase {phase} out of range (model has {n_phases} phases)"
+                )
             }
             LmmError::Linalg(e) => write!(f, "linear algebra error: {e}"),
             LmmError::Rank(e) => write!(f, "ranking error: {e}"),

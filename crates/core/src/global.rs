@@ -138,7 +138,11 @@ impl LinearOperator for GlobalOperator<'_> {
             return Err(LinalgError::DimensionMismatch {
                 operation: "GlobalOperator::apply_to",
                 expected: self.dim(),
-                found: if x.len() != self.dim() { x.len() } else { y.len() },
+                found: if x.len() != self.dim() {
+                    x.len()
+                } else {
+                    y.len()
+                },
             });
         }
         let s = self.phase_sums(x);
@@ -190,11 +194,7 @@ mod tests {
 
     fn model() -> LayeredMarkovModel {
         let y = stochastic(&[vec![0.1, 0.9], vec![0.6, 0.4]]);
-        let p0 = PhaseModel::new(
-            stochastic(&[vec![0.5, 0.5], vec![0.9, 0.1]]),
-            None,
-        )
-        .unwrap();
+        let p0 = PhaseModel::new(stochastic(&[vec![0.5, 0.5], vec![0.9, 0.1]]), None).unwrap();
         let p1 = PhaseModel::new(
             stochastic(&[
                 vec![0.2, 0.3, 0.5],
@@ -210,8 +210,7 @@ mod tests {
     #[test]
     fn w_is_row_stochastic() {
         let m = model();
-        let dists =
-            phase_gatekeeper_distributions(&m, 0.85, &PowerOptions::default()).unwrap();
+        let dists = phase_gatekeeper_distributions(&m, 0.85, &PowerOptions::default()).unwrap();
         let w = global_transition_matrix(&m, &dists).unwrap();
         assert_eq!(w.nrows(), 5);
         for (r, s) in w.row_sums().iter().enumerate() {
@@ -222,9 +221,11 @@ mod tests {
     #[test]
     fn w_rows_constant_within_block() {
         let m = model();
-        let dists =
-            phase_gatekeeper_distributions(&m, 0.85, &PowerOptions::default()).unwrap();
-        let w = global_transition_matrix(&m, &dists).unwrap().to_dense().unwrap();
+        let dists = phase_gatekeeper_distributions(&m, 0.85, &PowerOptions::default()).unwrap();
+        let w = global_transition_matrix(&m, &dists)
+            .unwrap()
+            .to_dense()
+            .unwrap();
         // Rows 0 and 1 belong to phase 0 and must be identical (the paper:
         // "rows pertaining to a particular value I are constant").
         assert_eq!(w.row(0), w.row(1));
@@ -235,8 +236,7 @@ mod tests {
     #[test]
     fn w_entries_match_formula() {
         let m = model();
-        let dists =
-            phase_gatekeeper_distributions(&m, 0.85, &PowerOptions::default()).unwrap();
+        let dists = phase_gatekeeper_distributions(&m, 0.85, &PowerOptions::default()).unwrap();
         let w = global_transition_matrix(&m, &dists).unwrap();
         let y = m.phase_matrix().matrix();
         // w_(0,1)(1,2) = y_01 * pi_G^1(2); flat: row 1, col 2 + offset 2 = 4.
@@ -247,8 +247,7 @@ mod tests {
     #[test]
     fn implicit_operator_matches_explicit_transpose_product() {
         let m = model();
-        let dists =
-            phase_gatekeeper_distributions(&m, 0.85, &PowerOptions::default()).unwrap();
+        let dists = phase_gatekeeper_distributions(&m, 0.85, &PowerOptions::default()).unwrap();
         let w = global_transition_matrix(&m, &dists).unwrap();
         let op = GlobalOperator::new(&m, &dists).unwrap();
         let x = [0.1, 0.25, 0.2, 0.15, 0.3];
@@ -261,8 +260,7 @@ mod tests {
     #[test]
     fn operator_dimension_checked() {
         let m = model();
-        let dists =
-            phase_gatekeeper_distributions(&m, 0.85, &PowerOptions::default()).unwrap();
+        let dists = phase_gatekeeper_distributions(&m, 0.85, &PowerOptions::default()).unwrap();
         let op = GlobalOperator::new(&m, &dists).unwrap();
         let mut y = vec![0.0; 5];
         assert!(op.apply_to(&[0.5, 0.5], &mut y).is_err());
@@ -271,8 +269,7 @@ mod tests {
     #[test]
     fn wrong_dist_count_rejected() {
         let m = model();
-        let dists =
-            phase_gatekeeper_distributions(&m, 0.85, &PowerOptions::default()).unwrap();
+        let dists = phase_gatekeeper_distributions(&m, 0.85, &PowerOptions::default()).unwrap();
         assert!(global_transition_matrix(&m, &dists[..1]).is_err());
         assert!(GlobalOperator::new(&m, &dists[..1]).is_err());
     }
@@ -285,11 +282,10 @@ mod tests {
         let u = stochastic(&[vec![0.5, 0.5], vec![0.5, 0.5]]);
         let p_uniform = PhaseModel::new(u.clone(), None).unwrap();
         let p_biased = PhaseModel::new(u, Some(vec![0.95, 0.05])).unwrap();
-        let m_uniform =
-            LayeredMarkovModel::new(y.clone(), None, vec![p_uniform]).unwrap();
+        let m_uniform = LayeredMarkovModel::new(y.clone(), None, vec![p_uniform]).unwrap();
         let m_biased = LayeredMarkovModel::new(y, None, vec![p_biased]).unwrap();
-        let d_u = phase_gatekeeper_distributions(&m_uniform, 0.85, &PowerOptions::default())
-            .unwrap();
+        let d_u =
+            phase_gatekeeper_distributions(&m_uniform, 0.85, &PowerOptions::default()).unwrap();
         let d_b =
             phase_gatekeeper_distributions(&m_biased, 0.85, &PowerOptions::default()).unwrap();
         assert!(d_b[0].score(0) > d_u[0].score(0));

@@ -12,7 +12,7 @@ use crate::error::Result;
 use crate::siterank::{layered_doc_rank, LayeredDocRank, LayeredRankConfig};
 use lmm_graph::docgraph::DocGraph;
 use lmm_graph::ids::SiteId;
-use lmm_graph::sitegraph::SiteGraph;
+use lmm_graph::sitegraph::ranking_site_graph;
 use lmm_rank::pagerank::PageRank;
 use lmm_rank::Ranking;
 
@@ -80,8 +80,8 @@ pub fn diff_sites(old: &DocGraph, new: &DocGraph) -> Result<SiteDelta> {
     // the intra-site differences — cheapest check: compare cross-link
     // multisets via the SiteGraphs (counts per ordered site pair).
     let opts = lmm_graph::sitegraph::SiteGraphOptions::default();
-    let cross_links_changed = SiteGraph::from_doc_graph(old, &opts).weights()
-        != SiteGraph::from_doc_graph(new, &opts).weights();
+    let cross_links_changed =
+        ranking_site_graph(old, &opts).weights() != ranking_site_graph(new, &opts).weights();
     Ok(SiteDelta {
         changed_sites,
         cross_links_changed,
@@ -109,7 +109,7 @@ pub fn incremental_update(
     // SiteRank: reuse or recompute (warm-started from the previous vector).
     let (site_rank, site_report) = if delta.cross_links_changed {
         stats.site_rank_recomputed = true;
-        let site_graph = SiteGraph::from_doc_graph(new_graph, &config.site_options);
+        let site_graph = ranking_site_graph(new_graph, &config.site_options);
         let mut pr = PageRank::new();
         pr.damping(config.site_damping)
             .tol(config.power.tol)
@@ -185,10 +185,13 @@ pub fn refresh(
 ) -> Result<(LayeredDocRank, UpdateStats)> {
     let delta = diff_sites(old_graph, new_graph)?;
     if delta.is_empty() {
-        return Ok((previous.clone(), UpdateStats {
-            sites_reused: new_graph.n_sites(),
-            ..UpdateStats::default()
-        }));
+        return Ok((
+            previous.clone(),
+            UpdateStats {
+                sites_reused: new_graph.n_sites(),
+                ..UpdateStats::default()
+            },
+        ));
     }
     let (updated, stats) = incremental_update(previous, new_graph, &delta, config)?;
     debug_assert!(

@@ -65,4 +65,4 @@ pub use approaches::{GlobalRanking, LmmParams, RankApproach};
 pub use error::{LmmError, Result};
 pub use model::{GlobalState, LayeredMarkovModel, PhaseModel};
 pub use partition::{verify_partition_theorem, PartitionCheck};
-pub use siterank::{layered_doc_rank, LayeredDocRank, LayeredRankConfig};
+pub use siterank::{layered_doc_rank, LayeredDocRank, LayeredRankConfig, SiteLayerMethod};

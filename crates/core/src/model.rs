@@ -120,11 +120,7 @@ impl LayeredMarkovModel {
     /// Returns [`LmmError::InvalidModel`] when there are no phases, when
     /// `Y`'s dimension differs from the number of phases, or when `vy` is
     /// not a distribution of matching length.
-    pub fn new(
-        y: StochasticMatrix,
-        vy: Option<Vec<f64>>,
-        phases: Vec<PhaseModel>,
-    ) -> Result<Self> {
+    pub fn new(y: StochasticMatrix, vy: Option<Vec<f64>>, phases: Vec<PhaseModel>) -> Result<Self> {
         if phases.is_empty() {
             return Err(LmmError::InvalidModel {
                 reason: "model must have at least one phase".into(),

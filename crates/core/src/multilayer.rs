@@ -198,8 +198,9 @@ impl HierarchicalModel {
             (HierarchyNode::Leaf { transition }, _) => {
                 // A flat chain: its "ranking" is the gatekeeper distribution
                 // itself.
-                return Ok(gatekeeper_distribution(transition, alpha, None, &self.power)?
-                    .distribution);
+                return Ok(
+                    gatekeeper_distribution(transition, alpha, None, &self.power)?.distribution,
+                );
             }
             (HierarchyNode::Internal { transition, .. }, TopLevelMethod::Stationary) => {
                 let report = structure::analyze(transition.matrix())?;
@@ -284,19 +285,15 @@ mod tests {
 
     fn leaf(rows: &[Vec<f64>]) -> HierarchyNode {
         HierarchyNode::Leaf {
-            transition: StochasticMatrix::new(
-                DenseMatrix::from_rows(rows).unwrap().to_csr(),
-            )
-            .unwrap(),
+            transition: StochasticMatrix::new(DenseMatrix::from_rows(rows).unwrap().to_csr())
+                .unwrap(),
         }
     }
 
     fn internal(rows: &[Vec<f64>], children: Vec<HierarchyNode>) -> HierarchyNode {
         HierarchyNode::Internal {
-            transition: StochasticMatrix::new(
-                DenseMatrix::from_rows(rows).unwrap().to_csr(),
-            )
-            .unwrap(),
+            transition: StochasticMatrix::new(DenseMatrix::from_rows(rows).unwrap().to_csr())
+                .unwrap(),
             children,
         }
     }
@@ -336,7 +333,11 @@ mod tests {
                 leaf(&[vec![0.1, 0.9], vec![0.9, 0.1]]),
             ],
         );
-        let group_b = leaf(&[vec![0.3, 0.3, 0.4], vec![0.2, 0.6, 0.2], vec![0.5, 0.25, 0.25]]);
+        let group_b = leaf(&[
+            vec![0.3, 0.3, 0.4],
+            vec![0.2, 0.6, 0.2],
+            vec![0.5, 0.25, 0.25],
+        ]);
         let root = internal(&[vec![0.2, 0.8], vec![0.5, 0.5]], vec![group_a, group_b]);
         let model = HierarchicalModel::new(root).unwrap();
         assert_eq!(model.depth(), 3);
@@ -348,8 +349,7 @@ mod tests {
 
     #[test]
     fn flat_leaf_model_is_gatekeeper_distribution() {
-        let model =
-            HierarchicalModel::new(leaf(&[vec![0.5, 0.5], vec![0.9, 0.1]])).unwrap();
+        let model = HierarchicalModel::new(leaf(&[vec![0.5, 0.5], vec![0.9, 0.1]])).unwrap();
         assert_eq!(model.depth(), 1);
         let r = model.rank(0.85, TopLevelMethod::Stationary).unwrap();
         assert_eq!(r.len(), 2);
@@ -359,10 +359,7 @@ mod tests {
     #[test]
     fn structural_validation() {
         // Internal with mismatched transition size.
-        let bad = internal(
-            &[vec![0.5, 0.5], vec![0.5, 0.5]],
-            vec![leaf(&[vec![1.0]])],
-        );
+        let bad = internal(&[vec![0.5, 0.5], vec![0.5, 0.5]], vec![leaf(&[vec![1.0]])]);
         assert!(HierarchicalModel::new(bad).is_err());
         // Internal without children.
         let bad = internal(&[vec![1.0]], vec![]);

@@ -71,12 +71,8 @@ mod tests {
     fn holds_on_random_models() {
         for seed in 0..8 {
             let model = random_model(4, 2, 7, seed);
-            let check =
-                verify_partition_theorem(&model, &LmmParams::default()).unwrap();
-            assert!(
-                check.linf < 1e-9,
-                "seed {seed}: {check}"
-            );
+            let check = verify_partition_theorem(&model, &LmmParams::default()).unwrap();
+            assert!(check.linf < 1e-9, "seed {seed}: {check}");
             assert!(check.same_order, "seed {seed}: order diverged");
         }
     }
@@ -85,8 +81,7 @@ mod tests {
     fn holds_for_various_alphas() {
         let model = random_model(5, 3, 6, 99);
         for alpha in [0.3, 0.5, 0.85, 0.99] {
-            let check =
-                verify_partition_theorem(&model, &LmmParams::with_factor(alpha)).unwrap();
+            let check = verify_partition_theorem(&model, &LmmParams::with_factor(alpha)).unwrap();
             assert!(check.linf < 1e-9, "alpha {alpha}: {check}");
         }
     }

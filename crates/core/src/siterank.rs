@@ -22,10 +22,29 @@ use std::collections::HashMap;
 use crate::error::Result;
 use lmm_graph::docgraph::DocGraph;
 use lmm_graph::ids::{DocId, SiteId};
-use lmm_graph::sitegraph::{SiteGraph, SiteGraphOptions};
+use lmm_graph::sitegraph::{ranking_site_graph, SiteGraphOptions};
 use lmm_linalg::{ConvergenceReport, PowerOptions};
 use lmm_rank::pagerank::{PageRank, PageRankResult};
 use lmm_rank::Ranking;
+
+/// How the SiteRank vector `π_S` is computed at step 4.
+///
+/// `PageRank` is the paper's Web instantiation (Section 3.2): maximal
+/// irreducibility applied to `M(G_S)`. `Stationary` is the raw stationary
+/// distribution of `M(G_S)` — the Layered Method's Approach-4 site layer,
+/// which by the Partition Theorem makes the composed DocRank equal the
+/// stationary distribution of the layer-decomposable global chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SiteLayerMethod {
+    /// Damped PageRank of the SiteGraph (the paper's default; supports
+    /// site-layer personalization).
+    #[default]
+    PageRank,
+    /// Raw stationary distribution of the SiteGraph transition matrix
+    /// (requires a primitive SiteGraph; ignores personalization, which the
+    /// un-damped chain cannot express).
+    Stationary,
+}
 
 /// Configuration of the layered DocRank pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,6 +53,8 @@ pub struct LayeredRankConfig {
     pub local_damping: f64,
     /// Damping of the SiteRank computation (step 4).
     pub site_damping: f64,
+    /// How the site layer is ranked (step 4).
+    pub site_method: SiteLayerMethod,
     /// SiteGraph derivation options (step 2).
     pub site_options: SiteGraphOptions,
     /// Power-method budget shared by all computations.
@@ -51,6 +72,7 @@ impl Default for LayeredRankConfig {
         Self {
             local_damping: 0.85,
             site_damping: 0.85,
+            site_method: SiteLayerMethod::PageRank,
             site_options: SiteGraphOptions::default(),
             power: PowerOptions::with_tol(1e-10),
             site_personalization: None,
@@ -132,21 +154,40 @@ impl LayeredDocRank {
 /// # }
 /// ```
 pub fn layered_doc_rank(graph: &DocGraph, config: &LayeredRankConfig) -> Result<LayeredDocRank> {
-    // Step 2: SiteGraph.
-    let site_graph = SiteGraph::from_doc_graph(graph, &config.site_options);
+    // Step 2: SiteGraph — through the one shared derivation so distributed
+    // and local pipelines provably rank the same `Y`.
+    let site_graph = ranking_site_graph(graph, &config.site_options);
 
     // Step 4: SiteRank (independent of step 3 — the parallelism the paper
     // contrasts with BlockRank).
-    let mut site_pr = PageRank::new();
-    site_pr
-        .damping(config.site_damping)
-        .tol(config.power.tol)
-        .max_iters(config.power.max_iters);
-    if let Some(v) = &config.site_personalization {
-        site_pr.personalization(v.clone());
-    }
-    let site_result: PageRankResult = site_pr.run(&site_graph.to_stochastic()?)?;
-    let site_rank = site_result.ranking;
+    let (site_rank, site_report) = match config.site_method {
+        SiteLayerMethod::PageRank => {
+            let mut site_pr = PageRank::new();
+            site_pr
+                .damping(config.site_damping)
+                .tol(config.power.tol)
+                .max_iters(config.power.max_iters);
+            if let Some(v) = &config.site_personalization {
+                site_pr.personalization(v.clone());
+            }
+            let site_result: PageRankResult = site_pr.run(&site_graph.to_stochastic()?)?;
+            (site_result.ranking, site_result.report)
+        }
+        SiteLayerMethod::Stationary => {
+            if config.site_personalization.is_some() {
+                return Err(crate::error::LmmError::InvalidModel {
+                    reason: "site-layer personalization requires SiteLayerMethod::PageRank \
+                             (the un-damped stationary chain has no teleport vector)"
+                        .into(),
+                });
+            }
+            let (pi, report) = lmm_linalg::power::stationary_distribution(
+                site_graph.to_stochastic()?.matrix(),
+                &config.power,
+            )?;
+            (Ranking::from_scores(pi)?, report)
+        }
+    };
 
     // Step 3: local DocRanks, one independent PageRank per site.
     let n_sites = graph.n_sites();
@@ -183,7 +224,7 @@ pub fn layered_doc_rank(graph: &DocGraph, config: &LayeredRankConfig) -> Result<
         site_rank,
         local_ranks,
         global,
-        site_report: site_result.report,
+        site_report,
         total_local_iterations,
         max_local_iterations,
     })
@@ -200,7 +241,9 @@ pub fn flat_pagerank(
     power: &PowerOptions,
 ) -> Result<PageRankResult> {
     let mut pr = PageRank::new();
-    pr.damping(damping).tol(power.tol).max_iters(power.max_iters);
+    pr.damping(damping)
+        .tol(power.tol)
+        .max_iters(power.max_iters);
     Ok(pr.run_adjacency(graph.adjacency().clone())?)
 }
 

@@ -63,7 +63,12 @@ pub fn random_sparse_stochastic(n: usize, out_degree: usize, rng: &mut StdRng) -
 /// # Panics
 /// Panics if `n_phases == 0` or `min_sub` is 0 or exceeds `max_sub`.
 #[must_use]
-pub fn random_model(n_phases: usize, min_sub: usize, max_sub: usize, seed: u64) -> LayeredMarkovModel {
+pub fn random_model(
+    n_phases: usize,
+    min_sub: usize,
+    max_sub: usize,
+    seed: u64,
+) -> LayeredMarkovModel {
     assert!(n_phases > 0, "need at least one phase");
     assert!(
         min_sub > 0 && min_sub <= max_sub,

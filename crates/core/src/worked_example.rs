@@ -51,14 +51,12 @@ pub const PAPER_PI_Y_TILDE: [f64; 3] = [0.2154, 0.4154, 0.3692];
 
 /// Figure 2, middle vector: `π_W`, Approach 1 (PageRank on `W`).
 pub const PAPER_PI_W: [f64; 12] = [
-    0.0682, 0.0547, 0.0596, 0.0499, 0.0545, 0.1073, 0.2281, 0.1562, 0.0452, 0.0760,
-    0.0474, 0.0530,
+    0.0682, 0.0547, 0.0596, 0.0499, 0.0545, 0.1073, 0.2281, 0.1562, 0.0452, 0.0760, 0.0474, 0.0530,
 ];
 
 /// Figure 2, right vector: `π̃_W`, Approaches 2 and 4.
 pub const PAPER_PI_W_TILDE: [f64; 12] = [
-    0.0658, 0.0498, 0.0556, 0.0442, 0.0495, 0.1118, 0.2541, 0.1683, 0.0383, 0.0744,
-    0.0408, 0.0474,
+    0.0658, 0.0498, 0.0556, 0.0442, 0.0495, 0.1118, 0.2541, 0.1683, 0.0383, 0.0744, 0.0408, 0.0474,
 ];
 
 /// Figure 2's rank-order column (identical for both vectors): the 0-based
@@ -221,11 +219,9 @@ mod tests {
     #[test]
     fn partition_check_on_paper_model() {
         let m = paper_model().unwrap();
-        let check = crate::partition::verify_partition_theorem(
-            &m,
-            &LmmParams::with_factor(PAPER_ALPHA),
-        )
-        .unwrap();
+        let check =
+            crate::partition::verify_partition_theorem(&m, &LmmParams::with_factor(PAPER_ALPHA))
+                .unwrap();
         assert!(check.linf < 1e-9, "{check}");
         assert!(check.same_order);
     }

@@ -2,9 +2,7 @@
 //! global operator, the composition law, and parameter monotonicity.
 
 use lmm_core::approaches::{compute, LmmParams, RankApproach};
-use lmm_core::global::{
-    global_transition_matrix, phase_gatekeeper_distributions, GlobalOperator,
-};
+use lmm_core::global::{global_transition_matrix, phase_gatekeeper_distributions, GlobalOperator};
 use lmm_core::synth::{random_model, random_sparse_model};
 use lmm_linalg::{vec_ops, LinearOperator, PowerOptions};
 use proptest::prelude::*;

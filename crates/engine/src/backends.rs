@@ -1,0 +1,315 @@
+//! The built-in [`Ranker`] backends, one per path the paper describes:
+//! the flat baseline, the centralized stationary chain, the layered
+//! pipelines (Approaches 3/4), the distributed deployments, and
+//! incremental maintenance.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::bridge::{model_from_graph, per_site_mass, state_scores_to_doc_order};
+use crate::context::ExecContext;
+use crate::error::{EngineError, Result};
+use crate::outcome::RankOutcome;
+use crate::ranker::Ranker;
+use crate::telemetry::RunTelemetry;
+use lmm_core::approaches::{compute, LmmParams, RankApproach};
+use lmm_core::incremental;
+use lmm_core::siterank::{self, LayeredDocRank, LayeredRankConfig, SiteLayerMethod};
+use lmm_graph::docgraph::DocGraph;
+use lmm_p2p::runner::{run_distributed, Architecture, DistributedConfig};
+use lmm_rank::Ranking;
+
+fn require_neutral_personalization(ctx: &ExecContext, backend: &str) -> Result<()> {
+    if ctx.personalization.is_neutral() {
+        Ok(())
+    } else {
+        Err(EngineError::InvalidConfig {
+            reason: format!(
+                "the {backend} backend does not support personalization; \
+                 use a layered backend (site/document teleport vectors are \
+                 a layered-model feature)"
+            ),
+        })
+    }
+}
+
+fn layered_config(ctx: &ExecContext, local_damping: f64, site_damping: f64) -> LayeredRankConfig {
+    LayeredRankConfig {
+        local_damping,
+        site_damping,
+        site_method: SiteLayerMethod::PageRank,
+        site_options: ctx.site_options,
+        power: ctx.convergence.power_options(),
+        site_personalization: ctx.personalization.site.clone(),
+        local_personalization: ctx.personalization.local.clone(),
+    }
+}
+
+fn outcome_from_layered(
+    backend: String,
+    result: LayeredDocRank,
+    wall: std::time::Duration,
+    n_sites: usize,
+) -> RankOutcome {
+    let telemetry = RunTelemetry {
+        backend: backend.clone(),
+        site_iterations: result.site_report.iterations,
+        residual: result.site_report.residual,
+        converged: result.site_report.converged,
+        total_local_iterations: result.total_local_iterations,
+        max_local_iterations: result.max_local_iterations,
+        sites_recomputed: n_sites,
+        wall,
+        ..RunTelemetry::default()
+    };
+    RankOutcome {
+        backend,
+        ranking: result.global,
+        site_rank: Some(result.site_rank),
+        telemetry,
+    }
+}
+
+/// **Approach 1's Web instantiation**: classical PageRank (maximal
+/// irreducibility) over the whole document graph — the paper's Figure 3
+/// baseline and the centralized system the layered method is contrasted
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlatPageRank {
+    /// Damping factor of the global chain.
+    pub damping: f64,
+}
+
+impl Ranker for FlatPageRank {
+    fn name(&self) -> String {
+        "flat-pagerank".into()
+    }
+
+    fn rank(&self, graph: &DocGraph, ctx: &ExecContext) -> Result<RankOutcome> {
+        require_neutral_personalization(ctx, "flat-pagerank")?;
+        let t0 = Instant::now();
+        let result =
+            siterank::flat_pagerank(graph, self.damping, &ctx.convergence.power_options())?;
+        let telemetry = RunTelemetry {
+            backend: self.name(),
+            site_iterations: result.report.iterations,
+            residual: result.report.residual,
+            converged: result.report.converged,
+            sites_recomputed: graph.n_sites(),
+            wall: t0.elapsed(),
+            ..RunTelemetry::default()
+        };
+        Ok(RankOutcome {
+            backend: self.name(),
+            ranking: result.ranking,
+            site_rank: None,
+            telemetry,
+        })
+    }
+}
+
+/// **Approach 2**: the stationary distribution of the layer-decomposable
+/// global chain `W` induced by the graph, computed through the factored
+/// operator (never materializing `W`). By the Partition Theorem this equals
+/// the Layered Method's composed DocRank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CentralizedStationary {
+    /// Gatekeeper mixing parameter `α` of the per-site chains.
+    pub alpha: f64,
+}
+
+impl Ranker for CentralizedStationary {
+    fn name(&self) -> String {
+        "centralized-stationary".into()
+    }
+
+    fn rank(&self, graph: &DocGraph, ctx: &ExecContext) -> Result<RankOutcome> {
+        if ctx.personalization.site.is_some() {
+            return Err(EngineError::InvalidConfig {
+                reason: "centralized-stationary has no site-layer teleport vector; \
+                         site personalization requires a PageRank site layer"
+                    .into(),
+            });
+        }
+        let t0 = Instant::now();
+        let model = model_from_graph(graph, ctx)?;
+        let params = LmmParams {
+            alpha: self.alpha,
+            damping: self.alpha,
+            power: ctx.convergence.power_options(),
+        };
+        let global = compute(&model, RankApproach::StationaryOfGlobal, &params)?;
+        let ranking = Ranking::from_scores(state_scores_to_doc_order(graph, global.scores()))?;
+        let site_rank = Ranking::from_weights(per_site_mass(graph, global.scores()))?;
+        let telemetry = RunTelemetry {
+            backend: self.name(),
+            site_iterations: global.report.iterations,
+            residual: global.report.residual,
+            converged: global.report.converged,
+            sites_recomputed: graph.n_sites(),
+            wall: t0.elapsed(),
+            ..RunTelemetry::default()
+        };
+        Ok(RankOutcome {
+            backend: self.name(),
+            ranking,
+            site_rank: Some(site_rank),
+            telemetry,
+        })
+    }
+}
+
+/// **Approaches 3 and 4**: the layered SiteRank × DocRank pipeline of
+/// Section 3.2 over `lmm_core::siterank`, with the site layer ranked either
+/// by damped PageRank (Approach 3; supports personalization) or by the raw
+/// stationary distribution (Approach 4 — the Layered Method).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayeredRanker {
+    /// Damping of the per-site local DocRanks.
+    pub local_damping: f64,
+    /// Damping of the site layer (ignored by the stationary method).
+    pub site_damping: f64,
+    /// How the site layer is ranked.
+    pub site_layer: SiteLayerMethod,
+}
+
+impl Ranker for LayeredRanker {
+    fn name(&self) -> String {
+        match self.site_layer {
+            SiteLayerMethod::PageRank => "layered-pagerank".into(),
+            SiteLayerMethod::Stationary => "layered-stationary".into(),
+        }
+    }
+
+    fn rank(&self, graph: &DocGraph, ctx: &ExecContext) -> Result<RankOutcome> {
+        let t0 = Instant::now();
+        let config = LayeredRankConfig {
+            site_method: self.site_layer,
+            ..layered_config(ctx, self.local_damping, self.site_damping)
+        };
+        let result = siterank::layered_doc_rank(graph, &config)?;
+        Ok(outcome_from_layered(
+            self.name(),
+            result,
+            t0.elapsed(),
+            graph.n_sites(),
+        ))
+    }
+}
+
+/// **The distributed deployments** of Section 3.2: the layered protocol
+/// over flat P2P or super-peer topologies, the hybrid shared-SiteRank
+/// variant, and the centralized upload-everything baseline — all through
+/// the `lmm-p2p` simulator, with traffic accounted in telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributedRanker {
+    /// Deployment topology.
+    pub architecture: Architecture,
+    /// Damping of the distributed SiteRank iteration.
+    pub site_damping: f64,
+    /// Damping of the per-site local DocRanks.
+    pub local_damping: f64,
+}
+
+impl Ranker for DistributedRanker {
+    fn name(&self) -> String {
+        format!("distributed/{}", self.architecture)
+    }
+
+    fn rank(&self, graph: &DocGraph, ctx: &ExecContext) -> Result<RankOutcome> {
+        require_neutral_personalization(ctx, "distributed")?;
+        let t0 = Instant::now();
+        let config = DistributedConfig {
+            architecture: self.architecture,
+            site_damping: self.site_damping,
+            local_damping: self.local_damping,
+            tol: ctx.convergence.tol,
+            max_rounds: u32::try_from(ctx.convergence.max_iters).unwrap_or(u32::MAX),
+            site_options: ctx.site_options,
+            power: ctx.convergence.power_options(),
+            fault: ctx.fault,
+            threads: ctx.threads,
+        };
+        let outcome = run_distributed(graph, &config)?;
+        let traffic = outcome.stats.total();
+        let telemetry = RunTelemetry {
+            backend: self.name(),
+            site_iterations: outcome.siterank_rounds as usize,
+            converged: true,
+            sites_recomputed: graph.n_sites(),
+            messages: traffic.messages,
+            bytes: traffic.bytes,
+            retransmissions: traffic.retransmissions,
+            wall: t0.elapsed(),
+            ..RunTelemetry::default()
+        };
+        let site_rank = match outcome.architecture {
+            // The centralized baseline never computes a site layer; its
+            // uniform placeholder would misread as a real SiteRank.
+            Architecture::Centralized => None,
+            _ => Some(outcome.site_rank),
+        };
+        Ok(RankOutcome {
+            backend: self.name(),
+            ranking: outcome.global,
+            site_rank,
+            telemetry,
+        })
+    }
+}
+
+/// **Incremental maintenance** over `lmm_core::incremental`: the first call
+/// computes the full layered pipeline; every later call diffs the new graph
+/// against the previous one and recomputes only the stale layers
+/// (warm-started), falling back to a full run when the graph shape changed.
+#[derive(Debug)]
+pub struct IncrementalRanker {
+    /// Damping of the per-site local DocRanks.
+    pub local_damping: f64,
+    /// Damping of the SiteRank computation.
+    pub site_damping: f64,
+    state: Mutex<Option<(DocGraph, LayeredDocRank)>>,
+}
+
+impl IncrementalRanker {
+    /// Creates a ranker with no previous state.
+    #[must_use]
+    pub fn new(local_damping: f64, site_damping: f64) -> Self {
+        Self {
+            local_damping,
+            site_damping,
+            state: Mutex::new(None),
+        }
+    }
+}
+
+impl Ranker for IncrementalRanker {
+    fn name(&self) -> String {
+        "incremental".into()
+    }
+
+    fn rank(&self, graph: &DocGraph, ctx: &ExecContext) -> Result<RankOutcome> {
+        let t0 = Instant::now();
+        let config = layered_config(ctx, self.local_damping, self.site_damping);
+        let mut state = self.state.lock().expect("incremental state lock");
+
+        // Try an incremental refresh against the previous graph; shape
+        // changes (diff errors) fall back to a full recomputation.
+        let refreshed = state.as_ref().and_then(|(old_graph, previous)| {
+            incremental::refresh(previous, old_graph, graph, &config).ok()
+        });
+        let (result, recomputed, reused) = match refreshed {
+            Some((result, stats)) => (result, stats.sites_recomputed, stats.sites_reused),
+            None => {
+                let result = siterank::layered_doc_rank(graph, &config)?;
+                (result, graph.n_sites(), 0)
+            }
+        };
+        *state = Some((graph.clone(), result.clone()));
+
+        let mut outcome = outcome_from_layered(self.name(), result, t0.elapsed(), graph.n_sites());
+        outcome.telemetry.sites_recomputed = recomputed;
+        outcome.telemetry.sites_reused = reused;
+        Ok(outcome)
+    }
+}

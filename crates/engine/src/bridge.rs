@@ -1,0 +1,114 @@
+//! Bridge from the Web substrate to the abstract model: builds the
+//! layer-decomposable [`LayeredMarkovModel`] induced by a [`DocGraph`]
+//! (Section 3.1's instantiation — sites are phases, documents sub-states).
+//!
+//! This is what lets the centralized Approaches 1/2 run on real web graphs
+//! through the same engine as the layered pipelines, and what makes the
+//! engine-level Partition Theorem test meaningful: Approach 2 on the
+//! induced model must equal the Layered Method's composed DocRank.
+
+use crate::context::ExecContext;
+use crate::error::Result;
+use lmm_core::model::{LayeredMarkovModel, PhaseModel};
+use lmm_graph::docgraph::DocGraph;
+use lmm_graph::ids::SiteId;
+use lmm_graph::sitegraph::ranking_site_graph;
+use lmm_linalg::StochasticMatrix;
+
+/// Builds the graph-induced two-layer model: `Y` is the row-normalized
+/// SiteGraph (derived through the shared
+/// [`ranking_site_graph`] helper), and `U_I` is site `I`'s row-normalized
+/// intra-site subgraph. Per-site document personalization from the context
+/// becomes the phase's initial (gatekeeper-row) distribution.
+///
+/// # Errors
+/// Propagates model-construction failures (empty sites, malformed
+/// personalization vectors).
+pub fn model_from_graph(graph: &DocGraph, ctx: &ExecContext) -> Result<LayeredMarkovModel> {
+    let site_graph = ranking_site_graph(graph, &ctx.site_options);
+    let y = site_graph.to_stochastic()?;
+
+    let mut phases = Vec::with_capacity(graph.n_sites());
+    for s in 0..graph.n_sites() {
+        let sub = graph.site_subgraph(SiteId(s));
+        let u = StochasticMatrix::from_adjacency(sub.adjacency)?;
+        let vu = ctx.personalization.local.get(&s).map(|v| normalized(v));
+        phases.push(PhaseModel::new(u, vu)?);
+    }
+    Ok(LayeredMarkovModel::new(y, None, phases)?)
+}
+
+/// Re-orders a model-state score vector (phase-major: site, then local
+/// index) into global `DocId` order.
+#[must_use]
+pub fn state_scores_to_doc_order(graph: &DocGraph, state_scores: &[f64]) -> Vec<f64> {
+    let mut doc_scores = vec![0.0f64; graph.n_docs()];
+    let mut offset = 0usize;
+    for s in 0..graph.n_sites() {
+        let members = graph.docs_of_site(SiteId(s));
+        for (local, doc) in members.iter().enumerate() {
+            doc_scores[doc.index()] = state_scores[offset + local];
+        }
+        offset += members.len();
+    }
+    doc_scores
+}
+
+/// Sums a model-state score vector into per-site masses (the site layer a
+/// centralized approach implies).
+#[must_use]
+pub fn per_site_mass(graph: &DocGraph, state_scores: &[f64]) -> Vec<f64> {
+    let mut site_mass = vec![0.0f64; graph.n_sites()];
+    let mut offset = 0usize;
+    for (s, mass) in site_mass.iter_mut().enumerate() {
+        let n = graph.site_size(SiteId(s));
+        *mass = state_scores[offset..offset + n].iter().sum();
+        offset += n;
+    }
+    site_mass
+}
+
+fn normalized(v: &[f64]) -> Vec<f64> {
+    let total: f64 = v.iter().sum();
+    v.iter().map(|&x| x / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmm_graph::docgraph::DocGraphBuilder;
+
+    fn two_site_graph() -> DocGraph {
+        let mut b = DocGraphBuilder::new();
+        let a0 = b.add_doc("a.org", "http://a.org/");
+        let a1 = b.add_doc("a.org", "http://a.org/1");
+        let c0 = b.add_doc("c.org", "http://c.org/");
+        b.add_link(a0, a1).unwrap();
+        b.add_link(a1, a0).unwrap();
+        b.add_link(a0, c0).unwrap();
+        b.add_link(c0, a0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn induced_model_shape_matches_graph() {
+        let g = two_site_graph();
+        let model = model_from_graph(&g, &ExecContext::default()).unwrap();
+        assert_eq!(model.n_phases(), g.n_sites());
+        assert_eq!(model.total_states(), g.n_docs());
+    }
+
+    #[test]
+    fn state_order_roundtrip() {
+        let g = two_site_graph();
+        // State order is (site 0: a.org locals), then (site 1: c.org).
+        let state_scores = vec![0.1, 0.2, 0.7];
+        let doc_scores = state_scores_to_doc_order(&g, &state_scores);
+        assert_eq!(doc_scores.len(), 3);
+        let total: f64 = doc_scores.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        let masses = per_site_mass(&g, &state_scores);
+        assert!((masses[0] - 0.3).abs() < 1e-12);
+        assert!((masses[1] - 0.7).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,251 @@
+//! The shared execution context: convergence policy, personalization, and
+//! telemetry, carried uniformly into every backend.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::{EngineError, Result};
+use crate::telemetry::{NullSink, TelemetrySink};
+use lmm_graph::sitegraph::SiteGraphOptions;
+use lmm_linalg::PowerOptions;
+use lmm_p2p::FaultConfig;
+
+/// Convergence policy shared by every stationary computation an engine
+/// runs: the per-site local DocRanks, the SiteRank, the global chain of the
+/// centralized approaches, and the round budget of distributed runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergencePolicy {
+    /// L1 residual tolerance.
+    pub tol: f64,
+    /// Iteration (power method) and round (distributed) budget.
+    pub max_iters: usize,
+}
+
+impl Default for ConvergencePolicy {
+    fn default() -> Self {
+        Self {
+            tol: 1e-10,
+            max_iters: 10_000,
+        }
+    }
+}
+
+impl ConvergencePolicy {
+    /// The equivalent power-method options.
+    #[must_use]
+    pub fn power_options(&self) -> PowerOptions {
+        PowerOptions::with_tol(self.tol).max_iters(self.max_iters)
+    }
+
+    pub(crate) fn validate(&self) -> Result<()> {
+        if !self.tol.is_finite() || self.tol <= 0.0 {
+            return Err(EngineError::InvalidConfig {
+                reason: format!("tolerance {} must be finite and positive", self.tol),
+            });
+        }
+        if self.max_iters == 0 {
+            return Err(EngineError::InvalidConfig {
+                reason: "iteration budget must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Personalization at both layers of the layered model (Section 3.2, last
+/// paragraphs): a site-layer teleport vector and per-site document vectors.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Personalization {
+    /// Site-layer teleport vector (length = number of sites), or `None`
+    /// for uniform teleportation.
+    pub site: Option<Vec<f64>>,
+    /// Per-site document teleport vectors, keyed by site index; each
+    /// vector is over the site's *local* document indices.
+    pub local: HashMap<usize, Vec<f64>>,
+}
+
+impl Personalization {
+    /// `true` when no personalization is set at either layer.
+    #[must_use]
+    pub fn is_neutral(&self) -> bool {
+        self.site.is_none() && self.local.is_empty()
+    }
+
+    pub(crate) fn validate(&self) -> Result<()> {
+        let check = |label: &str, v: &[f64]| -> Result<()> {
+            if v.is_empty() {
+                return Err(EngineError::InvalidConfig {
+                    reason: format!("{label} personalization vector is empty"),
+                });
+            }
+            if v.iter().any(|&x| !x.is_finite() || x < 0.0) {
+                return Err(EngineError::InvalidConfig {
+                    reason: format!("{label} personalization vector has negative entries"),
+                });
+            }
+            if v.iter().sum::<f64>() <= 0.0 {
+                return Err(EngineError::InvalidConfig {
+                    reason: format!("{label} personalization vector sums to zero"),
+                });
+            }
+            Ok(())
+        };
+        if let Some(v) = &self.site {
+            check("site-layer", v)?;
+        }
+        for (site, v) in &self.local {
+            check(&format!("site {site} document-layer"), v)?;
+        }
+        Ok(())
+    }
+
+    /// Validates the vectors against a concrete graph's shape: the
+    /// site-layer vector must cover every site, and every document-layer
+    /// key must name an existing site with a vector of its size. The
+    /// builder cannot check this (no graph yet), so the engine does at
+    /// rank time — a silently ignored personalization entry would
+    /// otherwise serve a neutral ranking the caller believes personalized.
+    pub(crate) fn validate_against_graph(
+        &self,
+        graph: &lmm_graph::docgraph::DocGraph,
+    ) -> Result<()> {
+        if let Some(v) = &self.site {
+            if v.len() != graph.n_sites() {
+                return Err(EngineError::InvalidConfig {
+                    reason: format!(
+                        "site-layer personalization has length {}, graph has {} sites",
+                        v.len(),
+                        graph.n_sites()
+                    ),
+                });
+            }
+        }
+        for (&site, v) in &self.local {
+            if site >= graph.n_sites() {
+                return Err(EngineError::InvalidConfig {
+                    reason: format!(
+                        "document-layer personalization names site {site}, \
+                         graph has {} sites",
+                        graph.n_sites()
+                    ),
+                });
+            }
+            let size = graph.site_size(lmm_graph::SiteId(site));
+            if v.len() != size {
+                return Err(EngineError::InvalidConfig {
+                    reason: format!(
+                        "document-layer personalization for site {site} has length {}, \
+                         site has {size} documents",
+                        v.len()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything a [`Ranker`](crate::Ranker) needs beyond the graph itself.
+///
+/// One context is shared across backends so that switching strategies never
+/// silently changes convergence tolerances, personalization, site-graph
+/// derivation, or monitoring.
+#[derive(Clone)]
+pub struct ExecContext {
+    /// Convergence policy of every stationary computation.
+    pub convergence: ConvergencePolicy,
+    /// Personalization at both layers.
+    pub personalization: Personalization,
+    /// SiteGraph derivation options (shared between local and distributed
+    /// pipelines — see [`lmm_graph::sitegraph::ranking_site_graph`]).
+    pub site_options: SiteGraphOptions,
+    /// Worker threads for parallel per-site phases (`0` = one per core).
+    pub threads: usize,
+    /// Optional message-loss injection for distributed backends.
+    pub fault: Option<FaultConfig>,
+    /// Telemetry sink notified after every run.
+    pub telemetry: Arc<dyn TelemetrySink>,
+}
+
+impl std::fmt::Debug for ExecContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecContext")
+            .field("convergence", &self.convergence)
+            .field("personalization", &self.personalization)
+            .field("site_options", &self.site_options)
+            .field("threads", &self.threads)
+            .field("fault", &self.fault)
+            .field("telemetry", &"<dyn TelemetrySink>")
+            .finish()
+    }
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        Self {
+            convergence: ConvergencePolicy::default(),
+            personalization: Personalization::default(),
+            site_options: SiteGraphOptions::default(),
+            threads: 0,
+            fault: None,
+            telemetry: Arc::new(NullSink),
+        }
+    }
+}
+
+impl ExecContext {
+    /// Validates the context (convergence policy and personalization).
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidConfig`] for out-of-range fields.
+    pub fn validate(&self) -> Result<()> {
+        self.convergence.validate()?;
+        self.personalization.validate()?;
+        if let Some(fault) = &self.fault {
+            fault.validate()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_context_is_valid() {
+        ExecContext::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_tolerance() {
+        let mut ctx = ExecContext::default();
+        ctx.convergence.tol = 0.0;
+        assert!(ctx.validate().is_err());
+        ctx.convergence.tol = f64::NAN;
+        assert!(ctx.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_personalization() {
+        let mut ctx = ExecContext::default();
+        ctx.personalization.site = Some(vec![0.0, -1.0]);
+        assert!(ctx.validate().is_err());
+        ctx.personalization.site = Some(vec![0.0, 0.0]);
+        assert!(ctx.validate().is_err());
+        ctx.personalization.site = Some(vec![0.5, 0.5]);
+        ctx.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_fault() {
+        let ctx = ExecContext {
+            fault: Some(FaultConfig {
+                drop_prob: 1.0,
+                seed: 0,
+            }),
+            ..ExecContext::default()
+        };
+        assert!(ctx.validate().is_err());
+    }
+}

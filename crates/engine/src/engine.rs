@@ -1,0 +1,540 @@
+//! The unified engine: one validated configuration, one builder, pluggable
+//! backends, and a query-serving layer over the cached ranking.
+
+use std::sync::Arc;
+
+use crate::backends::{
+    CentralizedStationary, DistributedRanker, FlatPageRank, IncrementalRanker, LayeredRanker,
+};
+use crate::context::{ConvergencePolicy, ExecContext, Personalization};
+use crate::error::{EngineError, Result};
+use crate::outcome::{RankComparison, RankOutcome};
+use crate::ranker::Ranker;
+use crate::telemetry::TelemetrySink;
+use lmm_core::approaches::RankApproach;
+use lmm_core::siterank::SiteLayerMethod;
+use lmm_graph::docgraph::DocGraph;
+use lmm_graph::sitegraph::SiteGraphOptions;
+use lmm_graph::{DocId, SiteId};
+use lmm_p2p::network::FaultConfig;
+use lmm_p2p::runner::Architecture;
+
+/// Which built-in backend an engine runs.
+///
+/// Custom strategies plug in through
+/// [`RankEngineBuilder::custom_backend`]; this enum only names the
+/// built-ins so configurations stay plain data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BackendSpec {
+    /// Flat PageRank over the whole document graph (Approach 1's Web
+    /// instantiation; the paper's Figure 3 baseline).
+    FlatPageRank,
+    /// Stationary distribution of the induced global chain through the
+    /// factored operator (Approach 2).
+    CentralizedStationary,
+    /// The layered SiteRank × DocRank pipeline (Approaches 3/4).
+    Layered {
+        /// How the site layer is ranked: `PageRank` (Approach 3) or
+        /// `Stationary` (Approach 4, the Layered Method).
+        site_layer: SiteLayerMethod,
+    },
+    /// A distributed deployment of the layered pipeline.
+    Distributed {
+        /// Deployment topology.
+        architecture: Architecture,
+    },
+    /// Incremental maintenance of the layered pipeline across `rank` calls.
+    Incremental,
+}
+
+impl BackendSpec {
+    /// Maps one of the paper's four approaches to its engine backend.
+    #[must_use]
+    pub fn approach(approach: RankApproach) -> Self {
+        match approach {
+            RankApproach::PageRankOnGlobal => BackendSpec::FlatPageRank,
+            RankApproach::StationaryOfGlobal => BackendSpec::CentralizedStationary,
+            RankApproach::LayeredWithPageRankSite => BackendSpec::Layered {
+                site_layer: SiteLayerMethod::PageRank,
+            },
+            RankApproach::Layered => BackendSpec::Layered {
+                site_layer: SiteLayerMethod::Stationary,
+            },
+        }
+    }
+}
+
+/// The validated engine configuration the builder produces: every scattered
+/// knob of the underlying crates (`LmmParams`, `LayeredRankConfig`,
+/// `DistributedConfig`, `PowerOptions`, `SiteGraphOptions`) unified in one
+/// place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// The selected backend.
+    pub backend: BackendSpec,
+    /// Damping of per-site (document-layer) computations, and the
+    /// gatekeeper mixing parameter `α` of the centralized approaches.
+    pub local_damping: f64,
+    /// Damping of site-layer computations.
+    pub site_damping: f64,
+    /// Convergence policy of every stationary computation.
+    pub convergence: ConvergencePolicy,
+    /// SiteGraph derivation options.
+    pub site_options: SiteGraphOptions,
+    /// Personalization at both layers.
+    pub personalization: Personalization,
+    /// Worker threads for parallel per-site phases (`0` = one per core).
+    pub threads: usize,
+    /// Optional message-loss injection for distributed backends.
+    pub fault: Option<FaultConfig>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            backend: BackendSpec::Layered {
+                site_layer: SiteLayerMethod::PageRank,
+            },
+            local_damping: 0.85,
+            site_damping: 0.85,
+            convergence: ConvergencePolicy::default(),
+            site_options: SiteGraphOptions::default(),
+            personalization: Personalization::default(),
+            threads: 0,
+            fault: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Validates every field.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidConfig`] for out-of-range fields.
+    pub fn validate(&self) -> Result<()> {
+        for (label, f) in [
+            ("local damping", self.local_damping),
+            ("site damping", self.site_damping),
+        ] {
+            if !f.is_finite() || f <= 0.0 || f >= 1.0 {
+                return Err(EngineError::InvalidConfig {
+                    reason: format!("{label} {f} must lie strictly in (0, 1)"),
+                });
+            }
+        }
+        self.context().validate()
+    }
+
+    /// The execution context this configuration induces (with a no-op
+    /// telemetry sink; the builder installs the configured sink).
+    #[must_use]
+    pub fn context(&self) -> ExecContext {
+        ExecContext {
+            convergence: self.convergence,
+            personalization: self.personalization.clone(),
+            site_options: self.site_options,
+            threads: self.threads,
+            fault: self.fault,
+            ..ExecContext::default()
+        }
+    }
+
+    fn make_ranker(&self) -> Box<dyn Ranker> {
+        match self.backend {
+            BackendSpec::FlatPageRank => Box::new(FlatPageRank {
+                damping: self.local_damping,
+            }),
+            BackendSpec::CentralizedStationary => Box::new(CentralizedStationary {
+                alpha: self.local_damping,
+            }),
+            BackendSpec::Layered { site_layer } => Box::new(LayeredRanker {
+                local_damping: self.local_damping,
+                site_damping: self.site_damping,
+                site_layer,
+            }),
+            BackendSpec::Distributed { architecture } => Box::new(DistributedRanker {
+                architecture,
+                site_damping: self.site_damping,
+                local_damping: self.local_damping,
+            }),
+            BackendSpec::Incremental => Box::new(IncrementalRanker::new(
+                self.local_damping,
+                self.site_damping,
+            )),
+        }
+    }
+}
+
+/// Fluent builder for [`RankEngine`] — the single entry point that
+/// replaces the ad-hoc constructors (`PageRank::new().run()`,
+/// `layered_doc_rank(..)`, `run_distributed(..)`, ...).
+///
+/// # Example
+/// ```
+/// use lmm_engine::{BackendSpec, RankEngine};
+///
+/// # fn main() -> Result<(), lmm_engine::EngineError> {
+/// let engine = RankEngine::builder()
+///     .backend(BackendSpec::FlatPageRank)
+///     .damping(0.9)
+///     .tolerance(1e-8)
+///     .build()?;
+/// assert_eq!(engine.backend_name(), "flat-pagerank");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Default)]
+pub struct RankEngineBuilder {
+    config: EngineConfig,
+    telemetry: Option<Arc<dyn TelemetrySink>>,
+    custom: Option<Box<dyn Ranker>>,
+}
+
+impl std::fmt::Debug for RankEngineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankEngineBuilder")
+            .field("config", &self.config)
+            .field("telemetry", &self.telemetry.is_some())
+            .field("custom", &self.custom.as_ref().map(|r| r.name()))
+            .finish()
+    }
+}
+
+impl RankEngineBuilder {
+    /// Selects a built-in backend.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendSpec) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Selects the backend matching one of the paper's four approaches.
+    #[must_use]
+    pub fn approach(mut self, approach: RankApproach) -> Self {
+        self.config.backend = BackendSpec::approach(approach);
+        self
+    }
+
+    /// Installs a custom [`Ranker`] strategy instead of a built-in backend.
+    #[must_use]
+    pub fn custom_backend(mut self, ranker: Box<dyn Ranker>) -> Self {
+        self.custom = Some(ranker);
+        self
+    }
+
+    /// Sets both damping factors (and the gatekeeper `α`) at once — the
+    /// common case; the paper uses 0.85 everywhere.
+    #[must_use]
+    pub fn damping(mut self, f: f64) -> Self {
+        self.config.local_damping = f;
+        self.config.site_damping = f;
+        self
+    }
+
+    /// Sets only the document-layer damping / gatekeeper `α`.
+    #[must_use]
+    pub fn local_damping(mut self, f: f64) -> Self {
+        self.config.local_damping = f;
+        self
+    }
+
+    /// Sets only the site-layer damping.
+    #[must_use]
+    pub fn site_damping(mut self, f: f64) -> Self {
+        self.config.site_damping = f;
+        self
+    }
+
+    /// Sets the convergence tolerance.
+    #[must_use]
+    pub fn tolerance(mut self, tol: f64) -> Self {
+        self.config.convergence.tol = tol;
+        self
+    }
+
+    /// Sets the iteration/round budget.
+    #[must_use]
+    pub fn max_iters(mut self, max_iters: usize) -> Self {
+        self.config.convergence.max_iters = max_iters;
+        self
+    }
+
+    /// Sets SiteGraph derivation options.
+    #[must_use]
+    pub fn site_options(mut self, options: SiteGraphOptions) -> Self {
+        self.config.site_options = options;
+        self
+    }
+
+    /// Sets the site-layer personalization (teleport) vector.
+    #[must_use]
+    pub fn site_personalization(mut self, v: Vec<f64>) -> Self {
+        self.config.personalization.site = Some(v);
+        self
+    }
+
+    /// Sets one site's document-layer personalization vector (over the
+    /// site's local document indices).
+    #[must_use]
+    pub fn local_personalization(mut self, site: SiteId, v: Vec<f64>) -> Self {
+        self.config.personalization.local.insert(site.index(), v);
+        self
+    }
+
+    /// Sets the worker-thread count for parallel per-site phases.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Injects message loss into distributed backends.
+    #[must_use]
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.config.fault = Some(fault);
+        self
+    }
+
+    /// Installs a telemetry sink notified after every run.
+    #[must_use]
+    pub fn telemetry(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.telemetry = Some(sink);
+        self
+    }
+
+    /// Validates the configuration and builds the engine.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidConfig`] for out-of-range damping,
+    /// tolerance, budgets, personalization, or fault probability.
+    pub fn build(self) -> Result<RankEngine> {
+        self.config.validate()?;
+        let ranker = match self.custom {
+            Some(ranker) => ranker,
+            None => self.config.make_ranker(),
+        };
+        let mut ctx = self.config.context();
+        if let Some(sink) = self.telemetry {
+            ctx.telemetry = sink;
+        }
+        Ok(RankEngine {
+            config: self.config,
+            ctx,
+            ranker,
+            cache: None,
+        })
+    }
+}
+
+struct ServingCache {
+    outcome: RankOutcome,
+    fingerprint: GraphFingerprint,
+    site_members: Vec<Vec<DocId>>,
+}
+
+/// The unified ranking engine: one configured backend plus a query-serving
+/// layer over the cached ranking.
+///
+/// [`rank`](RankEngine::rank) computes (or re-serves) the ranking;
+/// [`top_k`](RankEngine::top_k), [`top_k_for_site`](RankEngine::top_k_for_site),
+/// [`score`](RankEngine::score), and [`compare`](RankEngine::compare) then
+/// answer queries without recomputation — the first step toward the
+/// serving tier.
+pub struct RankEngine {
+    config: EngineConfig,
+    ctx: ExecContext,
+    ranker: Box<dyn Ranker>,
+    cache: Option<ServingCache>,
+}
+
+impl std::fmt::Debug for RankEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RankEngine")
+            .field("config", &self.config)
+            .field("backend", &self.ranker.name())
+            .field("cached", &self.cache.is_some())
+            .finish()
+    }
+}
+
+impl RankEngine {
+    /// Starts building an engine.
+    #[must_use]
+    pub fn builder() -> RankEngineBuilder {
+        RankEngineBuilder::default()
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The active backend's name.
+    #[must_use]
+    pub fn backend_name(&self) -> String {
+        self.ranker.name()
+    }
+
+    /// The shared execution context handed to the backend.
+    #[must_use]
+    pub fn context(&self) -> &ExecContext {
+        &self.ctx
+    }
+
+    /// Ranks the graph, caching the outcome for the serving methods.
+    ///
+    /// A repeated call with an unchanged graph serves the cached outcome
+    /// without recomputation; a changed graph (or [`invalidate`](Self::invalidate))
+    /// triggers a fresh run. Every fresh run is reported to the telemetry
+    /// sink.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidConfig`] when the configured
+    /// personalization does not fit this graph's shape (wrong site-vector
+    /// length, unknown site key, wrong per-site vector length); otherwise
+    /// propagates backend failures.
+    pub fn rank(&mut self, graph: &DocGraph) -> Result<&RankOutcome> {
+        self.ctx.personalization.validate_against_graph(graph)?;
+        let fingerprint = GraphFingerprint::of(graph);
+        let fresh = match &self.cache {
+            Some(cache) => cache.fingerprint != fingerprint,
+            None => true,
+        };
+        if fresh {
+            let outcome = self.ranker.rank(graph, &self.ctx)?;
+            self.ctx.telemetry.record(&outcome.telemetry);
+            let site_members = (0..graph.n_sites())
+                .map(|s| graph.docs_of_site(SiteId(s)).to_vec())
+                .collect();
+            self.cache = Some(ServingCache {
+                outcome,
+                fingerprint,
+                site_members,
+            });
+        }
+        Ok(&self.cache.as_ref().expect("cache populated above").outcome)
+    }
+
+    /// Drops the cached ranking, forcing the next [`rank`](Self::rank) to
+    /// recompute.
+    pub fn invalidate(&mut self) {
+        self.cache = None;
+    }
+
+    /// The cached outcome.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::NotRanked`] before the first `rank` call.
+    pub fn outcome(&self) -> Result<&RankOutcome> {
+        self.cache
+            .as_ref()
+            .map(|c| &c.outcome)
+            .ok_or(EngineError::NotRanked)
+    }
+
+    /// The `k` top-ranked documents with scores, best first, from the
+    /// cache.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::NotRanked`] before the first `rank` call.
+    pub fn top_k(&self, k: usize) -> Result<Vec<(DocId, f64)>> {
+        Ok(self.outcome()?.top_k(k))
+    }
+
+    /// The `k` top-ranked documents *within one site*, best first, from
+    /// the cache.
+    ///
+    /// # Errors
+    /// [`EngineError::NotRanked`] before the first `rank` call;
+    /// [`EngineError::OutOfRange`] for an unknown site.
+    pub fn top_k_for_site(&self, site: SiteId, k: usize) -> Result<Vec<(DocId, f64)>> {
+        let cache = self.cache.as_ref().ok_or(EngineError::NotRanked)?;
+        let members = cache.site_members.get(site.index()).ok_or({
+            EngineError::OutOfRange {
+                what: "site",
+                index: site.index(),
+                len: cache.site_members.len(),
+            }
+        })?;
+        let scores = cache.outcome.ranking.scores();
+        let mut ranked: Vec<(DocId, f64)> =
+            members.iter().map(|&d| (d, scores[d.index()])).collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("finite scores")
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        Ok(ranked)
+    }
+
+    /// Global score of one document, from the cache.
+    ///
+    /// # Errors
+    /// [`EngineError::NotRanked`] before the first `rank` call;
+    /// [`EngineError::OutOfRange`] for an unknown document.
+    pub fn score(&self, doc: DocId) -> Result<f64> {
+        self.outcome()?.score(doc)
+    }
+
+    /// SiteRank score of one site, from the cache (`None` when the backend
+    /// has no site layer).
+    ///
+    /// # Errors
+    /// [`EngineError::NotRanked`] before the first `rank` call;
+    /// [`EngineError::OutOfRange`] for an unknown site.
+    pub fn site_score(&self, site: SiteId) -> Result<Option<f64>> {
+        self.outcome()?.site_score(site)
+    }
+
+    /// Compares the cached ranking against another outcome (e.g. produced
+    /// by an engine with a different backend).
+    ///
+    /// # Errors
+    /// [`EngineError::NotRanked`] before the first `rank` call; see
+    /// [`RankOutcome::compare`].
+    pub fn compare(&self, other: &RankOutcome, k: usize) -> Result<RankComparison> {
+        self.outcome()?.compare(other, k)
+    }
+}
+
+/// Cache key for a graph: exact structural counts plus an FNV-1a hash of
+/// the site assignments and weighted edges. The counts are compared
+/// exactly; the hash covers the rest, so a stale cache hit would need a
+/// 64-bit collision between two graphs of identical shape — accepted as
+/// negligible for a serving cache (and [`RankEngine::invalidate`] always
+/// forces a recompute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GraphFingerprint {
+    n_docs: usize,
+    n_sites: usize,
+    n_links: usize,
+    hash: u64,
+}
+
+impl GraphFingerprint {
+    fn of(graph: &DocGraph) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |word: u64| {
+            for b in word.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for site in graph.site_assignments() {
+            mix(site.index() as u64);
+        }
+        for (src, dst, v) in graph.adjacency().iter() {
+            mix(src as u64);
+            mix(dst as u64);
+            mix(v.to_bits());
+        }
+        Self {
+            n_docs: graph.n_docs(),
+            n_sites: graph.n_sites(),
+            n_links: graph.n_links(),
+            hash: h,
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Error type of the unified engine: one enum over every backend's failure
+//! modes plus the engine's own configuration and serving errors.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use lmm_core::LmmError;
+use lmm_graph::GraphError;
+use lmm_linalg::LinalgError;
+use lmm_p2p::P2pError;
+use lmm_rank::RankError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+/// Errors produced by engine configuration, ranking, and serving.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The builder was given an inconsistent or out-of-range configuration.
+    InvalidConfig {
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A serving method was called before any [`rank`](crate::RankEngine::rank)
+    /// call populated the cache.
+    NotRanked,
+    /// A query referenced a document or site outside the ranked graph.
+    OutOfRange {
+        /// What was referenced.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// Number of valid entries.
+        len: usize,
+    },
+    /// Underlying LMM failure (model construction, approaches 1-4).
+    Core(LmmError),
+    /// Underlying distributed-run failure.
+    P2p(P2pError),
+    /// Underlying ranking failure (PageRank / gatekeeper / metrics).
+    Rank(RankError),
+    /// Underlying graph failure.
+    Graph(GraphError),
+    /// Underlying linear-algebra failure.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::InvalidConfig { reason } => {
+                write!(f, "invalid engine configuration: {reason}")
+            }
+            EngineError::NotRanked => {
+                write!(f, "no ranking cached: call RankEngine::rank first")
+            }
+            EngineError::OutOfRange { what, index, len } => {
+                write!(f, "{what} {index} out of range (graph has {len})")
+            }
+            EngineError::Core(e) => write!(f, "layered model error: {e}"),
+            EngineError::P2p(e) => write!(f, "distributed run error: {e}"),
+            EngineError::Rank(e) => write!(f, "ranking error: {e}"),
+            EngineError::Graph(e) => write!(f, "graph error: {e}"),
+            EngineError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl StdError for EngineError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            EngineError::Core(e) => Some(e),
+            EngineError::P2p(e) => Some(e),
+            EngineError::Rank(e) => Some(e),
+            EngineError::Graph(e) => Some(e),
+            EngineError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LmmError> for EngineError {
+    fn from(e: LmmError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+impl From<P2pError> for EngineError {
+    fn from(e: P2pError) -> Self {
+        EngineError::P2p(e)
+    }
+}
+
+impl From<RankError> for EngineError {
+    fn from(e: RankError) -> Self {
+        EngineError::Rank(e)
+    }
+}
+
+impl From<GraphError> for EngineError {
+    fn from(e: GraphError) -> Self {
+        EngineError::Graph(e)
+    }
+}
+
+impl From<LinalgError> for EngineError {
+    fn from(e: LinalgError) -> Self {
+        EngineError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = EngineError::InvalidConfig {
+            reason: "damping 1.5 out of (0, 1)".into(),
+        };
+        assert!(e.to_string().contains("1.5"));
+        assert!(EngineError::NotRanked.to_string().contains("rank"));
+    }
+
+    #[test]
+    fn sources_preserved() {
+        let e = EngineError::from(LinalgError::Empty);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_bounds() {
+        fn assert_bounds<E: StdError + Send + Sync + 'static>() {}
+        assert_bounds::<EngineError>();
+    }
+}

@@ -1,0 +1,84 @@
+//! # `lmm-engine` — the unified ranking API
+//!
+//! The paper's central claim (Wu & Aberer, ICDCS 2005) is that four
+//! ranking approaches and several deployment architectures compute
+//! *interchangeable* rankings over the same Web graph. This crate turns
+//! that claim into an API:
+//!
+//! * [`Ranker`] — the pluggable strategy trait. Every existing path is one
+//!   implementation: [`FlatPageRank`] (Approach 1's Web instantiation),
+//!   [`CentralizedStationary`] (Approach 2 through the factored global
+//!   operator), [`LayeredRanker`] (Approaches 3/4 via
+//!   `lmm_core::siterank`), [`DistributedRanker`] (every
+//!   `lmm_p2p::Architecture`), and [`IncrementalRanker`] (incremental
+//!   maintenance). Future backends — sharded, async, remote — are drop-in
+//!   implementations.
+//! * [`RankEngine::builder`] — one fluent, validated builder unifying the
+//!   scattered knobs (`LmmParams`, `LayeredRankConfig`,
+//!   `DistributedConfig`, `PowerOptions`, `SiteGraphOptions`) into an
+//!   [`EngineConfig`], with a shared [`ExecContext`] carrying the
+//!   convergence policy, personalization vectors, and a telemetry sink.
+//! * A **query-serving layer**: [`RankEngine::rank`] caches the resulting
+//!   ranking and serves [`top_k`](RankEngine::top_k),
+//!   [`top_k_for_site`](RankEngine::top_k_for_site),
+//!   [`score`](RankEngine::score), and [`compare`](RankEngine::compare)
+//!   without recomputation.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lmm_engine::{BackendSpec, RankEngine};
+//! use lmm_graph::generator::CampusWebConfig;
+//! use lmm_core::siterank::SiteLayerMethod;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut cfg = CampusWebConfig::small();
+//! cfg.total_docs = 400;
+//! cfg.n_sites = 8;
+//! cfg.spam_farms.clear();
+//! let graph = cfg.generate()?;
+//!
+//! // The Layered Method (Approach 4) through the unified engine.
+//! let mut engine = RankEngine::builder()
+//!     .backend(BackendSpec::Layered { site_layer: SiteLayerMethod::Stationary })
+//!     .damping(0.85)
+//!     .tolerance(1e-10)
+//!     .build()?;
+//! engine.rank(&graph)?;
+//!
+//! // Serve queries from the cache — no recomputation.
+//! let top = engine.top_k(5)?;
+//! assert_eq!(top.len(), 5);
+//!
+//! // Approach 2 (centralized stationary chain) must agree: the Partition
+//! // Theorem through the public API.
+//! let mut central = RankEngine::builder()
+//!     .backend(BackendSpec::CentralizedStationary)
+//!     .damping(0.85)
+//!     .tolerance(1e-10)
+//!     .build()?;
+//! central.rank(&graph)?;
+//! let cmp = engine.compare(central.outcome()?, 10)?;
+//! assert!(cmp.linf < 1e-8);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod backends;
+pub mod bridge;
+pub mod context;
+pub mod engine;
+pub mod error;
+pub mod outcome;
+pub mod ranker;
+pub mod telemetry;
+
+pub use backends::{
+    CentralizedStationary, DistributedRanker, FlatPageRank, IncrementalRanker, LayeredRanker,
+};
+pub use context::{ConvergencePolicy, ExecContext, Personalization};
+pub use engine::{BackendSpec, EngineConfig, RankEngine, RankEngineBuilder};
+pub use error::{EngineError, Result};
+pub use outcome::{RankComparison, RankOutcome};
+pub use ranker::Ranker;
+pub use telemetry::{MemorySink, NullSink, RunTelemetry, TelemetrySink};

@@ -1,0 +1,184 @@
+//! The uniform result type every backend produces, plus rank-comparison
+//! support built on `lmm_rank::metrics`.
+
+use crate::error::{EngineError, Result};
+use crate::telemetry::RunTelemetry;
+use lmm_graph::{DocId, SiteId};
+use lmm_linalg::vec_ops;
+use lmm_rank::{metrics, Ranking};
+
+/// Result of one ranking run, uniform across every [`Ranker`](crate::Ranker)
+/// backend: a global document ranking in `DocId` order, the site-layer
+/// vector when the backend computes one, and run telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankOutcome {
+    /// Name of the backend that produced this outcome.
+    pub backend: String,
+    /// The global document ranking (a probability distribution over all
+    /// documents, indexed by `DocId`).
+    pub ranking: Ranking,
+    /// The SiteRank vector `π_S` (absent for backends with no site layer,
+    /// such as the flat baseline).
+    pub site_rank: Option<Ranking>,
+    /// Metrics of the run.
+    pub telemetry: RunTelemetry,
+}
+
+impl RankOutcome {
+    /// Number of ranked documents.
+    #[must_use]
+    pub fn n_docs(&self) -> usize {
+        self.ranking.len()
+    }
+
+    /// Global score of one document.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::OutOfRange`] for an unknown document.
+    pub fn score(&self, doc: DocId) -> Result<f64> {
+        if doc.index() >= self.ranking.len() {
+            return Err(EngineError::OutOfRange {
+                what: "document",
+                index: doc.index(),
+                len: self.ranking.len(),
+            });
+        }
+        Ok(self.ranking.score(doc.index()))
+    }
+
+    /// SiteRank score of one site, when the backend computed a site layer.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::OutOfRange`] for an unknown site.
+    pub fn site_score(&self, site: SiteId) -> Result<Option<f64>> {
+        match &self.site_rank {
+            None => Ok(None),
+            Some(ranks) => {
+                if site.index() >= ranks.len() {
+                    return Err(EngineError::OutOfRange {
+                        what: "site",
+                        index: site.index(),
+                        len: ranks.len(),
+                    });
+                }
+                Ok(Some(ranks.score(site.index())))
+            }
+        }
+    }
+
+    /// The `k` top-ranked documents with their scores, best first.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<(DocId, f64)> {
+        self.ranking
+            .top_k(k)
+            .into_iter()
+            .map(|d| (DocId(d), self.ranking.score(d)))
+            .collect()
+    }
+
+    /// Compares this outcome's ranking against another over the same
+    /// document set (Kendall τ, top-`k` overlap, and vector distances).
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidConfig`] when the outcomes rank
+    /// different document counts.
+    pub fn compare(&self, other: &RankOutcome, k: usize) -> Result<RankComparison> {
+        if self.n_docs() != other.n_docs() {
+            return Err(EngineError::InvalidConfig {
+                reason: format!(
+                    "cannot compare rankings over {} and {} documents",
+                    self.n_docs(),
+                    other.n_docs()
+                ),
+            });
+        }
+        Ok(RankComparison {
+            backends: (self.backend.clone(), other.backend.clone()),
+            kendall_tau: metrics::kendall_tau(&self.ranking, &other.ranking),
+            top_k_overlap: metrics::top_k_overlap(&self.ranking, &other.ranking, k),
+            k,
+            l1: vec_ops::l1_diff(self.ranking.scores(), other.ranking.scores()),
+            linf: vec_ops::linf_diff(self.ranking.scores(), other.ranking.scores()),
+        })
+    }
+}
+
+/// How two outcomes' rankings relate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankComparison {
+    /// Names of the two compared backends.
+    pub backends: (String, String),
+    /// Kendall rank correlation over all documents.
+    pub kendall_tau: f64,
+    /// Fraction of shared documents among the top `k` of both rankings.
+    pub top_k_overlap: f64,
+    /// The `k` used for the overlap.
+    pub k: usize,
+    /// L1 distance between the score vectors.
+    pub l1: f64,
+    /// L∞ distance between the score vectors.
+    pub linf: f64,
+}
+
+impl std::fmt::Display for RankComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} vs {}: tau {:.4}, top-{} overlap {:.0}%, L1 {:.2e}, Linf {:.2e}",
+            self.backends.0,
+            self.backends.1,
+            self.kendall_tau,
+            self.k,
+            100.0 * self.top_k_overlap,
+            self.l1,
+            self.linf,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(backend: &str, scores: Vec<f64>) -> RankOutcome {
+        RankOutcome {
+            backend: backend.into(),
+            ranking: Ranking::from_weights(scores).unwrap(),
+            site_rank: None,
+            telemetry: RunTelemetry::default(),
+        }
+    }
+
+    #[test]
+    fn identical_outcomes_compare_perfectly() {
+        let a = outcome("a", vec![3.0, 2.0, 1.0]);
+        let b = outcome("b", vec![3.0, 2.0, 1.0]);
+        let cmp = a.compare(&b, 2).unwrap();
+        assert!((cmp.kendall_tau - 1.0).abs() < 1e-12);
+        assert!((cmp.top_k_overlap - 1.0).abs() < 1e-12);
+        assert!(cmp.l1 < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let a = outcome("a", vec![1.0, 2.0]);
+        let b = outcome("b", vec![1.0, 2.0, 3.0]);
+        assert!(a.compare(&b, 1).is_err());
+    }
+
+    #[test]
+    fn score_bounds_checked() {
+        let a = outcome("a", vec![1.0, 2.0]);
+        assert!(a.score(DocId(1)).is_ok());
+        assert!(a.score(DocId(2)).is_err());
+        assert_eq!(a.site_score(SiteId(0)).unwrap(), None);
+    }
+
+    #[test]
+    fn top_k_is_sorted() {
+        let a = outcome("a", vec![1.0, 5.0, 3.0]);
+        let top = a.top_k(3);
+        assert_eq!(top[0].0, DocId(1));
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+}

@@ -1,0 +1,37 @@
+//! The pluggable ranking-strategy trait.
+
+use crate::context::ExecContext;
+use crate::error::Result;
+use crate::outcome::RankOutcome;
+use lmm_graph::docgraph::DocGraph;
+
+/// A ranking strategy: anything that can turn a document graph into a
+/// global document ranking under a shared [`ExecContext`].
+///
+/// The paper's point (and the Partition Theorem's) is that its four
+/// approaches and several deployment architectures compute interchangeable
+/// rankings over the same graph. This trait is that interchangeability made
+/// explicit: every approach, deployment, and future backend (sharded,
+/// async, remote) is one `Ranker` implementation, and
+/// [`RankEngine`](crate::RankEngine) composes them with caching and
+/// serving.
+///
+/// Implementations must be `Send + Sync` so an engine can be shared across
+/// serving threads.
+pub trait Ranker: Send + Sync {
+    /// Stable human-readable backend name (used in telemetry and outcome
+    /// labels).
+    fn name(&self) -> String;
+
+    /// Ranks the graph under the context.
+    ///
+    /// The returned outcome's `ranking` must be a probability distribution
+    /// over all documents in `DocId` order, and `telemetry.backend` must
+    /// equal [`Ranker::name`].
+    ///
+    /// # Errors
+    /// Backend-specific failures (non-convergence, unsupported context
+    /// features, invalid graphs), uniformly wrapped in
+    /// [`EngineError`](crate::EngineError).
+    fn rank(&self, graph: &DocGraph, ctx: &ExecContext) -> Result<RankOutcome>;
+}

@@ -1,0 +1,159 @@
+//! Execution telemetry: what every backend reports about a run, and the
+//! sink abstraction the serving tier hooks monitoring into.
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Metrics of one completed ranking run, uniform across backends.
+///
+/// Fields that a backend cannot produce stay at their zero defaults (e.g.
+/// a single-process run has no network traffic; the flat baseline has no
+/// site layer).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunTelemetry {
+    /// Name of the backend that produced the run.
+    pub backend: String,
+    /// Iterations of the site-layer computation (power-method iterations,
+    /// or distributed SiteRank rounds).
+    pub site_iterations: usize,
+    /// Final residual of the dominant stationary computation.
+    pub residual: f64,
+    /// Whether every convergence-checked computation converged.
+    pub converged: bool,
+    /// Total power iterations across all per-site local computations.
+    pub total_local_iterations: usize,
+    /// Largest per-site local iteration count (the parallel critical path).
+    pub max_local_iterations: usize,
+    /// Per-site computations actually (re)run — equals the site count for
+    /// full runs; smaller for incremental refreshes.
+    pub sites_recomputed: usize,
+    /// Per-site computations reused from a previous run (incremental).
+    pub sites_reused: usize,
+    /// Messages sent over the simulated network (distributed backends).
+    pub messages: u64,
+    /// Bytes sent over the simulated network (distributed backends).
+    pub bytes: u64,
+    /// Retransmissions caused by injected faults (distributed backends).
+    pub retransmissions: u64,
+    /// Wall-clock duration of the whole run.
+    pub wall: Duration,
+}
+
+impl fmt::Display for RunTelemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} site iters (residual {:.2e}, {}), {} local iters (max {}), \
+             {} msgs / {} bytes / {} retx, {:?}",
+            self.backend,
+            self.site_iterations,
+            self.residual,
+            if self.converged {
+                "converged"
+            } else {
+                "NOT converged"
+            },
+            self.total_local_iterations,
+            self.max_local_iterations,
+            self.messages,
+            self.bytes,
+            self.retransmissions,
+            self.wall,
+        )
+    }
+}
+
+/// Receives telemetry from every engine run.
+///
+/// Implementations must be thread-safe: distributed backends may report
+/// from worker threads, and one sink is typically shared by many engines.
+pub trait TelemetrySink: Send + Sync {
+    /// Called once per completed ranking run.
+    fn record(&self, telemetry: &RunTelemetry);
+}
+
+/// Discards all telemetry (the default sink).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TelemetrySink for NullSink {
+    fn record(&self, _telemetry: &RunTelemetry) {}
+}
+
+/// Accumulates telemetry in memory — the in-process monitoring backend and
+/// the test harness's window into engine internals.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    runs: Mutex<Vec<RunTelemetry>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of every run recorded so far.
+    ///
+    /// # Panics
+    /// Panics if a recording thread panicked while holding the lock.
+    #[must_use]
+    pub fn runs(&self) -> Vec<RunTelemetry> {
+        self.runs.lock().expect("telemetry lock").clone()
+    }
+
+    /// Number of runs recorded.
+    ///
+    /// # Panics
+    /// Panics if a recording thread panicked while holding the lock.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.runs.lock().expect("telemetry lock").len()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn record(&self, telemetry: &RunTelemetry) {
+        self.runs
+            .lock()
+            .expect("telemetry lock")
+            .push(telemetry.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_accumulates() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.record(&RunTelemetry {
+            backend: "test".into(),
+            ..RunTelemetry::default()
+        });
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.runs()[0].backend, "test");
+    }
+
+    #[test]
+    fn display_mentions_backend_and_convergence() {
+        let t = RunTelemetry {
+            backend: "layered".into(),
+            converged: true,
+            ..RunTelemetry::default()
+        };
+        let s = t.to_string();
+        assert!(s.contains("layered"));
+        assert!(s.contains("converged"));
+    }
+}

@@ -1,0 +1,280 @@
+//! Integration test of the unified engine: all four approaches plus a
+//! distributed architecture run through `RankEngine` on one campus graph,
+//! and the paper's equivalences hold through the public API —
+//! Approach 2 ≡ Approach 4 (Partition Theorem) and distributed ≡ local.
+
+use std::sync::Arc;
+
+use lmm_core::approaches::RankApproach;
+use lmm_core::siterank::SiteLayerMethod;
+use lmm_engine::{BackendSpec, EngineError, MemorySink, RankEngine, RankOutcome};
+use lmm_graph::generator::CampusWebConfig;
+use lmm_graph::{DocGraph, DocId, SiteId};
+use lmm_p2p::runner::Architecture;
+
+fn campus() -> DocGraph {
+    let mut cfg = CampusWebConfig::small();
+    cfg.total_docs = 600;
+    cfg.n_sites = 12;
+    cfg.spam_farms.truncate(1);
+    cfg.spam_farms[0].host_site = 5;
+    cfg.spam_farms[0].n_pages = 80;
+    cfg.generate().expect("campus web")
+}
+
+fn ranked(backend: BackendSpec, graph: &DocGraph) -> RankOutcome {
+    let mut engine = RankEngine::builder()
+        .backend(backend)
+        .damping(0.85)
+        .tolerance(1e-12)
+        .build()
+        .expect("valid config");
+    engine.rank(graph).expect("rank").clone()
+}
+
+#[test]
+fn all_four_approaches_run_through_the_engine() {
+    let graph = campus();
+    for approach in RankApproach::ALL {
+        let outcome = ranked(BackendSpec::approach(approach), &graph);
+        assert_eq!(outcome.n_docs(), graph.n_docs(), "{approach}");
+        let total: f64 = outcome.ranking.scores().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "{approach}: sum {total}");
+        assert!(outcome.telemetry.converged, "{approach}");
+    }
+}
+
+#[test]
+fn partition_theorem_through_the_engine() {
+    // Approach 2 (stationary of the induced global chain W) must equal
+    // Approach 4 (the Layered Method) — Theorem 2 through the public API.
+    let graph = campus();
+    let a2 = ranked(BackendSpec::CentralizedStationary, &graph);
+    let a4 = ranked(
+        BackendSpec::Layered {
+            site_layer: SiteLayerMethod::Stationary,
+        },
+        &graph,
+    );
+    let cmp = a2.compare(&a4, 20).expect("same doc set");
+    assert!(cmp.linf < 1e-9, "Partition Theorem violated: {cmp}");
+    assert!(cmp.top_k_overlap > 0.99, "{cmp}");
+}
+
+#[test]
+fn distributed_matches_local_within_tolerance() {
+    let graph = campus();
+    let local = ranked(
+        BackendSpec::Layered {
+            site_layer: SiteLayerMethod::PageRank,
+        },
+        &graph,
+    );
+    for architecture in [
+        Architecture::Flat,
+        Architecture::SuperPeer { n_groups: 3 },
+        Architecture::Hybrid,
+    ] {
+        let distributed = ranked(BackendSpec::Distributed { architecture }, &graph);
+        let cmp = distributed.compare(&local, 15).expect("same doc set");
+        assert!(
+            cmp.l1 < 1e-6,
+            "distributed ({architecture}) diverged from local: {cmp}"
+        );
+        assert!(
+            distributed.telemetry.messages > 0,
+            "distributed telemetry must account traffic"
+        );
+    }
+}
+
+#[test]
+fn serving_layer_answers_without_recompute() {
+    let graph = campus();
+    let sink = Arc::new(MemorySink::new());
+    let mut engine = RankEngine::builder()
+        .backend(BackendSpec::Layered {
+            site_layer: SiteLayerMethod::PageRank,
+        })
+        .telemetry(sink.clone())
+        .build()
+        .expect("valid config");
+
+    // Serving before ranking is a typed error.
+    assert!(matches!(engine.top_k(3), Err(EngineError::NotRanked)));
+
+    engine.rank(&graph).expect("rank");
+    assert_eq!(sink.len(), 1);
+
+    // Global top-k: sorted, and consistent with score().
+    let top = engine.top_k(10).expect("ranked");
+    assert_eq!(top.len(), 10);
+    for pair in top.windows(2) {
+        assert!(pair[0].1 >= pair[1].1);
+    }
+    let (best, best_score) = top[0];
+    assert_eq!(engine.score(best).expect("in range"), best_score);
+
+    // Per-site top-k: members of that site only, sorted.
+    let site = SiteId(3);
+    let site_top = engine.top_k_for_site(site, 5).expect("ranked");
+    assert!(!site_top.is_empty());
+    for (doc, score) in &site_top {
+        assert_eq!(graph.site_of(*doc), site);
+        assert_eq!(engine.score(*doc).expect("in range"), *score);
+    }
+    assert!(engine.site_score(site).expect("in range").is_some());
+
+    // Re-ranking the same graph serves the cache: no new telemetry.
+    engine.rank(&graph).expect("cached");
+    assert_eq!(sink.len(), 1);
+
+    // Invalidation forces a recompute.
+    engine.invalidate();
+    engine.rank(&graph).expect("recompute");
+    assert_eq!(sink.len(), 2);
+
+    // Out-of-range queries are typed errors.
+    assert!(matches!(
+        engine.score(DocId(graph.n_docs())),
+        Err(EngineError::OutOfRange { .. })
+    ));
+    assert!(matches!(
+        engine.top_k_for_site(SiteId(graph.n_sites()), 3),
+        Err(EngineError::OutOfRange { .. })
+    ));
+}
+
+#[test]
+fn incremental_backend_reuses_unchanged_sites() {
+    let graph = campus();
+    let mut engine = RankEngine::builder()
+        .backend(BackendSpec::Incremental)
+        .build()
+        .expect("valid config");
+    let first = engine.rank(&graph).expect("initial full run").clone();
+    assert_eq!(first.telemetry.sites_recomputed, graph.n_sites());
+
+    // Rewire one intra-site link; only that site should recompute.
+    let site = SiteId(2);
+    let docs = graph.docs_of_site(site);
+    let (a, b, c) = (docs[0], docs[1], docs[docs.len() - 1]);
+    let mut builder = lmm_graph::docgraph::DocGraphBuilder::from_graph(&graph);
+    builder.remove_link(a, b);
+    builder.add_link(b, c).expect("same site");
+    let edited = builder.build();
+
+    let second = engine.rank(&edited).expect("incremental refresh").clone();
+    assert_eq!(second.telemetry.sites_recomputed, 1);
+    assert_eq!(second.telemetry.sites_reused, graph.n_sites() - 1);
+
+    // The refreshed ranking equals a from-scratch layered run.
+    let full = ranked(
+        BackendSpec::Layered {
+            site_layer: SiteLayerMethod::PageRank,
+        },
+        &edited,
+    );
+    let cmp = second.compare(&full, 15).expect("same doc set");
+    assert!(cmp.l1 < 1e-8, "incremental drifted: {cmp}");
+}
+
+#[test]
+fn personalization_must_fit_the_graph() {
+    let graph = campus();
+    let layered = BackendSpec::Layered {
+        site_layer: SiteLayerMethod::PageRank,
+    };
+    // Site-layer vector of the wrong length.
+    let mut engine = RankEngine::builder()
+        .backend(layered)
+        .site_personalization(vec![1.0; graph.n_sites() + 1])
+        .build()
+        .expect("builder cannot know the graph yet");
+    assert!(matches!(
+        engine.rank(&graph),
+        Err(EngineError::InvalidConfig { .. })
+    ));
+    // Document-layer key naming a nonexistent site must not be silently
+    // ignored.
+    let mut engine = RankEngine::builder()
+        .backend(layered)
+        .local_personalization(SiteId(graph.n_sites()), vec![1.0; 4])
+        .build()
+        .expect("builder cannot know the graph yet");
+    assert!(matches!(
+        engine.rank(&graph),
+        Err(EngineError::InvalidConfig { .. })
+    ));
+    // Document-layer vector of the wrong length for a real site.
+    let site = SiteId(2);
+    let mut engine = RankEngine::builder()
+        .backend(layered)
+        .local_personalization(site, vec![1.0; graph.site_size(site) + 1])
+        .build()
+        .expect("builder cannot know the graph yet");
+    assert!(matches!(
+        engine.rank(&graph),
+        Err(EngineError::InvalidConfig { .. })
+    ));
+    // A correctly sized (normalized) vector ranks fine.
+    let size = graph.site_size(site);
+    let mut engine = RankEngine::builder()
+        .backend(layered)
+        .local_personalization(site, vec![1.0 / size as f64; size])
+        .build()
+        .expect("valid");
+    engine
+        .rank(&graph)
+        .expect("well-shaped personalization ranks");
+}
+
+#[test]
+fn builder_rejects_invalid_configurations() {
+    assert!(RankEngine::builder().damping(0.0).build().is_err());
+    assert!(RankEngine::builder().damping(1.0).build().is_err());
+    assert!(RankEngine::builder().tolerance(-1.0).build().is_err());
+    assert!(RankEngine::builder().max_iters(0).build().is_err());
+    assert!(RankEngine::builder()
+        .site_personalization(vec![0.0, 0.0])
+        .build()
+        .is_err());
+}
+
+#[test]
+fn custom_backends_plug_in() {
+    // A toy strategy: uniform scores. Anything implementing Ranker slots
+    // into the engine and gains the serving layer for free.
+    struct Uniform;
+    impl lmm_engine::Ranker for Uniform {
+        fn name(&self) -> String {
+            "uniform".into()
+        }
+        fn rank(
+            &self,
+            graph: &DocGraph,
+            _ctx: &lmm_engine::ExecContext,
+        ) -> lmm_engine::Result<RankOutcome> {
+            Ok(RankOutcome {
+                backend: self.name(),
+                ranking: lmm_rank::Ranking::uniform(graph.n_docs())
+                    .map_err(lmm_engine::EngineError::Rank)?,
+                site_rank: None,
+                telemetry: lmm_engine::RunTelemetry {
+                    backend: self.name(),
+                    converged: true,
+                    ..lmm_engine::RunTelemetry::default()
+                },
+            })
+        }
+    }
+
+    let graph = campus();
+    let mut engine = RankEngine::builder()
+        .custom_backend(Box::new(Uniform))
+        .build()
+        .expect("valid config");
+    assert_eq!(engine.backend_name(), "uniform");
+    let outcome = engine.rank(&graph).expect("rank");
+    assert!((outcome.ranking.score(0) - 1.0 / graph.n_docs() as f64).abs() < 1e-12);
+}

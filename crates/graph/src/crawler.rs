@@ -257,7 +257,15 @@ mod tests {
     #[test]
     fn validation() {
         let g = campus();
-        assert!(crawl(&g, &CrawlConfig { seeds: vec![], max_pages: 5, strategy: CrawlStrategy::BreadthFirst }).is_err());
+        assert!(crawl(
+            &g,
+            &CrawlConfig {
+                seeds: vec![],
+                max_pages: 5,
+                strategy: CrawlStrategy::BreadthFirst
+            }
+        )
+        .is_err());
         assert!(crawl(&g, &CrawlConfig::from_seed(DocId(0), 0)).is_err());
         assert!(crawl(&g, &CrawlConfig::from_seed(DocId(999_999), 5)).is_err());
     }

@@ -544,7 +544,12 @@ pub fn site_name(index: usize) -> String {
 /// # Errors
 /// Returns [`GraphError::InvalidConfig`] for zero docs/sites or
 /// `n_sites > n_docs`.
-pub fn random_web(n_docs: usize, n_sites: usize, links_per_doc: usize, seed: u64) -> Result<DocGraph> {
+pub fn random_web(
+    n_docs: usize,
+    n_sites: usize,
+    links_per_doc: usize,
+    seed: u64,
+) -> Result<DocGraph> {
     if n_docs == 0 || n_sites == 0 || n_sites > n_docs {
         return Err(GraphError::InvalidConfig {
             reason: format!("invalid random web shape: {n_docs} docs over {n_sites} sites"),

@@ -108,13 +108,14 @@ pub fn read_snapshot<R: BufRead>(r: R) -> Result<DocGraph> {
     for expect in 0..n_sites {
         let (line_no, line) = next_line("site line")?;
         let mut parts = line.split_whitespace();
-        let id: usize = parts
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| GraphError::ParseSnapshot {
-                line: line_no,
-                reason: "missing site id".into(),
-            })?;
+        let id: usize =
+            parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| GraphError::ParseSnapshot {
+                    line: line_no,
+                    reason: "missing site id".into(),
+                })?;
         let name = parts.next().ok_or_else(|| GraphError::ParseSnapshot {
             line: line_no,
             reason: "missing site name".into(),
@@ -135,7 +136,10 @@ pub fn read_snapshot<R: BufRead>(r: R) -> Result<DocGraph> {
     for expect in 0..n_docs {
         let (line_no, line) = next_line("doc line")?;
         let mut parts = line.split_whitespace();
-        let bad = |reason: String| GraphError::ParseSnapshot { line: line_no, reason };
+        let bad = |reason: String| GraphError::ParseSnapshot {
+            line: line_no,
+            reason,
+        };
         let id: usize = parts
             .next()
             .and_then(|t| t.parse().ok())
@@ -167,7 +171,10 @@ pub fn read_snapshot<R: BufRead>(r: R) -> Result<DocGraph> {
     for _ in 0..n_links {
         let (line_no, line) = next_line("link line")?;
         let mut parts = line.split_whitespace();
-        let bad = |reason: String| GraphError::ParseSnapshot { line: line_no, reason };
+        let bad = |reason: String| GraphError::ParseSnapshot {
+            line: line_no,
+            reason,
+        };
         let from: usize = parts
             .next()
             .and_then(|t| t.parse().ok())
@@ -254,8 +261,7 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_link() {
-        let text =
-            "lmm-graph v1\nsites 1\n0 a.org\ndocs 1\n0 0 R http://a.org/\nlinks 1\n0 9\n";
+        let text = "lmm-graph v1\nsites 1\n0 a.org\ndocs 1\n0 0 R http://a.org/\nlinks 1\n0 9\n";
         assert!(read_snapshot(text.as_bytes()).is_err());
     }
 

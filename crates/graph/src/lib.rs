@@ -55,4 +55,4 @@ pub use docgraph::{DocGraph, DocGraphBuilder};
 pub use error::{GraphError, Result};
 pub use generator::CampusWebConfig;
 pub use ids::{DocId, SiteId};
-pub use sitegraph::{SiteGraph, SiteGraphOptions};
+pub use sitegraph::{ranking_site_graph, SiteGraph, SiteGraphOptions};

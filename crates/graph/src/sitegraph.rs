@@ -136,6 +136,21 @@ impl SiteGraph {
     }
 }
 
+/// The one shared SiteGraph derivation used by every ranking pipeline — the
+/// single-process Layered Method (`lmm-core::siterank`), incremental
+/// maintenance, the distributed simulator (`lmm-p2p`), and the unified
+/// `RankEngine`.
+///
+/// All pipelines MUST derive their site layer through this helper (rather
+/// than calling [`SiteGraph::from_doc_graph`] with locally constructed
+/// options) so that distributed and local computations provably rank the
+/// same `Y`: a drift in derivation options between pipelines would silently
+/// break the equivalence the Partition Theorem promises.
+#[must_use]
+pub fn ranking_site_graph(doc_graph: &DocGraph, options: &SiteGraphOptions) -> SiteGraph {
+    SiteGraph::from_doc_graph(doc_graph, options)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -30,9 +30,7 @@ pub fn host_of(url: &str) -> Option<String> {
         url
     };
     // Authority ends at the first '/', '?' or '#'.
-    let authority_end = rest
-        .find(['/', '?', '#'])
-        .unwrap_or(rest.len());
+    let authority_end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
     let mut authority = &rest[..authority_end];
     // Strip userinfo.
     if let Some(at) = authority.rfind('@') {

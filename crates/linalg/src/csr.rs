@@ -110,13 +110,7 @@ impl CsrMatrix {
         if n == 0 {
             return Err(LinalgError::Empty);
         }
-        Self::from_raw_parts(
-            n,
-            n,
-            (0..=n).collect(),
-            (0..n).collect(),
-            vec![1.0; n],
-        )
+        Self::from_raw_parts(n, n, (0..=n).collect(), (0..n).collect(), vec![1.0; n])
     }
 
     /// Number of rows.
@@ -170,10 +164,7 @@ impl CsrMatrix {
     /// Panics if the indices are out of bounds.
     #[must_use]
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(
-            row < self.nrows && col < self.ncols,
-            "index out of bounds"
-        );
+        assert!(row < self.nrows && col < self.ncols, "index out of bounds");
         let (cols, vals) = self.row(row);
         match cols.binary_search(&col) {
             Ok(pos) => vals[pos],
@@ -418,7 +409,10 @@ mod tests {
         let m = sample();
         let d = m.to_dense().unwrap();
         let x = [1.0, 2.0, 3.0];
-        assert_eq!(m.apply_transpose(&x).unwrap(), d.apply_transpose(&x).unwrap());
+        assert_eq!(
+            m.apply_transpose(&x).unwrap(),
+            d.apply_transpose(&x).unwrap()
+        );
     }
 
     #[test]
@@ -467,36 +461,13 @@ mod tests {
         // row_ptr wrong length
         assert!(CsrMatrix::from_raw_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
         // column out of bounds
-        assert!(
-            CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![2], vec![1.0]).is_err()
-        );
+        assert!(CsrMatrix::from_raw_parts(1, 2, vec![0, 1], vec![2], vec![1.0]).is_err());
         // unsorted columns within a row
-        assert!(CsrMatrix::from_raw_parts(
-            1,
-            3,
-            vec![0, 2],
-            vec![2, 0],
-            vec![1.0, 1.0]
-        )
-        .is_err());
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).is_err());
         // duplicate columns within a row
-        assert!(CsrMatrix::from_raw_parts(
-            1,
-            3,
-            vec![0, 2],
-            vec![1, 1],
-            vec![1.0, 1.0]
-        )
-        .is_err());
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![1, 1], vec![1.0, 1.0]).is_err());
         // valid
-        assert!(CsrMatrix::from_raw_parts(
-            1,
-            3,
-            vec![0, 2],
-            vec![0, 2],
-            vec![1.0, 1.0]
-        )
-        .is_ok());
+        assert!(CsrMatrix::from_raw_parts(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 1.0]).is_ok());
     }
 
     #[test]

@@ -375,7 +375,10 @@ mod tests {
         let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
         let b = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap());
+        assert_eq!(
+            c,
+            DenseMatrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]).unwrap()
+        );
     }
 
     #[test]
@@ -396,8 +399,7 @@ mod tests {
 
     #[test]
     fn check_row_stochastic_works() {
-        let good =
-            DenseMatrix::from_rows(&[vec![0.5, 0.5], vec![1.0, 0.0]]).unwrap();
+        let good = DenseMatrix::from_rows(&[vec![0.5, 0.5], vec![1.0, 0.0]]).unwrap();
         assert!(good.check_row_stochastic(1e-12).is_ok());
         let bad = DenseMatrix::from_rows(&[vec![0.5, 0.6]]).unwrap();
         assert!(matches!(

@@ -51,8 +51,7 @@ pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::{LinalgError, Result};
 pub use power::{
-    power_method, Acceleration, ConvergenceReport, LinearOperator, PowerOptions,
-    TransposeOperator,
+    power_method, Acceleration, ConvergenceReport, LinearOperator, PowerOptions, TransposeOperator,
 };
 pub use stochastic::{DanglingPolicy, StochasticMatrix};
 pub use structure::{is_primitive, period, strongly_connected_components, StructureReport};

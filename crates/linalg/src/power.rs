@@ -172,7 +172,11 @@ impl std::fmt::Display for ConvergenceReport {
         write!(
             f,
             "{} after {} iterations (residual {:.3e})",
-            if self.converged { "converged" } else { "NOT converged" },
+            if self.converged {
+                "converged"
+            } else {
+                "NOT converged"
+            },
             self.iterations,
             self.residual
         )
@@ -415,7 +419,9 @@ mod tests {
     #[test]
     fn x0_dimension_checked() {
         let m = csr_from_rows(&[vec![1.0]]);
-        assert!(power_method(TransposeOperator(&m), &[0.5, 0.5], &PowerOptions::default()).is_err());
+        assert!(
+            power_method(TransposeOperator(&m), &[0.5, 0.5], &PowerOptions::default()).is_err()
+        );
     }
 
     #[test]
@@ -444,7 +450,10 @@ mod tests {
 
     #[test]
     fn options_builders() {
-        let o = PowerOptions::with_tol(1e-6).max_iters(5).best_effort().aitken(10);
+        let o = PowerOptions::with_tol(1e-6)
+            .max_iters(5)
+            .best_effort()
+            .aitken(10);
         assert_eq!(o.tol, 1e-6);
         assert_eq!(o.max_iters, 5);
         assert!(!o.require_convergence);
@@ -467,7 +476,9 @@ mod tests {
     #[test]
     fn aitken_reaches_same_fixed_point() {
         let m = slow_chain(0.01);
-        let plain = stationary_distribution(&m, &PowerOptions::default()).unwrap().0;
+        let plain = stationary_distribution(&m, &PowerOptions::default())
+            .unwrap()
+            .0;
         let accel = stationary_distribution(&m, &PowerOptions::default().aitken(5))
             .unwrap()
             .0;
@@ -493,8 +504,7 @@ mod tests {
         // A chain that converges almost immediately: extrapolation must not
         // divide by the (zero) second difference.
         let m = csr_from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]);
-        let (pi, rep) =
-            stationary_distribution(&m, &PowerOptions::default().aitken(1)).unwrap();
+        let (pi, rep) = stationary_distribution(&m, &PowerOptions::default().aitken(1)).unwrap();
         assert!(rep.converged);
         assert!((pi[0] - 0.5).abs() < 1e-12);
     }
@@ -509,8 +519,7 @@ mod tests {
             .0;
         for period in [0, 1, 2] {
             let (pi, rep) =
-                stationary_distribution(&m, &PowerOptions::default().aitken(period))
-                    .unwrap();
+                stationary_distribution(&m, &PowerOptions::default().aitken(period)).unwrap();
             assert!(rep.converged, "period {period}");
             assert!(vec_ops::l1_diff(&pi, &reference) < 1e-9, "period {period}");
         }

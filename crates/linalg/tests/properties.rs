@@ -8,10 +8,7 @@ use proptest::prelude::*;
 
 /// Strategy: a random list of triplets inside an `n x n` matrix.
 fn triplets(n: usize, max_entries: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
-    prop::collection::vec(
-        (0..n, 0..n, 0.0f64..10.0),
-        0..max_entries,
-    )
+    prop::collection::vec((0..n, 0..n, 0.0f64..10.0), 0..max_entries)
 }
 
 fn build_pair(n: usize, entries: &[(usize, usize, f64)]) -> (CsrMatrix, DenseMatrix) {

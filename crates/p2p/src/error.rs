@@ -101,9 +101,12 @@ mod tests {
         }
         .to_string()
         .contains('7'));
-        assert!(P2pError::UnknownPeer { peer: 3, n_peers: 2 }
-            .to_string()
-            .contains('3'));
+        assert!(P2pError::UnknownPeer {
+            peer: 3,
+            n_peers: 2
+        }
+        .to_string()
+        .contains('3'));
     }
 
     #[test]

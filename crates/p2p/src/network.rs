@@ -108,7 +108,10 @@ impl SimNetwork {
                 let n = self.peer_inboxes.len();
                 self.peer_inboxes
                     .get_mut(p)
-                    .ok_or(P2pError::UnknownPeer { peer: p, n_peers: n })?
+                    .ok_or(P2pError::UnknownPeer {
+                        peer: p,
+                        n_peers: n,
+                    })?
                     .push_back(message);
             }
         }
@@ -124,9 +127,10 @@ impl SimNetwork {
             Address::Coordinator => &mut self.coordinator_inbox,
             Address::Peer(p) => {
                 let n = self.peer_inboxes.len();
-                self.peer_inboxes
-                    .get_mut(p)
-                    .ok_or(P2pError::UnknownPeer { peer: p, n_peers: n })?
+                self.peer_inboxes.get_mut(p).ok_or(P2pError::UnknownPeer {
+                    peer: p,
+                    n_peers: n,
+                })?
             }
         };
         Ok(inbox.drain(..).collect())
@@ -219,7 +223,14 @@ mod tests {
     #[test]
     fn fault_injection_is_deterministic() {
         let run = |seed| {
-            let mut net = SimNetwork::new(2, Some(FaultConfig { drop_prob: 0.3, seed })).unwrap();
+            let mut net = SimNetwork::new(
+                2,
+                Some(FaultConfig {
+                    drop_prob: 0.3,
+                    seed,
+                }),
+            )
+            .unwrap();
             for _ in 0..50 {
                 net.send(Address::Peer(0), Address::Peer(1), contribution(0.1))
                     .unwrap();

@@ -67,7 +67,9 @@ impl SitePeer {
     /// Propagates PageRank failures.
     pub fn compute_local_rank(&self, damping: f64, power: &PowerOptions) -> Result<Ranking> {
         let mut pr = PageRank::new();
-        pr.damping(damping).tol(power.tol).max_iters(power.max_iters);
+        pr.damping(damping)
+            .tol(power.tol)
+            .max_iters(power.max_iters);
         Ok(pr.run_adjacency(self.local_adjacency.clone())?.ranking)
     }
 }
@@ -197,7 +199,10 @@ impl GroupNode {
                     let dst_pos = self.position_of[&dst_site];
                     self.inbox[dst_pos] += value;
                 } else {
-                    batches.entry(dst_group).or_default().push((dst_site, value));
+                    batches
+                        .entry(dst_group)
+                        .or_default()
+                        .push((dst_site, value));
                 }
             }
         }
@@ -220,13 +225,10 @@ impl GroupNode {
     /// group does not own.
     pub fn absorb(&mut self, entries: &[(usize, f64)]) -> Result<()> {
         for &(site, value) in entries {
-            let pos = *self
-                .position_of
-                .get(&site)
-                .ok_or(P2pError::UnknownPeer {
-                    peer: site,
-                    n_peers: self.n_sites,
-                })?;
+            let pos = *self.position_of.get(&site).ok_or(P2pError::UnknownPeer {
+                peer: site,
+                n_peers: self.n_sites,
+            })?;
             self.inbox[pos] += value;
         }
         Ok(())
@@ -383,10 +385,7 @@ mod tests {
             for node in &mut groups {
                 node.apply_update(total_dangling);
             }
-            let total: f64 = groups
-                .iter()
-                .flat_map(|n| n.ranks().map(|(_, r)| r))
-                .sum();
+            let total: f64 = groups.iter().flat_map(|n| n.ranks().map(|(_, r)| r)).sum();
             assert!((total - 1.0).abs() < 1e-12);
         }
     }

@@ -17,6 +17,8 @@
 //!   full edge list and one node computes flat PageRank over the whole
 //!   DocGraph.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::error::{P2pError, Result};
@@ -26,11 +28,10 @@ use crate::peer::{GroupNode, SitePeer};
 use crate::stats::{PhaseStats, RunStats};
 use lmm_graph::docgraph::DocGraph;
 use lmm_graph::ids::SiteId;
-use lmm_graph::sitegraph::{SiteGraph, SiteGraphOptions};
+use lmm_graph::sitegraph::{ranking_site_graph, SiteGraphOptions};
 use lmm_linalg::PowerOptions;
 use lmm_rank::pagerank::PageRank;
 use lmm_rank::Ranking;
-use parking_lot::Mutex;
 
 /// Deployment topology of the simulated search engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,10 +140,7 @@ pub struct DistributedOutcome {
 /// * [`P2pError::NotConverged`] when the SiteRank round budget is
 ///   exhausted;
 /// * propagated PageRank failures from the compute phases.
-pub fn run_distributed(
-    graph: &DocGraph,
-    config: &DistributedConfig,
-) -> Result<DistributedOutcome> {
+pub fn run_distributed(graph: &DocGraph, config: &DistributedConfig) -> Result<DistributedOutcome> {
     if graph.n_docs() == 0 || graph.n_sites() == 0 {
         return Err(P2pError::InvalidConfig {
             reason: "graph has no documents or sites".into(),
@@ -194,7 +192,7 @@ fn run_layered(
     // --- Phase 1: SiteGraph derivation. Each peer derives its own
     // SiteLink row from its local pages' outgoing links; no traffic.
     let t0 = Instant::now();
-    let site_graph = SiteGraph::from_doc_graph(graph, &config.site_options);
+    let site_graph = ranking_site_graph(graph, &config.site_options);
     let site_transition = site_graph.to_stochastic()?.into_matrix();
     let mut nodes: Vec<GroupNode> = groups
         .iter()
@@ -373,7 +371,7 @@ fn run_hybrid(graph: &DocGraph, config: &DistributedConfig) -> Result<Distribute
 
     // --- Phase 1: SiteLink rows cross the wire exactly once.
     let t0 = Instant::now();
-    let site_graph = SiteGraph::from_doc_graph(graph, &config.site_options);
+    let site_graph = ranking_site_graph(graph, &config.site_options);
     for s in 0..n_sites {
         let (cols, vals) = site_graph.weights().row(s);
         net.send(
@@ -514,9 +512,9 @@ fn run_centralized(graph: &DocGraph, config: &DistributedConfig) -> Result<Distr
     })
 }
 
-/// Computes every site's local DocRank on a worker pool (crossbeam channel
-/// feeding `threads` workers), mirroring the real deployment where each
-/// site's server ranks its own collection concurrently.
+/// Computes every site's local DocRank on a worker pool (an atomic work
+/// counter feeding `threads` scoped workers), mirroring the real deployment
+/// where each site's server ranks its own collection concurrently.
 fn parallel_local_ranks(graph: &DocGraph, config: &DistributedConfig) -> Result<Vec<Ranking>> {
     let n_sites = graph.n_sites();
     let threads = if config.threads == 0 {
@@ -533,28 +531,27 @@ fn parallel_local_ranks(graph: &DocGraph, config: &DistributedConfig) -> Result<
         .collect();
     let results: Mutex<Vec<Option<Result<Ranking>>>> =
         Mutex::new((0..n_sites).map(|_| None).collect());
-    let (tx, rx) = crossbeam::channel::unbounded::<usize>();
-    for s in 0..n_sites {
-        tx.send(s).expect("unbounded channel accepts all jobs");
-    }
-    drop(tx);
+    let next_site = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let rx = rx.clone();
             let peers = &peers;
             let results = &results;
-            scope.spawn(move || {
-                while let Ok(s) = rx.recv() {
-                    let rank = peers[s].compute_local_rank(config.local_damping, &config.power);
-                    results.lock()[s] = Some(rank);
+            let next_site = &next_site;
+            scope.spawn(move || loop {
+                let s = next_site.fetch_add(1, Ordering::Relaxed);
+                if s >= n_sites {
+                    break;
                 }
+                let rank = peers[s].compute_local_rank(config.local_damping, &config.power);
+                results.lock().expect("no poisoned workers")[s] = Some(rank);
             });
         }
     });
 
     results
         .into_inner()
+        .expect("no poisoned workers")
         .into_iter()
         .map(|slot| slot.expect("every site was processed"))
         .collect()
@@ -586,9 +583,7 @@ mod tests {
             vec_ops::l1_diff(distributed.global.scores(), local.global.scores()) < 1e-6,
             "distributed and single-process layered ranks must agree"
         );
-        assert!(
-            vec_ops::l1_diff(distributed.site_rank.scores(), local.site_rank.scores()) < 1e-6
-        );
+        assert!(vec_ops::l1_diff(distributed.site_rank.scores(), local.site_rank.scores()) < 1e-6);
     }
 
     #[test]
@@ -658,9 +653,7 @@ mod tests {
         )
         .unwrap();
         assert!(vec_ops::l1_diff(flat.global.scores(), hybrid.global.scores()) < 1e-6);
-        assert!(
-            vec_ops::l1_diff(flat.site_rank.scores(), hybrid.site_rank.scores()) < 1e-6
-        );
+        assert!(vec_ops::l1_diff(flat.site_rank.scores(), hybrid.site_rank.scores()) < 1e-6);
     }
 
     #[test]
@@ -696,8 +689,8 @@ mod tests {
     #[test]
     fn config_validation() {
         let g = small_graph();
-        let cfg = DistributedConfig::default()
-            .with_architecture(Architecture::SuperPeer { n_groups: 0 });
+        let cfg =
+            DistributedConfig::default().with_architecture(Architecture::SuperPeer { n_groups: 0 });
         assert!(run_distributed(&g, &cfg).is_err());
         let cfg = DistributedConfig::default()
             .with_architecture(Architecture::SuperPeer { n_groups: 99 });

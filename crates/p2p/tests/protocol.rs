@@ -26,8 +26,7 @@ fn all_group_counts_agree() {
     for n_groups in [1, 2, 3, 7, 15] {
         let outcome = run_distributed(
             &g,
-            &DistributedConfig::default()
-                .with_architecture(Architecture::SuperPeer { n_groups }),
+            &DistributedConfig::default().with_architecture(Architecture::SuperPeer { n_groups }),
         )
         .expect("superpeer run");
         assert!(

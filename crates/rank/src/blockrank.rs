@@ -40,7 +40,10 @@ pub fn partition_subgraphs(
     let n = adjacency.nrows();
     if block_of.len() != n {
         return Err(RankError::InvalidPartition {
-            reason: format!("block_of has length {} but the graph has {n} nodes", block_of.len()),
+            reason: format!(
+                "block_of has length {} but the graph has {n} nodes",
+                block_of.len()
+            ),
         });
     }
     let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_blocks];
@@ -120,8 +123,8 @@ pub fn blockrank(
     // Stage 1: local PageRank per block.
     let mut local_ranks = Vec::with_capacity(n_blocks);
     for block in &blocks {
-        let result = PageRank::from_config(config.clone())
-            .run_adjacency(block.adjacency.clone())?;
+        let result =
+            PageRank::from_config(config.clone()).run_adjacency(block.adjacency.clone())?;
         local_ranks.push(result.ranking);
     }
     // Expand local ranks to a global-indexed lookup.
@@ -148,8 +151,7 @@ pub fn blockrank(
             bcoo.push(bsrc, block_of[dst], scale * w);
         }
     }
-    let block_result =
-        PageRank::from_config(config.clone()).run_adjacency(bcoo.to_csr())?;
+    let block_result = PageRank::from_config(config.clone()).run_adjacency(bcoo.to_csr())?;
     let block_ranking = block_result.ranking;
 
     // Stage 3: aggregate approximation.
@@ -253,8 +255,7 @@ mod tests {
         coo.push(3, 2, 1.0);
         coo.push(0, 2, 1.0);
         coo.push(2, 0, 1.0);
-        let r = blockrank(&coo.to_csr(), &[0, 0, 1, 1], 2, &PageRankConfig::default())
-            .unwrap();
+        let r = blockrank(&coo.to_csr(), &[0, 0, 1, 1], 2, &PageRankConfig::default()).unwrap();
         assert!((r.block_ranking.score(0) - r.block_ranking.score(1)).abs() < 1e-9);
     }
 }

@@ -38,7 +38,10 @@ impl fmt::Display for RankError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RankError::InvalidDamping { value } => {
-                write!(f, "damping factor {value} must lie strictly between 0 and 1")
+                write!(
+                    f,
+                    "damping factor {value} must lie strictly between 0 and 1"
+                )
             }
             RankError::InvalidPersonalization { reason } => {
                 write!(f, "invalid personalization vector: {reason}")

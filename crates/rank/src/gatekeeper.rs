@@ -47,11 +47,7 @@ pub struct GatekeeperResult {
 /// * [`RankError::InvalidDamping`] unless `0 < alpha < 1`;
 /// * [`RankError::InvalidPersonalization`] if `v` is not a distribution of
 ///   length `n`.
-pub fn augmented_matrix(
-    u: &StochasticMatrix,
-    alpha: f64,
-    v: &[f64],
-) -> Result<CsrMatrix> {
+pub fn augmented_matrix(u: &StochasticMatrix, alpha: f64, v: &[f64]) -> Result<CsrMatrix> {
     let n = u.n();
     if n == 0 {
         return Err(RankError::Empty);
@@ -179,7 +175,9 @@ pub fn gatekeeper_via_pagerank(
     tol: f64,
 ) -> Result<Ranking> {
     let mut pr = PageRank::new();
-    pr.damping(alpha).tol(tol).dangling(DanglingPolicy::Teleport);
+    pr.damping(alpha)
+        .tol(tol)
+        .dangling(DanglingPolicy::Teleport);
     if let Some(v) = v {
         pr.personalization(v.to_vec());
     }
@@ -230,8 +228,7 @@ mod tests {
 
     #[test]
     fn matches_paper_pi_g2() {
-        let g =
-            gatekeeper_distribution(&u2(), 0.85, None, &PowerOptions::default()).unwrap();
+        let g = gatekeeper_distribution(&u2(), 0.85, None, &PowerOptions::default()).unwrap();
         let expected = [0.1191, 0.2691, 0.6117];
         for (i, &e) in expected.iter().enumerate() {
             assert!(
@@ -308,14 +305,12 @@ mod tests {
         // All-dangling phase: the augmented chain is bipartite; the
         // gatekeeper distribution degenerates to v (matching PageRank on an
         // edgeless graph).
-        let edgeless =
-            StochasticMatrix::from_adjacency(CooMatrix::new(3, 3).to_csr()).unwrap();
-        let g = gatekeeper_distribution(&edgeless, 0.85, None, &PowerOptions::default())
-            .unwrap();
+        let edgeless = StochasticMatrix::from_adjacency(CooMatrix::new(3, 3).to_csr()).unwrap();
+        let g = gatekeeper_distribution(&edgeless, 0.85, None, &PowerOptions::default()).unwrap();
         assert_eq!(g.distribution.scores(), &[1.0 / 3.0; 3]);
         let v = [0.5, 0.3, 0.2];
-        let g = gatekeeper_distribution(&edgeless, 0.85, Some(&v), &PowerOptions::default())
-            .unwrap();
+        let g =
+            gatekeeper_distribution(&edgeless, 0.85, Some(&v), &PowerOptions::default()).unwrap();
         assert_eq!(g.distribution.scores(), &v);
         let pr = gatekeeper_via_pagerank(&edgeless, 0.85, Some(&v), 1e-13).unwrap();
         assert!(vec_ops::l1_diff(g.distribution.scores(), pr.scores()) < 1e-9);
@@ -323,8 +318,8 @@ mod tests {
 
     #[test]
     fn distribution_sums_to_one() {
-        let g = gatekeeper_distribution(&with_dangling(), 0.6, None, &PowerOptions::default())
-            .unwrap();
+        let g =
+            gatekeeper_distribution(&with_dangling(), 0.6, None, &PowerOptions::default()).unwrap();
         let s: f64 = g.distribution.scores().iter().sum();
         assert!((s - 1.0).abs() < 1e-12);
     }

@@ -8,8 +8,8 @@
 use crate::error::{RankError, Result};
 use crate::ranking::Ranking;
 use lmm_linalg::{
-    power_method, vec_ops, Acceleration, ConvergenceReport, CsrMatrix, DanglingPolicy,
-    DenseMatrix, LinearOperator, PowerOptions, StochasticMatrix,
+    power_method, vec_ops, Acceleration, ConvergenceReport, CsrMatrix, DanglingPolicy, DenseMatrix,
+    LinearOperator, PowerOptions, StochasticMatrix,
 };
 
 /// Plain-data PageRank parameters (damping, convergence budget, dangling
@@ -338,7 +338,10 @@ mod tests {
             DanglingPolicy::Teleport,
             DanglingPolicy::Renormalize,
         ] {
-            let r = PageRank::new().dangling(policy).run(&with_dangling()).unwrap();
+            let r = PageRank::new()
+                .dangling(policy)
+                .run(&with_dangling())
+                .unwrap();
             let total: f64 = r.ranking.scores().iter().sum();
             assert!((total - 1.0).abs() < 1e-9, "policy {policy:?}");
         }
@@ -349,11 +352,9 @@ mod tests {
         let m = with_dangling();
         let r = PageRank::new().run(&m).unwrap();
         let g = google_matrix_dense(&m, 0.85, None, DanglingPolicy::Uniform).unwrap();
-        let (pi, _) = lmm_linalg::power::stationary_distribution(
-            &g.to_csr(),
-            &PowerOptions::default(),
-        )
-        .unwrap();
+        let (pi, _) =
+            lmm_linalg::power::stationary_distribution(&g.to_csr(), &PowerOptions::default())
+                .unwrap();
         assert!(vec_ops::l1_diff(r.ranking.scores(), &pi) < 1e-9);
     }
 
@@ -433,8 +434,7 @@ mod tests {
 
     #[test]
     fn google_matrix_is_row_stochastic() {
-        let g = google_matrix_dense(&with_dangling(), 0.85, None, DanglingPolicy::Uniform)
-            .unwrap();
+        let g = google_matrix_dense(&with_dangling(), 0.85, None, DanglingPolicy::Uniform).unwrap();
         g.check_row_stochastic(1e-12).unwrap();
     }
 }

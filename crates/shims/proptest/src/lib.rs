@@ -1,0 +1,245 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the slice of the proptest API its test suites use: the [`proptest!`]
+//! macro with an optional `#![proptest_config(...)]` header, range and
+//! tuple strategies, `any::<T>()`, `prop::collection::vec`,
+//! `prop_map`/`prop_flat_map` combinators, and the
+//! `prop_assert*`/`prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted for an offline
+//! test shim: cases are drawn from a deterministic per-test RNG (seeded by
+//! test name), and failing inputs are reported but **not shrunk**.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::...` paths used by test code (`prop::collection::vec`, ...).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Builds a vector strategy: each case draws a length in `size`, then
+    /// that many elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategy for arbitrary values of `T` (full value range).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Marker strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> strategy::Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a full-range "arbitrary" distribution.
+pub trait Arbitrary {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, Arbitrary};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// Accepts an optional `#![proptest_config(ProptestConfig::with_cases(n))]`
+/// header followed by `#[test] fn name(arg in strategy, ...) { body }`
+/// items. Each test runs `cases` times with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    )*
+                    let outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(message) = outcome {
+                        panic!(
+                            "property `{}` failed on case {}/{}:\n{}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            message
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}", stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+/// Fails the current case when both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  both: {:?}",
+                ::std::format!($($fmt)+), l
+            ));
+        }
+    }};
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            // A rejected precondition skips the case (no shrinking here).
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

@@ -1,0 +1,227 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors the tiny slice of the `rand` API the code base uses:
+//! [`rngs::StdRng`] (a deterministic SplitMix64 generator), the
+//! [`SeedableRng`]/[`Rng`]/[`RngExt`] traits, `random::<T>()`, and
+//! `random_range(..)` over integer and float ranges. Everything is
+//! deterministic given the seed, which is all the repository's generators
+//! and simulators require.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable construction (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The core generator interface: a stream of 64-bit words.
+pub trait Rng {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64` in `[0, 1)`, full-range integers, fair `bool`).
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+impl<T: Rng + ?Sized> RngExt for T {}
+
+/// Types samplable from their "standard" distribution.
+pub trait StandardSample {
+    /// Draws one value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardSample for usize {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable uniformly.
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    fn sample<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+/// Uniform draw from `[0, span)` without noticeable modulo bias for the
+/// small spans used in this workspace.
+fn uniform_u64<R: Rng>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Rejection sampling over the largest multiple of `span`.
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_u64(rng, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + uniform_u64(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(usize, u64, u32);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let u: f64 = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Namespaced generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator — the offline stand-in for
+    /// `rand::rngs::StdRng`. Statistically strong enough for synthetic
+    /// graph generation and fault injection; NOT cryptographic.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-advance once so that seed 0 does not emit 0 first.
+            let mut rng = StdRng { state: seed };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(2usize..=5);
+            assert!((2..=5).contains(&w));
+            let f = rng.random_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[rng.random_range(0usize..8)] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+}

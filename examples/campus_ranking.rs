@@ -1,18 +1,16 @@
-//! Campus-web ranking: a miniature of the paper's Section 3.3 evaluation.
+//! Campus-web ranking: a miniature of the paper's Section 3.3 evaluation,
+//! through the unified `RankEngine`.
 //!
 //! Generates a synthetic campus web (the stand-in for the EPFL crawl),
-//! ranks it with flat PageRank (Figure 3's method) and with the layered
-//! method (Figure 4's method), and prints both top-10 lists side by side —
-//! watch the `Webdriver?` and `~mirror` spam URLs dominate the flat list
-//! and vanish from the layered one.
+//! ranks it with the flat-PageRank backend (Figure 3's method) and the
+//! layered backend (Figure 4's method), and prints both top-10 lists side
+//! by side — watch the `Webdriver?` and `~mirror` spam URLs dominate the
+//! flat list and vanish from the layered one.
 //!
 //! Run with: `cargo run --release --example campus_ranking`
 
-use lmm::core::siterank::{flat_pagerank, layered_doc_rank, LayeredRankConfig};
-use lmm::graph::generator::CampusWebConfig;
 use lmm::graph::stats::summarize;
-use lmm::graph::DocId;
-use lmm::linalg::PowerOptions;
+use lmm::prelude::*;
 use lmm::rank::metrics;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -20,33 +18,47 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = cfg.generate()?;
     println!("Synthetic campus web:\n{}\n", summarize(&graph));
 
-    let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-10))?;
-    let layered = layered_doc_rank(&graph, &LayeredRankConfig::default())?;
+    let mut flat = RankEngine::builder()
+        .backend(BackendSpec::FlatPageRank)
+        .damping(0.85)
+        .tolerance(1e-10)
+        .build()?;
+    flat.rank(&graph)?;
 
-    let k = 10;
-    println!("--- Top {k} by flat PageRank (the paper's Figure 3 analogue) ---");
-    for doc in flat.ranking.top_k(k) {
-        let d = DocId(doc);
-        let marker = if graph.spam_labels()[doc] { "SPAM" } else { "    " };
-        println!("  {marker}  {:.6}  {}", flat.ranking.score(doc), graph.url(d));
-    }
-
-    println!("\n--- Top {k} by the Layered Method (the paper's Figure 4 analogue) ---");
-    for doc in layered.global.top_k(k) {
-        let d = DocId(doc);
-        let marker = if graph.spam_labels()[doc] { "SPAM" } else { "    " };
-        println!("  {marker}  {:.6}  {}", layered.global.score(doc), graph.url(d));
-    }
+    let mut layered = RankEngine::builder()
+        .backend(BackendSpec::Layered {
+            site_layer: SiteLayerMethod::PageRank,
+        })
+        .damping(0.85)
+        .tolerance(1e-10)
+        .build()?;
+    layered.rank(&graph)?;
 
     let spam = graph.spam_labels();
+    let k = 10;
+    for (title, engine) in [
+        ("flat PageRank (the paper's Figure 3 analogue)", &flat),
+        (
+            "the Layered Method (the paper's Figure 4 analogue)",
+            &layered,
+        ),
+    ] {
+        println!("--- Top {k} by {title} ---");
+        for (doc, score) in engine.top_k(k)? {
+            let marker = if spam[doc.index()] { "SPAM" } else { "    " };
+            println!("  {marker}  {score:.6}  {}", graph.url(doc));
+        }
+        println!();
+    }
+
+    let flat_outcome = flat.outcome()?;
+    let layered_outcome = layered.outcome()?;
     println!(
-        "\nspam share in top-15:  PageRank {:.0}%   Layered {:.0}%",
-        100.0 * metrics::labeled_share_at_k(&flat.ranking, &spam, 15),
-        100.0 * metrics::labeled_share_at_k(&layered.global, &spam, 15),
+        "spam share in top-15:  PageRank {:.0}%   Layered {:.0}%",
+        100.0 * metrics::labeled_share_at_k(&flat_outcome.ranking, &spam, 15),
+        100.0 * metrics::labeled_share_at_k(&layered_outcome.ranking, &spam, 15),
     );
-    println!(
-        "Kendall tau between the two rankings: {:.3}",
-        metrics::kendall_tau(&flat.ranking, &layered.global)
-    );
+    let cmp = layered.compare(flat_outcome, 15)?;
+    println!("ranking agreement: {cmp}");
     Ok(())
 }

@@ -1,12 +1,14 @@
-//! Distributed deployment comparison: flat P2P, super-peers, hybrid, and
-//! the centralized baseline, with and without message loss.
+//! Distributed deployment comparison through the unified `RankEngine`:
+//! flat P2P, super-peers, hybrid, and the centralized baseline, with and
+//! without message loss — traffic read from engine telemetry.
 //!
 //! Run with: `cargo run --release --example p2p_simulation`
 
-use lmm::graph::generator::CampusWebConfig;
+use std::sync::Arc;
+
 use lmm::linalg::vec_ops;
-use lmm::p2p::runner::{run_distributed, Architecture, DistributedConfig};
 use lmm::p2p::FaultConfig;
+use lmm::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = CampusWebConfig::small();
@@ -28,58 +30,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!(
-        "{:<28} {:>10} {:>14} {:>8} {:>12}",
-        "architecture", "messages", "bytes", "rounds", "wall"
+        "{:<38} {:>10} {:>14} {:>8} {:>12}",
+        "backend", "messages", "bytes", "rounds", "wall"
     );
-    let mut flat_scores: Option<Vec<f64>> = None;
-    for arch in architectures {
-        let outcome = run_distributed(
-            &graph,
-            &DistributedConfig::default().with_architecture(arch),
-        )?;
-        let total = outcome.stats.total();
+    let sink = Arc::new(MemorySink::new());
+    let mut flat_outcome: Option<RankOutcome> = None;
+    for architecture in architectures {
+        let mut engine = RankEngine::builder()
+            .backend(BackendSpec::Distributed { architecture })
+            .damping(0.85)
+            .tolerance(1e-10)
+            .telemetry(sink.clone())
+            .build()?;
+        let outcome = engine.rank(&graph)?.clone();
+        let t = &outcome.telemetry;
         println!(
-            "{:<28} {:>10} {:>14} {:>8} {:>12.3?}",
-            arch.to_string(),
-            total.messages,
-            total.bytes,
-            outcome.siterank_rounds,
-            outcome.stats.total_wall()
+            "{:<38} {:>10} {:>14} {:>8} {:>12.3?}",
+            outcome.backend, t.messages, t.bytes, t.site_iterations, t.wall
         );
-        match arch {
-            Architecture::Flat => flat_scores = Some(outcome.global.scores().to_vec()),
+        match architecture {
+            Architecture::Flat => flat_outcome = Some(outcome),
             Architecture::SuperPeer { .. } | Architecture::Hybrid => {
-                let diff = vec_ops::l1_diff(
-                    flat_scores.as_deref().expect("flat ran first"),
-                    outcome.global.scores(),
-                );
-                assert!(diff < 1e-6, "layered architectures must agree: {diff}");
+                let reference = flat_outcome.as_ref().expect("flat ran first");
+                let cmp = outcome.compare(reference, 15)?;
+                assert!(cmp.l1 < 1e-6, "layered architectures must agree: {cmp}");
             }
             Architecture::Centralized => {} // different semantics (flat PageRank)
         }
     }
+    println!("\n{} runs recorded by the telemetry sink", sink.len());
 
     // Failure injection: same answer, more traffic.
     println!("\nwith 20% message loss (flat architecture):");
-    let lossy_cfg = DistributedConfig {
-        fault: Some(FaultConfig {
+    let mut lossy_engine = RankEngine::builder()
+        .backend(BackendSpec::Distributed {
+            architecture: Architecture::Flat,
+        })
+        .damping(0.85)
+        .tolerance(1e-10)
+        .fault(FaultConfig {
             drop_prob: 0.2,
             seed: 1,
-        }),
-        ..DistributedConfig::default()
-    };
-    let lossy = run_distributed(&graph, &lossy_cfg)?;
-    let clean = run_distributed(&graph, &DistributedConfig::default())?;
+        })
+        .build()?;
+    let lossy = lossy_engine.rank(&graph)?;
+    let clean = flat_outcome.as_ref().expect("flat ran first");
     println!(
         "  result drift vs clean run: {:.2e}",
-        vec_ops::l1_diff(lossy.global.scores(), clean.global.scores())
+        vec_ops::l1_diff(lossy.ranking.scores(), clean.ranking.scores())
     );
     println!(
         "  traffic: {} msgs ({} retransmissions) vs {} clean",
-        lossy.stats.total().messages,
-        lossy.stats.total().retransmissions,
-        clean.stats.total().messages
+        lossy.telemetry.messages, lossy.telemetry.retransmissions, clean.telemetry.messages
     );
-    println!("\nPer-phase breakdown (flat):\n{}", clean.stats);
     Ok(())
 }

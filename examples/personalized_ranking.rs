@@ -1,96 +1,111 @@
-//! Personalization at both layers (Section 3.2, last paragraphs).
+//! Personalization at both layers (Section 3.2, last paragraphs), through
+//! the unified `RankEngine`.
 //!
 //! The layered method personalizes "in an elegant way": swap the teleport
 //! vector at the site layer (a user who prefers the physics department) or
 //! at the document layer within a site (a user who prefers a site's news
-//! pages), without touching any other peer's computation.
+//! pages), without touching any other peer's computation. Both vectors are
+//! builder options on the engine.
 //!
 //! Run with: `cargo run --release --example personalized_ranking`
 
 use lmm::core::personalize::PersonalizationBuilder;
-use lmm::core::siterank::{layered_doc_rank, LayeredRankConfig};
-use lmm::graph::generator::CampusWebConfig;
-use lmm::graph::SiteId;
+use lmm::prelude::*;
 use lmm::rank::metrics;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = CampusWebConfig::small();
     cfg.spam_farms.clear();
     let graph = cfg.generate()?;
-    let favorite_site = 10usize; // physics.campus.edu in the naming scheme
+    let favorite_site = SiteId(10); // physics.campus.edu in the naming scheme
     println!(
         "favorite site: {} ({} pages)\n",
-        graph.site_name(SiteId(favorite_site)),
-        graph.site_size(SiteId(favorite_site))
+        graph.site_name(favorite_site),
+        graph.site_size(favorite_site)
     );
 
+    let layered = BackendSpec::Layered {
+        site_layer: SiteLayerMethod::PageRank,
+    };
+
     // Neutral ranking.
-    let neutral = layered_doc_rank(&graph, &LayeredRankConfig::default())?;
+    let mut neutral = RankEngine::builder().backend(layered).build()?;
+    neutral.rank(&graph)?;
 
     // Site-layer personalization: 60% of teleport mass on the favorite site.
     let site_vector = PersonalizationBuilder::new(graph.n_sites())
         .baseline(0.4)
-        .boost(favorite_site, 1.0)
+        .boost(favorite_site.index(), 1.0)
         .build()?;
-    let site_cfg = LayeredRankConfig {
-        site_personalization: Some(site_vector),
-        ..LayeredRankConfig::default()
-    };
-    let site_personalized = layered_doc_rank(&graph, &site_cfg)?;
+    let mut site_personalized = RankEngine::builder()
+        .backend(layered)
+        .site_personalization(site_vector)
+        .build()?;
+    site_personalized.rank(&graph)?;
 
     // Document-layer personalization inside the favorite site: prefer its
     // last ten pages (say, the news section).
-    let size = graph.site_size(SiteId(favorite_site));
+    let size = graph.site_size(favorite_site);
     let mut builder = PersonalizationBuilder::new(size).baseline(0.3);
     for local in size - 10..size {
         builder = builder.boost(local, 1.0);
     }
-    let mut local_cfg = LayeredRankConfig::default();
-    local_cfg
-        .local_personalization
-        .insert(favorite_site, builder.build()?);
-    let local_personalized = layered_doc_rank(&graph, &local_cfg)?;
+    let mut local_personalized = RankEngine::builder()
+        .backend(layered)
+        .local_personalization(favorite_site, builder.build()?)
+        .build()?;
+    local_personalized.rank(&graph)?;
 
     println!(
         "{:<34} {:>12} {:>12} {:>12}",
         "metric", "neutral", "site-pers.", "doc-pers."
     );
+    let site_score = |e: &RankEngine| -> Result<f64, EngineError> {
+        Ok(e.site_score(favorite_site)?
+            .expect("layered has a site layer"))
+    };
     println!(
         "{:<34} {:>12.4} {:>12.4} {:>12.4}",
         "SiteRank(favorite)",
-        neutral.site_rank.score(favorite_site),
-        site_personalized.site_rank.score(favorite_site),
-        local_personalized.site_rank.score(favorite_site),
+        site_score(&neutral)?,
+        site_score(&site_personalized)?,
+        site_score(&local_personalized)?,
     );
-    let mass = |r: &lmm::core::siterank::LayeredDocRank| -> f64 {
+    let mass = |e: &RankEngine| -> Result<f64, EngineError> {
         graph
-            .docs_of_site(SiteId(favorite_site))
+            .docs_of_site(favorite_site)
             .iter()
-            .map(|d| r.score(*d))
+            .map(|d| e.score(*d))
             .sum()
     };
     println!(
         "{:<34} {:>12.4} {:>12.4} {:>12.4}",
         "rank mass of favorite site",
-        mass(&neutral),
-        mass(&site_personalized),
-        mass(&local_personalized),
+        mass(&neutral)?,
+        mass(&site_personalized)?,
+        mass(&local_personalized)?,
     );
     println!(
         "{:<34} {:>12} {:>12.3} {:>12.3}",
         "Kendall tau vs neutral",
         "1.000",
-        metrics::kendall_tau(&neutral.global, &site_personalized.global),
-        metrics::kendall_tau(&neutral.global, &local_personalized.global),
+        metrics::kendall_tau(
+            &neutral.outcome()?.ranking,
+            &site_personalized.outcome()?.ranking
+        ),
+        metrics::kendall_tau(
+            &neutral.outcome()?.ranking,
+            &local_personalized.outcome()?.ranking
+        ),
     );
 
-    println!("\nTop 5 under site-layer personalization:");
-    for doc in site_personalized.top_k(5) {
-        println!(
-            "  {:.5}  {}",
-            site_personalized.score(doc),
-            graph.url(doc)
-        );
+    println!("\nTop 5 under site-layer personalization (served from the cache):");
+    for (doc, score) in site_personalized.top_k(5)? {
+        println!("  {score:.5}  {}", graph.url(doc));
+    }
+    println!("\nTop 3 of the favorite site under document-layer personalization:");
+    for (doc, score) in local_personalized.top_k_for_site(favorite_site, 3)? {
+        println!("  {score:.6}  {}", graph.url(doc));
     }
     Ok(())
 }

@@ -1,60 +1,84 @@
-//! Quickstart: the paper's worked example (Section 2.3 / Figures 1-2).
+//! Quickstart: the four ranking approaches through the unified
+//! `RankEngine`, plus the paper's Section 2.3 worked example.
 //!
-//! Builds the 3-phase, 12-sub-state Layered Markov Model, runs all four
-//! ranking approaches, prints a Figure-2-style table, and checks the
-//! Partition Theorem numerically.
+//! Every approach is one pluggable backend behind one builder; the engine
+//! caches the ranking and serves queries without recomputation. The
+//! Partition Theorem (Approach 2 ≡ Approach 4) is checked twice: through
+//! the engine on a campus web, and on the paper's 12-state model.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use lmm::core::approaches::LmmParams;
+use lmm::core::approaches::{LmmParams, RankApproach};
 use lmm::core::{verify_partition_theorem, worked_example};
 use lmm::linalg::vec_ops;
+use lmm::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let model = worked_example::paper_model()?;
+    // --- Part 1: the unified engine on a synthetic campus web. ---
+    let mut cfg = CampusWebConfig::small();
+    cfg.total_docs = 600;
+    cfg.n_sites = 12;
+    cfg.spam_farms.clear();
+    let graph = cfg.generate()?;
     println!(
-        "Layered Markov Model: {} phases, {} global states\n",
+        "campus web: {} docs, {} sites, {} links\n",
+        graph.n_docs(),
+        graph.n_sites(),
+        graph.n_links()
+    );
+
+    println!(
+        "{:<26} {:>10} {:>12} {:>10}",
+        "backend", "site iters", "residual", "top doc"
+    );
+    let mut outcomes: Vec<RankOutcome> = Vec::new();
+    for approach in RankApproach::ALL {
+        let mut engine = RankEngine::builder()
+            .approach(approach)
+            .damping(0.85)
+            .tolerance(1e-12)
+            .build()?;
+        engine.rank(&graph)?;
+        let (top_doc, _) = engine.top_k(1)?[0];
+        let outcome = engine.outcome()?.clone();
+        println!(
+            "{:<26} {:>10} {:>12.2e} {:>10}",
+            outcome.backend,
+            outcome.telemetry.site_iterations,
+            outcome.telemetry.residual,
+            top_doc.index(),
+        );
+        outcomes.push(outcome);
+    }
+
+    // Partition Theorem through the engine: Approach 2 (index 1) must equal
+    // Approach 4 (index 3).
+    let cmp = outcomes[1].compare(&outcomes[3], 10)?;
+    println!("\nPartition Theorem through the engine: {cmp}");
+    assert!(cmp.linf < 1e-9, "Theorem 2 violated?!");
+
+    // --- Part 2: the paper's 12-state worked example (Figures 1-2). ---
+    let model = worked_example::paper_model()?;
+    let alpha = worked_example::PAPER_ALPHA;
+    let a4 = model.layered_method(alpha)?;
+    println!(
+        "\nworked example: {} phases, {} states; top three states (paper: (2,3), (3,1), (2,2)):",
         model.n_phases(),
         model.total_states()
     );
-
-    let alpha = worked_example::PAPER_ALPHA;
-    let a1 = model.pagerank_of_global(alpha)?;
-    let a2 = model.stationary_of_global(alpha)?;
-    let a3 = model.layered_with_pagerank_site(alpha)?;
-    let a4 = model.layered_method(alpha)?;
-
-    // Figure 2, extended with all four approaches.
-    println!("state    pi_W(A1)  order   pi~_W(A2)  order   A3        A4        paper pi~_W");
-    let a2_pos = a2.ranking().positions();
-    let a1_pos = a1.ranking().positions();
-    for idx in 0..model.total_states() {
-        let state = model.state_of(idx);
+    for (rank, state) in a4.order_states().iter().take(3).enumerate() {
         println!(
-            "{:>6}   {:.4}    {:>3}     {:.4}     {:>3}    {:.4}    {:.4}    {:.4}",
-            state.to_string(),
-            a1.scores()[idx],
-            a1_pos[idx] + 1,
-            a2.scores()[idx],
-            a2_pos[idx] + 1,
-            a3.scores()[idx],
-            a4.scores()[idx],
-            worked_example::PAPER_PI_W_TILDE[idx],
+            "  #{} {}  score {:.4}",
+            rank + 1,
+            state,
+            a4.score_state(*state)
         );
     }
-
-    println!("\nTop three states (paper: (2,3), (3,1), (2,2)):");
-    for (rank, state) in a4.order_states().iter().take(3).enumerate() {
-        println!("  #{} {}  score {:.4}", rank + 1, state, a4.score_state(*state));
-    }
-
     let check = verify_partition_theorem(&model, &LmmParams::with_factor(alpha))?;
-    println!("\nPartition Theorem (Approach 2 vs Approach 4): {check}");
-    assert!(check.linf < 1e-9, "Theorem 2 violated?!");
+    println!("Partition Theorem on the worked example: {check}");
+    assert!(check.linf < 1e-9);
 
     let paper_diff = vec_ops::linf_diff(a4.scores(), &worked_example::PAPER_PI_W_TILDE);
     println!("max |ours - paper printed| = {paper_diff:.2e} (printing tolerance 5e-5)");
-
-    println!("\nAll four approaches agree with the paper's Figure 2.");
     Ok(())
 }

@@ -13,17 +13,21 @@
 
 use std::collections::HashMap;
 
-use lmm::core::siterank::{flat_pagerank, layered_doc_rank, LayeredRankConfig};
 use lmm::graph::docgraph::PageKind;
-use lmm::graph::generator::CampusWebConfig;
-use lmm::graph::{DocGraph, DocId};
-use lmm::linalg::PowerOptions;
+use lmm::prelude::*;
 
 /// Deterministically assigns topical terms to every page: a site-flavored
 /// topic, generic campus terms, and spam-bait terms on farm pages.
 fn synthesize_terms(graph: &DocGraph) -> Vec<Vec<&'static str>> {
     const TOPICS: [&str; 8] = [
-        "research", "students", "physics", "library", "sports", "java", "news", "admissions",
+        "research",
+        "students",
+        "physics",
+        "library",
+        "sports",
+        "java",
+        "news",
+        "admissions",
     ];
     (0..graph.n_docs())
         .map(|d| {
@@ -50,11 +54,7 @@ fn synthesize_terms(graph: &DocGraph) -> Vec<Vec<&'static str>> {
 }
 
 /// tf-idf-lite: score(query, d) = Σ_{t in query ∩ d} idf(t).
-fn query_scores(
-    graph: &DocGraph,
-    terms: &[Vec<&'static str>],
-    query: &[&str],
-) -> Vec<f64> {
+fn query_scores(graph: &DocGraph, terms: &[Vec<&'static str>], query: &[&str]) -> Vec<f64> {
     let n = graph.n_docs() as f64;
     let mut doc_freq: HashMap<&str, usize> = HashMap::new();
     for doc_terms in terms {
@@ -87,12 +87,21 @@ fn blend(content: &[f64], link: &[f64], beta: f64) -> Vec<f64> {
 fn print_results(graph: &DocGraph, label: &str, scores: &[f64], k: usize) {
     println!("  {label}:");
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("finite").then(a.cmp(&b)));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("finite")
+            .then(a.cmp(&b))
+    });
     for &d in order.iter().take(k) {
         if scores[d] <= 0.0 {
             break;
         }
-        let marker = if graph.spam_labels()[d] { "SPAM" } else { "    " };
+        let marker = if graph.spam_labels()[d] {
+            "SPAM"
+        } else {
+            "    "
+        };
         println!("    {marker} {:9.5}  {}", scores[d], graph.url(DocId(d)));
     }
 }
@@ -100,9 +109,20 @@ fn print_results(graph: &DocGraph, label: &str, scores: &[f64], k: usize) {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = CampusWebConfig::small().generate()?;
     let terms = synthesize_terms(&graph);
-    let power = PowerOptions::with_tol(1e-10);
-    let pagerank = flat_pagerank(&graph, 0.85, &power)?;
-    let layered = layered_doc_rank(&graph, &LayeredRankConfig::default())?;
+    let mut flat_engine = RankEngine::builder()
+        .backend(BackendSpec::FlatPageRank)
+        .damping(0.85)
+        .tolerance(1e-10)
+        .build()?;
+    let pagerank = flat_engine.rank(&graph)?.clone();
+    let mut layered_engine = RankEngine::builder()
+        .backend(BackendSpec::Layered {
+            site_layer: SiteLayerMethod::PageRank,
+        })
+        .damping(0.85)
+        .tolerance(1e-10)
+        .build()?;
+    let layered = layered_engine.rank(&graph)?.clone();
 
     for query in [vec!["java", "research"], vec!["physics", "campus"]] {
         println!("\nquery: {query:?}");
@@ -117,7 +137,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print_results(
             &graph,
             "content + layered LMM",
-            &blend(&content, layered.global.scores(), 0.35),
+            &blend(&content, layered.ranking.scores(), 0.35),
             5,
         );
     }
@@ -134,7 +154,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nspam results in top-10 for the bait query: content {} | +PageRank {} | +LMM {}",
         spam_at(&content),
         spam_at(&blend(&content, pagerank.ranking.scores(), 0.35)),
-        spam_at(&blend(&content, layered.global.scores(), 0.35)),
+        spam_at(&blend(&content, layered.ranking.scores(), 0.35)),
     );
     Ok(())
 }

@@ -1,11 +1,10 @@
 //! Link-spam resistance sweep: how farm size affects flat PageRank vs the
-//! layered method (the mechanism behind the paper's Figures 3 and 4).
+//! layered method (the mechanism behind the paper's Figures 3 and 4), both
+//! through the unified `RankEngine`.
 //!
 //! Run with: `cargo run --release --example spam_resistance`
 
-use lmm::core::siterank::{flat_pagerank, layered_doc_rank, LayeredRankConfig};
-use lmm::graph::generator::CampusWebConfig;
-use lmm::linalg::PowerOptions;
+use lmm::prelude::*;
 use lmm::rank::metrics;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,15 +28,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let graph = cfg.generate()?;
         let spam = graph.spam_labels();
 
-        let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-10))?;
-        let layered = layered_doc_rank(&graph, &LayeredRankConfig::default())?;
+        let mut flat = RankEngine::builder()
+            .backend(BackendSpec::FlatPageRank)
+            .damping(0.85)
+            .tolerance(1e-10)
+            .build()?;
+        let flat_outcome = flat.rank(&graph)?.clone();
+        let mut layered = RankEngine::builder()
+            .backend(BackendSpec::Layered {
+                site_layer: SiteLayerMethod::PageRank,
+            })
+            .damping(0.85)
+            .tolerance(1e-10)
+            .build()?;
+        let layered_outcome = layered.rank(&graph)?;
 
         println!(
             "{:>10} {:>17.0}% {:>17.0}% {:>14.3}",
             farm_pages,
-            100.0 * metrics::labeled_share_at_k(&flat.ranking, &spam, 15),
-            100.0 * metrics::labeled_share_at_k(&layered.global, &spam, 15),
-            metrics::kendall_tau(&flat.ranking, &layered.global),
+            100.0 * metrics::labeled_share_at_k(&flat_outcome.ranking, &spam, 15),
+            100.0 * metrics::labeled_share_at_k(&layered_outcome.ranking, &spam, 15),
+            metrics::kendall_tau(&flat_outcome.ranking, &layered_outcome.ranking),
         );
     }
 

@@ -5,6 +5,10 @@
 //! This crate re-exports every workspace member under one roof so examples,
 //! integration tests and downstream users can depend on a single crate:
 //!
+//! * [`engine`] — **the unified API**: `RankEngine::builder()`, pluggable
+//!   [`Ranker`](lmm_engine::Ranker) backends for every approach and
+//!   deployment, and a query-serving layer (`top_k`, `top_k_for_site`,
+//!   `score`, `compare`);
 //! * [`linalg`] — sparse/dense matrices, power method, primitivity analysis;
 //! * [`rank`] — PageRank, gatekeeper (minimal irreducibility), HITS,
 //!   BlockRank, and rank-comparison metrics;
@@ -16,23 +20,42 @@
 //!
 //! # Quickstart
 //!
-//! Rank the paper's 12-state worked example with the decentralized Layered
-//! Method and confirm it matches the centralized stationary distribution:
+//! Rank a synthetic campus web with the Layered Method through the unified
+//! engine, serve queries from the cache, and confirm the Partition Theorem
+//! (Approach 2 ≡ Approach 4) through the same API:
 //!
 //! ```
 //! use lmm::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let model = lmm::core::worked_example::paper_model()?;
-//! let layered = model.layered_method(0.85)?;        // Approach 4
-//! let central = model.stationary_of_global(0.85)?;  // Approach 2
-//! let diff = lmm::linalg::vec_ops::linf_diff(layered.scores(), central.scores());
-//! assert!(diff < 1e-9); // Partition Theorem (Thm. 2)
+//! let mut cfg = CampusWebConfig::small();
+//! cfg.total_docs = 400;
+//! cfg.n_sites = 8;
+//! cfg.spam_farms.clear();
+//! let graph = cfg.generate()?;
+//!
+//! // Approach 4 — the Layered Method — through the unified builder.
+//! let mut engine = RankEngine::builder()
+//!     .backend(BackendSpec::Layered { site_layer: SiteLayerMethod::Stationary })
+//!     .damping(0.85)
+//!     .build()?;
+//! engine.rank(&graph)?;
+//! let top = engine.top_k(5)?; // served from the cache
+//! assert_eq!(top.len(), 5);
+//!
+//! // Approach 2 (centralized stationary chain) agrees: Theorem 2.
+//! let mut central = RankEngine::builder()
+//!     .backend(BackendSpec::CentralizedStationary)
+//!     .damping(0.85)
+//!     .build()?;
+//! central.rank(&graph)?;
+//! assert!(engine.compare(central.outcome()?, 10)?.linf < 1e-8);
 //! # Ok(())
 //! # }
 //! ```
 
 pub use lmm_core as core;
+pub use lmm_engine as engine;
 pub use lmm_graph as graph;
 pub use lmm_linalg as linalg;
 pub use lmm_p2p as p2p;
@@ -42,6 +65,11 @@ pub use lmm_rank as rank;
 pub mod prelude {
     pub use lmm_core::{
         approaches::RankApproach, model::LayeredMarkovModel, siterank::LayeredRankConfig,
+        siterank::SiteLayerMethod,
+    };
+    pub use lmm_engine::{
+        BackendSpec, EngineConfig, EngineError, MemorySink, RankEngine, RankOutcome, Ranker,
+        RunTelemetry,
     };
     pub use lmm_graph::{
         docgraph::{DocGraph, DocGraphBuilder},
@@ -52,8 +80,69 @@ pub mod prelude {
     pub use lmm_linalg::{
         CooMatrix, CsrMatrix, DenseMatrix, LinalgError, PowerOptions, StochasticMatrix,
     };
+    pub use lmm_p2p::runner::Architecture;
     pub use lmm_rank::{
         pagerank::{PageRank, PageRankConfig},
         ranking::Ranking,
     };
+}
+
+/// Thin deprecated shims over the pre-engine ad-hoc entry points.
+///
+/// Each function forwards to the exact computation the unified
+/// [`RankEngine`](lmm_engine::RankEngine) backends wrap; new code should go
+/// through the engine, which adds validation, caching, serving, and
+/// telemetry on top of the same numerics.
+pub mod compat {
+    use lmm_core::siterank::{LayeredDocRank, LayeredRankConfig};
+    use lmm_graph::docgraph::DocGraph;
+    use lmm_linalg::PowerOptions;
+    use lmm_p2p::runner::{DistributedConfig, DistributedOutcome};
+    use lmm_rank::pagerank::PageRankResult;
+
+    /// Pre-engine entry point for the layered pipeline.
+    ///
+    /// # Errors
+    /// See [`lmm_core::siterank::layered_doc_rank`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use lmm::engine::RankEngine with BackendSpec::Layered"
+    )]
+    pub fn layered_doc_rank(
+        graph: &DocGraph,
+        config: &LayeredRankConfig,
+    ) -> lmm_core::Result<LayeredDocRank> {
+        lmm_core::siterank::layered_doc_rank(graph, config)
+    }
+
+    /// Pre-engine entry point for the flat baseline.
+    ///
+    /// # Errors
+    /// See [`lmm_core::siterank::flat_pagerank`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use lmm::engine::RankEngine with BackendSpec::FlatPageRank"
+    )]
+    pub fn flat_pagerank(
+        graph: &DocGraph,
+        damping: f64,
+        power: &PowerOptions,
+    ) -> lmm_core::Result<PageRankResult> {
+        lmm_core::siterank::flat_pagerank(graph, damping, power)
+    }
+
+    /// Pre-engine entry point for distributed runs.
+    ///
+    /// # Errors
+    /// See [`lmm_p2p::runner::run_distributed`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use lmm::engine::RankEngine with BackendSpec::Distributed"
+    )]
+    pub fn run_distributed(
+        graph: &DocGraph,
+        config: &DistributedConfig,
+    ) -> lmm_p2p::Result<DistributedOutcome> {
+        lmm_p2p::runner::run_distributed(graph, config)
+    }
 }

@@ -30,9 +30,7 @@ fn blockrank_refinement_recovers_flat_pagerank() {
     )
     .expect("blockrank");
     let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-12)).expect("flat");
-    assert!(
-        vec_ops::l1_diff(block.refined.ranking.scores(), flat.ranking.scores()) < 1e-8
-    );
+    assert!(vec_ops::l1_diff(block.refined.ranking.scores(), flat.ranking.scores()) < 1e-8);
 }
 
 #[test]
@@ -89,8 +87,14 @@ fn layered_beats_all_baselines_on_spam_resistance() {
 
     let layered_share = metrics::labeled_share_at_k(&layered.global, &spam, k);
     for (name, share) in [
-        ("pagerank", metrics::labeled_share_at_k(&flat.ranking, &spam, k)),
-        ("hits", metrics::labeled_share_at_k(&h.authorities, &spam, k)),
+        (
+            "pagerank",
+            metrics::labeled_share_at_k(&flat.ranking, &spam, k),
+        ),
+        (
+            "hits",
+            metrics::labeled_share_at_k(&h.authorities, &spam, k),
+        ),
         (
             "blockrank refined",
             metrics::labeled_share_at_k(&block.refined.ranking, &spam, k),

@@ -28,16 +28,17 @@ fn every_layered_architecture_matches_the_reference_pipeline() {
         Architecture::SuperPeer { n_groups: 20 }, // degenerate: flat
         Architecture::Hybrid,
     ] {
-        let outcome =
-            run_distributed(&graph, &DistributedConfig::default().with_architecture(arch))
-                .expect("distributed run");
+        let outcome = run_distributed(
+            &graph,
+            &DistributedConfig::default().with_architecture(arch),
+        )
+        .expect("distributed run");
         assert!(
             vec_ops::l1_diff(outcome.global.scores(), reference.global.scores()) < 1e-6,
             "{arch} diverged from the reference pipeline"
         );
         assert!(
-            vec_ops::l1_diff(outcome.site_rank.scores(), reference.site_rank.scores())
-                < 1e-6,
+            vec_ops::l1_diff(outcome.site_rank.scores(), reference.site_rank.scores()) < 1e-6,
             "{arch} site rank diverged"
         );
     }
@@ -79,8 +80,7 @@ fn message_loss_never_changes_the_answer() {
 #[test]
 fn traffic_ordering_across_architectures() {
     let graph = campus();
-    let flat =
-        run_distributed(&graph, &DistributedConfig::default()).expect("flat");
+    let flat = run_distributed(&graph, &DistributedConfig::default()).expect("flat");
     let superpeer = run_distributed(
         &graph,
         &DistributedConfig::default().with_architecture(Architecture::SuperPeer { n_groups: 4 }),
@@ -103,8 +103,7 @@ fn rounds_match_central_iteration_count_closely() {
     // stop decision lags one round).
     let graph = campus();
     let outcome = run_distributed(&graph, &DistributedConfig::default()).expect("flat");
-    let reference =
-        layered_doc_rank(&graph, &LayeredRankConfig::default()).expect("reference");
+    let reference = layered_doc_rank(&graph, &LayeredRankConfig::default()).expect("reference");
     let central_iters = reference.site_report.iterations as i64;
     let rounds = i64::from(outcome.siterank_rounds);
     assert!(
@@ -120,7 +119,12 @@ fn outcome_reports_all_phases() {
     let names: Vec<&str> = outcome.stats.phases.iter().map(|p| p.name).collect();
     assert_eq!(
         names,
-        vec!["sitegraph", "siterank rounds", "local docranks", "aggregation"]
+        vec![
+            "sitegraph",
+            "siterank rounds",
+            "local docranks",
+            "aggregation"
+        ]
     );
     // Local docranks are compute-only.
     assert_eq!(outcome.stats.phases[2].traffic.messages, 0);

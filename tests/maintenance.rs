@@ -69,8 +69,11 @@ fn partial_crawl_ranking_correlates_with_full() {
     let graph = campus();
     let cfg = LayeredRankConfig::default();
     let full = layered_doc_rank(&graph, &cfg).expect("full");
-    let result = crawl(&graph, &CrawlConfig::from_seed(DocId(0), graph.n_docs() / 2))
-        .expect("crawl");
+    let result = crawl(
+        &graph,
+        &CrawlConfig::from_seed(DocId(0), graph.n_docs() / 2),
+    )
+    .expect("crawl");
     let partial = layered_doc_rank(&result.graph, &cfg).expect("partial");
     // Restrict the full ranking to the crawled pages and compare orders.
     let restricted = lmm::rank::Ranking::from_weights(
@@ -88,10 +91,8 @@ fn partial_crawl_ranking_correlates_with_full() {
 #[test]
 fn crawl_then_rank_keeps_spam_resistance() {
     let graph = campus();
-    let result = crawl(&graph, &CrawlConfig::from_seed(DocId(0), graph.n_docs()))
-        .expect("crawl");
-    let partial = layered_doc_rank(&result.graph, &LayeredRankConfig::default())
-        .expect("partial");
+    let result = crawl(&graph, &CrawlConfig::from_seed(DocId(0), graph.n_docs())).expect("crawl");
+    let partial = layered_doc_rank(&result.graph, &LayeredRankConfig::default()).expect("partial");
     let spam = result.graph.spam_labels();
     if spam.iter().any(|&s| s) {
         let share = metrics::labeled_share_at_k(&partial.global, &spam, 15);
