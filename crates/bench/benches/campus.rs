@@ -18,7 +18,7 @@ fn bench_campus(c: &mut Criterion) {
         b.iter(|| black_box(CampusWebConfig::small().generate().expect("campus web")))
     });
     group.bench_function("flat_pagerank", |b| {
-        b.iter(|| black_box(flat_pagerank(&graph, 0.85, &power).expect("flat")))
+        b.iter(|| black_box(flat_pagerank(&graph, 0.85, &power, 0).expect("flat")))
     });
     group.bench_function("layered_pipeline", |b| {
         b.iter(|| {

@@ -1,0 +1,232 @@
+//! Experiment PR2: wall-clock scaling of the parallel ranking core.
+//!
+//! Times the flat, layered (Approach 4), and incremental engine backends
+//! at 1/2/4/8 worker threads on a synthetic 100k-page campus web and
+//! writes the measurements to `BENCH_pr2.json`:
+//!
+//! * **flat** — pull-mode gather SpMV + parallel vector passes inside one
+//!   global PageRank;
+//! * **layered** — the per-site local-DocRank fan-out (the paper's
+//!   embarrassingly parallel step 3);
+//! * **incremental** — a warm refresh after ~10% of the sites changed,
+//!   fanning only the stale sites.
+//!
+//! Every cell reports the **median of three** full runs (one sample in
+//! `--smoke` mode), and every run is checked bit-for-bit against the
+//! single-thread baseline: threads may only change wall time, never
+//! scores. Speedups are bounded by the host (`host_threads` in the JSON
+//! records `available_parallelism`; on a single-core container every
+//! ratio is ~1.0 by construction).
+//!
+//! Run: `cargo run --release -p lmm-bench --bin exp_speedup`
+//! (`--smoke` for the CI-sized variant).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use lmm_bench::{section, timed};
+use lmm_core::siterank::SiteLayerMethod;
+use lmm_engine::{BackendSpec, RankEngine, RankOutcome};
+use lmm_graph::docgraph::{DocGraph, DocGraphBuilder};
+use lmm_graph::generator::CampusWebConfig;
+use lmm_graph::SiteId;
+
+/// Full runs write the committed benchmark artifact; `--smoke` writes a
+/// sibling file so a CI smoke run never clobbers the real measurements.
+const OUT_PATH: &str = "BENCH_pr2.json";
+const SMOKE_OUT_PATH: &str = "BENCH_pr2_smoke.json";
+
+struct Measurement {
+    backend: &'static str,
+    threads: usize,
+    wall: Duration,
+    iterations: usize,
+}
+
+fn engine(backend: BackendSpec, threads: usize) -> RankEngine {
+    RankEngine::builder()
+        .backend(backend)
+        .damping(0.85)
+        .tolerance(1e-10)
+        .threads(threads)
+        .build()
+        .expect("valid engine config")
+}
+
+fn iterations_of(outcome: &RankOutcome) -> usize {
+    outcome.telemetry.site_iterations + outcome.telemetry.total_local_iterations
+}
+
+/// Rewires one intra-site link in every 10th site, producing the "recrawl"
+/// the incremental backend refreshes against.
+fn edit_every_tenth_site(graph: &DocGraph) -> DocGraph {
+    let mut builder = DocGraphBuilder::from_graph(graph);
+    for s in (0..graph.n_sites()).step_by(10) {
+        let docs = graph.docs_of_site(SiteId(s));
+        if docs.len() < 3 {
+            continue;
+        }
+        builder.remove_link(docs[0], docs[1]);
+        builder
+            .add_link(docs[1], docs[2])
+            .expect("intra-site rewire");
+    }
+    builder.build()
+}
+
+fn assert_bit_identical(reference: &[f64], scores: &[f64], label: &str) {
+    assert_eq!(reference.len(), scores.len(), "{label}: length mismatch");
+    let identical = reference
+        .iter()
+        .zip(scores)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        identical,
+        "{label}: scores depend on the thread count — determinism regression"
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let thread_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+
+    let mut cfg = CampusWebConfig::paper_scale();
+    cfg.spam_farms.clear();
+    cfg.seed = 7;
+    if smoke {
+        cfg.total_docs = 2_000;
+        cfg.n_sites = 40;
+    } else {
+        cfg.total_docs = 100_000;
+        cfg.n_sites = 400;
+    }
+    let graph = cfg.generate()?;
+    let edited = edit_every_tenth_site(&graph);
+    let host_threads = lmm_par::resolve_threads(0);
+
+    section(&format!(
+        "Parallel ranking core: {} docs, {} sites, {} links (host has {} core(s))",
+        graph.n_docs(),
+        graph.n_sites(),
+        graph.n_links(),
+        host_threads
+    ));
+    println!(
+        "{:>16} {:>8} {:>12} {:>12} {:>10}",
+        "backend", "threads", "wall", "iterations", "speedup"
+    );
+
+    let backends: [(&'static str, BackendSpec); 3] = [
+        ("flat", BackendSpec::FlatPageRank),
+        (
+            "layered",
+            BackendSpec::Layered {
+                site_layer: SiteLayerMethod::Stationary,
+            },
+        ),
+        ("incremental", BackendSpec::Incremental),
+    ];
+
+    // One timing sample is noise; take the median wall of SAMPLES full
+    // runs per cell (each from a fresh engine — the serving cache would
+    // otherwise turn repeats into no-ops).
+    let samples = if smoke { 1 } else { 3 };
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for (name, backend) in backends {
+        let mut reference: Option<Vec<f64>> = None;
+        let mut serial_wall: Option<Duration> = None;
+        for &threads in thread_counts {
+            let mut runs: Vec<(lmm_engine::RankOutcome, Duration)> = Vec::new();
+            for _ in 0..samples {
+                let mut eng = engine(backend, threads);
+                let (outcome, wall) = if name == "incremental" {
+                    // Warm the state on the base graph (untimed), then time
+                    // the refresh against the edited recrawl.
+                    let _ = eng.rank(&graph)?;
+                    timed(|| eng.rank(&edited).cloned())
+                } else {
+                    timed(|| eng.rank(&graph).cloned())
+                };
+                runs.push((outcome?, wall));
+            }
+            runs.sort_by_key(|(_, wall)| *wall);
+            let (outcome, wall) = runs.swap_remove(runs.len() / 2);
+            let scores = outcome.ranking.scores();
+            match &reference {
+                None => reference = Some(scores.to_vec()),
+                Some(reference) => assert_bit_identical(reference, scores, name),
+            }
+            let speedup = match serial_wall {
+                None => {
+                    serial_wall = Some(wall);
+                    1.0
+                }
+                Some(serial) => serial.as_secs_f64() / wall.as_secs_f64(),
+            };
+            println!(
+                "{:>16} {:>8} {:>12.2?} {:>12} {:>9.2}x",
+                name,
+                threads,
+                wall,
+                iterations_of(&outcome),
+                speedup
+            );
+            measurements.push(Measurement {
+                backend: name,
+                threads,
+                wall,
+                iterations: iterations_of(&outcome),
+            });
+        }
+    }
+
+    let json = render_json(&graph, smoke, host_threads, &measurements);
+    let out_path = if smoke { SMOKE_OUT_PATH } else { OUT_PATH };
+    std::fs::write(out_path, json)?;
+    println!("\nwrote {out_path}");
+    println!("determinism: all runs bit-identical to their 1-thread baseline");
+    Ok(())
+}
+
+/// Serializes the measurements by hand — the workspace is offline, so no
+/// serde; the format is a stable flat schema for the README table.
+fn render_json(
+    graph: &DocGraph,
+    smoke: bool,
+    host_threads: usize,
+    measurements: &[Measurement],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"exp_speedup\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"graph_docs\": {},", graph.n_docs());
+    let _ = writeln!(out, "  \"graph_sites\": {},", graph.n_sites());
+    let _ = writeln!(out, "  \"graph_links\": {},", graph.n_links());
+    let _ = writeln!(out, "  \"host_threads\": {host_threads},");
+    out.push_str("  \"results\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let serial = measurements
+            .iter()
+            .find(|o| o.backend == m.backend && o.threads == 1)
+            .expect("1-thread baseline present");
+        let speedup = serial.wall.as_secs_f64() / m.wall.as_secs_f64();
+        let _ = write!(
+            out,
+            "    {{\"backend\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \
+             \"iterations\": {}, \"speedup_vs_1t\": {:.3}}}",
+            m.backend,
+            m.threads,
+            m.wall.as_secs_f64() * 1e3,
+            m.iterations,
+            speedup
+        );
+        out.push_str(if i + 1 == measurements.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -14,11 +14,13 @@
 //! the factored [`GlobalOperator`].
 
 use crate::error::{LmmError, Result};
-use crate::global::{phase_gatekeeper_distributions, GlobalOperator};
+use crate::global::{phase_gatekeeper_distributions_pool, GlobalOperator};
 use crate::model::{GlobalState, LayeredMarkovModel};
 use lmm_linalg::{
-    power_method, structure, vec_ops, ConvergenceReport, LinalgError, LinearOperator, PowerOptions,
+    power_method_pool, structure, vec_ops, ConvergenceReport, LinalgError, LinearOperator,
+    PowerOptions,
 };
+use lmm_par::ThreadPool;
 use lmm_rank::pagerank::PageRank;
 use lmm_rank::Ranking;
 
@@ -90,6 +92,10 @@ pub struct LmmParams {
     pub damping: f64,
     /// Power-method budget for every stationary computation.
     pub power: PowerOptions,
+    /// Worker threads for the per-phase fan-out and the global-chain
+    /// vector passes (`0` = one per available core, the default). The
+    /// ranking is identical for every value.
+    pub threads: usize,
 }
 
 impl Default for LmmParams {
@@ -98,6 +104,7 @@ impl Default for LmmParams {
             alpha: 0.85,
             damping: 0.85,
             power: PowerOptions::default(),
+            threads: 0,
         }
     }
 }
@@ -244,7 +251,8 @@ pub fn compute(
     approach: RankApproach,
     params: &LmmParams,
 ) -> Result<GlobalRanking> {
-    let dists = phase_gatekeeper_distributions(model, params.alpha, &params.power)?;
+    let pool = ThreadPool::shared(params.threads);
+    let dists = phase_gatekeeper_distributions_pool(model, params.alpha, &params.power, &pool)?;
     let offsets = model.offsets().to_vec();
     match approach {
         RankApproach::PageRankOnGlobal => {
@@ -254,7 +262,7 @@ pub fn compute(
                 damping: params.damping,
             };
             let x0 = vec_ops::uniform(model.total_states());
-            let (scores, report) = power_method(&op, &x0, &params.power)?;
+            let (scores, report) = power_method_pool(&op, &x0, &params.power, &pool)?;
             Ok(GlobalRanking::new(
                 Ranking::from_scores(scores)?,
                 offsets,
@@ -265,7 +273,7 @@ pub fn compute(
             require_primitive_phase_matrix(model)?;
             let op = GlobalOperator::new(model, &dists)?;
             let x0 = vec_ops::uniform(model.total_states());
-            let (scores, report) = power_method(&op, &x0, &params.power)?;
+            let (scores, report) = power_method_pool(&op, &x0, &params.power, &pool)?;
             Ok(GlobalRanking::new(
                 Ranking::from_scores(scores)?,
                 offsets,

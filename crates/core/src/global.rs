@@ -31,12 +31,26 @@ pub fn phase_gatekeeper_distributions(
     alpha: f64,
     opts: &PowerOptions,
 ) -> Result<Vec<Ranking>> {
-    let mut dists = Vec::with_capacity(model.n_phases());
-    for phase in model.phases() {
-        let g = gatekeeper_distribution(phase.transition(), alpha, Some(phase.initial()), opts)?;
-        dists.push(g.distribution);
-    }
-    Ok(dists)
+    phase_gatekeeper_distributions_pool(model, alpha, opts, &lmm_par::ThreadPool::serial())
+}
+
+/// [`phase_gatekeeper_distributions`] with the independent per-phase
+/// solves fanned across `pool` (each phase's gatekeeper PageRank runs
+/// serially in its own slot, so the result is identical for every pool
+/// size — only wall time changes).
+///
+/// # Errors
+/// Propagates gatekeeper/PageRank failures per phase.
+pub fn phase_gatekeeper_distributions_pool(
+    model: &LayeredMarkovModel,
+    alpha: f64,
+    opts: &PowerOptions,
+    pool: &lmm_par::ThreadPool,
+) -> Result<Vec<Ranking>> {
+    let solved = pool.par_map(model.phases(), |_, phase| {
+        gatekeeper_distribution(phase.transition(), alpha, Some(phase.initial()), opts)
+    });
+    solved.into_iter().map(|g| Ok(g?.distribution)).collect()
 }
 
 /// Materializes the global transition matrix `W` of eq. (3):

@@ -124,11 +124,14 @@ pub fn incremental_update(
         (previous.site_rank.clone(), previous.site_report)
     };
 
-    // Local ranks: recompute only the changed sites.
+    // Local ranks: recompute only the changed sites, fanned across the
+    // shared pool — the stale sites are exactly as independent as the full
+    // pipeline's per-site solves.
     let mut local_ranks = previous.local_ranks.clone();
     let mut total_local_iterations = 0usize;
     let mut max_local_iterations = 0usize;
-    for &s in &delta.changed_sites {
+    let pool = lmm_par::ThreadPool::shared(config.threads);
+    let solved = pool.par_map(&delta.changed_sites, |_, &s| {
         let sub = new_graph.site_subgraph(SiteId(s));
         let mut pr = PageRank::new();
         pr.damping(config.local_damping)
@@ -142,7 +145,10 @@ pub fn incremental_update(
         if let Some(v) = config.local_personalization.get(&s) {
             pr.personalization(v.clone());
         }
-        let result = pr.run_adjacency(sub.adjacency)?;
+        pr.run_adjacency(sub.adjacency)
+    });
+    for (&s, result) in delta.changed_sites.iter().zip(solved) {
+        let result = result?;
         total_local_iterations += result.report.iterations;
         max_local_iterations = max_local_iterations.max(result.report.iterations);
         local_ranks[s] = result.ranking;

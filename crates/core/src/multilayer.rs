@@ -146,6 +146,11 @@ pub enum TopLevelMethod {
 pub struct HierarchicalModel {
     root: HierarchyNode,
     power: PowerOptions,
+    /// Worker threads for the fan-out over the root's children (`0` = one
+    /// per available core). Each child's local ranking is computed
+    /// serially in its own slot, so the composed ranking is identical for
+    /// every value.
+    threads: usize,
 }
 
 impl HierarchicalModel {
@@ -158,6 +163,7 @@ impl HierarchicalModel {
         Ok(Self {
             root,
             power: PowerOptions::with_tol(1e-12),
+            threads: 0,
         })
     }
 
@@ -165,6 +171,15 @@ impl HierarchicalModel {
     #[must_use]
     pub fn with_power_options(mut self, power: PowerOptions) -> Self {
         self.power = power;
+        self
+    }
+
+    /// Sets the worker-thread count for the per-child fan-out (`0` = one
+    /// per available core, the default; the ranking is identical for
+    /// every value).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -223,9 +238,13 @@ impl HierarchicalModel {
         let HierarchyNode::Internal { children, .. } = &self.root else {
             unreachable!("leaf case returned above")
         };
+        // The children's local rankings are independent — fan them across
+        // the pool and concatenate in child order.
+        let pool = lmm_par::ThreadPool::shared(self.threads);
+        let locals = pool.par_map(children, |_, child| local_rank(child, alpha, &self.power));
         let mut scores = Vec::with_capacity(self.total_states());
-        for (child, &w) in children.iter().zip(&weights) {
-            let local = local_rank(child, alpha, &self.power)?;
+        for (local, &w) in locals.into_iter().zip(&weights) {
+            let local = local?;
             scores.extend(local.scores().iter().map(|&p| w * p));
         }
         Ok(Ranking::from_scores(scores)?)
@@ -273,6 +292,7 @@ pub fn from_two_layer(model: &LayeredMarkovModel) -> HierarchicalModel {
             children,
         },
         power: PowerOptions::with_tol(1e-12),
+        threads: 0,
     }
 }
 

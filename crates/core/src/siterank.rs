@@ -24,6 +24,7 @@ use lmm_graph::docgraph::DocGraph;
 use lmm_graph::ids::{DocId, SiteId};
 use lmm_graph::sitegraph::{ranking_site_graph, SiteGraphOptions};
 use lmm_linalg::{ConvergenceReport, PowerOptions};
+use lmm_par::ThreadPool;
 use lmm_rank::pagerank::{PageRank, PageRankResult};
 use lmm_rank::Ranking;
 
@@ -65,6 +66,12 @@ pub struct LayeredRankConfig {
     /// Optional per-site document personalization vectors, keyed by site
     /// index; each vector is over the site's *local* document indices.
     pub local_personalization: HashMap<usize, Vec<f64>>,
+    /// Worker threads for the per-site local DocRank fan-out (step 3) —
+    /// `0` (the default) means one per available core. Each site's solve
+    /// stays serial and writes only its own slot, so the composed ranking
+    /// is **bit-identical for every thread count**; threads change wall
+    /// time only.
+    pub threads: usize,
 }
 
 impl Default for LayeredRankConfig {
@@ -77,6 +84,7 @@ impl Default for LayeredRankConfig {
             power: PowerOptions::with_tol(1e-10),
             site_personalization: None,
             local_personalization: HashMap::new(),
+            threads: 0,
         }
     }
 }
@@ -189,12 +197,14 @@ pub fn layered_doc_rank(graph: &DocGraph, config: &LayeredRankConfig) -> Result<
         }
     };
 
-    // Step 3: local DocRanks, one independent PageRank per site.
+    // Step 3: local DocRanks, one independent PageRank per site — the
+    // embarrassingly parallel half of the paper's pipeline, fanned across
+    // the shared pool. Every site's solve is serial internally and fills
+    // only its own slot, so the fan-out is deterministic.
     let n_sites = graph.n_sites();
-    let mut local_ranks = Vec::with_capacity(n_sites);
-    let mut total_local_iterations = 0usize;
-    let mut max_local_iterations = 0usize;
-    for s in 0..n_sites {
+    let pool = ThreadPool::shared(config.threads);
+    let sites: Vec<usize> = (0..n_sites).collect();
+    let solved = pool.par_map(&sites, |_, &s| {
         let sub = graph.site_subgraph(SiteId(s));
         let mut pr = PageRank::new();
         pr.damping(config.local_damping)
@@ -203,7 +213,13 @@ pub fn layered_doc_rank(graph: &DocGraph, config: &LayeredRankConfig) -> Result<
         if let Some(v) = config.local_personalization.get(&s) {
             pr.personalization(v.clone());
         }
-        let result = pr.run_adjacency(sub.adjacency)?;
+        pr.run_adjacency(sub.adjacency)
+    });
+    let mut local_ranks = Vec::with_capacity(n_sites);
+    let mut total_local_iterations = 0usize;
+    let mut max_local_iterations = 0usize;
+    for result in solved {
+        let result = result?;
         total_local_iterations += result.report.iterations;
         max_local_iterations = max_local_iterations.max(result.report.iterations);
         local_ranks.push(result.ranking);
@@ -231,7 +247,9 @@ pub fn layered_doc_rank(graph: &DocGraph, config: &LayeredRankConfig) -> Result<
 }
 
 /// The flat baseline: classical PageRank over the whole DocGraph (what the
-/// paper's Figure 3 uses).
+/// paper's Figure 3 uses), with the gather SpMV and vector passes spread
+/// over `threads` workers (`0` = one per core; the ranking is identical
+/// for every value).
 ///
 /// # Errors
 /// Propagates PageRank failures.
@@ -239,11 +257,13 @@ pub fn flat_pagerank(
     graph: &DocGraph,
     damping: f64,
     power: &PowerOptions,
+    threads: usize,
 ) -> Result<PageRankResult> {
     let mut pr = PageRank::new();
     pr.damping(damping)
         .tol(power.tol)
-        .max_iters(power.max_iters);
+        .max_iters(power.max_iters)
+        .threads(threads);
     Ok(pr.run_adjacency(graph.adjacency().clone())?)
 }
 
@@ -292,7 +312,7 @@ mod tests {
         let g = small_campus();
         let spam = g.spam_labels();
         let layered = layered_doc_rank(&g, &LayeredRankConfig::default()).unwrap();
-        let flat = flat_pagerank(&g, 0.85, &PowerOptions::with_tol(1e-10)).unwrap();
+        let flat = flat_pagerank(&g, 0.85, &PowerOptions::with_tol(1e-10), 0).unwrap();
         let k = 15;
         let spam_flat = metrics::labeled_share_at_k(&flat.ranking, &spam, k);
         let spam_layered = metrics::labeled_share_at_k(&layered.global, &spam, k);
@@ -359,6 +379,38 @@ mod tests {
         assert!((r.site_rank.score(0) - 1.0).abs() < 1e-12);
         for d in 0..3 {
             assert!((r.global.score(d) - r.local_ranks[0].score(d)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_ranking() {
+        // The per-site fan-out must be bit-invisible: every layer of the
+        // result — not just the composition — identical across pool sizes.
+        let g = small_campus();
+        let serial = layered_doc_rank(
+            &g,
+            &LayeredRankConfig {
+                threads: 1,
+                ..LayeredRankConfig::default()
+            },
+        )
+        .unwrap();
+        for threads in [2usize, 4, 0] {
+            let parallel = layered_doc_rank(
+                &g,
+                &LayeredRankConfig {
+                    threads,
+                    ..LayeredRankConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(serial.global.scores(), parallel.global.scores());
+            assert_eq!(serial.site_rank.scores(), parallel.site_rank.scores());
+            assert_eq!(serial.local_ranks, parallel.local_ranks);
+            assert_eq!(
+                serial.total_local_iterations,
+                parallel.total_local_iterations
+            );
         }
     }
 

@@ -42,6 +42,7 @@ fn layered_config(ctx: &ExecContext, local_damping: f64, site_damping: f64) -> L
         power: ctx.convergence.power_options(),
         site_personalization: ctx.personalization.site.clone(),
         local_personalization: ctx.personalization.local.clone(),
+        threads: ctx.threads,
     }
 }
 
@@ -88,8 +89,12 @@ impl Ranker for FlatPageRank {
     fn rank(&self, graph: &DocGraph, ctx: &ExecContext) -> Result<RankOutcome> {
         require_neutral_personalization(ctx, "flat-pagerank")?;
         let t0 = Instant::now();
-        let result =
-            siterank::flat_pagerank(graph, self.damping, &ctx.convergence.power_options())?;
+        let result = siterank::flat_pagerank(
+            graph,
+            self.damping,
+            &ctx.convergence.power_options(),
+            ctx.threads,
+        )?;
         let telemetry = RunTelemetry {
             backend: self.name(),
             site_iterations: result.report.iterations,
@@ -137,6 +142,7 @@ impl Ranker for CentralizedStationary {
             alpha: self.alpha,
             damping: self.alpha,
             power: ctx.convergence.power_options(),
+            threads: ctx.threads,
         };
         let global = compute(&model, RankApproach::StationaryOfGlobal, &params)?;
         let ranking = Ranking::from_scores(state_scores_to_doc_order(graph, global.scores()))?;

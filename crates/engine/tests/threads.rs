@@ -1,0 +1,111 @@
+//! Regression tests for the `threads` knob.
+//!
+//! PR 1 plumbed `EngineConfig::threads` through the builder and
+//! `ExecContext` but no backend consumed it — the knob was dead. These
+//! tests pin the two properties of the fix: the knob now *reaches* every
+//! backend, and it is *bit-invisible*: `threads(1)` and `threads(4)` must
+//! produce byte-for-byte identical rankings (parallelism changes wall
+//! time, never scores).
+
+use lmm_core::siterank::SiteLayerMethod;
+use lmm_engine::{BackendSpec, RankEngine};
+use lmm_graph::docgraph::DocGraph;
+use lmm_graph::generator::CampusWebConfig;
+
+fn campus() -> DocGraph {
+    let mut cfg = CampusWebConfig::small();
+    cfg.total_docs = 1_200;
+    cfg.n_sites = 24;
+    cfg.spam_farms.truncate(1);
+    cfg.spam_farms[0].host_site = 7;
+    cfg.spam_farms[0].n_pages = 150;
+    cfg.generate().expect("campus graph")
+}
+
+fn rank_with_threads(backend: BackendSpec, graph: &DocGraph, threads: usize) -> Vec<f64> {
+    let mut engine = RankEngine::builder()
+        .backend(backend)
+        .damping(0.85)
+        .tolerance(1e-10)
+        .threads(threads)
+        .build()
+        .expect("valid config");
+    engine.rank(graph).expect("rank").ranking.scores().to_vec()
+}
+
+#[test]
+fn threads_knob_is_bit_invisible_across_backends() {
+    let graph = campus();
+    for backend in [
+        BackendSpec::FlatPageRank,
+        BackendSpec::CentralizedStationary,
+        BackendSpec::Layered {
+            site_layer: SiteLayerMethod::PageRank,
+        },
+        BackendSpec::Layered {
+            site_layer: SiteLayerMethod::Stationary,
+        },
+    ] {
+        let serial = rank_with_threads(backend, &graph, 1);
+        for threads in [4usize, 0] {
+            let parallel = rank_with_threads(backend, &graph, threads);
+            assert_eq!(serial.len(), parallel.len());
+            let bit_identical = serial
+                .iter()
+                .zip(&parallel)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(
+                bit_identical,
+                "{backend:?}: threads(1) vs threads({threads}) diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_backend_is_bit_invisible_including_refresh() {
+    let graph = campus();
+    let rank_twice = |threads: usize| -> (Vec<f64>, Vec<f64>) {
+        let mut engine = RankEngine::builder()
+            .backend(BackendSpec::Incremental)
+            .damping(0.85)
+            .tolerance(1e-10)
+            .threads(threads)
+            .build()
+            .expect("valid config");
+        let first = engine.rank(&graph).expect("rank").ranking.scores().to_vec();
+        // Rewire one intra-site link so the refresh path (warm-started
+        // partial recompute) runs, then rank again.
+        let site = lmm_graph::SiteId(3);
+        let docs = graph.docs_of_site(site);
+        let mut builder = lmm_graph::docgraph::DocGraphBuilder::from_graph(&graph);
+        builder.remove_link(docs[0], docs[1]);
+        builder.add_link(docs[1], docs[0]).expect("same-shape edit");
+        let edited = builder.build();
+        engine.invalidate();
+        let second = engine
+            .rank(&edited)
+            .expect("refresh")
+            .ranking
+            .scores()
+            .to_vec();
+        (first, second)
+    };
+    let (full_1, refresh_1) = rank_twice(1);
+    let (full_4, refresh_4) = rank_twice(4);
+    assert!(full_1
+        .iter()
+        .zip(&full_4)
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
+    assert!(refresh_1
+        .iter()
+        .zip(&refresh_4)
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
+}
+
+#[test]
+fn threads_knob_reaches_the_context() {
+    let engine = RankEngine::builder().threads(3).build().expect("valid");
+    assert_eq!(engine.context().threads, 3);
+    assert_eq!(engine.config().threads, 3);
+}

@@ -12,7 +12,11 @@
 //! * [`power_method`] — a power-iteration engine over the [`LinearOperator`]
 //!   abstraction, so both explicit CSR matrices and implicit factored
 //!   operators (such as the Layered Markov Model's global transition) share
-//!   one convergence loop;
+//!   one convergence loop ([`power_method_pool`] runs the same loop with
+//!   all `O(n)` vector passes on an `lmm-par` thread pool);
+//! * [`StationaryOperator`] — the pull-mode `y = Mᵀx` kernel: `Mᵀ` is
+//!   materialized once and each step is a parallel row-wise gather with
+//!   bit-identical results at any thread count;
 //! * [`structure`] — reachability analysis: strongly connected components,
 //!   periodicity, irreducibility and primitivity of transition matrices.
 //!
@@ -41,6 +45,7 @@ pub mod coo;
 pub mod csr;
 pub mod dense;
 pub mod error;
+pub mod operator;
 pub mod power;
 pub mod stochastic;
 pub mod structure;
@@ -50,8 +55,10 @@ pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use dense::DenseMatrix;
 pub use error::{LinalgError, Result};
+pub use operator::StationaryOperator;
 pub use power::{
-    power_method, Acceleration, ConvergenceReport, LinearOperator, PowerOptions, TransposeOperator,
+    power_method, power_method_pool, Acceleration, ConvergenceReport, LinearOperator, PowerOptions,
+    TransposeOperator,
 };
 pub use stochastic::{DanglingPolicy, StochasticMatrix};
 pub use structure::{is_primitive, period, strongly_connected_components, StructureReport};

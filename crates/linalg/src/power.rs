@@ -7,9 +7,13 @@
 //! Model supplies an implicit factored operator that never materializes the
 //! global transition matrix.
 
+use std::sync::Arc;
+
 use crate::csr::CsrMatrix;
 use crate::error::{LinalgError, Result};
+use crate::operator::StationaryOperator;
 use crate::vec_ops;
+use lmm_par::ThreadPool;
 
 /// One step of a rank iteration: `y ← op(x)` with `dim`-sized buffers.
 ///
@@ -189,6 +193,14 @@ impl std::fmt::Display for ConvergenceReport {
 /// The iterate is L1-renormalized every step, so substochastic operators
 /// (mass-leaking chains) converge to their normalized dominant eigenvector.
 ///
+/// Normalization and residual sums use the fixed
+/// [`vec_ops::PAR_CHUNK`]-gridded chunked kernels (shared with
+/// [`power_method_pool`], so serial and pooled runs agree bit-for-bit).
+/// For operators larger than one chunk the summation grouping differs
+/// from a plain left-to-right fold in the last bits — converged results
+/// agree to the tolerance, but exact golden score vectors recorded from
+/// pre-chunked versions of this routine may differ in trailing ulps.
+///
 /// # Errors
 /// * [`LinalgError::DimensionMismatch`] if `x0.len() != op.dim()`;
 /// * [`LinalgError::NotDistribution`] if `x0` cannot be normalized or the
@@ -199,6 +211,27 @@ pub fn power_method<O: LinearOperator>(
     op: O,
     x0: &[f64],
     opts: &PowerOptions,
+) -> Result<(Vec<f64>, ConvergenceReport)> {
+    power_method_pool(op, x0, opts, &ThreadPool::serial())
+}
+
+/// [`power_method`] with every `O(n)` vector pass (normalization,
+/// residual, Aitken extrapolation) executed on `pool`.
+///
+/// The operator is responsible for its own parallelism (see
+/// [`StationaryOperator`]); this function parallelizes the glue around it.
+/// All vector arithmetic uses the fixed-grid chunked kernels of
+/// [`vec_ops`], so the trajectory — and the returned vector — is
+/// **bit-identical for every pool size**, including the serial pool (which
+/// is exactly what [`power_method`] passes).
+///
+/// # Errors
+/// See [`power_method`].
+pub fn power_method_pool<O: LinearOperator>(
+    op: O,
+    x0: &[f64],
+    opts: &PowerOptions,
+    pool: &ThreadPool,
 ) -> Result<(Vec<f64>, ConvergenceReport)> {
     let n = op.dim();
     if x0.len() != n {
@@ -212,7 +245,7 @@ pub fn power_method<O: LinearOperator>(
         return Err(LinalgError::Empty);
     }
     let mut x = x0.to_vec();
-    vec_ops::normalize_l1(&mut x)?;
+    vec_ops::normalize_l1_par(pool, &mut x)?;
     let mut y = vec![0.0; n];
     let mut residual = f64::INFINITY;
     // Trailing iterates for Aitken extrapolation (x_{k-2} and x_{k-1}).
@@ -222,7 +255,7 @@ pub fn power_method<O: LinearOperator>(
     };
     for iter in 1..=opts.max_iters {
         op.apply_to(&x, &mut y)?;
-        vec_ops::normalize_l1(&mut y)?;
+        vec_ops::normalize_l1_par(pool, &mut y)?;
         if let (Acceleration::Aitken { period }, Some((prev2, prev1))) =
             (opts.acceleration, &mut history)
         {
@@ -230,14 +263,14 @@ pub fn power_method<O: LinearOperator>(
             // extrapolate more often than every third step.
             let period = period.max(3);
             if iter >= 3 && iter % period == 0 {
-                aitken_extrapolate(prev2, prev1, &mut y);
+                aitken_extrapolate(prev2, prev1, &mut y, pool);
             }
             std::mem::swap(prev2, prev1);
             prev1.copy_from_slice(&y);
         }
         residual = match opts.norm {
-            ResidualNorm::L1 => vec_ops::l1_diff(&x, &y),
-            ResidualNorm::LInf => vec_ops::linf_diff(&x, &y),
+            ResidualNorm::L1 => vec_ops::l1_diff_par(pool, &x, &y),
+            ResidualNorm::LInf => vec_ops::linf_diff_par(pool, &x, &y),
         };
         std::mem::swap(&mut x, &mut y);
         if residual < opts.tol {
@@ -270,28 +303,31 @@ pub fn power_method<O: LinearOperator>(
 /// two trailing iterates; the result replaces `x_k` in place, clamped to be
 /// non-negative and L1-renormalized. Components whose second difference is
 /// numerically zero (already converged to their geometric limit) are left
-/// untouched.
-fn aitken_extrapolate(x_km2: &[f64], x_km1: &[f64], x_k: &mut [f64]) {
+/// untouched. The extrapolation is elementwise and the renormalization
+/// chunk-gridded, so the outcome is pool-size independent.
+fn aitken_extrapolate(x_km2: &[f64], x_km1: &[f64], x_k: &mut [f64], pool: &ThreadPool) {
     const SECOND_DIFF_FLOOR: f64 = 1e-300;
-    let mut star = Vec::with_capacity(x_k.len());
-    for ((&a, &b), &c) in x_km2.iter().zip(x_km1).zip(x_k.iter()) {
-        let d1 = b - a;
-        let d2 = c - 2.0 * b + a;
-        let value = if d2.abs() > SECOND_DIFF_FLOOR {
-            let s = a - d1 * d1 / d2;
-            if s.is_finite() {
-                s.max(0.0)
+    let mut star = vec![0.0; x_k.len()];
+    pool.par_chunks_mut(&mut star, vec_ops::PAR_CHUNK, |offset, chunk| {
+        for (i, out) in chunk.iter_mut().enumerate() {
+            let (a, b, c) = (x_km2[offset + i], x_km1[offset + i], x_k[offset + i]);
+            let d1 = b - a;
+            let d2 = c - 2.0 * b + a;
+            *out = if d2.abs() > SECOND_DIFF_FLOOR {
+                let s = a - d1 * d1 / d2;
+                if s.is_finite() {
+                    s.max(0.0)
+                } else {
+                    c
+                }
             } else {
                 c
-            }
-        } else {
-            c
-        };
-        star.push(value);
-    }
+            };
+        }
+    });
     // Commit only if the extrapolated vector can be renormalized back onto
     // the simplex; otherwise keep the plain iterate.
-    if vec_ops::normalize_l1(&mut star).is_ok() {
+    if vec_ops::normalize_l1_par(pool, &mut star).is_ok() {
         x_k.copy_from_slice(&star);
     }
 }
@@ -319,6 +355,33 @@ pub fn stationary_distribution(
     }
     let x0 = vec_ops::uniform(m.nrows());
     power_method(TransposeOperator(m), &x0, opts)
+}
+
+/// [`stationary_distribution`] through the pull-mode
+/// [`StationaryOperator`]: `Mᵀ` is materialized once and every iteration
+/// step runs as a parallel row-wise gather on `pool`, with the `O(n)`
+/// vector passes parallelized as well.
+///
+/// The result is bit-identical to the serial [`stationary_distribution`]'s
+/// matrix step for any pool size (see the [`crate::operator`] docs); only
+/// the normalization's summation grouping differs from the historical
+/// serial code, and only for chains larger than
+/// [`vec_ops::PAR_CHUNK`].
+///
+/// # Errors
+/// See [`power_method`]; additionally [`LinalgError::NotSquare`] for a
+/// non-square matrix.
+pub fn stationary_distribution_pool(
+    m: &CsrMatrix,
+    opts: &PowerOptions,
+    pool: Arc<ThreadPool>,
+) -> Result<(Vec<f64>, ConvergenceReport)> {
+    if m.nrows() == 0 {
+        return Err(LinalgError::Empty);
+    }
+    let op = StationaryOperator::new(m, Arc::clone(&pool))?;
+    let x0 = vec_ops::uniform(m.nrows());
+    power_method_pool(&op, &x0, opts, &pool)
 }
 
 #[cfg(test)]

@@ -162,6 +162,26 @@ impl StochasticMatrix {
         y: &mut [f64],
     ) -> Result<()> {
         self.matrix.apply_transpose_into(x, y)?;
+        self.redistribute_dangling(x, v, policy, y)
+    }
+
+    /// Adds the dangling-mass redistribution of one rank step to an
+    /// already-computed `y = Mᵀ x` — the second half of
+    /// [`StochasticMatrix::rank_step_into`], exposed separately so callers
+    /// that compute the transpose product through a different kernel (the
+    /// parallel pull-mode gather) can reuse the identical dangling
+    /// arithmetic.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::DimensionMismatch`] when `policy` is
+    /// [`DanglingPolicy::Teleport`] and `v` has the wrong length.
+    pub fn redistribute_dangling(
+        &self,
+        x: &[f64],
+        v: &[f64],
+        policy: DanglingPolicy,
+        y: &mut [f64],
+    ) -> Result<()> {
         if self.dangling.is_empty() {
             return Ok(());
         }

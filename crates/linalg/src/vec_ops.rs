@@ -5,9 +5,18 @@
 //! ranking vectors, message payloads in the P2P simulator, and so on.
 
 use crate::error::{LinalgError, Result};
+use lmm_par::ThreadPool;
 
 /// Tolerance used by [`is_distribution`] and the stochastic validators.
 pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// Chunk length of the parallel reductions and elementwise kernels below.
+///
+/// The grid `[0..PAR_CHUNK)`, `[PAR_CHUNK..2·PAR_CHUNK)`, … depends only on
+/// the vector length, never on the pool size, so every `*_par` function
+/// returns **bit-identical** results for any thread count (including the
+/// serial pool). Vectors at or below one chunk take the plain serial path.
+pub const PAR_CHUNK: usize = 16 * 1024;
 
 /// Returns the L1 norm `sum(|x_i|)` of `x`.
 ///
@@ -143,6 +152,134 @@ pub fn is_distribution(x: &[f64], tol: f64) -> bool {
     check_distribution(x, tol).is_ok()
 }
 
+/// Pool-parallel [`l1_norm`]: chunked partial sums folded in chunk order.
+///
+/// The chunk grid is fixed by the length alone, so the result does not
+/// depend on the pool size (it may differ from the serial left-to-right
+/// sum in the last bits — chunked summation is, if anything, more
+/// accurate).
+#[must_use]
+pub fn l1_norm_par(pool: &ThreadPool, x: &[f64]) -> f64 {
+    pool.par_reduce(
+        x.len(),
+        PAR_CHUNK,
+        |r| x[r].iter().map(|v| v.abs()).sum::<f64>(),
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
+}
+
+/// Pool-parallel sum of all entries (chunk-ordered fold; see
+/// [`l1_norm_par`] for the determinism contract).
+#[must_use]
+pub fn sum_par(pool: &ThreadPool, x: &[f64]) -> f64 {
+    pool.par_reduce(
+        x.len(),
+        PAR_CHUNK,
+        |r| x[r].iter().sum::<f64>(),
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
+}
+
+/// Pool-parallel [`l1_diff`].
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn l1_diff_par(pool: &ThreadPool, x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "l1_diff requires equal lengths");
+    pool.par_reduce(
+        x.len(),
+        PAR_CHUNK,
+        |r| {
+            x[r.clone()]
+                .iter()
+                .zip(&y[r])
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+        },
+        |a, b| a + b,
+    )
+    .unwrap_or(0.0)
+}
+
+/// Pool-parallel [`linf_diff`] (max of chunk maxima — exactly the serial
+/// value, since `max` is order-insensitive).
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+#[must_use]
+pub fn linf_diff_par(pool: &ThreadPool, x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "linf_diff requires equal lengths");
+    pool.par_reduce(
+        x.len(),
+        PAR_CHUNK,
+        |r| {
+            x[r.clone()]
+                .iter()
+                .zip(&y[r])
+                .fold(0.0f64, |acc, (a, b)| acc.max((a - b).abs()))
+        },
+        f64::max,
+    )
+    .unwrap_or(0.0)
+}
+
+/// Pool-parallel [`linf_norm`].
+#[must_use]
+pub fn linf_norm_par(pool: &ThreadPool, x: &[f64]) -> f64 {
+    pool.par_reduce(
+        x.len(),
+        PAR_CHUNK,
+        |r| x[r].iter().fold(0.0f64, |acc, v| acc.max(v.abs())),
+        f64::max,
+    )
+    .unwrap_or(0.0)
+}
+
+/// Pool-parallel [`axpy`] (`y += alpha * x`): elementwise, so bit-identical
+/// to the serial loop at any pool size.
+///
+/// # Panics
+/// Panics if `x.len() != y.len()`.
+pub fn axpy_par(pool: &ThreadPool, alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy requires equal lengths");
+    pool.par_chunks_mut(y, PAR_CHUNK, |offset, chunk| {
+        let len = chunk.len();
+        for (yi, xi) in chunk.iter_mut().zip(&x[offset..offset + len]) {
+            *yi += alpha * xi;
+        }
+    });
+}
+
+/// Pool-parallel [`scale`] (elementwise; bit-identical at any pool size).
+pub fn scale_par(pool: &ThreadPool, x: &mut [f64], alpha: f64) {
+    pool.par_chunks_mut(x, PAR_CHUNK, |_, chunk| {
+        for v in chunk {
+            *v *= alpha;
+        }
+    });
+}
+
+/// Pool-parallel [`normalize_l1`]: the total is a chunk-ordered parallel
+/// sum, the rescale an elementwise parallel sweep.
+///
+/// # Errors
+/// See [`normalize_l1`].
+pub fn normalize_l1_par(pool: &ThreadPool, x: &mut [f64]) -> Result<f64> {
+    if x.is_empty() {
+        return Err(LinalgError::Empty);
+    }
+    let sum = sum_par(pool, x);
+    if !(sum.is_finite() && sum > 0.0) {
+        return Err(LinalgError::NotDistribution { sum });
+    }
+    let inv = 1.0 / sum;
+    scale_par(pool, x, inv);
+    Ok(sum)
+}
+
 /// Index of the maximal element (first one on ties). `None` when empty.
 #[must_use]
 pub fn argmax(x: &[f64]) -> Option<usize> {
@@ -246,5 +383,85 @@ mod tests {
         let mut x = vec![1.0, -2.0];
         scale(&mut x, -3.0);
         assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    fn wiggly(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| ((i as f64 * 0.7).sin() * 3.0) + if i % 3 == 0 { -1.5 } else { 0.25 })
+            .collect()
+    }
+
+    #[test]
+    fn par_reductions_are_pool_size_independent() {
+        // Large enough for many chunks; values chosen to make the fold
+        // order observable if it ever varied.
+        let x = wiggly(5 * PAR_CHUNK + 17);
+        let y = wiggly(5 * PAR_CHUNK + 17)
+            .iter()
+            .map(|v| v * 1.01)
+            .collect::<Vec<_>>();
+        let serial = ThreadPool::serial();
+        for threads in [2usize, 4] {
+            let pool = ThreadPool::new(threads);
+            for (a, b) in [
+                (l1_norm_par(&serial, &x), l1_norm_par(&pool, &x)),
+                (sum_par(&serial, &x), sum_par(&pool, &x)),
+                (l1_diff_par(&serial, &x, &y), l1_diff_par(&pool, &x, &y)),
+                (linf_diff_par(&serial, &x, &y), linf_diff_par(&pool, &x, &y)),
+                (linf_norm_par(&serial, &x), linf_norm_par(&pool, &x)),
+            ] {
+                assert_eq!(a.to_bits(), b.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn par_reductions_match_serial_closely() {
+        let x = wiggly(3 * PAR_CHUNK);
+        let y = wiggly(3 * PAR_CHUNK)
+            .iter()
+            .map(|v| v + 0.5)
+            .collect::<Vec<_>>();
+        let pool = ThreadPool::new(3);
+        assert!((l1_norm_par(&pool, &x) - l1_norm(&x)).abs() < 1e-9 * l1_norm(&x));
+        assert!((l1_diff_par(&pool, &x, &y) - l1_diff(&x, &y)).abs() < 1e-9 * l1_diff(&x, &y));
+        // Max-based norms are order-insensitive: exactly equal.
+        assert_eq!(linf_norm_par(&pool, &x), linf_norm(&x));
+        assert_eq!(linf_diff_par(&pool, &x, &y), linf_diff(&x, &y));
+    }
+
+    #[test]
+    fn par_elementwise_match_serial_exactly() {
+        let x = wiggly(2 * PAR_CHUNK + 5);
+        let pool = ThreadPool::new(4);
+        let mut y_serial = wiggly(2 * PAR_CHUNK + 5);
+        let mut y_par = y_serial.clone();
+        axpy(0.37, &x, &mut y_serial);
+        axpy_par(&pool, 0.37, &x, &mut y_par);
+        assert_eq!(y_serial, y_par);
+        scale(&mut y_serial, -1.25);
+        scale_par(&pool, &mut y_par, -1.25);
+        assert_eq!(y_serial, y_par);
+    }
+
+    #[test]
+    fn normalize_l1_par_basics() {
+        let pool = ThreadPool::new(2);
+        let mut x: Vec<f64> = (0..2 * PAR_CHUNK).map(|i| (i % 7) as f64 + 1.0).collect();
+        let sum = normalize_l1_par(&pool, &mut x).unwrap();
+        assert!(sum > 0.0);
+        assert!(is_distribution(&x, 1e-9));
+        // Pool-size independence of the normalized vector.
+        let mut x1: Vec<f64> = (0..2 * PAR_CHUNK).map(|i| (i % 7) as f64 + 1.0).collect();
+        normalize_l1_par(&ThreadPool::serial(), &mut x1).unwrap();
+        assert_eq!(x, x1);
+
+        let mut zero = vec![0.0; 8];
+        assert!(matches!(
+            normalize_l1_par(&pool, &mut zero),
+            Err(LinalgError::NotDistribution { .. })
+        ));
+        let mut empty: Vec<f64> = vec![];
+        assert_eq!(normalize_l1_par(&pool, &mut empty), Err(LinalgError::Empty));
     }
 }

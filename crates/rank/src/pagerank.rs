@@ -4,13 +4,21 @@
 //!
 //! The Google matrix is never materialized; each power-method step applies
 //! the factored operator `y = f·(Mᵀx + dangling) + (1−f)·v` in `O(nnz)`.
+//! The `Mᵀx` term runs through the pull-mode
+//! [`StationaryOperator`] — `Mᵀ` is materialized once per
+//! [`PageRank::run`] and each step is a row-wise gather, parallelized
+//! across the builder's [`threads`](PageRank::threads) (bit-identical at
+//! every thread count).
+
+use std::sync::Arc;
 
 use crate::error::{RankError, Result};
 use crate::ranking::Ranking;
 use lmm_linalg::{
-    power_method, vec_ops, Acceleration, ConvergenceReport, CsrMatrix, DanglingPolicy, DenseMatrix,
-    LinearOperator, PowerOptions, StochasticMatrix,
+    power_method_pool, vec_ops, Acceleration, ConvergenceReport, CsrMatrix, DanglingPolicy,
+    DenseMatrix, LinearOperator, PowerOptions, StationaryOperator, StochasticMatrix,
 };
+use lmm_par::ThreadPool;
 
 /// Plain-data PageRank parameters (damping, convergence budget, dangling
 /// policy). Personalization and warm starts live on the [`PageRank`] builder
@@ -30,6 +38,12 @@ pub struct PageRankConfig {
     /// [`Acceleration`]); the extrapolation
     /// methods the LMM paper cites as the centralized speed-up alternative.
     pub acceleration: Acceleration,
+    /// Worker threads for the gather SpMV and `O(n)` vector passes
+    /// (`0` = one per available core). Defaults to 1 (serial): inner
+    /// solves — e.g. one site's DocRank inside a per-site fan-out — must
+    /// stay serial, so parallelism is opt-in at the outermost level.
+    /// Results are bit-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for PageRankConfig {
@@ -40,6 +54,7 @@ impl Default for PageRankConfig {
             max_iters: 10_000,
             dangling: DanglingPolicy::Uniform,
             acceleration: Acceleration::None,
+            threads: 1,
         }
     }
 }
@@ -125,6 +140,14 @@ impl PageRank {
         self
     }
 
+    /// Sets the worker-thread count for the gather SpMV and vector passes
+    /// (`0` = one per available core; default 1 = serial). The ranking is
+    /// bit-identical for every value — threads only change wall time.
+    pub fn threads(&mut self, threads: usize) -> &mut Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// Sets the personalization (teleport) vector `v` in
     /// `M̂ = f·M + (1−f)·e·vᵀ`. Defaults to the uniform distribution, which
     /// recovers the paper's eq. (1).
@@ -190,11 +213,15 @@ impl PageRank {
             }
             None => vec_ops::uniform(n),
         };
+        let pool = ThreadPool::shared(self.config.threads);
         let op = GoogleOperator {
+            // Pull mode: pay the transpose once, gather every step.
+            mt: StationaryOperator::new(m.matrix(), Arc::clone(&pool))?,
             m,
             damping: f,
             v: &v,
             policy: self.config.dangling,
+            pool: Arc::clone(&pool),
         };
         let opts = PowerOptions {
             tol: self.config.tol,
@@ -202,7 +229,7 @@ impl PageRank {
             acceleration: self.config.acceleration,
             ..PowerOptions::default()
         };
-        let (scores, report) = power_method(&op, &x0, &opts)?;
+        let (scores, report) = power_method_pool(&op, &x0, &opts, &pool)?;
         Ok(PageRankResult {
             ranking: Ranking::from_scores(scores)?,
             report,
@@ -224,12 +251,19 @@ impl PageRank {
 /// The factored Google-matrix step `y = f·(Mᵀx + dangling) + (1−f)·‖x‖₁·v`.
 ///
 /// The `‖x‖₁` factor keeps the operator linear; under the power method's
-/// per-step normalization it equals 1.
+/// per-step normalization it equals 1. The `Mᵀx` term is the parallel
+/// pull-mode gather of [`StationaryOperator`] (bit-identical to the serial
+/// scatter); the dangling redistribution reuses the exact arithmetic of
+/// [`StochasticMatrix::rank_step_into`]; the final blend is an elementwise
+/// parallel sweep. The step is therefore deterministic across thread
+/// counts.
 struct GoogleOperator<'a> {
+    mt: StationaryOperator,
     m: &'a StochasticMatrix,
     damping: f64,
     v: &'a [f64],
     policy: DanglingPolicy,
+    pool: Arc<ThreadPool>,
 }
 
 impl LinearOperator for GoogleOperator<'_> {
@@ -238,12 +272,19 @@ impl LinearOperator for GoogleOperator<'_> {
     }
 
     fn apply_to(&self, x: &[f64], y: &mut [f64]) -> lmm_linalg::Result<()> {
-        self.m.rank_step_into(x, self.v, self.policy, y)?;
-        let sx: f64 = x.iter().sum();
+        self.mt.apply_to(x, y)?;
+        self.m.redistribute_dangling(x, self.v, self.policy, y)?;
+        let sx = vec_ops::sum_par(&self.pool, x);
         let teleport = (1.0 - self.damping) * sx;
-        for (yi, &vi) in y.iter_mut().zip(self.v) {
-            *yi = self.damping * *yi + teleport * vi;
-        }
+        let damping = self.damping;
+        let v = self.v;
+        self.pool
+            .par_chunks_mut(y, vec_ops::PAR_CHUNK, |offset, chunk| {
+                let len = chunk.len();
+                for (yi, &vi) in chunk.iter_mut().zip(&v[offset..offset + len]) {
+                    *yi = damping * *yi + teleport * vi;
+                }
+            });
         Ok(())
     }
 }
@@ -436,5 +477,30 @@ mod tests {
     fn google_matrix_is_row_stochastic() {
         let g = google_matrix_dense(&with_dangling(), 0.85, None, DanglingPolicy::Uniform).unwrap();
         g.check_row_stochastic(1e-12).unwrap();
+    }
+
+    #[test]
+    fn thread_count_is_bit_invisible() {
+        for policy in [
+            DanglingPolicy::Uniform,
+            DanglingPolicy::Teleport,
+            DanglingPolicy::Renormalize,
+        ] {
+            let m = with_dangling();
+            let serial = PageRank::new().dangling(policy).run(&m).unwrap();
+            for threads in [2usize, 4, 0] {
+                let mut pr = PageRank::new();
+                pr.dangling(policy).threads(threads);
+                let parallel = pr.run(&m).unwrap();
+                let same = serial
+                    .ranking
+                    .scores()
+                    .iter()
+                    .zip(parallel.ranking.scores())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+                assert!(same, "policy {policy:?}, {threads} threads");
+                assert_eq!(serial.report.iterations, parallel.report.iterations);
+            }
+        }
     }
 }

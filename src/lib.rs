@@ -128,7 +128,10 @@ pub mod compat {
         damping: f64,
         power: &PowerOptions,
     ) -> lmm_core::Result<PageRankResult> {
-        lmm_core::siterank::flat_pagerank(graph, damping, power)
+        // Stay serial (threads = 1): this shim predates the engine's
+        // threads knob, and legacy callers must not silently start a
+        // process-wide worker pool.
+        lmm_core::siterank::flat_pagerank(graph, damping, power, 1)
     }
 
     /// Pre-engine entry point for distributed runs.

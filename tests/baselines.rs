@@ -29,7 +29,7 @@ fn blockrank_refinement_recovers_flat_pagerank() {
         &PageRankConfig::default(),
     )
     .expect("blockrank");
-    let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-12)).expect("flat");
+    let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-12), 0).expect("flat");
     assert!(vec_ops::l1_diff(block.refined.ranking.scores(), flat.ranking.scores()) < 1e-8);
 }
 
@@ -59,7 +59,7 @@ fn hits_authorities_are_hijacked_by_the_farm() {
     let graph = campus();
     let h = hits(graph.adjacency(), &HitsConfig::default()).expect("hits");
     let spam_share = metrics::labeled_share_at_k(&h.authorities, &graph.spam_labels(), 15);
-    let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-10)).expect("flat");
+    let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-10), 0).expect("flat");
     let pr_share = metrics::labeled_share_at_k(&flat.ranking, &graph.spam_labels(), 15);
     assert!(
         spam_share >= pr_share,
@@ -75,7 +75,7 @@ fn layered_beats_all_baselines_on_spam_resistance() {
     let k = 15;
 
     let layered = layered_doc_rank(&graph, &LayeredRankConfig::default()).expect("layered");
-    let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-10)).expect("flat");
+    let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-10), 0).expect("flat");
     let h = hits(graph.adjacency(), &HitsConfig::default()).expect("hits");
     let block = blockrank(
         graph.adjacency(),

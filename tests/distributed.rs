@@ -52,7 +52,7 @@ fn centralized_baseline_equals_flat_pagerank() {
         &DistributedConfig::default().with_architecture(Architecture::Centralized),
     )
     .expect("centralized run");
-    let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-10)).expect("flat");
+    let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-10), 0).expect("flat");
     assert!(vec_ops::l1_diff(outcome.global.scores(), flat.ranking.scores()) < 1e-8);
 }
 

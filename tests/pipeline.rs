@@ -14,7 +14,7 @@ fn campus() -> lmm::graph::DocGraph {
 #[test]
 fn figure3_flat_pagerank_is_spam_dominated() {
     let graph = campus();
-    let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-10)).expect("flat");
+    let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-10), 0).expect("flat");
     let spam_share = metrics::labeled_share_at_k(&flat.ranking, &graph.spam_labels(), 15);
     assert!(
         spam_share >= 0.3,
@@ -54,7 +54,7 @@ fn layered_top15_is_authoritative_roots() {
 fn portal_root_ranks_first_under_both_methods() {
     let graph = campus();
     let root = graph.docs_of_site(SiteId(0))[0];
-    let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-10)).expect("flat");
+    let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-10), 0).expect("flat");
     let layered = layered_doc_rank(&graph, &LayeredRankConfig::default()).expect("layered");
     assert_eq!(flat.ranking.order()[0], root.index());
     assert_eq!(layered.global.order()[0], root.index());
@@ -63,7 +63,7 @@ fn portal_root_ranks_first_under_both_methods() {
 #[test]
 fn rankings_correlate_but_differ() {
     let graph = campus();
-    let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-10)).expect("flat");
+    let flat = flat_pagerank(&graph, 0.85, &PowerOptions::with_tol(1e-10), 0).expect("flat");
     let layered = layered_doc_rank(&graph, &LayeredRankConfig::default()).expect("layered");
     let tau = metrics::kendall_tau(&flat.ranking, &layered.global);
     assert!(
@@ -93,13 +93,17 @@ fn clean_web_keeps_methods_closer() {
         .expect("clean web");
     let power = PowerOptions::with_tol(1e-10);
     let tau_spammy = metrics::kendall_tau(
-        &flat_pagerank(&spammy, 0.85, &power).expect("flat").ranking,
+        &flat_pagerank(&spammy, 0.85, &power, 0)
+            .expect("flat")
+            .ranking,
         &layered_doc_rank(&spammy, &LayeredRankConfig::default())
             .expect("layered")
             .global,
     );
     let tau_clean = metrics::kendall_tau(
-        &flat_pagerank(&clean, 0.85, &power).expect("flat").ranking,
+        &flat_pagerank(&clean, 0.85, &power, 0)
+            .expect("flat")
+            .ranking,
         &layered_doc_rank(&clean, &LayeredRankConfig::default())
             .expect("layered")
             .global,
