@@ -1,28 +1,57 @@
-//! Incremental maintenance of the layered DocRank under graph changes.
+//! Incremental maintenance of the layered DocRank under graph changes —
+//! including structural growth.
 //!
 //! The paper's Section 1.2 motivation: centralized PageRank has "a limited
 //! potential of keeping up with the Web growth" because any change anywhere
 //! invalidates the global computation. The layered decomposition localizes
 //! change: if only site `s`'s internal pages/links changed, only `π_D(s)`
 //! must be recomputed; the SiteRank is touched only when *cross-site* links
-//! changed. [`incremental_update`] implements exactly that contract and the
-//! tests verify it reproduces a from-scratch recomputation.
+//! (or the site set itself) changed. [`incremental_update`] implements that
+//! contract for three kinds of staleness:
+//!
+//! * **changed** sites (same membership, different intra-site links) are
+//!   recomputed *warm* — the previous local vector seeds the power method;
+//! * **grown** sites (new pages joined) are rebuilt *cold* — their rank
+//!   dimension changed, so no previous vector fits;
+//! * **added** sites (appended by a [`lmm_graph::delta::GraphDelta`]) are
+//!   computed cold, and the SiteRank warm-starts from the previous vector
+//!   padded with the teleport mass of the new sites.
+//!
+//! [`diff_sites`] derives a [`SiteDelta`] from two graph snapshots
+//! (tolerating growth, rejecting shrinkage and re-partitions), and
+//! [`SiteDelta::from`] converts the [`lmm_graph::delta::AppliedDelta`]
+//! summary that [`lmm_graph::DocGraph::apply`] reports — the zero-diff path
+//! used by the engine's `apply_delta`. The tests verify both pipelines
+//! reproduce a from-scratch recomputation.
 
-use crate::error::Result;
-use crate::siterank::{layered_doc_rank, LayeredDocRank, LayeredRankConfig};
+use std::sync::Arc;
+
+use crate::error::{LmmError, Result};
+use crate::siterank::{layered_doc_rank, LayeredDocRank, LayeredRankConfig, SiteLayerMethod};
+use lmm_graph::delta::AppliedDelta;
 use lmm_graph::docgraph::DocGraph;
 use lmm_graph::ids::SiteId;
 use lmm_graph::sitegraph::ranking_site_graph;
+use lmm_linalg::{power_method_pool, vec_ops, StationaryOperator};
+use lmm_par::ThreadPool;
 use lmm_rank::pagerank::PageRank;
 use lmm_rank::Ranking;
 
-/// What changed between two versions of a document graph (same document
-/// set and site partition).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// What changed between two versions of a document graph whose common
+/// prefix of documents kept its site partition (growth appends documents
+/// and sites; it never renumbers).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SiteDelta {
-    /// Sites whose intra-site subgraph changed (local ranks stale).
+    /// Sites whose intra-site subgraph changed with unchanged membership
+    /// (local ranks stale, warm-startable).
     pub changed_sites: Vec<usize>,
-    /// Whether any cross-site link changed (SiteRank stale).
+    /// Pre-existing sites that gained pages (local rank dimension changed —
+    /// cold rebuild).
+    pub grown_sites: Vec<usize>,
+    /// Number of whole sites appended at the end of the site range.
+    pub added_sites: usize,
+    /// Whether any cross-site link (or the site count) changed (SiteRank
+    /// stale).
     pub cross_links_changed: bool,
 }
 
@@ -30,116 +59,360 @@ impl SiteDelta {
     /// `true` when nothing changed.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.changed_sites.is_empty() && !self.cross_links_changed
+        self.changed_sites.is_empty()
+            && self.grown_sites.is_empty()
+            && self.added_sites == 0
+            && !self.cross_links_changed
+    }
+}
+
+impl From<&AppliedDelta> for SiteDelta {
+    fn from(applied: &AppliedDelta) -> Self {
+        Self {
+            changed_sites: applied.changed_sites.clone(),
+            grown_sites: applied.grown_sites.clone(),
+            added_sites: applied.added_sites,
+            cross_links_changed: applied.cross_links_changed,
+        }
     }
 }
 
 /// Cost accounting of one incremental update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct UpdateStats {
-    /// Local DocRanks recomputed.
+    /// Local DocRanks recomputed (changed + grown + added).
     pub sites_recomputed: usize,
+    /// Of those, pre-existing sites rebuilt cold because they grew.
+    pub sites_grown: usize,
+    /// Of those, brand-new sites computed for the first time.
+    pub sites_added: usize,
     /// Local DocRanks reused untouched.
     pub sites_reused: usize,
     /// Whether the SiteRank power iteration ran.
     pub site_rank_recomputed: bool,
 }
 
-/// Compares two same-shape graphs and reports which layers are stale.
+/// Compares two graph snapshots and reports which layers are stale.
+///
+/// The new graph may have **grown**: documents appended to existing sites
+/// and whole sites appended after the old range. The common document prefix
+/// must keep its site partition.
 ///
 /// # Errors
-/// Returns an error when the graphs have different document counts or site
-/// partitions — incremental maintenance presumes an in-place recrawl, not a
-/// re-discovery of the web. (Structural growth is handled by rebuilding the
-/// affected site from scratch, which is what this delta would report
-/// anyway.)
+/// Returns [`LmmError::InvalidModel`] when the new graph shrank (documents
+/// or sites removed — re-discovery of the web, not a recrawl), when any
+/// pre-existing document moved to a different site, or when an appended
+/// site is empty.
 pub fn diff_sites(old: &DocGraph, new: &DocGraph) -> Result<SiteDelta> {
-    if old.n_docs() != new.n_docs() || old.n_sites() != new.n_sites() {
-        return Err(crate::error::LmmError::InvalidModel {
+    if new.n_docs() < old.n_docs() || new.n_sites() < old.n_sites() {
+        return Err(LmmError::InvalidModel {
             reason: format!(
-                "incremental diff needs matching shapes: {}x{} docs, {}x{} sites",
+                "incremental diff supports growth only: graph shrank from {}x{} \
+                 to {}x{} (docs x sites)",
                 old.n_docs(),
-                new.n_docs(),
                 old.n_sites(),
+                new.n_docs(),
                 new.n_sites()
             ),
         });
     }
-    if old.site_assignments() != new.site_assignments() {
-        return Err(crate::error::LmmError::InvalidModel {
-            reason: "incremental diff needs an identical site partition".into(),
+    if old.site_assignments() != &new.site_assignments()[..old.n_docs()] {
+        return Err(LmmError::InvalidModel {
+            reason: "incremental diff needs an identical site partition over the \
+                     common document prefix"
+                .into(),
         });
     }
     let mut changed_sites = Vec::new();
+    let mut grown_sites = Vec::new();
     for s in 0..old.n_sites() {
-        if old.site_subgraph(SiteId(s)) != new.site_subgraph(SiteId(s)) {
+        if new.site_size(SiteId(s)) != old.site_size(SiteId(s)) {
+            // With the prefix partition fixed, membership can only gain
+            // appended documents.
+            grown_sites.push(s);
+        } else if old.site_subgraph(SiteId(s)) != new.site_subgraph(SiteId(s)) {
             changed_sites.push(s);
         }
     }
-    // Cross-site links changed iff the full adjacency differs by more than
-    // the intra-site differences — cheapest check: compare cross-link
-    // multisets via the SiteGraphs (counts per ordered site pair).
+    let added_sites = new.n_sites() - old.n_sites();
+    for s in old.n_sites()..new.n_sites() {
+        if new.site_size(SiteId(s)) == 0 {
+            return Err(LmmError::InvalidModel {
+                reason: format!(
+                    "appended site {s} ({:?}) has no documents — empty sites have \
+                     no local rank distribution",
+                    new.site_name(SiteId(s))
+                ),
+            });
+        }
+    }
+    // Cross-site links changed iff the cross-link multisets differ (counts
+    // per ordered site pair); a changed site count stales the SiteRank
+    // unconditionally because its dimension changed. Intra-site count
+    // changes can also stale the SiteRank, but only under self-loop
+    // SiteGraphs — [`incremental_update`] handles that from the config,
+    // since the delta itself is options-agnostic.
     let opts = lmm_graph::sitegraph::SiteGraphOptions::default();
-    let cross_links_changed =
-        ranking_site_graph(old, &opts).weights() != ranking_site_graph(new, &opts).weights();
+    let cross_links_changed = added_sites > 0
+        || ranking_site_graph(old, &opts).weights() != ranking_site_graph(new, &opts).weights();
     Ok(SiteDelta {
         changed_sites,
+        grown_sites,
+        added_sites,
         cross_links_changed,
     })
+}
+
+/// A [`SiteDelta`] checked and normalized against the previous result and
+/// the new graph: sorted, deduplicated, bounds-validated, size-coherent.
+struct ValidDelta {
+    changed: Vec<usize>,
+    grown: Vec<usize>,
+    added_sites: usize,
+    cross_links_changed: bool,
+}
+
+/// Dedups and bounds-validates a caller-supplied delta so malformed input
+/// surfaces as [`LmmError::InvalidModel`] instead of a panic or — worse — a
+/// silently misaligned recomposition.
+fn validate_delta(
+    previous: &LayeredDocRank,
+    new_graph: &DocGraph,
+    delta: &SiteDelta,
+) -> Result<ValidDelta> {
+    let n_sites = new_graph.n_sites();
+    let n_old = previous.local_ranks.len();
+    if previous.site_rank.len() != n_old {
+        return Err(LmmError::InvalidModel {
+            reason: format!(
+                "previous result is inconsistent: {} local ranks but a SiteRank \
+                 over {} sites",
+                n_old,
+                previous.site_rank.len()
+            ),
+        });
+    }
+    if n_old + delta.added_sites != n_sites {
+        return Err(LmmError::InvalidModel {
+            reason: format!(
+                "delta reports {} added sites but the graph went from {} to {} sites",
+                delta.added_sites, n_old, n_sites
+            ),
+        });
+    }
+    let normalize = |list: &[usize], label: &str| -> Result<Vec<usize>> {
+        let mut sorted = list.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if let Some(&s) = sorted.iter().find(|&&s| s >= n_old) {
+            return Err(LmmError::InvalidModel {
+                reason: format!(
+                    "delta lists {label} site {s}, but only sites 0..{n_old} pre-exist"
+                ),
+            });
+        }
+        Ok(sorted)
+    };
+    let changed = normalize(&delta.changed_sites, "changed")?;
+    let grown = normalize(&delta.grown_sites, "grown")?;
+    if let Some(&s) = changed.iter().find(|s| grown.binary_search(s).is_ok()) {
+        return Err(LmmError::InvalidModel {
+            reason: format!("delta lists site {s} as both changed and grown"),
+        });
+    }
+    // Size coherence: a "changed" or untouched site must have kept its
+    // size — a mismatch means the delta under-reports growth, and the
+    // recomposition below would silently misalign local vectors.
+    for s in 0..n_old {
+        let size = new_graph.site_size(SiteId(s));
+        let prev = previous.local_ranks[s].len();
+        if grown.binary_search(&s).is_ok() {
+            if size == 0 {
+                return Err(LmmError::InvalidModel {
+                    reason: format!("grown site {s} has no documents"),
+                });
+            }
+        } else if size != prev {
+            return Err(LmmError::InvalidModel {
+                reason: format!(
+                    "site {s} went from {prev} to {size} documents but the delta \
+                     does not report it as grown"
+                ),
+            });
+        }
+    }
+    for s in n_old..n_sites {
+        if new_graph.site_size(SiteId(s)) == 0 {
+            return Err(LmmError::InvalidModel {
+                reason: format!("added site {s} has no documents"),
+            });
+        }
+    }
+    Ok(ValidDelta {
+        changed,
+        grown,
+        added_sites: delta.added_sites,
+        cross_links_changed: delta.cross_links_changed,
+    })
+}
+
+/// Recomputes the SiteRank, warm-started from the previous vector. When
+/// sites were appended, the previous vector is padded with each new site's
+/// teleport mass (`(1-f)·v(s)` under PageRank, uniform mass under the raw
+/// stationary method) and renormalized — the cheapest consistent prior for
+/// a site nobody has linked long enough to rank.
+fn recompute_site_rank(
+    previous: &LayeredDocRank,
+    new_graph: &DocGraph,
+    config: &LayeredRankConfig,
+) -> Result<(Ranking, lmm_linalg::ConvergenceReport)> {
+    let site_graph = ranking_site_graph(new_graph, &config.site_options);
+    let n_sites = new_graph.n_sites();
+    let n_old = previous.site_rank.len();
+    let mut warm = previous.site_rank.scores().to_vec();
+    match config.site_method {
+        SiteLayerMethod::PageRank => {
+            for s in n_old..n_sites {
+                // The caller validated the personalization vector against
+                // the updated site count, so `v[s]` covers the new sites.
+                let teleport = match &config.site_personalization {
+                    Some(v) => v[s],
+                    None => 1.0 / n_sites as f64,
+                };
+                warm.push((1.0 - config.site_damping) * teleport);
+            }
+            vec_ops::normalize_l1(&mut warm)?;
+            let mut pr = PageRank::new();
+            pr.damping(config.site_damping)
+                .tol(config.power.tol)
+                .max_iters(config.power.max_iters)
+                .initial(warm);
+            if let Some(v) = &config.site_personalization {
+                pr.personalization(v.clone());
+            }
+            let result = pr.run(&site_graph.to_stochastic()?)?;
+            Ok((result.ranking, result.report))
+        }
+        SiteLayerMethod::Stationary => {
+            if config.site_personalization.is_some() {
+                return Err(LmmError::InvalidModel {
+                    reason: "site-layer personalization requires SiteLayerMethod::PageRank \
+                             (the un-damped stationary chain has no teleport vector)"
+                        .into(),
+                });
+            }
+            warm.extend(std::iter::repeat_n(1.0 / n_sites as f64, n_sites - n_old));
+            vec_ops::normalize_l1(&mut warm)?;
+            let stochastic = site_graph.to_stochastic()?;
+            let pool = ThreadPool::shared(config.threads);
+            let op = StationaryOperator::new(stochastic.matrix(), Arc::clone(&pool))?;
+            let (pi, report) = power_method_pool(&op, &warm, &config.power, &pool)?;
+            Ok((Ranking::from_scores(pi)?, report))
+        }
+    }
 }
 
 /// Applies an incremental update: recomputes only the stale layers of
 /// `previous` against `new_graph` and recomposes the global ranking.
 ///
-/// Local recomputations warm-start from the previous local vectors, so a
-/// small intra-site edit converges in a handful of iterations.
+/// Changed sites warm-start from the previous local vectors, so a small
+/// intra-site edit converges in a handful of iterations; grown and added
+/// sites are rebuilt cold. When the site set or any cross-site link
+/// changed, the SiteRank reruns warm-started from the (padded) previous
+/// vector.
 ///
 /// # Errors
-/// Propagates PageRank failures; delta/shape mismatches surface from
-/// [`diff_sites`] (call it to obtain `delta`).
+/// Returns [`LmmError::InvalidModel`] for a delta that is out of range,
+/// inconsistent with the graphs' shapes, or under-reports growth;
+/// propagates PageRank failures. Obtain a coherent `delta` from
+/// [`diff_sites`] or from [`lmm_graph::DocGraph::apply`]'s summary.
 pub fn incremental_update(
     previous: &LayeredDocRank,
     new_graph: &DocGraph,
     delta: &SiteDelta,
     config: &LayeredRankConfig,
 ) -> Result<(LayeredDocRank, UpdateStats)> {
+    let delta = validate_delta(previous, new_graph, delta)?;
     let n_sites = new_graph.n_sites();
-    let mut stats = UpdateStats::default();
-
-    // SiteRank: reuse or recompute (warm-started from the previous vector).
-    let (site_rank, site_report) = if delta.cross_links_changed {
-        stats.site_rank_recomputed = true;
-        let site_graph = ranking_site_graph(new_graph, &config.site_options);
-        let mut pr = PageRank::new();
-        pr.damping(config.site_damping)
-            .tol(config.power.tol)
-            .max_iters(config.power.max_iters)
-            .initial(previous.site_rank.scores().to_vec());
-        if let Some(v) = &config.site_personalization {
-            pr.personalization(v.clone());
+    let n_old = n_sites - delta.added_sites;
+    // Personalization must fit the *new* graph: a site vector of the old
+    // length (or a per-site vector of a grown site's old size) would fail
+    // deep inside PageRank with an opaque message — or worse, silently
+    // skew a recomposed ranking the caller believes personalized.
+    if let Some(v) = &config.site_personalization {
+        if v.len() != n_sites {
+            return Err(LmmError::InvalidModel {
+                reason: format!(
+                    "site personalization has length {}, the updated graph has {} \
+                     sites — supply a vector covering the added sites",
+                    v.len(),
+                    n_sites
+                ),
+            });
         }
-        let result = pr.run(&site_graph.to_stochastic()?)?;
-        (result.ranking, result.report)
-    } else {
-        (previous.site_rank.clone(), previous.site_report)
+    }
+    for (&s, v) in &config.local_personalization {
+        if s >= n_sites || v.len() != new_graph.site_size(SiteId(s)) {
+            return Err(LmmError::InvalidModel {
+                reason: format!(
+                    "document personalization for site {s} has length {}, the \
+                     updated graph's site has {} documents",
+                    v.len(),
+                    if s < n_sites {
+                        new_graph.site_size(SiteId(s))
+                    } else {
+                        0
+                    }
+                ),
+            });
+        }
+    }
+    let mut stats = UpdateStats {
+        sites_grown: delta.grown.len(),
+        sites_added: delta.added_sites,
+        ..UpdateStats::default()
     };
 
-    // Local ranks: recompute only the changed sites, fanned across the
-    // shared pool — the stale sites are exactly as independent as the full
-    // pipeline's per-site solves.
-    let mut local_ranks = previous.local_ranks.clone();
+    // SiteRank: reuse, or recompute warm-started (padded when sites were
+    // appended — the dimension changed, so reuse is impossible). Under a
+    // self-loop SiteGraph, intra-site count changes also move the site
+    // weights, so any changed/grown site stales the SiteRank too (the
+    // warm start makes a spurious recompute converge immediately).
+    let self_loops_stale = config.site_options.include_self_loops
+        && !(delta.changed.is_empty() && delta.grown.is_empty());
+    let (site_rank, site_report) =
+        if delta.cross_links_changed || delta.added_sites > 0 || self_loops_stale {
+            stats.site_rank_recomputed = true;
+            recompute_site_rank(previous, new_graph, config)?
+        } else {
+            (previous.site_rank.clone(), previous.site_report)
+        };
+
+    // Local ranks: recompute only the stale sites, fanned across the shared
+    // pool — changed sites warm, grown/added sites cold. Each solve is
+    // independent and fills only its own slot, so the fan-out stays
+    // deterministic at any thread count.
+    let jobs: Vec<(usize, bool)> = delta
+        .changed
+        .iter()
+        .map(|&s| (s, true))
+        .chain(delta.grown.iter().map(|&s| (s, false)))
+        .chain((n_old..n_sites).map(|s| (s, false)))
+        .collect();
+    let mut local_ranks: Vec<Option<Ranking>> =
+        previous.local_ranks.iter().cloned().map(Some).collect();
+    local_ranks.resize(n_sites, None);
     let mut total_local_iterations = 0usize;
     let mut max_local_iterations = 0usize;
-    let pool = lmm_par::ThreadPool::shared(config.threads);
-    let solved = pool.par_map(&delta.changed_sites, |_, &s| {
+    let pool = ThreadPool::shared(config.threads);
+    let solved = pool.par_map(&jobs, |_, &(s, warm)| {
         let sub = new_graph.site_subgraph(SiteId(s));
         let mut pr = PageRank::new();
         pr.damping(config.local_damping)
             .tol(config.power.tol)
             .max_iters(config.power.max_iters);
-        // Warm start only when the site kept its size (it always does under
-        // the diff contract, but stay defensive).
-        if previous.local_ranks[s].len() == sub.members.len() {
+        if warm {
+            // Validated above: a changed site kept its size.
             pr.initial(previous.local_ranks[s].scores().to_vec());
         }
         if let Some(v) = config.local_personalization.get(&s) {
@@ -147,24 +420,40 @@ pub fn incremental_update(
         }
         pr.run_adjacency(sub.adjacency)
     });
-    for (&s, result) in delta.changed_sites.iter().zip(solved) {
+    for (&(s, _), result) in jobs.iter().zip(solved) {
         let result = result?;
         total_local_iterations += result.report.iterations;
         max_local_iterations = max_local_iterations.max(result.report.iterations);
-        local_ranks[s] = result.ranking;
+        local_ranks[s] = Some(result.ranking);
     }
-    stats.sites_recomputed = delta.changed_sites.len();
+    stats.sites_recomputed = jobs.len();
     stats.sites_reused = n_sites - stats.sites_recomputed;
 
-    // Recompose (O(N) — the Partition Theorem's aggregation step).
+    // Recompose (O(N) — the Partition Theorem's aggregation step), with an
+    // explicit size check so an inconsistent state can never silently
+    // misalign scores.
     let mut scores = vec![0.0f64; new_graph.n_docs()];
     for (s, ranks) in local_ranks.iter().enumerate() {
+        let ranks = ranks.as_ref().ok_or_else(|| LmmError::InvalidModel {
+            reason: format!("no local rank computed or reused for site {s}"),
+        })?;
+        let members = new_graph.docs_of_site(SiteId(s));
+        if ranks.len() != members.len() {
+            return Err(LmmError::InvalidModel {
+                reason: format!(
+                    "local rank for site {s} covers {} documents, site has {}",
+                    ranks.len(),
+                    members.len()
+                ),
+            });
+        }
         let weight = site_rank.score(s);
-        for (local, doc) in new_graph.docs_of_site(SiteId(s)).iter().enumerate() {
+        for (local, doc) in members.iter().enumerate() {
             scores[doc.index()] = weight * ranks.score(local);
         }
     }
     let global = Ranking::from_scores(scores)?;
+    let local_ranks: Vec<Ranking> = local_ranks.into_iter().flatten().collect();
     Ok((
         LayeredDocRank {
             site_rank,
@@ -213,6 +502,7 @@ pub fn refresh(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lmm_graph::delta::GraphDelta;
     use lmm_graph::docgraph::DocGraphBuilder;
     use lmm_graph::generator::CampusWebConfig;
     use lmm_graph::DocId;
@@ -243,6 +533,8 @@ mod tests {
         let new = edit_intra_site(&old, 3);
         let delta = diff_sites(&old, &new).unwrap();
         assert_eq!(delta.changed_sites, vec![3]);
+        assert!(delta.grown_sites.is_empty());
+        assert_eq!(delta.added_sites, 0);
         assert!(!delta.cross_links_changed);
         assert!(!delta.is_empty());
     }
@@ -262,12 +554,46 @@ mod tests {
     }
 
     #[test]
-    fn diff_rejects_shape_changes() {
+    fn diff_detects_growth() {
         let old = campus();
-        let mut builder = DocGraphBuilder::from_graph(&old);
-        builder.add_doc("brand-new.site", "http://brand-new.site/");
-        let new = builder.build();
-        assert!(diff_sites(&old, &new).is_err());
+        let mut gd = GraphDelta::for_graph(&old);
+        let root = old.docs_of_site(SiteId(4))[0];
+        let p = gd.add_page(SiteId(4), "http://grown.example/p").unwrap();
+        gd.add_link(root, p).unwrap();
+        gd.add_link(p, root).unwrap();
+        let s = gd.add_site("appended.example");
+        let q = gd.add_page(s, "http://appended.example/").unwrap();
+        gd.add_link(q, root).unwrap();
+        let (new, applied) = old.apply(&gd).unwrap();
+        let delta = diff_sites(&old, &new).unwrap();
+        assert_eq!(delta.grown_sites, vec![4]);
+        assert_eq!(delta.added_sites, 1);
+        assert!(delta.cross_links_changed);
+        // The apply-time summary and the two-snapshot diff must agree.
+        assert_eq!(delta, SiteDelta::from(&applied));
+    }
+
+    #[test]
+    fn diff_rejects_shrinkage_and_repartition() {
+        let old = campus();
+        // Shrinkage: diff the other way around.
+        let mut gd = GraphDelta::for_graph(&old);
+        gd.add_page(SiteId(0), "http://x/p").unwrap();
+        let (grown, _) = old.apply(&gd).unwrap();
+        assert!(diff_sites(&grown, &old).is_err());
+        // Re-partition: same doc count, one doc moved to another site.
+        let mut builder = DocGraphBuilder::new();
+        for d in 0..old.n_docs() {
+            let doc = DocId(d);
+            let site = if d == 0 {
+                old.site_name(SiteId(1)).to_string()
+            } else {
+                old.site_name(old.site_of(doc)).to_string()
+            };
+            builder.add_doc(&site, old.url(doc));
+        }
+        let repartitioned = builder.build();
+        assert!(diff_sites(&old, &repartitioned).is_err());
     }
 
     #[test]
@@ -302,6 +628,63 @@ mod tests {
     }
 
     #[test]
+    fn incremental_handles_growth_end_to_end() {
+        let old = campus();
+        let cfg = LayeredRankConfig::default();
+        let base = layered_doc_rank(&old, &cfg).unwrap();
+        let mut gd = GraphDelta::for_graph(&old);
+        // Grow site 2 by two pages and append a small new site with links
+        // in both directions.
+        let root = old.docs_of_site(SiteId(2))[0];
+        let p1 = gd.add_page(SiteId(2), "http://grown/1").unwrap();
+        let p2 = gd.add_page(SiteId(2), "http://grown/2").unwrap();
+        gd.add_link(root, p1).unwrap();
+        gd.add_link(p1, p2).unwrap();
+        gd.add_link(p2, root).unwrap();
+        let s = gd.add_site("new-site.example");
+        let q0 = gd.add_page(s, "http://new-site.example/").unwrap();
+        let q1 = gd.add_page(s, "http://new-site.example/1").unwrap();
+        gd.add_link(q0, q1).unwrap();
+        gd.add_link(q1, q0).unwrap();
+        gd.add_link(root, q0).unwrap();
+        gd.add_link(q0, old.docs_of_site(SiteId(8))[0]).unwrap();
+        let (new, applied) = old.apply(&gd).unwrap();
+
+        let delta = SiteDelta::from(&applied);
+        let (updated, stats) = incremental_update(&base, &new, &delta, &cfg).unwrap();
+        let full = layered_doc_rank(&new, &cfg).unwrap();
+        assert!(vec_ops::l1_diff(updated.global.scores(), full.global.scores()) < 1e-8);
+        assert_eq!(stats.sites_grown, 1);
+        assert_eq!(stats.sites_added, 1);
+        assert_eq!(stats.sites_recomputed, 2);
+        assert_eq!(stats.sites_reused, new.n_sites() - 2);
+        assert!(stats.site_rank_recomputed);
+        assert_eq!(updated.local_ranks.len(), new.n_sites());
+        assert_eq!(updated.site_rank.len(), new.n_sites());
+    }
+
+    #[test]
+    fn growth_works_with_stationary_site_layer() {
+        let old = campus();
+        let cfg = LayeredRankConfig {
+            site_method: SiteLayerMethod::Stationary,
+            ..LayeredRankConfig::default()
+        };
+        let base = layered_doc_rank(&old, &cfg).unwrap();
+        let mut gd = GraphDelta::for_graph(&old);
+        let s = gd.add_site("stationary-new.example");
+        let q = gd.add_page(s, "http://stationary-new.example/").unwrap();
+        let root = old.docs_of_site(SiteId(0))[0];
+        gd.add_link(root, q).unwrap();
+        gd.add_link(q, root).unwrap();
+        let (new, applied) = old.apply(&gd).unwrap();
+        let (updated, _) =
+            incremental_update(&base, &new, &SiteDelta::from(&applied), &cfg).unwrap();
+        let full = layered_doc_rank(&new, &cfg).unwrap();
+        assert!(vec_ops::l1_diff(updated.global.scores(), full.global.scores()) < 1e-7);
+    }
+
+    #[test]
     fn no_change_reuses_everything() {
         let old = campus();
         let cfg = LayeredRankConfig::default();
@@ -325,5 +708,177 @@ mod tests {
         // far fewer iterations than the cold full pipeline's worst site.
         assert!(updated.max_local_iterations <= base.max_local_iterations);
         let _ = DocId(0);
+    }
+
+    #[test]
+    fn duplicate_delta_entries_are_deduped() {
+        // Regression: duplicate entries used to inflate `sites_recomputed`
+        // past `n_sites`, underflowing the `sites_reused` subtraction.
+        let old = campus();
+        let cfg = LayeredRankConfig::default();
+        let base = layered_doc_rank(&old, &cfg).unwrap();
+        let new = edit_intra_site(&old, 5);
+        let delta = SiteDelta {
+            changed_sites: vec![5, 5, 5, 5],
+            ..SiteDelta::default()
+        };
+        let (updated, stats) = incremental_update(&base, &new, &delta, &cfg).unwrap();
+        assert_eq!(stats.sites_recomputed, 1);
+        assert_eq!(stats.sites_reused, new.n_sites() - 1);
+        let full = layered_doc_rank(&new, &cfg).unwrap();
+        assert!(vec_ops::l1_diff(updated.global.scores(), full.global.scores()) < 1e-8);
+    }
+
+    #[test]
+    fn out_of_range_delta_is_an_error_not_a_panic() {
+        let old = campus();
+        let cfg = LayeredRankConfig::default();
+        let base = layered_doc_rank(&old, &cfg).unwrap();
+        let delta = SiteDelta {
+            changed_sites: vec![0, old.n_sites() + 3],
+            ..SiteDelta::default()
+        };
+        let err = incremental_update(&base, &old, &delta, &cfg).unwrap_err();
+        assert!(matches!(err, LmmError::InvalidModel { .. }));
+    }
+
+    #[test]
+    fn under_reported_growth_is_an_explicit_error() {
+        // Regression: a size mismatch used to silently skip the warm start
+        // while the recomposition still assumed the old dimensions.
+        let old = campus();
+        let cfg = LayeredRankConfig::default();
+        let base = layered_doc_rank(&old, &cfg).unwrap();
+        let mut gd = GraphDelta::for_graph(&old);
+        let root = old.docs_of_site(SiteId(3))[0];
+        let p = gd.add_page(SiteId(3), "http://grown/x").unwrap();
+        gd.add_link(root, p).unwrap();
+        let (new, _) = old.apply(&gd).unwrap();
+        // Lie: claim site 3 merely "changed" (or say nothing at all).
+        for delta in [
+            SiteDelta {
+                changed_sites: vec![3],
+                ..SiteDelta::default()
+            },
+            SiteDelta::default(),
+        ] {
+            let err = incremental_update(&base, &new, &delta, &cfg).unwrap_err();
+            assert!(matches!(err, LmmError::InvalidModel { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn self_loop_site_graph_stays_fresh_under_intra_edits() {
+        // Regression: with include_self_loops the SiteRank depends on
+        // intra-site link *counts*, so an intra edit that changes a count
+        // must recompute it — reusing the old vector serves stale ranks.
+        let old = campus();
+        let cfg = LayeredRankConfig {
+            site_options: lmm_graph::sitegraph::SiteGraphOptions {
+                include_self_loops: true,
+                ..Default::default()
+            },
+            ..LayeredRankConfig::default()
+        };
+        let base = layered_doc_rank(&old, &cfg).unwrap();
+        // Add a brand-new intra-site link (count +1, not a rewire): find a
+        // doc pair inside site 4 that the generator did not already link.
+        let docs = old.docs_of_site(SiteId(4));
+        let adj = old.adjacency();
+        let (a, b) = docs
+            .iter()
+            .flat_map(|&a| docs.iter().map(move |&b| (a, b)))
+            .find(|&(a, b)| a != b && adj.get(a.index(), b.index()) == 0.0)
+            .expect("site 4 is not a complete digraph");
+        let mut gd = GraphDelta::for_graph(&old);
+        gd.add_link(a, b).unwrap();
+        let (new, applied) = old.apply(&gd).unwrap();
+        assert_eq!(applied.changed_sites, vec![4]);
+        assert!(!applied.cross_links_changed);
+        let (updated, stats) =
+            incremental_update(&base, &new, &SiteDelta::from(&applied), &cfg).unwrap();
+        assert!(stats.site_rank_recomputed);
+        let full = layered_doc_rank(&new, &cfg).unwrap();
+        assert!(vec_ops::l1_diff(updated.global.scores(), full.global.scores()) < 1e-8);
+    }
+
+    #[test]
+    fn personalization_must_cover_the_grown_graph() {
+        let old = campus();
+        let mut gd = GraphDelta::for_graph(&old);
+        let s = gd.add_site("personalized-new.example");
+        let q = gd.add_page(s, "http://personalized-new.example/").unwrap();
+        let root = old.docs_of_site(SiteId(0))[0];
+        gd.add_link(root, q).unwrap();
+        gd.add_link(q, root).unwrap();
+        let (new, applied) = old.apply(&gd).unwrap();
+        let delta = SiteDelta::from(&applied);
+
+        // Stale vector (old site count): a clear error, not a deep rank
+        // failure or a silently skewed recomposition.
+        let mut stale = vec![1.0 / old.n_sites() as f64; old.n_sites()];
+        stale[3] += 0.1;
+        vec_ops::normalize_l1(&mut stale).unwrap();
+        let stale_cfg = LayeredRankConfig {
+            site_personalization: Some(stale),
+            ..LayeredRankConfig::default()
+        };
+        let base = layered_doc_rank(&old, &stale_cfg).unwrap();
+        let err = incremental_update(&base, &new, &delta, &stale_cfg).unwrap_err();
+        assert!(matches!(err, LmmError::InvalidModel { .. }), "{err}");
+
+        // An updated vector covering the added site flows through and
+        // matches a scratch run under the same configuration.
+        let mut v = vec![1.0 / new.n_sites() as f64; new.n_sites()];
+        v[3] += 0.1;
+        vec_ops::normalize_l1(&mut v).unwrap();
+        let new_cfg = LayeredRankConfig {
+            site_personalization: Some(v),
+            ..LayeredRankConfig::default()
+        };
+        let (updated, _) = incremental_update(&base, &new, &delta, &new_cfg).unwrap();
+        let full = layered_doc_rank(&new, &new_cfg).unwrap();
+        assert!(vec_ops::l1_diff(updated.global.scores(), full.global.scores()) < 1e-7);
+
+        // A stale per-site document vector on a grown site errors too.
+        let mut gd = GraphDelta::for_graph(&old);
+        let p = gd.add_page(SiteId(2), "http://grown-doc/").unwrap();
+        gd.add_link(root, p).unwrap();
+        let (grown, applied) = old.apply(&gd).unwrap();
+        let mut local_cfg = LayeredRankConfig::default();
+        let size = old.site_size(SiteId(2));
+        let mut lv = vec![0.0; size];
+        lv[0] = 1.0;
+        local_cfg.local_personalization.insert(2, lv);
+        let base = layered_doc_rank(&old, &local_cfg).unwrap();
+        let err =
+            incremental_update(&base, &grown, &SiteDelta::from(&applied), &local_cfg).unwrap_err();
+        assert!(matches!(err, LmmError::InvalidModel { .. }), "{err}");
+    }
+
+    #[test]
+    fn conflicting_changed_and_grown_rejected() {
+        let old = campus();
+        let cfg = LayeredRankConfig::default();
+        let base = layered_doc_rank(&old, &cfg).unwrap();
+        let delta = SiteDelta {
+            changed_sites: vec![2],
+            grown_sites: vec![2],
+            ..SiteDelta::default()
+        };
+        assert!(incremental_update(&base, &old, &delta, &cfg).is_err());
+    }
+
+    #[test]
+    fn wrong_added_count_rejected() {
+        let old = campus();
+        let cfg = LayeredRankConfig::default();
+        let base = layered_doc_rank(&old, &cfg).unwrap();
+        let delta = SiteDelta {
+            added_sites: 2,
+            cross_links_changed: true,
+            ..SiteDelta::default()
+        };
+        assert!(incremental_update(&base, &old, &delta, &cfg).is_err());
     }
 }

@@ -1,0 +1,238 @@
+//! Property tests of the delta pipeline: for random mixed-mutation
+//! sequences, `DocGraph::apply(delta)` followed by `incremental_update`
+//! must reproduce a from-scratch `layered_doc_rank` on the mutated graph —
+//! at one worker thread and at four — and malformed deltas must surface as
+//! errors, never as panics or silent misalignment.
+
+use lmm_core::incremental::{diff_sites, incremental_update, SiteDelta};
+use lmm_core::siterank::{layered_doc_rank, LayeredRankConfig};
+use lmm_graph::delta::GraphDelta;
+use lmm_graph::generator::CampusWebConfig;
+use lmm_graph::{DocGraph, SiteId};
+use lmm_linalg::vec_ops;
+use proptest::prelude::*;
+
+fn campus(seed: u64) -> DocGraph {
+    let mut cfg = CampusWebConfig::small();
+    cfg.total_docs = 400;
+    cfg.n_sites = 8;
+    cfg.spam_farms.clear();
+    cfg.seed = seed;
+    cfg.generate().unwrap()
+}
+
+/// Splitmix-style deterministic stream for building mutation sequences.
+struct Stream(u64);
+
+impl Stream {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Builds a random mixed delta against `graph`: intra rewires, cross
+/// links, page growth, and (sometimes) a whole new site. `ops == 0` yields
+/// an empty delta.
+fn random_delta(graph: &DocGraph, stream: &mut Stream, ops: usize) -> GraphDelta {
+    let mut delta = GraphDelta::for_graph(graph);
+    for _ in 0..ops {
+        match stream.below(5) {
+            // Intra-site rewire.
+            0 => {
+                let site = SiteId(stream.below(graph.n_sites()));
+                let docs = graph.docs_of_site(site);
+                if docs.len() >= 2 {
+                    let a = docs[stream.below(docs.len())];
+                    let b = docs[stream.below(docs.len())];
+                    delta.remove_link(a, b).unwrap();
+                    delta.add_link(b, a).unwrap();
+                }
+            }
+            // Cross-site link.
+            1 => {
+                let s = SiteId(stream.below(graph.n_sites()));
+                let t = SiteId(stream.below(graph.n_sites()));
+                let a = graph.docs_of_site(s)[0];
+                let b = graph.docs_of_site(t)[0];
+                delta.add_link(a, b).unwrap();
+            }
+            // Grow an existing site by one page.
+            2 => {
+                let site = SiteId(stream.below(graph.n_sites()));
+                let root = graph.docs_of_site(site)[0];
+                let url = format!("http://grown.example/{}", stream.next());
+                let p = delta.add_page(site, &url).unwrap();
+                delta.add_link(root, p).unwrap();
+                delta.add_link(p, root).unwrap();
+            }
+            // Append a whole new site with one or two pages.
+            3 => {
+                let name = format!("new-{}.example", stream.next());
+                let s = delta.add_site(&name);
+                let q0 = delta.add_page(s, &format!("http://{name}/")).unwrap();
+                let anchor = graph.docs_of_site(SiteId(stream.below(graph.n_sites())))[0];
+                delta.add_link(anchor, q0).unwrap();
+                delta.add_link(q0, anchor).unwrap();
+                if stream.below(2) == 0 {
+                    let q1 = delta.add_page(s, &format!("http://{name}/1")).unwrap();
+                    delta.add_link(q0, q1).unwrap();
+                    delta.add_link(q1, q0).unwrap();
+                }
+            }
+            // Remove a (possibly absent) link — exercises no-op removals.
+            _ => {
+                let site = SiteId(stream.below(graph.n_sites()));
+                let docs = graph.docs_of_site(site);
+                let a = docs[stream.below(docs.len())];
+                let b = docs[stream.below(docs.len())];
+                delta.remove_link(a, b).unwrap();
+            }
+        }
+    }
+    delta
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// apply(delta) + incremental_update ≡ from-scratch layered_doc_rank,
+    /// across random mixed-mutation sequences, at 1 and 4 threads, with
+    /// the apply-time summary agreeing with the two-snapshot diff.
+    #[test]
+    fn incremental_matches_scratch_under_mixed_mutations(
+        graph_seed in 0u64..4,
+        delta_seed in any::<u64>(),
+        ops in 0usize..10,
+    ) {
+        let base = campus(graph_seed);
+        let mut stream = Stream(delta_seed);
+        let delta = random_delta(&base, &mut stream, ops);
+        let (mutated, applied) = base.apply(&delta).expect("valid random delta");
+        let site_delta = SiteDelta::from(&applied);
+        prop_assert_eq!(&site_delta, &diff_sites(&base, &mutated).expect("growth diff"));
+
+        for threads in [1usize, 4] {
+            let cfg = LayeredRankConfig {
+                threads,
+                ..LayeredRankConfig::default()
+            };
+            let previous = layered_doc_rank(&base, &cfg).expect("base rank");
+            let (updated, stats) =
+                incremental_update(&previous, &mutated, &site_delta, &cfg).expect("update");
+            let scratch = layered_doc_rank(&mutated, &cfg).expect("scratch rank");
+            let drift = vec_ops::l1_diff(updated.global.scores(), scratch.global.scores());
+            prop_assert!(drift < 1e-7, "drift {} at {} threads", drift, threads);
+            prop_assert_eq!(
+                stats.sites_recomputed + stats.sites_reused,
+                mutated.n_sites()
+            );
+            prop_assert_eq!(
+                stats.sites_recomputed,
+                site_delta.changed_sites.len()
+                    + site_delta.grown_sites.len()
+                    + site_delta.added_sites
+            );
+            prop_assert_eq!(updated.local_ranks.len(), mutated.n_sites());
+            prop_assert_eq!(updated.global.len(), mutated.n_docs());
+        }
+    }
+
+    /// Duplicate site entries in a hand-built delta never inflate the
+    /// accounting or panic — they dedup, and the result still matches a
+    /// scratch recomputation.
+    #[test]
+    fn duplicate_entries_dedup(graph_seed in 0u64..4, site in 0usize..8) {
+        let base = campus(graph_seed);
+        let mut delta = GraphDelta::for_graph(&base);
+        let docs = base.docs_of_site(SiteId(site));
+        delta.remove_link(docs[0], docs[1]).unwrap();
+        delta.add_link(docs[1], docs[0]).unwrap();
+        let (mutated, applied) = base.apply(&delta).expect("apply");
+        let mut noisy = SiteDelta::from(&applied);
+        // Triple every entry.
+        let doubled: Vec<usize> =
+            noisy.changed_sites.iter().flat_map(|&s| [s, s, s]).collect();
+        noisy.changed_sites = doubled;
+        let cfg = LayeredRankConfig::default();
+        let previous = layered_doc_rank(&base, &cfg).expect("base rank");
+        let (updated, stats) =
+            incremental_update(&previous, &mutated, &noisy, &cfg).expect("noisy update");
+        prop_assert!(stats.sites_recomputed <= mutated.n_sites());
+        prop_assert_eq!(stats.sites_reused, mutated.n_sites() - stats.sites_recomputed);
+        let scratch = layered_doc_rank(&mutated, &cfg).expect("scratch");
+        prop_assert!(
+            vec_ops::l1_diff(updated.global.scores(), scratch.global.scores()) < 1e-7
+        );
+    }
+
+    /// Grow-only deltas (no link rewires among existing pages) recompute
+    /// exactly the grown/added sites.
+    #[test]
+    fn grow_only_deltas_localize_work(
+        graph_seed in 0u64..4,
+        delta_seed in any::<u64>(),
+        n_growth in 1usize..4,
+    ) {
+        let base = campus(graph_seed);
+        let mut stream = Stream(delta_seed);
+        let mut delta = GraphDelta::for_graph(&base);
+        let mut touched = std::collections::BTreeSet::new();
+        for _ in 0..n_growth {
+            let site = SiteId(stream.below(base.n_sites()));
+            touched.insert(site.index());
+            let root = base.docs_of_site(site)[0];
+            let url = format!("http://grow-only.example/{}", stream.next());
+            let p = delta.add_page(site, &url).unwrap();
+            delta.add_link(root, p).unwrap();
+            delta.add_link(p, root).unwrap();
+        }
+        let (mutated, applied) = base.apply(&delta).expect("apply");
+        prop_assert_eq!(&applied.grown_sites, &touched.iter().copied().collect::<Vec<_>>());
+        prop_assert!(applied.changed_sites.is_empty());
+        let cfg = LayeredRankConfig::default();
+        let previous = layered_doc_rank(&base, &cfg).expect("base rank");
+        let (updated, stats) = incremental_update(
+            &previous,
+            &mutated,
+            &SiteDelta::from(&applied),
+            &cfg,
+        ).expect("update");
+        prop_assert_eq!(stats.sites_recomputed, touched.len());
+        prop_assert_eq!(stats.sites_grown, touched.len());
+        prop_assert_eq!(stats.sites_added, 0);
+        let scratch = layered_doc_rank(&mutated, &cfg).expect("scratch");
+        prop_assert!(
+            vec_ops::l1_diff(updated.global.scores(), scratch.global.scores()) < 1e-7
+        );
+    }
+
+    /// Empty deltas are exact no-ops through the whole pipeline.
+    #[test]
+    fn empty_deltas_are_noops(graph_seed in 0u64..4) {
+        let base = campus(graph_seed);
+        let delta = GraphDelta::for_graph(&base);
+        let (mutated, applied) = base.apply(&delta).expect("apply");
+        prop_assert!(applied.is_empty());
+        prop_assert_eq!(&base, &mutated);
+        let cfg = LayeredRankConfig::default();
+        let previous = layered_doc_rank(&base, &cfg).expect("base rank");
+        let (updated, stats) = incremental_update(
+            &previous,
+            &mutated,
+            &SiteDelta::from(&applied),
+            &cfg,
+        ).expect("update");
+        prop_assert_eq!(stats.sites_recomputed, 0);
+        prop_assert_eq!(stats.sites_reused, base.n_sites());
+        prop_assert!(!stats.site_rank_recomputed);
+        prop_assert_eq!(updated.global.scores(), previous.global.scores());
+    }
+}

@@ -3,18 +3,19 @@
 //! pipelines (Approaches 3/4), the distributed deployments, and
 //! incremental maintenance.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::bridge::{model_from_graph, per_site_mass, state_scores_to_doc_order};
 use crate::context::ExecContext;
 use crate::error::{EngineError, Result};
 use crate::outcome::RankOutcome;
-use crate::ranker::Ranker;
+use crate::ranker::{DeltaOutcome, Ranker};
 use crate::telemetry::RunTelemetry;
 use lmm_core::approaches::{compute, LmmParams, RankApproach};
-use lmm_core::incremental;
+use lmm_core::incremental::{self, SiteDelta, UpdateStats};
 use lmm_core::siterank::{self, LayeredDocRank, LayeredRankConfig, SiteLayerMethod};
+use lmm_graph::delta::GraphDelta;
 use lmm_graph::docgraph::DocGraph;
 use lmm_p2p::runner::{run_distributed, Architecture, DistributedConfig};
 use lmm_rank::Ranking;
@@ -69,6 +70,13 @@ fn outcome_from_layered(
         site_rank: Some(result.site_rank),
         telemetry,
     }
+}
+
+/// Copies incremental cost accounting into run telemetry.
+fn apply_stats_to_telemetry(telemetry: &mut RunTelemetry, stats: &UpdateStats) {
+    telemetry.sites_recomputed = stats.sites_recomputed;
+    telemetry.sites_reused = stats.sites_reused;
+    telemetry.sites_grown = stats.sites_grown + stats.sites_added;
 }
 
 /// **Approach 1's Web instantiation**: classical PageRank (maximal
@@ -267,14 +275,18 @@ impl Ranker for DistributedRanker {
 /// **Incremental maintenance** over `lmm_core::incremental`: the first call
 /// computes the full layered pipeline; every later call diffs the new graph
 /// against the previous one and recomputes only the stale layers
-/// (warm-started), falling back to a full run when the graph shape changed.
+/// (warm-started) — including structural growth (pages and sites added) —
+/// falling back to a full run when the graphs cannot be diffed (shrinkage,
+/// re-partition). It is also the one backend that supports
+/// [`Ranker::apply_delta`]: structural [`GraphDelta`]s stream into the
+/// maintained state without ever re-diffing the graphs.
 #[derive(Debug)]
 pub struct IncrementalRanker {
     /// Damping of the per-site local DocRanks.
     pub local_damping: f64,
     /// Damping of the SiteRank computation.
     pub site_damping: f64,
-    state: Mutex<Option<(DocGraph, LayeredDocRank)>>,
+    state: Mutex<Option<(Arc<DocGraph>, LayeredDocRank)>>,
 }
 
 impl IncrementalRanker {
@@ -299,23 +311,76 @@ impl Ranker for IncrementalRanker {
         let config = layered_config(ctx, self.local_damping, self.site_damping);
         let mut state = self.state.lock().expect("incremental state lock");
 
-        // Try an incremental refresh against the previous graph; shape
-        // changes (diff errors) fall back to a full recomputation.
-        let refreshed = state.as_ref().and_then(|(old_graph, previous)| {
-            incremental::refresh(previous, old_graph, graph, &config).ok()
-        });
-        let (result, recomputed, reused) = match refreshed {
-            Some((result, stats)) => (result, stats.sites_recomputed, stats.sites_reused),
-            None => {
+        // Diff against the previous graph. Only an *undiffable* pair
+        // (shrinkage, re-partition — legitimate re-discoveries of the web)
+        // falls back to a full recomputation; failures of the incremental
+        // update itself (inconsistent retained state, stale
+        // personalization, non-convergence) propagate loudly instead of
+        // silently degrading every call into a full recompute.
+        let delta = state
+            .as_ref()
+            .and_then(|(old_graph, _)| incremental::diff_sites(old_graph, graph).ok());
+        let (result, stats) = match (&*state, delta) {
+            (Some((_, previous)), Some(delta)) if delta.is_empty() => (
+                previous.clone(),
+                UpdateStats {
+                    sites_reused: graph.n_sites(),
+                    ..UpdateStats::default()
+                },
+            ),
+            (Some((_, previous)), Some(delta)) => {
+                incremental::incremental_update(previous, graph, &delta, &config)?
+            }
+            _ => {
                 let result = siterank::layered_doc_rank(graph, &config)?;
-                (result, graph.n_sites(), 0)
+                let stats = UpdateStats {
+                    sites_recomputed: graph.n_sites(),
+                    ..UpdateStats::default()
+                };
+                (result, stats)
             }
         };
-        *state = Some((graph.clone(), result.clone()));
+        *state = Some((Arc::new(graph.clone()), result.clone()));
 
         let mut outcome = outcome_from_layered(self.name(), result, t0.elapsed(), graph.n_sites());
-        outcome.telemetry.sites_recomputed = recomputed;
-        outcome.telemetry.sites_reused = reused;
+        apply_stats_to_telemetry(&mut outcome.telemetry, &stats);
         Ok(outcome)
+    }
+
+    fn apply_delta(&self, delta: &GraphDelta, ctx: &ExecContext) -> Result<DeltaOutcome> {
+        let t0 = Instant::now();
+        let config = layered_config(ctx, self.local_damping, self.site_damping);
+        let mut state = self.state.lock().expect("incremental state lock");
+        let (old_graph, previous) = state.as_ref().ok_or(EngineError::NotRanked)?;
+        let (new_graph, applied) = old_graph.apply(delta)?;
+        let new_graph = Arc::new(new_graph);
+        // Fail fast with a config-level error when the engine's fixed
+        // personalization no longer fits the grown graph (rank() performs
+        // the same check against its input graph).
+        ctx.personalization.validate_against_graph(&new_graph)?;
+        let site_delta = SiteDelta::from(&applied);
+        let (result, stats) = if site_delta.is_empty() {
+            (
+                previous.clone(),
+                UpdateStats {
+                    sites_reused: new_graph.n_sites(),
+                    ..UpdateStats::default()
+                },
+            )
+        } else {
+            incremental::incremental_update(previous, &new_graph, &site_delta, &config)?
+        };
+        // The graph is Arc-shared between the retained state and the
+        // returned outcome — a structural update never deep-copies it.
+        *state = Some((Arc::clone(&new_graph), result.clone()));
+
+        let mut outcome =
+            outcome_from_layered(self.name(), result, t0.elapsed(), new_graph.n_sites());
+        apply_stats_to_telemetry(&mut outcome.telemetry, &stats);
+        Ok(DeltaOutcome {
+            graph: new_graph,
+            outcome,
+            stats,
+        })
     }
 }

@@ -416,6 +416,38 @@ impl RankEngine {
         Ok(&self.cache.as_ref().expect("cache populated above").outcome)
     }
 
+    /// Applies a structural [`GraphDelta`](lmm_graph::delta::GraphDelta)
+    /// to the maintained graph, re-ranking **incrementally**: only the
+    /// changed, grown, and added sites are recomputed (warm-started where
+    /// the dimensions allow), the serving cache and graph fingerprint are
+    /// updated *in place* — no full invalidation — and the run's
+    /// [`UpdateStats`](lmm_core::incremental::UpdateStats)-derived
+    /// telemetry is reported to the sink like any fresh run.
+    ///
+    /// After this returns, the serving methods answer over the mutated
+    /// graph, and a subsequent [`rank`](Self::rank) call with the mutated
+    /// graph is a cache hit.
+    ///
+    /// # Errors
+    /// [`EngineError::NotRanked`] before the first `rank` call;
+    /// [`EngineError::UnsupportedDelta`] unless the backend maintains
+    /// incremental state ([`BackendSpec::Incremental`]); otherwise delta
+    /// validation and backend failures.
+    pub fn apply_delta(&mut self, delta: &lmm_graph::delta::GraphDelta) -> Result<&RankOutcome> {
+        if self.cache.is_none() {
+            return Err(EngineError::NotRanked);
+        }
+        let updated = self.ranker.apply_delta(delta, &self.ctx)?;
+        self.ctx.telemetry.record(&updated.outcome.telemetry);
+        let cache = self.cache.as_mut().expect("checked above");
+        cache.fingerprint = GraphFingerprint::of(&updated.graph);
+        cache.site_members = (0..updated.graph.n_sites())
+            .map(|s| updated.graph.docs_of_site(SiteId(s)).to_vec())
+            .collect();
+        cache.outcome = updated.outcome;
+        Ok(&cache.outcome)
+    }
+
     /// Drops the cached ranking, forcing the next [`rank`](Self::rank) to
     /// recompute.
     pub fn invalidate(&mut self) {
@@ -499,12 +531,14 @@ impl RankEngine {
     }
 }
 
-/// Cache key for a graph: exact structural counts plus an FNV-1a hash of
-/// the site assignments and weighted edges. The counts are compared
-/// exactly; the hash covers the rest, so a stale cache hit would need a
-/// 64-bit collision between two graphs of identical shape — accepted as
-/// negligible for a serving cache (and [`RankEngine::invalidate`] always
-/// forces a recompute).
+/// Cache key for a graph: exact structural counts plus a word-mixed hash
+/// of the site assignments and weighted edges (xor, odd-constant multiply,
+/// and xor-shift per 64-bit word — one pass over ~`n_docs + 3·n_links`
+/// words, cheap enough to run on every `rank`/`apply_delta` call). The
+/// counts are compared exactly; the hash covers the rest, so a stale cache
+/// hit would need a 64-bit collision between two graphs of identical
+/// shape — accepted as negligible for a serving cache (and
+/// [`RankEngine::invalidate`] always forces a recompute).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct GraphFingerprint {
     n_docs: usize,
@@ -514,13 +548,18 @@ struct GraphFingerprint {
 }
 
 impl GraphFingerprint {
+    /// Audit note: the hash must cover the *content* of the edge set and
+    /// the site partition — not just the counts — or a same-shape recrawl
+    /// with rewired links would serve a stale cached ranking. The counts
+    /// pin the section boundaries of the byte stream (assignments, then
+    /// edges), so equal-count graphs cannot alias across sections. The
+    /// collision regression tests below keep this honest.
     fn of(graph: &DocGraph) -> Self {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut mix = |word: u64| {
-            for b in word.to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x0000_0100_0000_01B3);
-            }
+            h ^= word;
+            h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            h ^= h >> 29;
         };
         for site in graph.site_assignments() {
             mix(site.index() as u64);
@@ -536,5 +575,82 @@ impl GraphFingerprint {
             n_links: graph.n_links(),
             hash: h,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmm_graph::docgraph::DocGraphBuilder;
+    use lmm_graph::DocId;
+
+    /// 2 sites x 2 docs with a configurable edge list.
+    fn graph_with_edges(edges: &[(usize, usize)]) -> DocGraph {
+        let mut b = DocGraphBuilder::new();
+        b.add_doc("a.org", "http://a.org/");
+        b.add_doc("a.org", "http://a.org/1");
+        b.add_doc("b.org", "http://b.org/");
+        b.add_doc("b.org", "http://b.org/1");
+        for &(f, t) in edges {
+            b.add_link(DocId(f), DocId(t)).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn identical_graphs_share_a_fingerprint() {
+        let g = graph_with_edges(&[(0, 1), (1, 2), (2, 3)]);
+        let h = graph_with_edges(&[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(GraphFingerprint::of(&g), GraphFingerprint::of(&h));
+    }
+
+    #[test]
+    fn rewired_links_change_the_fingerprint_despite_equal_counts() {
+        // Same docs, same sites, same number of links — only the wiring
+        // differs. A count-only fingerprint would collide and serve the
+        // stale ranking.
+        let g = graph_with_edges(&[(0, 1), (1, 2), (2, 3)]);
+        let h = graph_with_edges(&[(1, 0), (1, 2), (2, 3)]);
+        assert_eq!(g.n_docs(), h.n_docs());
+        assert_eq!(g.n_links(), h.n_links());
+        assert_ne!(GraphFingerprint::of(&g), GraphFingerprint::of(&h));
+    }
+
+    #[test]
+    fn repartitioned_sites_change_the_fingerprint_despite_equal_counts() {
+        let edges = [(0, 1), (1, 2), (2, 3)];
+        let g = graph_with_edges(&edges);
+        // Same edge set, same site count — but doc 1 now belongs to b.org.
+        let mut b = DocGraphBuilder::new();
+        b.add_doc("a.org", "http://a.org/");
+        b.add_doc("b.org", "http://a.org/1");
+        b.add_doc("b.org", "http://b.org/");
+        b.add_doc("a.org", "http://b.org/1");
+        for (f, t) in edges {
+            b.add_link(DocId(f), DocId(t)).unwrap();
+        }
+        let h = b.build();
+        assert_eq!(g.n_sites(), h.n_sites());
+        assert_eq!(g.n_links(), h.n_links());
+        assert_ne!(GraphFingerprint::of(&g), GraphFingerprint::of(&h));
+    }
+
+    #[test]
+    fn engine_recomputes_on_same_shape_rewire() {
+        // End-to-end form of the audit: a rewired recrawl must be a cache
+        // miss, not a stale serve.
+        let g = graph_with_edges(&[(0, 1), (1, 0), (1, 2), (2, 3), (3, 0)]);
+        let h = graph_with_edges(&[(0, 1), (1, 0), (3, 2), (2, 1), (3, 0)]);
+        let sink = std::sync::Arc::new(crate::telemetry::MemorySink::new());
+        let mut engine = RankEngine::builder()
+            .backend(BackendSpec::FlatPageRank)
+            .telemetry(sink.clone())
+            .build()
+            .unwrap();
+        engine.rank(&g).unwrap();
+        engine.rank(&g).unwrap(); // unchanged: served from cache
+        assert_eq!(sink.len(), 1);
+        engine.rank(&h).unwrap(); // rewired: must recompute
+        assert_eq!(sink.len(), 2);
     }
 }

@@ -24,6 +24,12 @@ pub enum EngineError {
     /// A serving method was called before any [`rank`](crate::RankEngine::rank)
     /// call populated the cache.
     NotRanked,
+    /// [`apply_delta`](crate::RankEngine::apply_delta) was called on a
+    /// backend that does not maintain incremental state.
+    UnsupportedDelta {
+        /// Name of the backend that cannot apply deltas.
+        backend: String,
+    },
     /// A query referenced a document or site outside the ranked graph.
     OutOfRange {
         /// What was referenced.
@@ -53,6 +59,13 @@ impl fmt::Display for EngineError {
             }
             EngineError::NotRanked => {
                 write!(f, "no ranking cached: call RankEngine::rank first")
+            }
+            EngineError::UnsupportedDelta { backend } => {
+                write!(
+                    f,
+                    "the {backend} backend cannot apply graph deltas; \
+                     use BackendSpec::Incremental"
+                )
             }
             EngineError::OutOfRange { what, index, len } => {
                 write!(f, "{what} {index} out of range (graph has {len})")

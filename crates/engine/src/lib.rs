@@ -23,6 +23,10 @@
 //!   [`top_k_for_site`](RankEngine::top_k_for_site),
 //!   [`score`](RankEngine::score), and [`compare`](RankEngine::compare)
 //!   without recomputation.
+//! * **Live graph mutation**: [`RankEngine::apply_delta`] streams a
+//!   structural [`lmm_graph::delta::GraphDelta`] (links, pages, whole
+//!   sites) through the incremental backend, recomputing only the stale
+//!   sites and refreshing the serving cache in place.
 //!
 //! # Quickstart
 //!
@@ -80,5 +84,5 @@ pub use context::{ConvergencePolicy, ExecContext, Personalization};
 pub use engine::{BackendSpec, EngineConfig, RankEngine, RankEngineBuilder};
 pub use error::{EngineError, Result};
 pub use outcome::{RankComparison, RankOutcome};
-pub use ranker::Ranker;
+pub use ranker::{DeltaOutcome, Ranker};
 pub use telemetry::{MemorySink, NullSink, RunTelemetry, TelemetrySink};

@@ -1,9 +1,27 @@
 //! The pluggable ranking-strategy trait.
 
+use std::sync::Arc;
+
 use crate::context::ExecContext;
-use crate::error::Result;
+use crate::error::{EngineError, Result};
 use crate::outcome::RankOutcome;
+use lmm_core::incremental::UpdateStats;
+use lmm_graph::delta::GraphDelta;
 use lmm_graph::docgraph::DocGraph;
+
+/// Result of a structural-delta update: the mutated graph (so the engine
+/// can refresh its serving cache and fingerprint in place), the new
+/// outcome, and the incremental cost accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaOutcome {
+    /// The graph after the delta was applied — shared with the backend's
+    /// retained state, so returning it never deep-copies the graph.
+    pub graph: Arc<DocGraph>,
+    /// The refreshed ranking outcome.
+    pub outcome: RankOutcome,
+    /// Which layers were recomputed vs reused.
+    pub stats: UpdateStats,
+}
 
 /// A ranking strategy: anything that can turn a document graph into a
 /// global document ranking under a shared [`ExecContext`].
@@ -34,4 +52,22 @@ pub trait Ranker: Send + Sync {
     /// features, invalid graphs), uniformly wrapped in
     /// [`EngineError`](crate::EngineError).
     fn rank(&self, graph: &DocGraph, ctx: &ExecContext) -> Result<RankOutcome>;
+
+    /// Applies a structural [`GraphDelta`] to the backend's maintained
+    /// state, recomputing only the stale layers.
+    ///
+    /// Only backends that keep incremental state (the built-in
+    /// [`IncrementalRanker`](crate::IncrementalRanker)) override this; the
+    /// default refuses, so stateless backends never pretend a delta was
+    /// cheap.
+    ///
+    /// # Errors
+    /// [`EngineError::UnsupportedDelta`] by default;
+    /// [`EngineError::NotRanked`] when no previous state exists; otherwise
+    /// backend-specific failures.
+    fn apply_delta(&self, _delta: &GraphDelta, _ctx: &ExecContext) -> Result<DeltaOutcome> {
+        Err(EngineError::UnsupportedDelta {
+            backend: self.name(),
+        })
+    }
 }

@@ -30,6 +30,10 @@ pub struct RunTelemetry {
     pub sites_recomputed: usize,
     /// Per-site computations reused from a previous run (incremental).
     pub sites_reused: usize,
+    /// Of the recomputed sites, how many were rebuilt cold because their
+    /// document set changed — grown existing sites plus appended new sites
+    /// (structural-delta updates only).
+    pub sites_grown: usize,
     /// Messages sent over the simulated network (distributed backends).
     pub messages: u64,
     /// Bytes sent over the simulated network (distributed backends).

@@ -1,0 +1,740 @@
+//! Structural graph deltas: validated, composable mutations of a
+//! [`DocGraph`].
+//!
+//! The paper's Section 1.2 motivates the layered decomposition with the
+//! observation that centralized PageRank cannot keep up with Web *growth* —
+//! yet growth is exactly what a same-shape recrawl diff cannot express. A
+//! [`GraphDelta`] records the missing mutations against a fixed base graph:
+//!
+//! * link additions and removals (in order, so add/remove on the same pair
+//!   compose like sequential edits);
+//! * new pages joining an existing site;
+//! * whole new sites (which must receive at least one page).
+//!
+//! [`DocGraph::apply`] replays a delta onto the base graph and returns the
+//! mutated graph together with the induced [`AppliedDelta`] — the
+//! site-granular summary the incremental ranking layer consumes: which
+//! existing sites changed internally, which grew, how many sites were
+//! appended, and whether any cross-site link changed.
+//!
+//! Renumbering is *consistent*: every existing document and site keeps its
+//! id; new documents get ids `n_docs..`, new sites get ids `n_sites..`, in
+//! the order they were added to the delta. That stability is what lets the
+//! incremental layer reuse per-site rank vectors by index.
+//!
+//! Deltas **compose**: [`GraphDelta::merge`] appends a delta built against
+//! the shape this delta produces, and applying the merged delta equals
+//! applying the two in sequence.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::docgraph::{DocGraph, PageKind};
+use crate::error::{GraphError, Result};
+use crate::ids::{DocId, SiteId};
+use lmm_linalg::CsrMatrix;
+
+/// One recorded link mutation. Ordered replay makes add/remove on the same
+/// pair behave like sequential edits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkOp {
+    Add(DocId, DocId),
+    Remove(DocId, DocId),
+}
+
+/// A page added by a delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct NewPage {
+    site: SiteId,
+    url: String,
+    kind: PageKind,
+}
+
+/// A validated, composable set of structural mutations against one base
+/// graph shape.
+///
+/// Create one with [`GraphDelta::for_graph`]; ids handed out by
+/// [`add_site`](GraphDelta::add_site) / [`add_page`](GraphDelta::add_page)
+/// are the ids the mutated graph will use, so links to not-yet-applied
+/// pages can be recorded immediately.
+///
+/// # Example
+/// ```
+/// use lmm_graph::docgraph::DocGraphBuilder;
+/// use lmm_graph::delta::GraphDelta;
+///
+/// # fn main() -> Result<(), lmm_graph::GraphError> {
+/// let mut b = DocGraphBuilder::new();
+/// let home = b.add_doc("a.org", "http://a.org/");
+/// let page = b.add_doc("a.org", "http://a.org/p");
+/// b.add_link(home, page)?;
+/// let graph = b.build();
+///
+/// let mut delta = GraphDelta::for_graph(&graph);
+/// let site = delta.add_site("b.org");
+/// let new_home = delta.add_page(site, "http://b.org/")?;
+/// delta.add_link(page, new_home)?;
+/// let (grown, applied) = graph.apply(&delta)?;
+/// assert_eq!(grown.n_docs(), 3);
+/// assert_eq!(grown.n_sites(), 2);
+/// assert_eq!(applied.added_sites, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphDelta {
+    base_docs: usize,
+    base_sites: usize,
+    new_sites: Vec<String>,
+    new_pages: Vec<NewPage>,
+    link_ops: Vec<LinkOp>,
+}
+
+impl GraphDelta {
+    /// Starts an empty delta against `graph`'s shape.
+    #[must_use]
+    pub fn for_graph(graph: &DocGraph) -> Self {
+        Self::for_shape(graph.n_docs(), graph.n_sites())
+    }
+
+    /// Starts an empty delta against an explicit `(n_docs, n_sites)` base
+    /// shape (useful when the base graph lives elsewhere, e.g. on a peer).
+    #[must_use]
+    pub fn for_shape(base_docs: usize, base_sites: usize) -> Self {
+        Self {
+            base_docs,
+            base_sites,
+            new_sites: Vec::new(),
+            new_pages: Vec::new(),
+            link_ops: Vec::new(),
+        }
+    }
+
+    /// The base shape this delta must be applied to.
+    #[must_use]
+    pub fn base_shape(&self) -> (usize, usize) {
+        (self.base_docs, self.base_sites)
+    }
+
+    /// Documents in the graph this delta produces.
+    #[must_use]
+    pub fn result_docs(&self) -> usize {
+        self.base_docs + self.new_pages.len()
+    }
+
+    /// Sites in the graph this delta produces.
+    #[must_use]
+    pub fn result_sites(&self) -> usize {
+        self.base_sites + self.new_sites.len()
+    }
+
+    /// `true` when the delta records no mutation at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.new_sites.is_empty() && self.new_pages.is_empty() && self.link_ops.is_empty()
+    }
+
+    /// Number of pages this delta adds.
+    #[must_use]
+    pub fn n_new_pages(&self) -> usize {
+        self.new_pages.len()
+    }
+
+    /// Number of whole sites this delta adds.
+    #[must_use]
+    pub fn n_new_sites(&self) -> usize {
+        self.new_sites.len()
+    }
+
+    /// Number of recorded link additions.
+    #[must_use]
+    pub fn n_added_links(&self) -> usize {
+        self.link_ops
+            .iter()
+            .filter(|op| matches!(op, LinkOp::Add(..)))
+            .count()
+    }
+
+    /// Number of recorded link removals.
+    #[must_use]
+    pub fn n_removed_links(&self) -> usize {
+        self.link_ops.len() - self.n_added_links()
+    }
+
+    /// Declares a new site, returning the id it will have after `apply`.
+    /// The site must receive at least one page before the delta is applied.
+    pub fn add_site(&mut self, name: &str) -> SiteId {
+        let id = SiteId(self.result_sites());
+        self.new_sites.push(name.to_string());
+        id
+    }
+
+    /// Adds a regular page to `site` (existing or added by this delta),
+    /// returning the id it will have after `apply`.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::InvalidDelta`] for an unknown site.
+    pub fn add_page(&mut self, site: SiteId, url: &str) -> Result<DocId> {
+        self.add_page_with_kind(site, url, PageKind::Regular)
+    }
+
+    /// Adds a page with an explicit [`PageKind`] label.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::InvalidDelta`] for an unknown site.
+    pub fn add_page_with_kind(&mut self, site: SiteId, url: &str, kind: PageKind) -> Result<DocId> {
+        if site.index() >= self.result_sites() {
+            return Err(GraphError::InvalidDelta {
+                reason: format!(
+                    "add_page names site {} but only {} sites exist (including {} added)",
+                    site.index(),
+                    self.result_sites(),
+                    self.new_sites.len()
+                ),
+            });
+        }
+        let id = DocId(self.result_docs());
+        self.new_pages.push(NewPage {
+            site,
+            url: url.to_string(),
+            kind,
+        });
+        Ok(id)
+    }
+
+    /// Records a link addition between two documents (existing or added by
+    /// this delta). A link that already exists collapses at `apply` like
+    /// every duplicate.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::UnknownDoc`] when either endpoint is outside
+    /// the delta's resulting document range.
+    pub fn add_link(&mut self, from: DocId, to: DocId) -> Result<()> {
+        self.check_endpoints(from, to)?;
+        self.link_ops.push(LinkOp::Add(from, to));
+        Ok(())
+    }
+
+    /// Records a (directed) link removal. Removing a link that does not
+    /// exist is a no-op at `apply` time.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::UnknownDoc`] when either endpoint is outside
+    /// the delta's resulting document range.
+    pub fn remove_link(&mut self, from: DocId, to: DocId) -> Result<()> {
+        self.check_endpoints(from, to)?;
+        self.link_ops.push(LinkOp::Remove(from, to));
+        Ok(())
+    }
+
+    fn check_endpoints(&self, from: DocId, to: DocId) -> Result<()> {
+        let n = self.result_docs();
+        for d in [from, to] {
+            if d.index() >= n {
+                return Err(GraphError::UnknownDoc {
+                    doc: d.index(),
+                    n_docs: n,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Appends `next` — a delta built against the shape *this* delta
+    /// produces — so that applying the merged delta equals applying the two
+    /// in sequence.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::InvalidDelta`] when `next`'s base shape does
+    /// not match this delta's resulting shape.
+    pub fn merge(&mut self, next: GraphDelta) -> Result<()> {
+        if next.base_docs != self.result_docs() || next.base_sites != self.result_sites() {
+            return Err(GraphError::InvalidDelta {
+                reason: format!(
+                    "cannot merge: next delta expects base {}x{} (docs x sites), \
+                     this delta produces {}x{}",
+                    next.base_docs,
+                    next.base_sites,
+                    self.result_docs(),
+                    self.result_sites()
+                ),
+            });
+        }
+        self.new_sites.extend(next.new_sites);
+        self.new_pages.extend(next.new_pages);
+        self.link_ops.extend(next.link_ops);
+        Ok(())
+    }
+
+    /// Site of a document reference (existing or added by this delta),
+    /// given the base graph.
+    fn site_of_ref(&self, graph: &DocGraph, doc: DocId) -> SiteId {
+        if doc.index() < self.base_docs {
+            graph.site_of(doc)
+        } else {
+            self.new_pages[doc.index() - self.base_docs].site
+        }
+    }
+}
+
+/// The site-granular summary a [`DocGraph::apply`] call induces — exactly
+/// the information the incremental re-ranking layer needs to decide which
+/// per-site computations are stale.
+///
+/// `changed_sites` and `grown_sites` are disjoint, sorted, and deduplicated;
+/// both only name *pre-existing* sites. Appended sites are counted by
+/// `added_sites` (their ids are the trailing range of the mutated graph).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AppliedDelta {
+    /// Pre-existing sites with unchanged membership whose intra-site link
+    /// structure actually changed (a rank recomputation can warm-start from
+    /// the previous vector).
+    pub changed_sites: Vec<usize>,
+    /// Pre-existing sites that gained pages (their local rank dimension
+    /// changed — cold rebuild).
+    pub grown_sites: Vec<usize>,
+    /// Number of whole sites appended (ids `old_n_sites..new_n_sites`).
+    pub added_sites: usize,
+    /// Whether any cross-site link (or the site count itself) changed, i.e.
+    /// whether the SiteRank is stale.
+    pub cross_links_changed: bool,
+}
+
+impl AppliedDelta {
+    /// `true` when the delta induced no ranking-relevant change.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.changed_sites.is_empty()
+            && self.grown_sites.is_empty()
+            && self.added_sites == 0
+            && !self.cross_links_changed
+    }
+}
+
+impl DocGraph {
+    /// Applies a structural delta, returning the mutated graph and the
+    /// induced [`AppliedDelta`].
+    ///
+    /// Renumbering is consistent: existing documents and sites keep their
+    /// ids; new documents and sites are appended in delta order.
+    ///
+    /// This is the hot path of live re-ranking, so it **patches** rather
+    /// than rebuilds: untouched adjacency rows are copied wholesale, only
+    /// rows named by the delta's link ops are edited, and the induced
+    /// summary falls out of the same pass — the per-row diffs between old
+    /// and new edge sets. No-op mutations (removing an absent link,
+    /// re-adding an existing one, net-zero cross rewires) therefore never
+    /// mark a layer stale.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::InvalidDelta`] when the delta was built
+    /// against a different shape, a new site name is empty / duplicates an
+    /// existing or sibling name, or a new site received no pages.
+    pub fn apply(&self, delta: &GraphDelta) -> Result<(DocGraph, AppliedDelta)> {
+        if delta.base_docs != self.n_docs() || delta.base_sites != self.n_sites() {
+            return Err(GraphError::InvalidDelta {
+                reason: format!(
+                    "delta expects base shape {}x{} (docs x sites), graph is {}x{}",
+                    delta.base_docs,
+                    delta.base_sites,
+                    self.n_docs(),
+                    self.n_sites()
+                ),
+            });
+        }
+        let mut names: HashSet<&str> = (0..self.n_sites())
+            .map(|s| self.site_name(SiteId(s)))
+            .collect();
+        for name in &delta.new_sites {
+            if name.is_empty() {
+                return Err(GraphError::InvalidDelta {
+                    reason: "new site name is empty".into(),
+                });
+            }
+            if !names.insert(name) {
+                return Err(GraphError::InvalidDelta {
+                    reason: format!("new site name {name:?} already exists"),
+                });
+            }
+        }
+        // Every new site must end up non-empty: an empty site has no local
+        // rank distribution and would poison the layered pipeline.
+        let mut new_site_pages = vec![0usize; delta.new_sites.len()];
+        for page in &delta.new_pages {
+            if let Some(k) = page.site.index().checked_sub(self.n_sites()) {
+                new_site_pages[k] += 1;
+            }
+        }
+        if let Some(k) = new_site_pages.iter().position(|&c| c == 0) {
+            return Err(GraphError::InvalidDelta {
+                reason: format!("new site {:?} has no pages", delta.new_sites[k]),
+            });
+        }
+
+        // Group link ops by source row, preserving replay order within a
+        // row: a removal only erases links present *at that point*, so
+        // add-then-remove deletes and remove-then-add restores — the same
+        // result as sequential edits.
+        let mut ops_by_src: HashMap<usize, Vec<(usize, bool)>> = HashMap::new();
+        for op in &delta.link_ops {
+            match *op {
+                LinkOp::Add(from, to) => ops_by_src
+                    .entry(from.index())
+                    .or_default()
+                    .push((to.index(), true)),
+                LinkOp::Remove(from, to) => ops_by_src
+                    .entry(from.index())
+                    .or_default()
+                    .push((to.index(), false)),
+            }
+        }
+
+        let n_docs = delta.result_docs();
+        let base = self.adjacency();
+        let mut row_ptr = Vec::with_capacity(n_docs + 1);
+        row_ptr.push(0usize);
+        let mut col_idx: Vec<usize> = Vec::with_capacity(base.nnz() + delta.link_ops.len());
+
+        // Induced-delta accumulators, filled from the per-row edge diffs.
+        let grown: BTreeSet<usize> = delta
+            .new_pages
+            .iter()
+            .filter(|p| p.site.index() < self.n_sites())
+            .map(|p| p.site.index())
+            .collect();
+        let mut changed: BTreeSet<usize> = BTreeSet::new();
+        // Net cross-link count change per ordered site pair: the SiteRank
+        // depends on the *counts*, so a rewire that removes one s->t link
+        // and adds another leaves it fresh — exactly like comparing the
+        // derived SiteGraphs, at O(ops) instead of O(E).
+        let mut cross_deltas: HashMap<(usize, usize), i64> = HashMap::new();
+        let mut record_change = |src: usize, dst: usize, sign: i64| {
+            let s = delta.site_of_ref(self, DocId(src)).index();
+            let t = delta.site_of_ref(self, DocId(dst)).index();
+            if s == t {
+                if s < self.n_sites() && !grown.contains(&s) {
+                    changed.insert(s);
+                }
+            } else {
+                *cross_deltas.entry((s, t)).or_insert(0) += sign;
+            }
+        };
+
+        for row in 0..n_docs {
+            let base_cols: &[usize] = if row < self.n_docs() {
+                base.row(row).0
+            } else {
+                &[]
+            };
+            match ops_by_src.get(&row) {
+                None => col_idx.extend_from_slice(base_cols),
+                Some(ops) => {
+                    let mut set: BTreeSet<usize> = base_cols.iter().copied().collect();
+                    for &(dst, is_add) in ops {
+                        if is_add {
+                            set.insert(dst);
+                        } else {
+                            set.remove(&dst);
+                        }
+                    }
+                    let final_cols: Vec<usize> = set.into_iter().collect();
+                    // Sorted merge-diff of base vs final edge sets — only
+                    // *real* changes feed the induced delta.
+                    let (mut i, mut j) = (0usize, 0usize);
+                    while i < base_cols.len() || j < final_cols.len() {
+                        match (base_cols.get(i), final_cols.get(j)) {
+                            (Some(&b), Some(&f)) if b == f => {
+                                i += 1;
+                                j += 1;
+                            }
+                            (Some(&b), Some(&f)) if b < f => {
+                                record_change(row, b, -1);
+                                i += 1;
+                            }
+                            (Some(&b), None) => {
+                                record_change(row, b, -1);
+                                i += 1;
+                            }
+                            (_, Some(&f)) => {
+                                record_change(row, f, 1);
+                                j += 1;
+                            }
+                            (None, None) => unreachable!("loop condition"),
+                        }
+                    }
+                    col_idx.extend_from_slice(&final_cols);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        let values = vec![1.0f64; col_idx.len()];
+        let adjacency = CsrMatrix::from_raw_parts(n_docs, n_docs, row_ptr, col_idx, values)
+            .map_err(|e| GraphError::InvalidDelta {
+                reason: format!("patched adjacency is inconsistent: {e}"),
+            })?;
+
+        // Extend the columnar document/site storage (existing entries keep
+        // their positions — that is the renumbering guarantee).
+        let (urls, kinds, site_names, site_members) = self.parts();
+        let mut urls = urls.to_vec();
+        let mut kinds = kinds.to_vec();
+        let mut site_of = self.site_assignments().to_vec();
+        let mut site_names = site_names.to_vec();
+        let mut site_members = site_members.to_vec();
+        site_names.extend(delta.new_sites.iter().cloned());
+        site_members.resize(site_names.len(), Vec::new());
+        for (k, page) in delta.new_pages.iter().enumerate() {
+            urls.push(page.url.clone());
+            kinds.push(page.kind);
+            site_of.push(page.site);
+            site_members[page.site.index()].push(DocId(self.n_docs() + k));
+        }
+        let mutated = DocGraph::from_validated_parts(
+            urls,
+            kinds,
+            site_of,
+            site_names,
+            site_members,
+            adjacency,
+        );
+
+        let added_sites = delta.new_sites.len();
+        let cross_links_changed = added_sites > 0 || cross_deltas.values().any(|&net| net != 0);
+        let applied = AppliedDelta {
+            changed_sites: changed.into_iter().collect(),
+            grown_sites: grown.into_iter().collect(),
+            added_sites,
+            cross_links_changed,
+        };
+        Ok((mutated, applied))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docgraph::DocGraphBuilder;
+
+    fn base() -> DocGraph {
+        let mut b = DocGraphBuilder::new();
+        let a0 = b.add_doc_with_kind("a.org", "http://a.org/", PageKind::SiteRoot);
+        let a1 = b.add_doc("a.org", "http://a.org/1");
+        let a2 = b.add_doc("a.org", "http://a.org/2");
+        let b0 = b.add_doc_with_kind("b.org", "http://b.org/", PageKind::SiteRoot);
+        let b1 = b.add_doc("b.org", "http://b.org/1");
+        b.add_link(a0, a1).unwrap();
+        b.add_link(a1, a2).unwrap();
+        b.add_link(a2, a0).unwrap();
+        b.add_link(a2, b0).unwrap();
+        b.add_link(b0, b1).unwrap();
+        b.add_link(b1, a0).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let g = base();
+        let delta = GraphDelta::for_graph(&g);
+        assert!(delta.is_empty());
+        let (h, applied) = g.apply(&delta).unwrap();
+        assert_eq!(g, h);
+        assert!(applied.is_empty());
+    }
+
+    #[test]
+    fn grow_existing_site_renumbers_consistently() {
+        let g = base();
+        let mut delta = GraphDelta::for_graph(&g);
+        let p = delta.add_page(SiteId(0), "http://a.org/new").unwrap();
+        assert_eq!(p, DocId(5));
+        delta.add_link(DocId(0), p).unwrap();
+        let (h, applied) = g.apply(&delta).unwrap();
+        assert_eq!(h.n_docs(), 6);
+        assert_eq!(h.n_sites(), 2);
+        // Existing ids untouched.
+        for d in 0..5 {
+            assert_eq!(h.url(DocId(d)), g.url(DocId(d)));
+            assert_eq!(h.site_of(DocId(d)), g.site_of(DocId(d)));
+        }
+        assert_eq!(h.site_of(p), SiteId(0));
+        assert_eq!(h.docs_of_site(SiteId(0)).len(), 4);
+        assert_eq!(applied.grown_sites, vec![0]);
+        assert_eq!(applied.added_sites, 0);
+        // A root -> new-page link is intra-site only; cross counts kept.
+        assert!(applied.changed_sites.is_empty());
+        assert!(!applied.cross_links_changed);
+    }
+
+    #[test]
+    fn add_whole_site_with_cross_links() {
+        let g = base();
+        let mut delta = GraphDelta::for_graph(&g);
+        let s = delta.add_site("c.org");
+        assert_eq!(s, SiteId(2));
+        let c0 = delta
+            .add_page_with_kind(s, "http://c.org/", PageKind::SiteRoot)
+            .unwrap();
+        let c1 = delta.add_page(s, "http://c.org/1").unwrap();
+        delta.add_link(c0, c1).unwrap();
+        delta.add_link(c1, c0).unwrap();
+        delta.add_link(DocId(0), c0).unwrap();
+        delta.add_link(c0, DocId(3)).unwrap();
+        let (h, applied) = g.apply(&delta).unwrap();
+        assert_eq!(h.n_sites(), 3);
+        assert_eq!(h.site_name(s), "c.org");
+        assert_eq!(h.docs_of_site(s), &[c0, c1]);
+        assert_eq!(h.kind(c0), PageKind::SiteRoot);
+        assert_eq!(applied.added_sites, 1);
+        assert!(applied.cross_links_changed);
+        assert!(applied.grown_sites.is_empty());
+    }
+
+    #[test]
+    fn intra_rewire_reports_changed_site_only() {
+        let g = base();
+        let mut delta = GraphDelta::for_graph(&g);
+        delta.remove_link(DocId(0), DocId(1)).unwrap();
+        delta.add_link(DocId(1), DocId(0)).unwrap();
+        let (h, applied) = g.apply(&delta).unwrap();
+        assert_eq!(h.n_links(), g.n_links());
+        assert_eq!(applied.changed_sites, vec![0]);
+        assert!(applied.grown_sites.is_empty());
+        assert!(!applied.cross_links_changed);
+    }
+
+    #[test]
+    fn noop_mutations_do_not_mark_sites_stale() {
+        let g = base();
+        let mut delta = GraphDelta::for_graph(&g);
+        // Remove a link that does not exist, re-add one that does.
+        delta.remove_link(DocId(1), DocId(0)).unwrap();
+        delta.add_link(DocId(0), DocId(1)).unwrap();
+        let (h, applied) = g.apply(&delta).unwrap();
+        assert_eq!(g, h);
+        assert!(applied.is_empty());
+    }
+
+    #[test]
+    fn link_ops_replay_in_order() {
+        let g = base();
+        // Add then remove: the link (and its base duplicate) is gone.
+        let mut delta = GraphDelta::for_graph(&g);
+        delta.add_link(DocId(0), DocId(1)).unwrap();
+        delta.remove_link(DocId(0), DocId(1)).unwrap();
+        let (h, _) = g.apply(&delta).unwrap();
+        assert_eq!(h.adjacency().get(0, 1), 0.0);
+        // Remove then add: the link survives.
+        let mut delta = GraphDelta::for_graph(&g);
+        delta.remove_link(DocId(0), DocId(1)).unwrap();
+        delta.add_link(DocId(0), DocId(1)).unwrap();
+        let (h, _) = g.apply(&delta).unwrap();
+        assert_eq!(h.adjacency().get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential_application() {
+        let g = base();
+        let mut d1 = GraphDelta::for_graph(&g);
+        let p = d1.add_page(SiteId(1), "http://b.org/2").unwrap();
+        d1.add_link(DocId(3), p).unwrap();
+        let (mid, _) = g.apply(&d1).unwrap();
+
+        let mut d2 = GraphDelta::for_graph(&mid);
+        let s = d2.add_site("c.org");
+        let c0 = d2.add_page(s, "http://c.org/").unwrap();
+        d2.add_link(p, c0).unwrap();
+        d2.add_link(c0, DocId(0)).unwrap();
+        d2.remove_link(DocId(3), p).unwrap();
+        let (seq, _) = mid.apply(&d2).unwrap();
+
+        let mut merged = d1.clone();
+        merged.merge(d2).unwrap();
+        let (one_shot, _) = g.apply(&merged).unwrap();
+        assert_eq!(seq, one_shot);
+    }
+
+    #[test]
+    fn merge_rejects_shape_mismatch() {
+        let g = base();
+        let mut d1 = GraphDelta::for_graph(&g);
+        d1.add_page(SiteId(0), "http://a.org/x").unwrap();
+        // d2 built against the *base* shape, not d1's result shape.
+        let d2 = GraphDelta::for_graph(&g);
+        let mut merged = d1;
+        assert!(matches!(
+            merged.merge(d2),
+            Err(GraphError::InvalidDelta { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_rejects_wrong_base_shape() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        d.add_page(SiteId(0), "http://a.org/x").unwrap();
+        let (grown, _) = g.apply(&d).unwrap();
+        // The same delta cannot be applied to the already-grown graph.
+        assert!(matches!(
+            grown.apply(&d),
+            Err(GraphError::InvalidDelta { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_rejects_duplicate_and_empty_site_names() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        let s = d.add_site("a.org"); // collides with an existing site
+        d.add_page(s, "http://a.org/dup").unwrap();
+        assert!(matches!(g.apply(&d), Err(GraphError::InvalidDelta { .. })));
+
+        let mut d = GraphDelta::for_graph(&g);
+        let s = d.add_site("");
+        d.add_page(s, "http://nameless/").unwrap();
+        assert!(matches!(g.apply(&d), Err(GraphError::InvalidDelta { .. })));
+    }
+
+    #[test]
+    fn apply_rejects_empty_new_site() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        d.add_site("c.org");
+        assert!(matches!(g.apply(&d), Err(GraphError::InvalidDelta { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range_references() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        assert!(d.add_page(SiteId(7), "http://nowhere/").is_err());
+        assert!(d.add_link(DocId(0), DocId(99)).is_err());
+        assert!(d.remove_link(DocId(99), DocId(0)).is_err());
+        // A link to a page added by the delta itself is fine.
+        let p = d.add_page(SiteId(0), "http://a.org/x").unwrap();
+        d.add_link(DocId(0), p).unwrap();
+        assert_eq!(d.n_added_links(), 1);
+        assert_eq!(d.n_removed_links(), 0);
+        assert_eq!(d.n_new_pages(), 1);
+        assert_eq!(d.n_new_sites(), 0);
+    }
+
+    #[test]
+    fn mixed_delta_summary_is_exact() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        // Intra rewire in site 1, growth in site 0, one new site.
+        d.remove_link(DocId(3), DocId(4)).unwrap();
+        d.add_link(DocId(4), DocId(3)).unwrap();
+        let p = d.add_page(SiteId(0), "http://a.org/x").unwrap();
+        d.add_link(p, DocId(0)).unwrap();
+        let s = d.add_site("c.org");
+        let c = d.add_page(s, "http://c.org/").unwrap();
+        d.add_link(c, c).unwrap();
+        let (h, applied) = g.apply(&d).unwrap();
+        assert_eq!(applied.changed_sites, vec![1]);
+        assert_eq!(applied.grown_sites, vec![0]);
+        assert_eq!(applied.added_sites, 1);
+        assert!(applied.cross_links_changed);
+        assert_eq!(h.n_docs(), 7);
+        assert_eq!(h.n_sites(), 3);
+    }
+}

@@ -60,6 +60,10 @@ pub struct DocGraph {
     adjacency: CsrMatrix,
 }
 
+/// Borrowed columnar storage of a [`DocGraph`] — crate-internal, consumed
+/// by the delta fast path: `(urls, kinds, site_names, site_members)`.
+pub(crate) type GraphParts<'a> = (&'a [String], &'a [PageKind], &'a [String], &'a [Vec<DocId>]);
+
 /// An intra-site subgraph `G_d^s = (V_d(s), E_d(s))`: only the documents of
 /// one site and the links between them (Section 3.1).
 #[derive(Debug, Clone, PartialEq)]
@@ -224,6 +228,39 @@ impl DocGraph {
         self.adjacency
             .iter()
             .map(|(src, dst, _)| (DocId(src), DocId(dst)))
+    }
+
+    /// Crate-internal read access for the delta fast path, which patches
+    /// the graph's columnar storage directly instead of routing every
+    /// document and edge back through the builder.
+    pub(crate) fn parts(&self) -> GraphParts<'_> {
+        (
+            &self.urls,
+            &self.kinds,
+            &self.site_names,
+            &self.site_members,
+        )
+    }
+
+    /// Crate-internal constructor from parts whose invariants the caller
+    /// has already established (used by [`crate::delta`]'s patch-based
+    /// apply; the adjacency is validated by `CsrMatrix::from_raw_parts`).
+    pub(crate) fn from_validated_parts(
+        urls: Vec<String>,
+        kinds: Vec<PageKind>,
+        site_of: Vec<SiteId>,
+        site_names: Vec<String>,
+        site_members: Vec<Vec<DocId>>,
+        adjacency: CsrMatrix,
+    ) -> Self {
+        Self {
+            urls,
+            kinds,
+            site_of,
+            site_names,
+            site_members,
+            adjacency,
+        }
     }
 }
 

@@ -21,6 +21,12 @@ pub enum GraphError {
         /// Human-readable cause.
         reason: String,
     },
+    /// A structural delta is malformed or does not fit the graph it is
+    /// applied to.
+    InvalidDelta {
+        /// Human-readable cause.
+        reason: String,
+    },
     /// A snapshot file is malformed.
     ParseSnapshot {
         /// 1-based line number of the offending line.
@@ -40,6 +46,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::InvalidConfig { reason } => {
                 write!(f, "invalid generator configuration: {reason}")
+            }
+            GraphError::InvalidDelta { reason } => {
+                write!(f, "invalid graph delta: {reason}")
             }
             GraphError::ParseSnapshot { line, reason } => {
                 write!(f, "malformed snapshot at line {line}: {reason}")

@@ -10,6 +10,10 @@
 //!
 //! This crate provides both, plus:
 //!
+//! * [`delta`] — validated, composable structural mutations
+//!   ([`delta::GraphDelta`]) with consistent renumbering under
+//!   [`DocGraph::apply`](docgraph::DocGraph::apply) — the substrate of
+//!   incremental re-ranking under Web growth;
 //! * [`url`] — extraction of the owning site from document URLs;
 //! * [`generator`] — deterministic synthetic web-graph generators,
 //!   including the **campus-web model** that substitutes for the paper's
@@ -42,6 +46,7 @@
 //! ```
 
 pub mod crawler;
+pub mod delta;
 pub mod docgraph;
 pub mod error;
 pub mod generator;
@@ -51,6 +56,7 @@ pub mod sitegraph;
 pub mod stats;
 pub mod url;
 
+pub use delta::{AppliedDelta, GraphDelta};
 pub use docgraph::{DocGraph, DocGraphBuilder};
 pub use error::{GraphError, Result};
 pub use generator::CampusWebConfig;

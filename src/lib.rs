@@ -72,6 +72,7 @@ pub mod prelude {
         RunTelemetry,
     };
     pub use lmm_graph::{
+        delta::{AppliedDelta, GraphDelta},
         docgraph::{DocGraph, DocGraphBuilder},
         generator::CampusWebConfig,
         sitegraph::{SiteGraph, SiteGraphOptions},
