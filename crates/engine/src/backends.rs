@@ -379,6 +379,7 @@ impl Ranker for IncrementalRanker {
         apply_stats_to_telemetry(&mut outcome.telemetry, &stats);
         Ok(DeltaOutcome {
             graph: new_graph,
+            applied,
             outcome,
             stats,
         })

@@ -8,8 +8,10 @@ use crate::backends::{
 };
 use crate::context::{ConvergencePolicy, ExecContext, Personalization};
 use crate::error::{EngineError, Result};
+use crate::fingerprint::GraphFingerprint;
 use crate::outcome::{RankComparison, RankOutcome};
 use crate::ranker::Ranker;
+use crate::snapshot::{RankSnapshot, Staleness};
 use crate::telemetry::TelemetrySink;
 use lmm_core::approaches::RankApproach;
 use lmm_core::siterank::SiteLayerMethod;
@@ -322,6 +324,7 @@ impl RankEngineBuilder {
             ctx,
             ranker,
             cache: None,
+            epoch: 0,
         })
     }
 }
@@ -329,7 +332,7 @@ impl RankEngineBuilder {
 struct ServingCache {
     outcome: RankOutcome,
     fingerprint: GraphFingerprint,
-    site_members: Vec<Vec<DocId>>,
+    snapshot: RankSnapshot,
 }
 
 /// The unified ranking engine: one configured backend plus a query-serving
@@ -345,6 +348,44 @@ pub struct RankEngine {
     ctx: ExecContext,
     ranker: Box<dyn Ranker>,
     cache: Option<ServingCache>,
+    /// Monotone snapshot epoch: advanced by every *fresh* computation
+    /// (never reset by [`invalidate`](Self::invalidate)), so a serving
+    /// tier can order snapshots across cache drops.
+    epoch: u64,
+}
+
+/// Materializes a graph's membership/assignment tables for a snapshot.
+fn snapshot_tables(graph: &DocGraph) -> (Arc<Vec<Vec<DocId>>>, Arc<Vec<SiteId>>) {
+    (
+        Arc::new(
+            (0..graph.n_sites())
+                .map(|s| graph.docs_of_site(SiteId(s)).to_vec())
+                .collect(),
+        ),
+        Arc::new(graph.site_assignments().to_vec()),
+    )
+}
+
+/// Builds the immutable serving snapshot of one fresh computation over
+/// pre-shared membership tables.
+fn build_snapshot(
+    epoch: u64,
+    outcome: &RankOutcome,
+    tables: (Arc<Vec<Vec<DocId>>>, Arc<Vec<SiteId>>),
+    staleness: Staleness,
+) -> RankSnapshot {
+    RankSnapshot::new(
+        epoch,
+        outcome.backend.clone(),
+        Arc::new(outcome.ranking.scores().to_vec()),
+        outcome
+            .site_rank
+            .as_ref()
+            .map(|r| Arc::new(r.scores().to_vec())),
+        tables.0,
+        tables.1,
+        staleness,
+    )
 }
 
 impl std::fmt::Debug for RankEngine {
@@ -402,15 +443,22 @@ impl RankEngine {
             None => true,
         };
         if fresh {
-            let outcome = self.ranker.rank(graph, &self.ctx)?;
+            let mut outcome = self.ranker.rank(graph, &self.ctx)?;
+            self.epoch += 1;
+            outcome.telemetry.epoch = self.epoch;
             self.ctx.telemetry.record(&outcome.telemetry);
-            let site_members = (0..graph.n_sites())
-                .map(|s| graph.docs_of_site(SiteId(s)).to_vec())
-                .collect();
+            // A from-scratch run gives no per-site staleness accounting, so
+            // the snapshot conservatively declares everything moved.
+            let snapshot = build_snapshot(
+                self.epoch,
+                &outcome,
+                snapshot_tables(graph),
+                Staleness::Full,
+            );
             self.cache = Some(ServingCache {
                 outcome,
                 fingerprint,
-                site_members,
+                snapshot,
             });
         }
         Ok(&self.cache.as_ref().expect("cache populated above").outcome)
@@ -437,21 +485,73 @@ impl RankEngine {
         if self.cache.is_none() {
             return Err(EngineError::NotRanked);
         }
-        let updated = self.ranker.apply_delta(delta, &self.ctx)?;
+        let mut updated = self.ranker.apply_delta(delta, &self.ctx)?;
+        self.epoch += 1;
+        updated.outcome.telemetry.epoch = self.epoch;
         self.ctx.telemetry.record(&updated.outcome.telemetry);
         let cache = self.cache.as_mut().expect("checked above");
-        cache.fingerprint = GraphFingerprint::of(&updated.graph);
-        cache.site_members = (0..updated.graph.n_sites())
-            .map(|s| updated.graph.docs_of_site(SiteId(s)).to_vec())
-            .collect();
+        // O(delta) fingerprint refresh: fold the exact induced edge diff
+        // into the cached fingerprint instead of re-hashing the graph.
+        cache.fingerprint = cache.fingerprint.compose(&updated.applied);
+        debug_assert_eq!(
+            cache.fingerprint,
+            GraphFingerprint::of(&updated.graph),
+            "composed fingerprint diverged from a from-scratch hash"
+        );
+        // Shard invalidation set: when the SiteRank reran, every document's
+        // score was rescaled — only a recompute-free update localizes to
+        // the delta's site sets. (Appended sites always rerun the
+        // SiteRank, so `Sites` never needs to name them.)
+        let staleness = if updated.stats.site_rank_recomputed {
+            Staleness::Full
+        } else {
+            let mut sites = updated.applied.changed_sites.clone();
+            sites.extend_from_slice(&updated.applied.grown_sites);
+            sites.sort_unstable();
+            Staleness::Sites(sites)
+        };
+        // Membership-preserving deltas (the common rewire) re-pin the
+        // previous snapshot's membership/assignment tables instead of
+        // re-materializing O(docs) copies — only the score vector is new.
+        let tables = if updated.applied.new_doc_sites.is_empty() && updated.applied.added_sites == 0
+        {
+            (
+                cache.snapshot.site_members_arc(),
+                cache.snapshot.site_of_arc(),
+            )
+        } else {
+            snapshot_tables(&updated.graph)
+        };
+        cache.snapshot = build_snapshot(self.epoch, &updated.outcome, tables, staleness);
         cache.outcome = updated.outcome;
         Ok(&cache.outcome)
     }
 
     /// Drops the cached ranking, forcing the next [`rank`](Self::rank) to
-    /// recompute.
+    /// recompute. The epoch counter is **not** reset: the recompute will
+    /// publish the next epoch, so serving tiers keep a total order.
     pub fn invalidate(&mut self) {
         self.cache = None;
+    }
+
+    /// The current snapshot epoch (`0` before the first fresh computation;
+    /// each fresh `rank` or `apply_delta` advances it by one).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The immutable serving snapshot of the cached ranking — the hand-off
+    /// unit for the sharded serving tier. Cheap: the returned value shares
+    /// the cached score and membership storage behind `Arc`s.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::NotRanked`] before the first `rank` call.
+    pub fn snapshot(&self) -> Result<RankSnapshot> {
+        self.cache
+            .as_ref()
+            .map(|c| c.snapshot.clone())
+            .ok_or(EngineError::NotRanked)
     }
 
     /// The cached outcome.
@@ -482,13 +582,14 @@ impl RankEngine {
     /// [`EngineError::OutOfRange`] for an unknown site.
     pub fn top_k_for_site(&self, site: SiteId, k: usize) -> Result<Vec<(DocId, f64)>> {
         let cache = self.cache.as_ref().ok_or(EngineError::NotRanked)?;
-        let members = cache.site_members.get(site.index()).ok_or({
-            EngineError::OutOfRange {
+        if site.index() >= cache.snapshot.n_sites() {
+            return Err(EngineError::OutOfRange {
                 what: "site",
                 index: site.index(),
-                len: cache.site_members.len(),
-            }
-        })?;
+                len: cache.snapshot.n_sites(),
+            });
+        }
+        let members = cache.snapshot.members_of_site(site);
         let scores = cache.outcome.ranking.scores();
         let mut ranked: Vec<(DocId, f64)> =
             members.iter().map(|&d| (d, scores[d.index()])).collect();
@@ -531,53 +632,6 @@ impl RankEngine {
     }
 }
 
-/// Cache key for a graph: exact structural counts plus a word-mixed hash
-/// of the site assignments and weighted edges (xor, odd-constant multiply,
-/// and xor-shift per 64-bit word — one pass over ~`n_docs + 3·n_links`
-/// words, cheap enough to run on every `rank`/`apply_delta` call). The
-/// counts are compared exactly; the hash covers the rest, so a stale cache
-/// hit would need a 64-bit collision between two graphs of identical
-/// shape — accepted as negligible for a serving cache (and
-/// [`RankEngine::invalidate`] always forces a recompute).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct GraphFingerprint {
-    n_docs: usize,
-    n_sites: usize,
-    n_links: usize,
-    hash: u64,
-}
-
-impl GraphFingerprint {
-    /// Audit note: the hash must cover the *content* of the edge set and
-    /// the site partition — not just the counts — or a same-shape recrawl
-    /// with rewired links would serve a stale cached ranking. The counts
-    /// pin the section boundaries of the byte stream (assignments, then
-    /// edges), so equal-count graphs cannot alias across sections. The
-    /// collision regression tests below keep this honest.
-    fn of(graph: &DocGraph) -> Self {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |word: u64| {
-            h ^= word;
-            h = h.wrapping_mul(0x9e37_79b9_7f4a_7c15);
-            h ^= h >> 29;
-        };
-        for site in graph.site_assignments() {
-            mix(site.index() as u64);
-        }
-        for (src, dst, v) in graph.adjacency().iter() {
-            mix(src as u64);
-            mix(dst as u64);
-            mix(v.to_bits());
-        }
-        Self {
-            n_docs: graph.n_docs(),
-            n_sites: graph.n_sites(),
-            n_links: graph.n_links(),
-            hash: h,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -598,44 +652,6 @@ mod tests {
     }
 
     #[test]
-    fn identical_graphs_share_a_fingerprint() {
-        let g = graph_with_edges(&[(0, 1), (1, 2), (2, 3)]);
-        let h = graph_with_edges(&[(0, 1), (1, 2), (2, 3)]);
-        assert_eq!(GraphFingerprint::of(&g), GraphFingerprint::of(&h));
-    }
-
-    #[test]
-    fn rewired_links_change_the_fingerprint_despite_equal_counts() {
-        // Same docs, same sites, same number of links — only the wiring
-        // differs. A count-only fingerprint would collide and serve the
-        // stale ranking.
-        let g = graph_with_edges(&[(0, 1), (1, 2), (2, 3)]);
-        let h = graph_with_edges(&[(1, 0), (1, 2), (2, 3)]);
-        assert_eq!(g.n_docs(), h.n_docs());
-        assert_eq!(g.n_links(), h.n_links());
-        assert_ne!(GraphFingerprint::of(&g), GraphFingerprint::of(&h));
-    }
-
-    #[test]
-    fn repartitioned_sites_change_the_fingerprint_despite_equal_counts() {
-        let edges = [(0, 1), (1, 2), (2, 3)];
-        let g = graph_with_edges(&edges);
-        // Same edge set, same site count — but doc 1 now belongs to b.org.
-        let mut b = DocGraphBuilder::new();
-        b.add_doc("a.org", "http://a.org/");
-        b.add_doc("b.org", "http://a.org/1");
-        b.add_doc("b.org", "http://b.org/");
-        b.add_doc("a.org", "http://b.org/1");
-        for (f, t) in edges {
-            b.add_link(DocId(f), DocId(t)).unwrap();
-        }
-        let h = b.build();
-        assert_eq!(g.n_sites(), h.n_sites());
-        assert_eq!(g.n_links(), h.n_links());
-        assert_ne!(GraphFingerprint::of(&g), GraphFingerprint::of(&h));
-    }
-
-    #[test]
     fn engine_recomputes_on_same_shape_rewire() {
         // End-to-end form of the audit: a rewired recrawl must be a cache
         // miss, not a stale serve.
@@ -652,5 +668,28 @@ mod tests {
         assert_eq!(sink.len(), 1);
         engine.rank(&h).unwrap(); // rewired: must recompute
         assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn epoch_advances_only_on_fresh_computations() {
+        let g = graph_with_edges(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut engine = RankEngine::builder()
+            .backend(BackendSpec::FlatPageRank)
+            .build()
+            .unwrap();
+        assert_eq!(engine.epoch(), 0);
+        assert!(engine.snapshot().is_err());
+        engine.rank(&g).unwrap();
+        assert_eq!(engine.epoch(), 1);
+        engine.rank(&g).unwrap(); // cache hit: same epoch
+        assert_eq!(engine.epoch(), 1);
+        let snap = engine.snapshot().unwrap();
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(snap.staleness(), &Staleness::Full);
+        assert_eq!(snap.scores(), engine.outcome().unwrap().ranking.scores());
+        // Invalidation keeps the counter monotone across the recompute.
+        engine.invalidate();
+        engine.rank(&g).unwrap();
+        assert_eq!(engine.epoch(), 2);
     }
 }

@@ -26,7 +26,13 @@
 //! * **Live graph mutation**: [`RankEngine::apply_delta`] streams a
 //!   structural [`lmm_graph::delta::GraphDelta`] (links, pages, whole
 //!   sites) through the incremental backend, recomputing only the stale
-//!   sites and refreshing the serving cache in place.
+//!   sites and refreshing the serving cache in place — with an O(delta)
+//!   composed [`GraphFingerprint`] instead of a full re-hash.
+//! * **Serving snapshots**: every fresh computation advances a monotone
+//!   epoch and produces an immutable [`RankSnapshot`] (scores, site layer,
+//!   memberships behind `Arc`s) plus a [`Staleness`] set naming the sites
+//!   whose scores moved — the hand-off unit the sharded `lmm-serve` tier
+//!   uses to rebuild only the shards a delta touched.
 //!
 //! # Quickstart
 //!
@@ -73,8 +79,10 @@ pub mod bridge;
 pub mod context;
 pub mod engine;
 pub mod error;
+pub mod fingerprint;
 pub mod outcome;
 pub mod ranker;
+pub mod snapshot;
 pub mod telemetry;
 
 pub use backends::{
@@ -83,6 +91,8 @@ pub use backends::{
 pub use context::{ConvergencePolicy, ExecContext, Personalization};
 pub use engine::{BackendSpec, EngineConfig, RankEngine, RankEngineBuilder};
 pub use error::{EngineError, Result};
+pub use fingerprint::GraphFingerprint;
 pub use outcome::{RankComparison, RankOutcome};
 pub use ranker::{DeltaOutcome, Ranker};
+pub use snapshot::{RankSnapshot, Staleness};
 pub use telemetry::{MemorySink, NullSink, RunTelemetry, TelemetrySink};

@@ -6,17 +6,21 @@ use crate::context::ExecContext;
 use crate::error::{EngineError, Result};
 use crate::outcome::RankOutcome;
 use lmm_core::incremental::UpdateStats;
-use lmm_graph::delta::GraphDelta;
+use lmm_graph::delta::{AppliedDelta, GraphDelta};
 use lmm_graph::docgraph::DocGraph;
 
 /// Result of a structural-delta update: the mutated graph (so the engine
-/// can refresh its serving cache and fingerprint in place), the new
-/// outcome, and the incremental cost accounting.
+/// can refresh its serving cache and fingerprint in place), the induced
+/// summary (exact edge diff + site staleness sets — the engine composes
+/// its fingerprint and the serving tier's shard invalidation set from it),
+/// the new outcome, and the incremental cost accounting.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeltaOutcome {
     /// The graph after the delta was applied — shared with the backend's
     /// retained state, so returning it never deep-copies the graph.
     pub graph: Arc<DocGraph>,
+    /// The exact induced summary of the applied delta.
+    pub applied: AppliedDelta,
     /// The refreshed ranking outcome.
     pub outcome: RankOutcome,
     /// Which layers were recomputed vs reused.

@@ -1,0 +1,194 @@
+//! Immutable rank snapshots — the hand-off unit between the engine and the
+//! sharded serving tier (`lmm-serve`).
+//!
+//! Every fresh computation ([`RankEngine::rank`](crate::RankEngine::rank)
+//! on a changed graph, or
+//! [`RankEngine::apply_delta`](crate::RankEngine::apply_delta)) advances a
+//! monotone **epoch** and produces a new [`RankSnapshot`]: the score
+//! vector, the site layer, and the membership tables behind `Arc`s, plus a
+//! [`Staleness`] record naming what changed since the previous epoch. A
+//! serving tier pins a snapshot, answers every query of one response from
+//! that single pin, and uses the staleness set to rebuild only the shards
+//! a delta actually touched — everything else re-pins its existing
+//! per-shard structures against the new epoch.
+//!
+//! The staleness contract is strict so re-pinning is sound: a site **not**
+//! named by [`Staleness::Sites`] kept the scores of all its documents (and
+//! its member list) *bit-identical* to the previous epoch. The incremental
+//! layer guarantees this — untouched sites reuse their local vectors and
+//! the SiteRank weight they are scaled by; any update that recomputes the
+//! SiteRank (cross-site link changes, appended sites, self-loop site
+//! graphs) reports [`Staleness::Full`] instead.
+
+use std::sync::Arc;
+
+use lmm_graph::{DocId, SiteId};
+
+/// What changed between a snapshot and its predecessor (epoch − 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Staleness {
+    /// Everything may have moved (first computation, full recompute, or
+    /// any update that reran the SiteRank — a SiteRank change rescales
+    /// every document of every site).
+    Full,
+    /// Only the named sites' documents changed (sorted, deduplicated);
+    /// every other site's scores and membership are bit-identical to the
+    /// previous epoch. An empty list means the ranking is unchanged (e.g.
+    /// a no-op delta) even though the epoch advanced.
+    Sites(Vec<usize>),
+}
+
+/// One immutable, cheaply clonable ranking epoch: everything a serving
+/// tier needs to answer `score` / `top_k` / `top_k_for_site` queries
+/// without touching the engine again.
+#[derive(Debug, Clone)]
+pub struct RankSnapshot {
+    epoch: u64,
+    backend: String,
+    scores: Arc<Vec<f64>>,
+    site_rank: Option<Arc<Vec<f64>>>,
+    site_members: Arc<Vec<Vec<DocId>>>,
+    site_of: Arc<Vec<SiteId>>,
+    staleness: Staleness,
+}
+
+impl RankSnapshot {
+    /// Assembles a snapshot. Used by the engine; external `Ranker`
+    /// implementations normally receive snapshots rather than build them.
+    #[must_use]
+    pub fn new(
+        epoch: u64,
+        backend: String,
+        scores: Arc<Vec<f64>>,
+        site_rank: Option<Arc<Vec<f64>>>,
+        site_members: Arc<Vec<Vec<DocId>>>,
+        site_of: Arc<Vec<SiteId>>,
+        staleness: Staleness,
+    ) -> Self {
+        debug_assert_eq!(scores.len(), site_of.len());
+        Self {
+            epoch,
+            backend,
+            scores,
+            site_rank,
+            site_members,
+            site_of,
+            staleness,
+        }
+    }
+
+    /// Monotone snapshot epoch (1 is the first computed ranking).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Name of the backend that produced the ranking.
+    #[must_use]
+    pub fn backend(&self) -> &str {
+        &self.backend
+    }
+
+    /// Number of ranked documents.
+    #[must_use]
+    pub fn n_docs(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Number of sites.
+    #[must_use]
+    pub fn n_sites(&self) -> usize {
+        self.site_members.len()
+    }
+
+    /// The global score vector, indexed by `DocId`.
+    #[must_use]
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// The SiteRank vector, when the backend computed a site layer.
+    #[must_use]
+    pub fn site_rank(&self) -> Option<&[f64]> {
+        self.site_rank.as_deref().map(Vec::as_slice)
+    }
+
+    /// Member documents of one site (empty slice for an unknown site).
+    #[must_use]
+    pub fn members_of_site(&self, site: SiteId) -> &[DocId] {
+        self.site_members
+            .get(site.index())
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Owning site of one document.
+    ///
+    /// # Panics
+    /// Panics for a document outside this snapshot.
+    #[must_use]
+    pub fn site_of(&self, doc: DocId) -> SiteId {
+        self.site_of[doc.index()]
+    }
+
+    /// Site assignments of every document, indexed by `DocId`.
+    #[must_use]
+    pub fn site_assignments(&self) -> &[SiteId] {
+        &self.site_of
+    }
+
+    /// What changed since epoch − 1.
+    #[must_use]
+    pub fn staleness(&self) -> &Staleness {
+        &self.staleness
+    }
+
+    /// Shared membership table — lets the engine re-pin it across
+    /// membership-preserving deltas instead of re-materializing O(docs)
+    /// tables per update.
+    pub(crate) fn site_members_arc(&self) -> Arc<Vec<Vec<DocId>>> {
+        Arc::clone(&self.site_members)
+    }
+
+    /// Shared assignment table (see [`Self::site_members_arc`]).
+    pub(crate) fn site_of_arc(&self) -> Arc<Vec<SiteId>> {
+        Arc::clone(&self.site_of)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(staleness: Staleness) -> RankSnapshot {
+        RankSnapshot::new(
+            3,
+            "test".into(),
+            Arc::new(vec![0.25, 0.75]),
+            None,
+            Arc::new(vec![vec![DocId(0)], vec![DocId(1)]]),
+            Arc::new(vec![SiteId(0), SiteId(1)]),
+            staleness,
+        )
+    }
+
+    #[test]
+    fn accessors_expose_the_pinned_data() {
+        let s = snapshot(Staleness::Sites(vec![1]));
+        assert_eq!(s.epoch(), 3);
+        assert_eq!(s.backend(), "test");
+        assert_eq!(s.n_docs(), 2);
+        assert_eq!(s.n_sites(), 2);
+        assert_eq!(s.scores(), &[0.25, 0.75]);
+        assert_eq!(s.members_of_site(SiteId(1)), &[DocId(1)]);
+        assert!(s.members_of_site(SiteId(9)).is_empty());
+        assert_eq!(s.site_of(DocId(1)), SiteId(1));
+        assert_eq!(s.staleness(), &Staleness::Sites(vec![1]));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let s = snapshot(Staleness::Full);
+        let t = s.clone();
+        assert!(std::ptr::eq(s.scores().as_ptr(), t.scores().as_ptr()));
+    }
+}

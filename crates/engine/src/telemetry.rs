@@ -14,6 +14,9 @@ use std::time::Duration;
 pub struct RunTelemetry {
     /// Name of the backend that produced the run.
     pub backend: String,
+    /// Snapshot epoch the run published (`0` when the run did not go
+    /// through an engine's serving cache).
+    pub epoch: u64,
     /// Iterations of the site-layer computation (power-method iterations,
     /// or distributed SiteRank rounds).
     pub site_iterations: usize,

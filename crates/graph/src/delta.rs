@@ -239,6 +239,52 @@ impl GraphDelta {
         Ok(())
     }
 
+    /// Collapses add/remove churn: for every `(from, to)` pair only the
+    /// **last** recorded link op survives, so replaying a long merged log
+    /// onto a cold replica is O(final changes) instead of O(stream length).
+    ///
+    /// This is semantically exact, not a heuristic: link ops have set
+    /// semantics (adding a present link and removing an absent one are
+    /// no-ops), so the final presence of a pair depends only on its last
+    /// op — whatever the base graph held. Ops on distinct pairs are
+    /// independent, hence dropping the superseded prefix of each pair's
+    /// history preserves [`DocGraph::apply`]'s result *and* its induced
+    /// [`AppliedDelta`] bit for bit.
+    ///
+    /// Page and site additions are untouched: their ids are assigned by
+    /// position (and link ops reference those ids), so they must stay in
+    /// recording order — they are already O(final changes) per site, with
+    /// [`DocGraph::apply`] folding the membership appends per site in one
+    /// pass.
+    #[must_use]
+    pub fn compact(&self) -> GraphDelta {
+        // Index of the last op per pair; earlier ops are superseded.
+        let mut last: HashMap<(DocId, DocId), usize> = HashMap::new();
+        for (i, op) in self.link_ops.iter().enumerate() {
+            let (LinkOp::Add(from, to) | LinkOp::Remove(from, to)) = *op;
+            last.insert((from, to), i);
+        }
+        let link_ops = self
+            .link_ops
+            .iter()
+            .enumerate()
+            .filter(|(i, op)| {
+                let (LinkOp::Add(from, to) | LinkOp::Remove(from, to)) = **op;
+                last[&(from, to)] == *i
+            })
+            .map(|(_, op)| *op)
+            .collect();
+        // Field-by-field (not `..self.clone()`): cloning `self` would copy
+        // the full pre-compaction op log just to throw it away.
+        GraphDelta {
+            base_docs: self.base_docs,
+            base_sites: self.base_sites,
+            new_sites: self.new_sites.clone(),
+            new_pages: self.new_pages.clone(),
+            link_ops,
+        }
+    }
+
     /// Appends `next` — a delta built against the shape *this* delta
     /// produces — so that applying the merged delta equals applying the two
     /// in sequence.
@@ -276,13 +322,17 @@ impl GraphDelta {
     }
 }
 
-/// The site-granular summary a [`DocGraph::apply`] call induces — exactly
-/// the information the incremental re-ranking layer needs to decide which
-/// per-site computations are stale.
+/// The summary a [`DocGraph::apply`] call induces — the site-granular
+/// staleness sets the incremental re-ranking layer consumes, plus the
+/// **exact** edge diff the serving layer folds into delta-composed graph
+/// fingerprints (and a future delta-gossip layer can ship to replicas).
 ///
 /// `changed_sites` and `grown_sites` are disjoint, sorted, and deduplicated;
 /// both only name *pre-existing* sites. Appended sites are counted by
 /// `added_sites` (their ids are the trailing range of the mutated graph).
+/// `links_added`/`links_removed` record only *real* changes: no-op
+/// mutations (removing an absent link, re-adding a present one, add+remove
+/// churn on one pair) never appear.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AppliedDelta {
     /// Pre-existing sites with unchanged membership whose intra-site link
@@ -297,10 +347,23 @@ pub struct AppliedDelta {
     /// Whether any cross-site link (or the site count itself) changed, i.e.
     /// whether the SiteRank is stale.
     pub cross_links_changed: bool,
+    /// Every link present in the mutated graph but not the base graph
+    /// (deterministic order: by source row, then destination).
+    pub links_added: Vec<(DocId, DocId)>,
+    /// Every link present in the base graph but not the mutated graph
+    /// (same ordering as `links_added`).
+    pub links_removed: Vec<(DocId, DocId)>,
+    /// Site assignment of every appended document, in id order
+    /// (`old_n_docs..new_n_docs`).
+    pub new_doc_sites: Vec<SiteId>,
 }
 
 impl AppliedDelta {
-    /// `true` when the delta induced no ranking-relevant change.
+    /// `true` when the delta induced no *ranking-relevant* change. A
+    /// net-zero cross-site rewire keeps every layer fresh (SiteRank weights
+    /// are counts) yet still reports its edge diff in
+    /// `links_added`/`links_removed` — the graph changed even though the
+    /// ranking did not.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.changed_sites.is_empty()
@@ -407,7 +470,14 @@ impl DocGraph {
         // and adds another leaves it fresh — exactly like comparing the
         // derived SiteGraphs, at O(ops) instead of O(E).
         let mut cross_deltas: HashMap<(usize, usize), i64> = HashMap::new();
+        let mut links_added: Vec<(DocId, DocId)> = Vec::new();
+        let mut links_removed: Vec<(DocId, DocId)> = Vec::new();
         let mut record_change = |src: usize, dst: usize, sign: i64| {
+            if sign > 0 {
+                links_added.push((DocId(src), DocId(dst)));
+            } else {
+                links_removed.push((DocId(src), DocId(dst)));
+            }
             let s = delta.site_of_ref(self, DocId(src)).index();
             let t = delta.site_of_ref(self, DocId(dst)).index();
             if s == t {
@@ -504,6 +574,9 @@ impl DocGraph {
             grown_sites: grown.into_iter().collect(),
             added_sites,
             cross_links_changed,
+            links_added,
+            links_removed,
+            new_doc_sites: delta.new_pages.iter().map(|p| p.site).collect(),
         };
         Ok((mutated, applied))
     }
@@ -715,6 +788,93 @@ mod tests {
         assert_eq!(d.n_removed_links(), 0);
         assert_eq!(d.n_new_pages(), 1);
         assert_eq!(d.n_new_sites(), 0);
+    }
+
+    #[test]
+    fn applied_delta_reports_exact_edge_diffs() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        // One real removal, one real addition, one no-op removal (absent
+        // link), one no-op re-add (present link).
+        d.remove_link(DocId(0), DocId(1)).unwrap();
+        d.add_link(DocId(1), DocId(0)).unwrap();
+        d.remove_link(DocId(4), DocId(3)).unwrap();
+        d.add_link(DocId(3), DocId(4)).unwrap();
+        let (_, applied) = g.apply(&d).unwrap();
+        assert_eq!(applied.links_added, vec![(DocId(1), DocId(0))]);
+        assert_eq!(applied.links_removed, vec![(DocId(0), DocId(1))]);
+        assert!(applied.new_doc_sites.is_empty());
+
+        // Growth: appended docs report their site assignments in id order.
+        let mut d = GraphDelta::for_graph(&g);
+        let p = d.add_page(SiteId(1), "http://b.org/new").unwrap();
+        let s = d.add_site("c.org");
+        let c = d.add_page(s, "http://c.org/").unwrap();
+        d.add_link(p, c).unwrap();
+        let (_, applied) = g.apply(&d).unwrap();
+        assert_eq!(applied.new_doc_sites, vec![SiteId(1), SiteId(2)]);
+        assert_eq!(applied.links_added, vec![(p, c)]);
+        assert!(applied.links_removed.is_empty());
+    }
+
+    #[test]
+    fn net_zero_cross_rewire_reports_links_but_stays_rank_fresh() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        // Remove the one a->b cross link, add a different a->b cross link:
+        // counts per site pair are unchanged, so no layer is stale — but
+        // the graph itself changed and the diff must say so.
+        d.remove_link(DocId(2), DocId(3)).unwrap();
+        d.add_link(DocId(1), DocId(4)).unwrap();
+        let (h, applied) = g.apply(&d).unwrap();
+        assert_ne!(g, h);
+        assert!(applied.is_empty(), "ranking-relevant summary is empty");
+        assert_eq!(applied.links_added, vec![(DocId(1), DocId(4))]);
+        assert_eq!(applied.links_removed, vec![(DocId(2), DocId(3))]);
+    }
+
+    #[test]
+    fn compact_collapses_per_pair_churn() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        // Churn one pair five times (net: removed), flip another back and
+        // forth (net: added), and keep an untouched single op.
+        for _ in 0..2 {
+            d.add_link(DocId(0), DocId(1)).unwrap();
+            d.remove_link(DocId(0), DocId(1)).unwrap();
+        }
+        d.remove_link(DocId(0), DocId(1)).unwrap();
+        d.remove_link(DocId(1), DocId(2)).unwrap();
+        d.add_link(DocId(1), DocId(2)).unwrap();
+        d.add_link(DocId(4), DocId(2)).unwrap();
+        let compacted = d.compact();
+        assert_eq!(compacted.link_ops.len(), 3, "one op per touched pair");
+        let (seq, seq_applied) = g.apply(&d).unwrap();
+        let (one, one_applied) = g.apply(&compacted).unwrap();
+        assert_eq!(seq, one);
+        assert_eq!(seq_applied, one_applied);
+        // Pages/sites/ids are untouched by compaction.
+        assert_eq!(compacted.base_shape(), d.base_shape());
+        assert_eq!(compacted.n_new_pages(), d.n_new_pages());
+    }
+
+    #[test]
+    fn compact_preserves_ids_of_added_pages() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        let p = d.add_page(SiteId(0), "http://a.org/p").unwrap();
+        d.add_link(DocId(0), p).unwrap();
+        d.remove_link(DocId(0), p).unwrap();
+        d.add_link(DocId(0), p).unwrap();
+        let s = d.add_site("c.org");
+        let c = d.add_page(s, "http://c.org/").unwrap();
+        d.add_link(p, c).unwrap();
+        let compacted = d.compact();
+        let (seq, _) = g.apply(&d).unwrap();
+        let (one, _) = g.apply(&compacted).unwrap();
+        assert_eq!(seq, one);
+        assert_eq!(one.url(p), "http://a.org/p");
+        assert_eq!(one.site_of(c), s);
     }
 
     #[test]

@@ -27,6 +27,11 @@ pub enum GraphError {
         /// Human-readable cause.
         reason: String,
     },
+    /// A site→shard map cannot be built from the requested counts.
+    InvalidShardMap {
+        /// Human-readable cause.
+        reason: String,
+    },
     /// A snapshot file is malformed.
     ParseSnapshot {
         /// 1-based line number of the offending line.
@@ -49,6 +54,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::InvalidDelta { reason } => {
                 write!(f, "invalid graph delta: {reason}")
+            }
+            GraphError::InvalidShardMap { reason } => {
+                write!(f, "invalid shard map: {reason}")
             }
             GraphError::ParseSnapshot { line, reason } => {
                 write!(f, "malformed snapshot at line {line}: {reason}")

@@ -52,6 +52,7 @@ pub mod error;
 pub mod generator;
 pub mod ids;
 pub mod io;
+pub mod sharding;
 pub mod sitegraph;
 pub mod stats;
 pub mod url;
@@ -61,4 +62,5 @@ pub use docgraph::{DocGraph, DocGraphBuilder};
 pub use error::{GraphError, Result};
 pub use generator::CampusWebConfig;
 pub use ids::{DocId, SiteId};
+pub use sharding::ShardMap;
 pub use sitegraph::{ranking_site_graph, SiteGraph, SiteGraphOptions};

@@ -1,0 +1,237 @@
+//! Site→shard mapping for the sharded serving tier.
+//!
+//! The paper computes ranking at *site* granularity, and the web-aggregation
+//! line of work (Ishii & Tempo's aggregated distributed PageRank, Suzuki &
+//! Ishii's clustered variant) argues the same granularity is the right unit
+//! of distribution. [`ShardMap`] carries that choice into serving: a shard
+//! is a **contiguous range of site ids** (and therefore owns every document
+//! of those sites), so the incremental layer's site-granular staleness sets
+//! translate directly into shard invalidation sets — a delta that touched
+//! sites `{3, 17}` stales exactly the shards covering sites 3 and 17.
+//!
+//! Contiguity also keeps the map tiny (one boundary per shard) and lets it
+//! absorb growth: site ids are append-only under [`crate::delta::GraphDelta`]
+//! renumbering, so sites appended after the map was built fall into the last
+//! shard until the operator rebalances.
+
+use crate::docgraph::DocGraph;
+use crate::error::{GraphError, Result};
+use crate::ids::SiteId;
+use std::ops::Range;
+
+/// A site-range partition: shard `i` covers sites
+/// `starts[i]..starts[i + 1]`.
+///
+/// Build one with [`ShardMap::uniform`] (equal site counts) or
+/// [`ShardMap::balanced`] (equal *document* counts — the load that actually
+/// drives per-shard serving work).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    /// `n_shards + 1` ascending boundaries; first is 0, last is the mapped
+    /// site count.
+    starts: Vec<usize>,
+}
+
+impl ShardMap {
+    /// Splits `n_sites` into `n_shards` contiguous ranges of near-equal
+    /// site count.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::InvalidShardMap`] when either count is zero or
+    /// there are more shards than sites.
+    pub fn uniform(n_sites: usize, n_shards: usize) -> Result<Self> {
+        validate_counts(n_sites, n_shards)?;
+        let base = n_sites / n_shards;
+        let extra = n_sites % n_shards;
+        let mut starts = Vec::with_capacity(n_shards + 1);
+        let mut at = 0usize;
+        starts.push(at);
+        for shard in 0..n_shards {
+            at += base + usize::from(shard < extra);
+            starts.push(at);
+        }
+        Ok(Self { starts })
+    }
+
+    /// Splits the graph's sites into `n_shards` contiguous ranges balanced
+    /// by **document count**: each range closes once it holds at least
+    /// `n_docs / n_shards` documents (leaving one site per remaining
+    /// shard), so Zipf-sized site distributions do not pile every large
+    /// site into one shard's queue.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::InvalidShardMap`] when the graph has no sites,
+    /// `n_shards` is zero, or there are more shards than sites.
+    pub fn balanced(graph: &DocGraph, n_shards: usize) -> Result<Self> {
+        let n_sites = graph.n_sites();
+        validate_counts(n_sites, n_shards)?;
+        let target = graph.n_docs() as f64 / n_shards as f64;
+        let mut starts = Vec::with_capacity(n_shards + 1);
+        starts.push(0usize);
+        let mut docs_here = 0usize;
+        for site in 0..n_sites {
+            docs_here += graph.site_size(SiteId(site));
+            let shards_done = starts.len(); // including the open one
+            let sites_left = n_sites - (site + 1);
+            let shards_left = n_shards - shards_done;
+            // Close the open shard when it met its target, but never leave
+            // fewer sites than the remaining shards need.
+            if shards_done < n_shards && (docs_here as f64 >= target || sites_left == shards_left) {
+                starts.push(site + 1);
+                docs_here = 0;
+            }
+        }
+        starts.push(n_sites);
+        debug_assert_eq!(starts.len(), n_shards + 1);
+        Ok(Self { starts })
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.starts.len() - 1
+    }
+
+    /// Number of sites the map was built over. Sites appended later (ids
+    /// `n_sites()..`) are absorbed by the last shard.
+    #[must_use]
+    pub fn n_sites(&self) -> usize {
+        *self.starts.last().expect("boundaries are non-empty")
+    }
+
+    /// The shard covering `site`. Sites beyond the mapped range (appended
+    /// after the map was built) clamp into the last shard, so the map never
+    /// orphans a growing graph.
+    #[must_use]
+    pub fn shard_of_site(&self, site: SiteId) -> usize {
+        match self.starts.binary_search(&site.index()) {
+            Ok(i) => i.min(self.n_shards() - 1),
+            Err(i) => (i - 1).min(self.n_shards() - 1),
+        }
+    }
+
+    /// The contiguous site-id range shard `shard` covers.
+    ///
+    /// # Panics
+    /// Panics if `shard >= n_shards()`.
+    #[must_use]
+    pub fn sites_of_shard(&self, shard: usize) -> Range<usize> {
+        assert!(shard < self.n_shards(), "shard {shard} out of range");
+        self.starts[shard]..self.starts[shard + 1]
+    }
+
+    /// Maps a set of stale site ids to the sorted, deduplicated set of
+    /// shards they stale — the translation from an
+    /// [`AppliedDelta`](crate::delta::AppliedDelta)'s site sets to a shard
+    /// invalidation set.
+    #[must_use]
+    pub fn shards_of_sites<I: IntoIterator<Item = usize>>(&self, sites: I) -> Vec<usize> {
+        let mut shards: Vec<usize> = sites
+            .into_iter()
+            .map(|s| self.shard_of_site(SiteId(s)))
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+}
+
+fn validate_counts(n_sites: usize, n_shards: usize) -> Result<()> {
+    if n_shards == 0 || n_sites == 0 || n_shards > n_sites {
+        return Err(GraphError::InvalidShardMap {
+            reason: format!("cannot split {n_sites} sites into {n_shards} shards"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docgraph::DocGraphBuilder;
+
+    fn graph_with_site_sizes(sizes: &[usize]) -> DocGraph {
+        let mut b = DocGraphBuilder::new();
+        for (s, &size) in sizes.iter().enumerate() {
+            for d in 0..size {
+                b.add_doc(&format!("site{s}.org"), &format!("http://site{s}.org/{d}"));
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn uniform_covers_every_site_exactly_once() {
+        let map = ShardMap::uniform(10, 3).unwrap();
+        assert_eq!(map.n_shards(), 3);
+        assert_eq!(map.n_sites(), 10);
+        let mut seen = [0usize; 10];
+        for shard in 0..map.n_shards() {
+            for s in map.sites_of_shard(shard) {
+                seen[s] += 1;
+                assert_eq!(map.shard_of_site(SiteId(s)), shard);
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn uniform_spreads_the_remainder() {
+        let map = ShardMap::uniform(10, 3).unwrap();
+        let sizes: Vec<usize> = (0..3).map(|s| map.sites_of_shard(s).len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn balanced_evens_out_document_counts() {
+        // One huge site, then many small ones: uniform would put ~all docs
+        // in shard 0; balanced closes shard 0 right after the huge site.
+        let g = graph_with_site_sizes(&[100, 5, 5, 5, 5, 5, 5, 5]);
+        let map = ShardMap::balanced(&g, 3).unwrap();
+        assert_eq!(map.sites_of_shard(0), 0..1);
+        let docs_of = |shard: usize| -> usize {
+            map.sites_of_shard(shard)
+                .map(|s| g.site_size(SiteId(s)))
+                .sum()
+        };
+        assert_eq!(docs_of(0) + docs_of(1) + docs_of(2), g.n_docs());
+        assert!(docs_of(1) > 0 && docs_of(2) > 0);
+    }
+
+    #[test]
+    fn balanced_never_leaves_a_shard_empty() {
+        // Extreme skew with as many shards as sites: every shard must still
+        // receive exactly one site.
+        let g = graph_with_site_sizes(&[50, 1, 1, 1]);
+        let map = ShardMap::balanced(&g, 4).unwrap();
+        for shard in 0..4 {
+            assert_eq!(map.sites_of_shard(shard).len(), 1);
+        }
+    }
+
+    #[test]
+    fn appended_sites_clamp_into_the_last_shard() {
+        let map = ShardMap::uniform(8, 4).unwrap();
+        assert_eq!(map.shard_of_site(SiteId(7)), 3);
+        // Sites appended after the map was built.
+        assert_eq!(map.shard_of_site(SiteId(8)), 3);
+        assert_eq!(map.shard_of_site(SiteId(100)), 3);
+    }
+
+    #[test]
+    fn shards_of_sites_dedups_and_sorts() {
+        let map = ShardMap::uniform(8, 4).unwrap();
+        // Sites 6, 7 share shard 3; site 0 is shard 0.
+        assert_eq!(map.shards_of_sites([7, 0, 6]), vec![0, 3]);
+        assert!(map.shards_of_sites(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn invalid_counts_are_rejected() {
+        assert!(ShardMap::uniform(0, 1).is_err());
+        assert!(ShardMap::uniform(4, 0).is_err());
+        assert!(ShardMap::uniform(3, 4).is_err());
+        let g = graph_with_site_sizes(&[2, 2]);
+        assert!(ShardMap::balanced(&g, 3).is_err());
+    }
+}

@@ -116,6 +116,65 @@ proptest! {
         prop_assert_eq!(out_sum, g.n_links());
     }
 
+    /// Compacting a merged delta log preserves both the mutated graph and
+    /// the induced summary, while collapsing per-pair churn to one op.
+    #[test]
+    fn compact_log_equals_sequential_apply(seed in any::<u64>(), rounds in 2usize..6) {
+        let g = small_campus(seed, 6, 200);
+        let mut rng = seed | 1; // xorshift's zero state is absorbing
+        let mut step = move |m: usize| -> usize {
+            // xorshift64*: deterministic churn without pulling in rand.
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            (rng.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 33) as usize % m
+        };
+        // Build a churny log: several deltas, each with repeated add/remove
+        // flips on a small pool of doc pairs plus occasional growth.
+        let mut current = g.clone();
+        let mut log: Option<lmm_graph::GraphDelta> = None;
+        for round in 0..rounds {
+            let mut d = lmm_graph::GraphDelta::for_graph(&current);
+            for _ in 0..12 {
+                let a = DocId(step(current.n_docs()));
+                let b = DocId(step(current.n_docs()));
+                if a == b {
+                    continue;
+                }
+                if step(2) == 0 {
+                    d.add_link(a, b).unwrap();
+                } else {
+                    d.remove_link(a, b).unwrap();
+                }
+            }
+            if round % 2 == 1 {
+                let site = SiteId(step(current.n_sites()));
+                let p = d
+                    .add_page(site, &format!("http://compact-{round}.page/"))
+                    .unwrap();
+                d.add_link(current.docs_of_site(site)[0], p).unwrap();
+            }
+            let (next, _) = current.apply(&d).unwrap();
+            current = next;
+            log = Some(match log {
+                None => d,
+                Some(mut merged) => {
+                    merged.merge(d).unwrap();
+                    merged
+                }
+            });
+        }
+        let log = log.expect("at least two rounds");
+        let compacted = log.compact();
+        prop_assert!(compacted.n_added_links() + compacted.n_removed_links()
+            <= log.n_added_links() + log.n_removed_links());
+        let (seq, seq_applied) = g.apply(&log).unwrap();
+        let (one, one_applied) = g.apply(&compacted).unwrap();
+        prop_assert_eq!(&current, &seq, "merge must equal sequential apply");
+        prop_assert_eq!(&seq, &one, "compaction changed the mutated graph");
+        prop_assert_eq!(seq_applied, one_applied, "compaction changed the summary");
+    }
+
     /// Zipf samples stay in range and low indices dominate on average.
     #[test]
     fn zipf_sampler_in_range(n in 2usize..100, seed in any::<u64>()) {

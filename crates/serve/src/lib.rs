@@ -1,0 +1,87 @@
+//! # `lmm-serve` — the sharded serving tier
+//!
+//! The paper computes rankings in a distributed, per-site fashion so they
+//! can be *consumed* that way too; this crate is the consumption side: a
+//! std-only, read-mostly serving tier over `lmm-engine`'s snapshots, built
+//! for the ROADMAP's "heavy traffic" north star.
+//!
+//! ```text
+//!                 ┌──────────────┐   GraphDelta    ┌─────────────┐
+//!   writer thread │  RankEngine  │ ──────────────► │ RankSnapshot│
+//!                 │ (incremental)│    apply_delta  │ epoch E+1   │
+//!                 └──────────────┘                 │ + Staleness │
+//!                                                  └──────┬──────┘
+//!                                                 publish │ (shard-by-shard,
+//!                                                         ▼  rebuild or re-pin)
+//!                 ┌───────────────────────────────────────────────┐
+//!                 │                ShardedServer                  │
+//!                 │  router ──┬── mpsc ──► worker 0 ── ShardState │
+//!   reader        │  (batch,  ├── mpsc ──► worker 1 ── ShardState │
+//!   threads ────► │  scatter- ├── mpsc ──► worker 2 ── ShardState │
+//!   score/top-k   │  gather)  └── mpsc ──► worker 3 ── ShardState │
+//!                 └───────────────────────────────────────────────┘
+//! ```
+//!
+//! * **Shard = contiguous site range** ([`ShardMap`], from `lmm-graph`):
+//!   the paper's unit of computation is the unit of serving, so the
+//!   incremental layer's per-site staleness sets translate directly into
+//!   shard invalidation sets.
+//! * **Per-shard stores** ([`ShardState`]): precomputed top-k heaps,
+//!   per-site serving orders, and score lookups over one pinned immutable
+//!   [`RankSnapshot`](lmm_engine::RankSnapshot).
+//! * **Fixed worker pool**: one persistent worker per shard parked on an
+//!   mpsc queue (the `lmm-par` idiom, specialized to long-lived serving).
+//! * **Router**: batches point lookups per shard and scatter-gathers
+//!   cross-shard top-k from per-shard partial heaps, merging at the
+//!   router. Every response carries exactly one epoch; gathers that
+//!   straddle a swap retry, then escalate to the publish gate.
+//! * **Writes never block reads** ([`ShardedServer::publish`]): a delta
+//!   produces a new snapshot + staleness set; only stale shards rebuild,
+//!   the rest re-pin their store `Arc` under the new epoch, and readers
+//!   keep answering (from the old epoch) throughout the swap.
+//!
+//! # Example
+//!
+//! ```
+//! use lmm_engine::{BackendSpec, RankEngine};
+//! use lmm_graph::generator::CampusWebConfig;
+//! use lmm_graph::sharding::ShardMap;
+//! use lmm_serve::{ServeConfig, ShardedServer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut cfg = CampusWebConfig::small();
+//! cfg.total_docs = 300;
+//! cfg.n_sites = 8;
+//! cfg.spam_farms.clear();
+//! let graph = cfg.generate()?;
+//!
+//! let mut engine = RankEngine::builder()
+//!     .backend(BackendSpec::Incremental)
+//!     .build()?;
+//! engine.rank(&graph)?;
+//!
+//! let server = ShardedServer::start(
+//!     ShardMap::balanced(&graph, 4)?,
+//!     &engine.snapshot()?,
+//!     ServeConfig::default(),
+//! )?;
+//! let (epoch, top) = server.top_k(5)?;
+//! assert_eq!(epoch, 1);
+//! assert_eq!(top, engine.top_k(5)?); // bitwise: same scores, same order
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod router;
+pub mod shard;
+pub mod telemetry;
+
+pub use error::{Result, ServeError};
+pub use router::{PublishReport, ServeConfig, ShardedServer};
+pub use shard::ShardState;
+pub use telemetry::{ServeStats, ServeStatsSnapshot};
+
+// Re-exported so downstream code can name the shard key without a direct
+// lmm-graph dependency.
+pub use lmm_graph::sharding::ShardMap;

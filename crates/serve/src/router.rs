@@ -1,0 +1,733 @@
+//! The sharded server: a fixed pool of shard workers fed by mpsc request
+//! queues, a router that batches point lookups and scatter-gathers
+//! cross-shard top-k, and an epoch-swap publisher that never blocks reads.
+//!
+//! # Concurrency design
+//!
+//! Each shard owns a **cell** (`Mutex<Arc<ShardState>>`) holding its
+//! current immutable state. Readers lock a cell only long enough to clone
+//! the `Arc` — a pointer copy — so a publish in progress never blocks a
+//! query, and a query never observes a half-built store. The publisher
+//! walks the shards one by one (the "shard-by-shard swap"), rebuilding the
+//! stores the snapshot's [`Staleness`] set names and re-pinning the rest,
+//! swapping each cell as it goes; throughout the walk, queries keep
+//! answering from whichever epoch their shard currently pins.
+//!
+//! Every router-level response carries **exactly one epoch**. Single-shard
+//! queries get this for free. Cross-shard queries (global top-k, batched
+//! scores) scatter, then check that every partial answered from the same
+//! epoch; if a swap was straddled, the gather retries (the swap is short),
+//! and after `max_gather_retries` attempts it escalates: it takes the
+//! publish gate — the lock the publisher holds for the duration of a swap —
+//! so the cells are quiescent and one consistent gather is guaranteed.
+//! Escalation is the slow path by construction; the fast path takes no
+//! router-level lock beyond the per-cell pointer clone.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use crate::error::{Result, ServeError};
+use crate::shard::ShardState;
+use crate::telemetry::{ServeStats, ServeStatsSnapshot};
+use lmm_engine::{RankSnapshot, Staleness};
+use lmm_graph::sharding::ShardMap;
+use lmm_graph::{DocId, SiteId};
+
+/// Tuning knobs of a [`ShardedServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Capacity of each shard's precomputed top-k list. Queries with
+    /// `k` beyond it still answer (the shard falls back to a scan), they
+    /// just stop being O(k).
+    pub heap_k: usize,
+    /// Cross-shard gathers straddling a swap retry this many times before
+    /// escalating to the publish gate.
+    pub max_gather_retries: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            heap_k: 64,
+            max_gather_retries: 4,
+        }
+    }
+}
+
+/// Accounting of one [`ShardedServer::publish`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishReport {
+    /// The epoch now served.
+    pub epoch: u64,
+    /// Shard stores rebuilt (stale shards).
+    pub shards_rebuilt: usize,
+    /// Shard stores re-pinned (fresh shards).
+    pub shards_repinned: usize,
+    /// `true` when the snapshot was already being served and nothing was
+    /// swapped.
+    pub noop: bool,
+}
+
+/// What a shard worker is asked to compute.
+enum RequestKind {
+    /// Batched score lookups (the router groups point lookups per shard).
+    Scores(Vec<DocId>),
+    /// Partial top-k for a cross-shard gather.
+    TopK(usize),
+    /// Top-k within one covered site.
+    SiteTopK(SiteId, usize),
+}
+
+/// One request on a shard worker's queue: the work plus its reply channel,
+/// so the worker never routes.
+struct ShardRequest {
+    kind: RequestKind,
+    reply: Sender<ShardReply>,
+}
+
+/// A shard worker's answer, stamped with the epoch it answered from.
+enum ShardReply {
+    Scores {
+        epoch: u64,
+        scores: Vec<Option<f64>>,
+    },
+    Top {
+        epoch: u64,
+        entries: Vec<(DocId, f64)>,
+        scanned: bool,
+    },
+    SiteTop {
+        epoch: u64,
+        entries: Option<Vec<(DocId, f64)>>,
+    },
+}
+
+impl ShardReply {
+    fn epoch(&self) -> u64 {
+        match self {
+            ShardReply::Scores { epoch, .. }
+            | ShardReply::Top { epoch, .. }
+            | ShardReply::SiteTop { epoch, .. } => *epoch,
+        }
+    }
+}
+
+/// The serving tier: site-sharded, read-mostly, hot-swappable.
+///
+/// Build one with [`ShardedServer::start`] from an engine snapshot, then
+/// answer queries from any number of threads (`&self` throughout) while a
+/// writer thread feeds fresh snapshots through
+/// [`publish`](ShardedServer::publish).
+pub struct ShardedServer {
+    map: ShardMap,
+    cells: Vec<Arc<Mutex<Arc<ShardState>>>>,
+    queues: Vec<Sender<ShardRequest>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Snapshot used only for routing decisions (doc → shard); refreshed
+    /// at the end of each publish.
+    routing: Mutex<RankSnapshot>,
+    /// The publish gate: guards the serving epoch and is held for the whole
+    /// shard-by-shard swap, giving escalated gathers a quiescent view.
+    gate: Mutex<u64>,
+    stats: Arc<ServeStats>,
+    config: ServeConfig,
+}
+
+impl std::fmt::Debug for ShardedServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedServer")
+            .field("n_shards", &self.n_shards())
+            .field("epoch", &self.epoch())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl ShardedServer {
+    /// Builds every shard store from `snapshot`, spawns one worker per
+    /// shard, and starts serving.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::InvalidConfig`] when `heap_k` is zero or the
+    /// shard map covers more sites than the snapshot ranks.
+    pub fn start(map: ShardMap, snapshot: &RankSnapshot, config: ServeConfig) -> Result<Self> {
+        if config.heap_k == 0 {
+            return Err(ServeError::InvalidConfig {
+                reason: "heap_k must be at least 1".into(),
+            });
+        }
+        if map.n_sites() > snapshot.n_sites() {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "shard map covers {} sites, snapshot ranks only {}",
+                    map.n_sites(),
+                    snapshot.n_sites()
+                ),
+            });
+        }
+        let n_shards = map.n_shards();
+        let stats = Arc::new(ServeStats::default());
+        let mut cells = Vec::with_capacity(n_shards);
+        let mut queues = Vec::with_capacity(n_shards);
+        let mut workers = Vec::with_capacity(n_shards);
+        for shard in 0..n_shards {
+            let sites = shard_range(&map, shard, snapshot.n_sites());
+            let state = Arc::new(ShardState::build(snapshot, sites, config.heap_k));
+            let cell = Arc::new(Mutex::new(state));
+            let (tx, rx) = mpsc::channel::<ShardRequest>();
+            let worker_cell = Arc::clone(&cell);
+            let handle = std::thread::Builder::new()
+                .name(format!("lmm-serve-{shard}"))
+                .spawn(move || {
+                    // The worker parks on its queue and exits when the
+                    // server drops the sender — the lmm-par idiom of
+                    // persistent workers on a channel, specialized to one
+                    // owner per queue.
+                    while let Ok(ShardRequest { kind, reply }) = rx.recv() {
+                        let state = worker_cell.lock().expect("shard cell poisoned").clone();
+                        let answer = match kind {
+                            RequestKind::Scores(docs) => ShardReply::Scores {
+                                epoch: state.epoch(),
+                                scores: docs.iter().map(|&d| state.score(d)).collect(),
+                            },
+                            RequestKind::TopK(k) => {
+                                let (entries, from_heap) = state.top_k(k);
+                                ShardReply::Top {
+                                    epoch: state.epoch(),
+                                    entries,
+                                    scanned: !from_heap,
+                                }
+                            }
+                            RequestKind::SiteTopK(site, k) => ShardReply::SiteTop {
+                                epoch: state.epoch(),
+                                entries: state.site_top_k(site, k),
+                            },
+                        };
+                        let _ = reply.send(answer);
+                    }
+                })
+                .expect("failed to spawn lmm-serve worker");
+            cells.push(cell);
+            queues.push(tx);
+            workers.push(handle);
+        }
+        Ok(Self {
+            map,
+            cells,
+            queues,
+            workers,
+            routing: Mutex::new(snapshot.clone()),
+            gate: Mutex::new(snapshot.epoch()),
+            stats,
+            config,
+        })
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The epoch currently being published to (reads may still answer from
+    /// the previous epoch while a swap is in flight).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        *self.gate.lock().expect("publish gate poisoned")
+    }
+
+    /// The server's telemetry counters.
+    #[must_use]
+    pub fn stats(&self) -> ServeStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Swaps in a fresh snapshot, shard by shard, without ever blocking
+    /// readers: shards whose sites the snapshot's [`Staleness`] set names
+    /// rebuild their stores; every other shard re-pins its existing store
+    /// `Arc` against the new epoch. A snapshot that skipped epochs (the
+    /// publisher missed one) conservatively rebuilds everything, since its
+    /// staleness set only describes the last step.
+    ///
+    /// # Errors
+    /// Returns [`ServeError::StaleSnapshot`] when the snapshot's epoch is
+    /// older than the serving epoch. Re-publishing the serving epoch is a
+    /// no-op, not an error.
+    pub fn publish(&self, snapshot: &RankSnapshot) -> Result<PublishReport> {
+        let mut serving = self.gate.lock().expect("publish gate poisoned");
+        if snapshot.epoch() < *serving {
+            return Err(ServeError::StaleSnapshot {
+                published: snapshot.epoch(),
+                serving: *serving,
+            });
+        }
+        ServeStats::bump(&self.stats.publishes);
+        if snapshot.epoch() == *serving {
+            return Ok(PublishReport {
+                epoch: *serving,
+                shards_rebuilt: 0,
+                shards_repinned: 0,
+                noop: true,
+            });
+        }
+        let contiguous = snapshot.epoch() == *serving + 1;
+        let stale_shards: Vec<usize> = match (contiguous, snapshot.staleness()) {
+            (true, Staleness::Sites(sites)) => self.map.shards_of_sites(sites.iter().copied()),
+            _ => (0..self.n_shards()).collect(),
+        };
+        let mut rebuilt = 0usize;
+        let mut repinned = 0usize;
+        let mut stale_iter = stale_shards.iter().peekable();
+        for (shard, cell) in self.cells.iter().enumerate() {
+            let is_stale = stale_iter.next_if(|&&s| s == shard).is_some();
+            let next = if is_stale {
+                rebuilt += 1;
+                let sites = shard_range(&self.map, shard, snapshot.n_sites());
+                Arc::new(ShardState::build(snapshot, sites, self.config.heap_k))
+            } else {
+                repinned += 1;
+                let current = cell.lock().expect("shard cell poisoned").clone();
+                Arc::new(current.repin(snapshot))
+            };
+            // The swap itself: readers blocked only for this assignment.
+            *cell.lock().expect("shard cell poisoned") = next;
+        }
+        *self.routing.lock().expect("routing snapshot poisoned") = snapshot.clone();
+        *serving = snapshot.epoch();
+        ServeStats::add(&self.stats.shards_rebuilt, rebuilt as u64);
+        ServeStats::add(&self.stats.shards_repinned, repinned as u64);
+        Ok(PublishReport {
+            epoch: snapshot.epoch(),
+            shards_rebuilt: rebuilt,
+            shards_repinned: repinned,
+            noop: false,
+        })
+    }
+
+    /// Global score of one document: routed to the shard owning its site
+    /// and answered from that shard's pinned snapshot.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownDoc`] when the answering epoch does not rank
+    /// the document; [`ServeError::ShardDown`] during shutdown.
+    pub fn score(&self, doc: DocId) -> Result<(u64, f64)> {
+        ServeStats::bump(&self.stats.score_queries);
+        let shard = self.shard_of_doc(doc);
+        let reply = self.request(shard, RequestKind::Scores(vec![doc]))?;
+        let ShardReply::Scores { epoch, scores } = reply else {
+            unreachable!("scores request answered with a different reply kind");
+        };
+        match scores[0] {
+            Some(score) => Ok((epoch, score)),
+            None => Err(ServeError::UnknownDoc {
+                doc: doc.index(),
+                epoch,
+            }),
+        }
+    }
+
+    /// Batched score lookups: grouped into one request per shard,
+    /// scatter-gathered, and reassembled in input order — all answered
+    /// from **one** epoch (the gather retries across swaps).
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownDoc`] when the answering epoch does not rank
+    /// some document; [`ServeError::ShardDown`] during shutdown.
+    pub fn score_batch(&self, docs: &[DocId]) -> Result<(u64, Vec<f64>)> {
+        ServeStats::bump(&self.stats.batch_queries);
+        self.score_batch_inner(docs)
+    }
+
+    /// Global top-`k`: per-shard partial heaps scatter-gathered and merged
+    /// at the router, epoch-consistent.
+    ///
+    /// # Errors
+    /// [`ServeError::ShardDown`] during shutdown.
+    pub fn top_k(&self, k: usize) -> Result<(u64, Vec<(DocId, f64)>)> {
+        ServeStats::bump(&self.stats.top_k_queries);
+        let shards: Vec<usize> = (0..self.n_shards()).collect();
+        let (epoch, replies) = self.consistent_gather(&shards, |_| RequestKind::TopK(k))?;
+        let mut merged: Vec<(DocId, f64)> = Vec::with_capacity(k.saturating_mul(2));
+        for reply in replies {
+            let ShardReply::Top {
+                entries, scanned, ..
+            } = reply
+            else {
+                unreachable!("top-k request answered with a different reply kind");
+            };
+            if scanned {
+                ServeStats::bump(&self.stats.heap_overflow_scans);
+            }
+            merged.extend(entries);
+        }
+        merged.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("ranking scores are finite")
+                .then(a.0.cmp(&b.0))
+        });
+        merged.truncate(k);
+        Ok((epoch, merged))
+    }
+
+    /// Top-`k` within one site: routed to the owning shard's precomputed
+    /// per-site ranking.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownSite`] when the answering epoch does not rank
+    /// the site; [`ServeError::ShardDown`] during shutdown.
+    pub fn top_k_for_site(&self, site: SiteId, k: usize) -> Result<(u64, Vec<(DocId, f64)>)> {
+        ServeStats::bump(&self.stats.site_top_k_queries);
+        let shard = self.map.shard_of_site(site);
+        let reply = self.request(shard, RequestKind::SiteTopK(site, k))?;
+        let ShardReply::SiteTop { epoch, entries } = reply else {
+            unreachable!("site top-k request answered with a different reply kind");
+        };
+        entries.map(|e| (epoch, e)).ok_or(ServeError::UnknownSite {
+            site: site.index(),
+            epoch,
+        })
+    }
+
+    /// Compares two documents at one epoch: `Greater` means `a` outranks
+    /// `b`.
+    ///
+    /// # Errors
+    /// [`ServeError::UnknownDoc`] when the answering epoch does not rank
+    /// either document; [`ServeError::ShardDown`] during shutdown.
+    pub fn compare(&self, a: DocId, b: DocId) -> Result<(u64, std::cmp::Ordering)> {
+        ServeStats::bump(&self.stats.compare_queries);
+        let (epoch, scores) = self.score_batch_inner(&[a, b])?;
+        let order = scores[0]
+            .partial_cmp(&scores[1])
+            .expect("ranking scores are finite")
+            // Equal scores: the lower doc id ranks first, matching the
+            // serving order everywhere else in the tier.
+            .then(b.cmp(&a));
+        Ok((epoch, order))
+    }
+
+    /// Shard owning a document, per the given routing snapshot. Documents
+    /// beyond the routing snapshot (appended by a delta racing this
+    /// lookup) fall into the last shard, which absorbs growth by
+    /// construction.
+    fn shard_of_doc_in(&self, routing: &RankSnapshot, doc: DocId) -> usize {
+        match routing.site_assignments().get(doc.index()) {
+            Some(&site) => self.map.shard_of_site(site),
+            None => self.n_shards() - 1,
+        }
+    }
+
+    /// Shard owning a document, per the current routing snapshot.
+    fn shard_of_doc(&self, doc: DocId) -> usize {
+        let routing = self.routing.lock().expect("routing snapshot poisoned");
+        self.shard_of_doc_in(&routing, doc)
+    }
+
+    fn score_batch_inner(&self, docs: &[DocId]) -> Result<(u64, Vec<f64>)> {
+        if docs.is_empty() {
+            return Ok((self.epoch(), Vec::new()));
+        }
+        // Group lookups per shard (the batching), remembering positions.
+        // One routing pin for the whole batch, not one lock per document.
+        let mut per_shard: HashMap<usize, (Vec<DocId>, Vec<usize>)> = HashMap::new();
+        {
+            let routing = self.routing.lock().expect("routing snapshot poisoned");
+            for (pos, &doc) in docs.iter().enumerate() {
+                let entry = per_shard
+                    .entry(self.shard_of_doc_in(&routing, doc))
+                    .or_default();
+                entry.0.push(doc);
+                entry.1.push(pos);
+            }
+        }
+        let shards: Vec<usize> = {
+            let mut s: Vec<usize> = per_shard.keys().copied().collect();
+            s.sort_unstable();
+            s
+        };
+        let (epoch, replies) = self.consistent_gather(&shards, |shard| {
+            RequestKind::Scores(per_shard[&shard].0.clone())
+        })?;
+        let mut out = vec![0.0f64; docs.len()];
+        for (&shard, reply) in shards.iter().zip(replies) {
+            let ShardReply::Scores { scores, .. } = reply else {
+                unreachable!("scores request answered with a different reply kind");
+            };
+            for (&pos, score) in per_shard[&shard].1.iter().zip(scores) {
+                out[pos] = score.ok_or(ServeError::UnknownDoc {
+                    doc: docs[pos].index(),
+                    epoch,
+                })?;
+            }
+        }
+        Ok((epoch, out))
+    }
+
+    /// Sends one request to one shard worker and waits for its reply.
+    fn request(&self, shard: usize, kind: RequestKind) -> Result<ShardReply> {
+        let (reply, rx) = mpsc::channel();
+        self.queues[shard]
+            .send(ShardRequest { kind, reply })
+            .map_err(|_| ServeError::ShardDown { shard })?;
+        rx.recv().map_err(|_| ServeError::ShardDown { shard })
+    }
+
+    /// Scatters one request (built by `make`) to each listed shard and
+    /// collects the replies **in shard order**, retrying (then escalating
+    /// to the publish gate) until every reply carries the same epoch.
+    fn consistent_gather(
+        &self,
+        shards: &[usize],
+        mut make: impl FnMut(usize) -> RequestKind,
+    ) -> Result<(u64, Vec<ShardReply>)> {
+        if shards.is_empty() {
+            return Ok((self.epoch(), Vec::new()));
+        }
+        let mut scatter = |gate_held: bool| -> Result<(bool, u64, Vec<ShardReply>)> {
+            // One reply channel per shard keeps the pairing exact no
+            // matter the completion order.
+            let mut pending = Vec::with_capacity(shards.len());
+            for &shard in shards {
+                let (reply, rx) = mpsc::channel();
+                self.queues[shard]
+                    .send(ShardRequest {
+                        kind: make(shard),
+                        reply,
+                    })
+                    .map_err(|_| ServeError::ShardDown { shard })?;
+                pending.push((shard, rx));
+            }
+            let mut replies = Vec::with_capacity(shards.len());
+            for (shard, rx) in pending {
+                replies.push(rx.recv().map_err(|_| ServeError::ShardDown { shard })?);
+            }
+            let epoch = replies[0].epoch();
+            let consistent = replies.iter().all(|r| r.epoch() == epoch);
+            debug_assert!(!gate_held || consistent, "cells moved under the gate");
+            Ok((consistent, epoch, replies))
+        };
+        if shards.len() <= 1 {
+            let (_, epoch, replies) = scatter(false)?;
+            return Ok((epoch, replies));
+        }
+        for _ in 0..=self.config.max_gather_retries {
+            let (consistent, epoch, replies) = scatter(false)?;
+            if consistent {
+                return Ok((epoch, replies));
+            }
+            ServeStats::bump(&self.stats.gather_retries);
+        }
+        // Escalate: hold the publish gate so no swap can run, guaranteeing
+        // one consistent pass.
+        let _quiesce: MutexGuard<'_, u64> = self.gate.lock().expect("publish gate poisoned");
+        ServeStats::bump(&self.stats.gather_escalations);
+        let (_, epoch, replies) = scatter(true)?;
+        Ok((epoch, replies))
+    }
+}
+
+/// Shard `shard`'s site range, with the last shard extended to absorb
+/// sites appended after the map was built.
+fn shard_range(map: &ShardMap, shard: usize, n_sites: usize) -> std::ops::Range<usize> {
+    let mut range = map.sites_of_shard(shard);
+    if shard == map.n_shards() - 1 {
+        range.end = range.end.max(n_sites);
+    }
+    range
+}
+
+impl Drop for ShardedServer {
+    fn drop(&mut self) {
+        // Closing the queues wakes every worker with `Err`; join so no
+        // worker outlives the cells it reads.
+        self.queues.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4 sites x 2 docs, epoch-stamped scores.
+    fn snapshot(epoch: u64, scores: Vec<f64>, staleness: Staleness) -> RankSnapshot {
+        let n = scores.len();
+        assert_eq!(n % 2, 0);
+        let members = (0..n / 2)
+            .map(|s| vec![DocId(2 * s), DocId(2 * s + 1)])
+            .collect::<Vec<_>>();
+        let site_of = (0..n).map(|d| SiteId(d / 2)).collect::<Vec<_>>();
+        RankSnapshot::new(
+            epoch,
+            "test".into(),
+            Arc::new(scores),
+            None,
+            Arc::new(members),
+            Arc::new(site_of),
+            staleness,
+        )
+    }
+
+    fn base_scores() -> Vec<f64> {
+        vec![0.05, 0.10, 0.20, 0.15, 0.08, 0.12, 0.18, 0.12]
+    }
+
+    fn server() -> ShardedServer {
+        let map = ShardMap::uniform(4, 2).unwrap();
+        let snap = snapshot(1, base_scores(), Staleness::Full);
+        ShardedServer::start(map, &snap, ServeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn queries_answer_from_the_started_snapshot() {
+        let srv = server();
+        assert_eq!(srv.epoch(), 1);
+        let (epoch, top) = srv.top_k(3).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(
+            top,
+            vec![(DocId(2), 0.20), (DocId(6), 0.18), (DocId(3), 0.15)]
+        );
+        let (_, score) = srv.score(DocId(5)).unwrap();
+        assert_eq!(score, 0.12);
+        let (_, site_top) = srv.top_k_for_site(SiteId(1), 1).unwrap();
+        assert_eq!(site_top, vec![(DocId(2), 0.20)]);
+        // Equal scores tie-break by doc id, globally and in compare.
+        let (_, order) = srv.compare(DocId(5), DocId(7)).unwrap();
+        assert_eq!(order, std::cmp::Ordering::Greater);
+        let (_, order) = srv.compare(DocId(2), DocId(6)).unwrap();
+        assert_eq!(order, std::cmp::Ordering::Greater);
+    }
+
+    #[test]
+    fn batch_reassembles_in_input_order() {
+        let srv = server();
+        let docs = [DocId(7), DocId(0), DocId(4), DocId(2)];
+        let (epoch, scores) = srv.score_batch(&docs).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(scores, vec![0.12, 0.05, 0.08, 0.20]);
+    }
+
+    #[test]
+    fn empty_batch_answers_empty_at_the_serving_epoch() {
+        // Regression: an empty batch used to panic indexing replies[0].
+        let srv = server();
+        let (epoch, scores) = srv.score_batch(&[]).unwrap();
+        assert_eq!(epoch, 1);
+        assert!(scores.is_empty());
+    }
+
+    #[test]
+    fn unknown_references_are_errors() {
+        let srv = server();
+        assert!(matches!(
+            srv.score(DocId(99)),
+            Err(ServeError::UnknownDoc { doc: 99, epoch: 1 })
+        ));
+        assert!(matches!(
+            srv.top_k_for_site(SiteId(9), 2),
+            Err(ServeError::UnknownSite { site: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn publish_rebuilds_only_stale_shards() {
+        let srv = server();
+        // Site 3 (shard 1) moved; shard 0 must re-pin.
+        let mut scores = base_scores();
+        scores[6] = 0.30;
+        scores[7] = 0.00;
+        let snap = snapshot(2, scores, Staleness::Sites(vec![3]));
+        let report = srv.publish(&snap).unwrap();
+        assert_eq!(report.epoch, 2);
+        assert_eq!(report.shards_rebuilt, 1);
+        assert_eq!(report.shards_repinned, 1);
+        assert!(!report.noop);
+        let (epoch, top) = srv.top_k(2).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(top, vec![(DocId(6), 0.30), (DocId(2), 0.20)]);
+        let stats = srv.stats();
+        assert_eq!(stats.shards_rebuilt, 1);
+        assert_eq!(stats.shards_repinned, 1);
+    }
+
+    #[test]
+    fn publish_rejects_stale_and_noops_on_current() {
+        let srv = server();
+        let current = snapshot(1, base_scores(), Staleness::Full);
+        let report = srv.publish(&current).unwrap();
+        assert!(report.noop);
+        let snap2 = snapshot(2, base_scores(), Staleness::Sites(vec![]));
+        srv.publish(&snap2).unwrap();
+        assert!(matches!(
+            srv.publish(&current),
+            Err(ServeError::StaleSnapshot {
+                published: 1,
+                serving: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_staleness_repins_everything() {
+        let srv = server();
+        let snap = snapshot(2, base_scores(), Staleness::Sites(vec![]));
+        let report = srv.publish(&snap).unwrap();
+        assert_eq!(report.shards_rebuilt, 0);
+        assert_eq!(report.shards_repinned, 2);
+        assert_eq!(srv.epoch(), 2);
+    }
+
+    #[test]
+    fn skipped_epochs_force_a_full_rebuild() {
+        let srv = server();
+        // Epoch jumps 1 -> 3: the staleness set only describes 2 -> 3, so
+        // the publisher must not trust it.
+        let snap = snapshot(3, base_scores(), Staleness::Sites(vec![0]));
+        let report = srv.publish(&snap).unwrap();
+        assert_eq!(report.shards_rebuilt, 2);
+        assert_eq!(report.shards_repinned, 0);
+    }
+
+    #[test]
+    fn full_staleness_rebuilds_everything() {
+        let srv = server();
+        let snap = snapshot(2, base_scores(), Staleness::Full);
+        let report = srv.publish(&snap).unwrap();
+        assert_eq!(report.shards_rebuilt, 2);
+    }
+
+    #[test]
+    fn growth_lands_in_the_last_shard() {
+        let srv = server();
+        // A fifth site (id 4) appears: beyond the map, absorbed by the
+        // last shard under a Full publish.
+        let mut members: Vec<Vec<DocId>> = (0..4)
+            .map(|s| vec![DocId(2 * s), DocId(2 * s + 1)])
+            .collect();
+        members.push(vec![DocId(8), DocId(9)]);
+        let mut site_of: Vec<SiteId> = (0..8).map(|d| SiteId(d / 2)).collect();
+        site_of.extend([SiteId(4), SiteId(4)]);
+        let snap = RankSnapshot::new(
+            2,
+            "test".into(),
+            Arc::new(vec![
+                0.04, 0.09, 0.18, 0.13, 0.07, 0.11, 0.16, 0.10, 0.02, 0.10,
+            ]),
+            None,
+            Arc::new(members),
+            Arc::new(site_of),
+            Staleness::Full,
+        );
+        srv.publish(&snap).unwrap();
+        let (epoch, site_top) = srv.top_k_for_site(SiteId(4), 2).unwrap();
+        assert_eq!(epoch, 2);
+        assert_eq!(site_top, vec![(DocId(9), 0.10), (DocId(8), 0.02)]);
+        let (_, score) = srv.score(DocId(8)).unwrap();
+        assert_eq!(score, 0.02);
+    }
+}

@@ -1,0 +1,291 @@
+//! Immutable per-shard stores: precomputed top-k heaps, per-site document
+//! orderings, and score lookups over one pinned [`RankSnapshot`].
+//!
+//! A [`ShardState`] is the unit the hot-swap replaces: it pins one snapshot
+//! epoch and the shard's precomputed [`ShardData`]. Rebuilding the data is
+//! the expensive part (a heap selection over the shard's documents), so a
+//! publish only rebuilds the shards whose sites the delta staled —
+//! everything else is [`re-pinned`](ShardState::repin): a new `ShardState`
+//! with the new epoch and snapshot but the **same** `Arc<ShardData>`. The
+//! engine's [`Staleness`](lmm_engine::Staleness) contract (untouched sites
+//! keep bit-identical scores) is what makes pairing old orderings with the
+//! new snapshot sound.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::ops::Range;
+use std::sync::Arc;
+
+use lmm_engine::RankSnapshot;
+use lmm_graph::{DocId, SiteId};
+
+/// Orders documents for serving: score descending, ties broken by id
+/// ascending — the exact order `Ranking::order` uses, so serve-tier
+/// results are bitwise comparable with engine-cache results.
+fn serve_cmp(a: &(DocId, f64), b: &(DocId, f64)) -> Ordering {
+    b.1.partial_cmp(&a.1)
+        .expect("ranking scores are finite")
+        .then(a.0.cmp(&b.0))
+}
+
+/// Max-heap entry whose `Ord` ranks *worse* entries greater, so the heap
+/// root is the weakest kept document — a classic bounded top-k heap.
+struct Weakest(DocId, f64);
+
+impl PartialEq for Weakest {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Weakest {}
+impl PartialOrd for Weakest {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Weakest {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Lower score = worse; equal score: higher id = worse.
+        other
+            .1
+            .partial_cmp(&self.1)
+            .expect("ranking scores are finite")
+            .then(self.0.cmp(&other.0))
+    }
+}
+
+/// The heavy, rebuild-on-stale part of a shard: everything derived from
+/// the shard's document scores.
+#[derive(Debug)]
+pub struct ShardData {
+    /// The shard's best documents (score desc, id asc), at most the
+    /// configured heap capacity.
+    top: Vec<(DocId, f64)>,
+    /// Per covered site (indexed relative to the shard's first site), the
+    /// site's documents in serving order.
+    site_order: Vec<Vec<DocId>>,
+    /// Documents owned by the shard (so `top.len() == n_docs.min(cap)`
+    /// tells whether `top` is exhaustive).
+    n_docs: usize,
+}
+
+/// One shard's pinned serving state: an epoch, the snapshot it came from,
+/// and the precomputed data.
+#[derive(Debug, Clone)]
+pub struct ShardState {
+    sites: Range<usize>,
+    snapshot: RankSnapshot,
+    data: Arc<ShardData>,
+}
+
+impl ShardState {
+    /// Builds a shard store from scratch over `sites` (heap capacity
+    /// `heap_k`): one pass over the shard's documents into a bounded
+    /// top-k heap, plus a per-site sort.
+    #[must_use]
+    pub fn build(snapshot: &RankSnapshot, sites: Range<usize>, heap_k: usize) -> Self {
+        let scores = snapshot.scores();
+        let mut heap: BinaryHeap<Weakest> = BinaryHeap::with_capacity(heap_k + 1);
+        let mut site_order = Vec::with_capacity(sites.len());
+        let mut n_docs = 0usize;
+        for site in sites.clone() {
+            let members = snapshot.members_of_site(SiteId(site));
+            n_docs += members.len();
+            let mut ordered: Vec<(DocId, f64)> =
+                members.iter().map(|&d| (d, scores[d.index()])).collect();
+            ordered.sort_unstable_by(serve_cmp);
+            for &(doc, score) in &ordered {
+                if heap.len() < heap_k {
+                    heap.push(Weakest(doc, score));
+                } else if let Some(weakest) = heap.peek() {
+                    if serve_cmp(&(doc, score), &(weakest.0, weakest.1)) == Ordering::Less {
+                        heap.pop();
+                        heap.push(Weakest(doc, score));
+                    }
+                }
+            }
+            site_order.push(ordered.into_iter().map(|(d, _)| d).collect());
+        }
+        let mut top: Vec<(DocId, f64)> = heap.into_iter().map(|w| (w.0, w.1)).collect();
+        top.sort_unstable_by(serve_cmp);
+        Self {
+            sites,
+            snapshot: snapshot.clone(),
+            data: Arc::new(ShardData {
+                top,
+                site_order,
+                n_docs,
+            }),
+        }
+    }
+
+    /// Re-pins this shard against a newer snapshot without rebuilding: the
+    /// data `Arc` is shared. Sound only when every site of this shard is
+    /// absent from the snapshot's staleness set (the publisher checks).
+    #[must_use]
+    pub fn repin(&self, snapshot: &RankSnapshot) -> Self {
+        debug_assert!(snapshot.epoch() >= self.snapshot.epoch());
+        Self {
+            sites: self.sites.clone(),
+            snapshot: snapshot.clone(),
+            data: Arc::clone(&self.data),
+        }
+    }
+
+    /// The epoch this state answers from.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// The site-id range this shard covers.
+    #[must_use]
+    pub fn sites(&self) -> &Range<usize> {
+        &self.sites
+    }
+
+    /// `true` when this state shares its data with `other` (re-pinned, not
+    /// rebuilt).
+    #[must_use]
+    pub fn shares_data_with(&self, other: &ShardState) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Score of one document at this shard's epoch — answered from the
+    /// pinned global score vector, so *any* shard can serve any document.
+    #[must_use]
+    pub fn score(&self, doc: DocId) -> Option<f64> {
+        self.snapshot.scores().get(doc.index()).copied()
+    }
+
+    /// The shard's `k` best documents. The boolean reports whether the
+    /// precomputed heap sufficed (`false` = `k` exceeded its capacity and
+    /// the shard fell back to a full scan).
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> (Vec<(DocId, f64)>, bool) {
+        let data = &self.data;
+        if k <= data.top.len() || data.top.len() == data.n_docs {
+            let mut out = data.top.clone();
+            out.truncate(k);
+            return (out, true);
+        }
+        // k exceeds the heap capacity: scan every covered site.
+        let scores = self.snapshot.scores();
+        let mut all: Vec<(DocId, f64)> = self
+            .sites
+            .clone()
+            .flat_map(|s| self.snapshot.members_of_site(SiteId(s)))
+            .map(|&d| (d, scores[d.index()]))
+            .collect();
+        all.sort_unstable_by(serve_cmp);
+        all.truncate(k);
+        (all, false)
+    }
+
+    /// The `k` best documents of one covered site, or `None` when the site
+    /// is outside this shard's range or unknown to the pinned snapshot.
+    #[must_use]
+    pub fn site_top_k(&self, site: SiteId, k: usize) -> Option<Vec<(DocId, f64)>> {
+        if !self.sites.contains(&site.index()) || site.index() >= self.snapshot.n_sites() {
+            return None;
+        }
+        let order = self.data.site_order.get(site.index() - self.sites.start)?;
+        let scores = self.snapshot.scores();
+        Some(
+            order
+                .iter()
+                .take(k)
+                .map(|&d| (d, scores[d.index()]))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmm_engine::Staleness;
+
+    /// Two sites: site 0 = docs {0, 1}, site 1 = docs {2, 3, 4}.
+    fn snapshot(epoch: u64, scores: Vec<f64>) -> RankSnapshot {
+        RankSnapshot::new(
+            epoch,
+            "test".into(),
+            Arc::new(scores),
+            None,
+            Arc::new(vec![
+                vec![DocId(0), DocId(1)],
+                vec![DocId(2), DocId(3), DocId(4)],
+            ]),
+            Arc::new(vec![SiteId(0), SiteId(0), SiteId(1), SiteId(1), SiteId(1)]),
+            Staleness::Full,
+        )
+    }
+
+    #[test]
+    fn build_precomputes_serving_order() {
+        let snap = snapshot(1, vec![0.1, 0.3, 0.2, 0.25, 0.15]);
+        let shard = ShardState::build(&snap, 0..2, 3);
+        assert_eq!(shard.epoch(), 1);
+        let (top, from_heap) = shard.top_k(3);
+        assert!(from_heap);
+        assert_eq!(
+            top,
+            vec![(DocId(1), 0.3), (DocId(3), 0.25), (DocId(2), 0.2)]
+        );
+        let site1 = shard.site_top_k(SiteId(1), 2).unwrap();
+        assert_eq!(site1, vec![(DocId(3), 0.25), (DocId(2), 0.2)]);
+        assert_eq!(shard.score(DocId(4)), Some(0.15));
+        assert_eq!(shard.score(DocId(9)), None);
+    }
+
+    #[test]
+    fn equal_scores_break_ties_by_id() {
+        let snap = snapshot(1, vec![0.2, 0.2, 0.2, 0.2, 0.2]);
+        let shard = ShardState::build(&snap, 0..2, 4);
+        let (top, _) = shard.top_k(4);
+        assert_eq!(
+            top.iter().map(|&(d, _)| d).collect::<Vec<_>>(),
+            vec![DocId(0), DocId(1), DocId(2), DocId(3)]
+        );
+    }
+
+    #[test]
+    fn oversized_k_falls_back_to_a_scan() {
+        let snap = snapshot(1, vec![0.1, 0.3, 0.2, 0.25, 0.15]);
+        let shard = ShardState::build(&snap, 0..2, 2);
+        let (top, from_heap) = shard.top_k(5);
+        assert!(!from_heap);
+        assert_eq!(top.len(), 5);
+        assert_eq!(top[0], (DocId(1), 0.3));
+        assert_eq!(top[4], (DocId(0), 0.1));
+        // Small shards whose heap holds everything never scan.
+        let all = ShardState::build(&snap, 0..2, 16);
+        let (_, from_heap) = all.top_k(9);
+        assert!(from_heap);
+    }
+
+    #[test]
+    fn repin_shares_data_and_advances_the_epoch() {
+        let snap1 = snapshot(1, vec![0.1, 0.3, 0.2, 0.25, 0.15]);
+        let shard = ShardState::build(&snap1, 0..2, 3);
+        let snap2 = snapshot(2, vec![0.1, 0.3, 0.2, 0.25, 0.15]);
+        let repinned = shard.repin(&snap2);
+        assert_eq!(repinned.epoch(), 2);
+        assert!(repinned.shares_data_with(&shard));
+        assert_eq!(repinned.top_k(3), shard.top_k(3));
+        let rebuilt = ShardState::build(&snap2, 0..2, 3);
+        assert!(!rebuilt.shares_data_with(&shard));
+    }
+
+    #[test]
+    fn site_outside_the_shard_is_refused() {
+        let snap = snapshot(1, vec![0.1, 0.3, 0.2, 0.25, 0.15]);
+        let shard = ShardState::build(&snap, 1..2, 3);
+        assert!(shard.site_top_k(SiteId(0), 2).is_none());
+        assert!(shard.site_top_k(SiteId(7), 2).is_none());
+        assert!(shard.site_top_k(SiteId(1), 2).is_some());
+        // But scores of foreign documents still answer (global vector).
+        assert_eq!(shard.score(DocId(0)), Some(0.1));
+    }
+}

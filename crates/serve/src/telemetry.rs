@@ -1,0 +1,125 @@
+//! Serving-tier telemetry: lock-free counters the experiment harness (and
+//! any monitoring layer) reads while the server is hot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters accumulated over the server's lifetime. All updates
+/// are relaxed atomics: the counters order nothing, they only count.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Snapshots published (including no-op re-publishes of the serving
+    /// epoch, which swap nothing).
+    pub publishes: AtomicU64,
+    /// Shard stores rebuilt by publishes (stale shards).
+    pub shards_rebuilt: AtomicU64,
+    /// Shard stores re-pinned by publishes (fresh shards: new epoch, same
+    /// data `Arc`).
+    pub shards_repinned: AtomicU64,
+    /// Point score lookups answered.
+    pub score_queries: AtomicU64,
+    /// Batched score lookups answered (one batch = one count).
+    pub batch_queries: AtomicU64,
+    /// Cross-shard global top-k queries answered.
+    pub top_k_queries: AtomicU64,
+    /// Single-site top-k queries answered.
+    pub site_top_k_queries: AtomicU64,
+    /// Pairwise compare queries answered.
+    pub compare_queries: AtomicU64,
+    /// Scatter-gathers retried because shards straddled a swap.
+    pub gather_retries: AtomicU64,
+    /// Scatter-gathers that escalated to the publish gate after exhausting
+    /// retries.
+    pub gather_escalations: AtomicU64,
+    /// Shard-local top-k scans taken because `k` exceeded the precomputed
+    /// heap capacity.
+    pub heap_overflow_scans: AtomicU64,
+}
+
+/// A plain-value copy of [`ServeStats`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStatsSnapshot {
+    /// See [`ServeStats::publishes`].
+    pub publishes: u64,
+    /// See [`ServeStats::shards_rebuilt`].
+    pub shards_rebuilt: u64,
+    /// See [`ServeStats::shards_repinned`].
+    pub shards_repinned: u64,
+    /// See [`ServeStats::score_queries`].
+    pub score_queries: u64,
+    /// See [`ServeStats::batch_queries`].
+    pub batch_queries: u64,
+    /// See [`ServeStats::top_k_queries`].
+    pub top_k_queries: u64,
+    /// See [`ServeStats::site_top_k_queries`].
+    pub site_top_k_queries: u64,
+    /// See [`ServeStats::compare_queries`].
+    pub compare_queries: u64,
+    /// See [`ServeStats::gather_retries`].
+    pub gather_retries: u64,
+    /// See [`ServeStats::gather_escalations`].
+    pub gather_escalations: u64,
+    /// See [`ServeStats::heap_overflow_scans`].
+    pub heap_overflow_scans: u64,
+}
+
+impl ServeStats {
+    /// Adds `n` to a counter.
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments a counter by one.
+    pub(crate) fn bump(counter: &AtomicU64) {
+        Self::add(counter, 1);
+    }
+
+    /// Reads every counter at one instant (each relaxed — the snapshot is
+    /// not a consistent cut, which is fine for counting).
+    #[must_use]
+    pub fn snapshot(&self) -> ServeStatsSnapshot {
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServeStatsSnapshot {
+            publishes: read(&self.publishes),
+            shards_rebuilt: read(&self.shards_rebuilt),
+            shards_repinned: read(&self.shards_repinned),
+            score_queries: read(&self.score_queries),
+            batch_queries: read(&self.batch_queries),
+            top_k_queries: read(&self.top_k_queries),
+            site_top_k_queries: read(&self.site_top_k_queries),
+            compare_queries: read(&self.compare_queries),
+            gather_retries: read(&self.gather_retries),
+            gather_escalations: read(&self.gather_escalations),
+            heap_overflow_scans: read(&self.heap_overflow_scans),
+        }
+    }
+}
+
+impl ServeStatsSnapshot {
+    /// Total queries answered, across every query kind.
+    #[must_use]
+    pub fn total_queries(&self) -> u64 {
+        self.score_queries
+            + self.batch_queries
+            + self.top_k_queries
+            + self.site_top_k_queries
+            + self.compare_queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_bumped_counters() {
+        let stats = ServeStats::default();
+        ServeStats::bump(&stats.publishes);
+        ServeStats::add(&stats.shards_rebuilt, 3);
+        ServeStats::bump(&stats.top_k_queries);
+        ServeStats::bump(&stats.score_queries);
+        let snap = stats.snapshot();
+        assert_eq!(snap.publishes, 1);
+        assert_eq!(snap.shards_rebuilt, 3);
+        assert_eq!(snap.total_queries(), 2);
+    }
+}

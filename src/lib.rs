@@ -16,7 +16,9 @@
 //!   campus-web generator;
 //! * [`core`] — the Layered Markov Model: Approaches 1–4, the Partition
 //!   Theorem, and the SiteRank × DocRank pipeline;
-//! * [`p2p`] — the distributed (peer-to-peer) computation simulator.
+//! * [`p2p`] — the distributed (peer-to-peer) computation simulator;
+//! * [`serve`] — the sharded concurrent serving tier: site-range shards,
+//!   epoch-consistent queries, and snapshot hot-swap over live deltas.
 //!
 //! # Quickstart
 //!
@@ -60,6 +62,7 @@ pub use lmm_graph as graph;
 pub use lmm_linalg as linalg;
 pub use lmm_p2p as p2p;
 pub use lmm_rank as rank;
+pub use lmm_serve as serve;
 
 /// Commonly used items, importable with `use lmm::prelude::*`.
 pub mod prelude {
@@ -68,13 +71,14 @@ pub mod prelude {
         siterank::SiteLayerMethod,
     };
     pub use lmm_engine::{
-        BackendSpec, EngineConfig, EngineError, MemorySink, RankEngine, RankOutcome, Ranker,
-        RunTelemetry,
+        BackendSpec, EngineConfig, EngineError, MemorySink, RankEngine, RankOutcome, RankSnapshot,
+        Ranker, RunTelemetry, Staleness,
     };
     pub use lmm_graph::{
         delta::{AppliedDelta, GraphDelta},
         docgraph::{DocGraph, DocGraphBuilder},
         generator::CampusWebConfig,
+        sharding::ShardMap,
         sitegraph::{SiteGraph, SiteGraphOptions},
         DocId, SiteId,
     };
@@ -86,14 +90,24 @@ pub mod prelude {
         pagerank::{PageRank, PageRankConfig},
         ranking::Ranking,
     };
+    pub use lmm_serve::{ServeConfig, ShardedServer};
 }
 
 /// Thin deprecated shims over the pre-engine ad-hoc entry points.
 ///
 /// Each function forwards to the exact computation the unified
 /// [`RankEngine`](lmm_engine::RankEngine) backends wrap; new code should go
-/// through the engine, which adds validation, caching, serving, and
-/// telemetry on top of the same numerics.
+/// through the engine (and, for query traffic, the `lmm-serve` tier),
+/// which adds validation, caching, serving, and telemetry on top of the
+/// same numerics.
+///
+/// **Deprecation status (PR 4):** nothing in this repository calls these
+/// shims anymore — every example, experiment binary, and integration test
+/// goes through the engine/serve API (the baseline tests deliberately call
+/// `lmm_core::siterank` directly, since they *test* those numerics rather
+/// than wrap them). The module stays for one more release purely as a
+/// migration aid for external callers of the 0.1 entry points; remove it
+/// once downstreams have moved.
 pub mod compat {
     use lmm_core::siterank::{LayeredDocRank, LayeredRankConfig};
     use lmm_graph::docgraph::DocGraph;
