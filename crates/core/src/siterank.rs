@@ -19,11 +19,11 @@
 
 use std::collections::HashMap;
 
-use crate::error::Result;
+use crate::error::{LmmError, Result};
 use lmm_graph::docgraph::DocGraph;
 use lmm_graph::ids::{DocId, SiteId};
 use lmm_graph::sitegraph::{ranking_site_graph, SiteGraphOptions};
-use lmm_linalg::{ConvergenceReport, PowerOptions};
+use lmm_linalg::{ConvergenceReport, CooMatrix, CsrMatrix, PowerOptions};
 use lmm_par::ThreadPool;
 use lmm_rank::pagerank::{PageRank, PageRankResult};
 use lmm_rank::Ranking;
@@ -138,12 +138,150 @@ impl LayeredDocRank {
     }
 }
 
+/// The live-site restriction of the ranking SiteGraph: the ascending list
+/// of live site slots plus the dense `k×k` weight matrix over them. On a
+/// graph without tombstoned sites this is the identity restriction (every
+/// slot, the full weight matrix).
+///
+/// Removal keeps site ids stable by tombstoning slots, but a stationary
+/// computation over the slot space would leak teleport mass into dead,
+/// linkless sites — so every site-layer solve runs over this restriction
+/// and scatters the result back into the slot space (dead slots score 0).
+pub(crate) fn live_site_chain(
+    graph: &DocGraph,
+    options: &SiteGraphOptions,
+) -> (Vec<usize>, CsrMatrix) {
+    let site_graph = ranking_site_graph(graph, options);
+    let live: Vec<usize> = graph.live_sites().map(SiteId::index).collect();
+    if live.len() == graph.n_sites() {
+        return (live, site_graph.into_weights());
+    }
+    let mut dense_of: Vec<Option<usize>> = vec![None; graph.n_sites()];
+    for (j, &s) in live.iter().enumerate() {
+        dense_of[s] = Some(j);
+    }
+    let mut coo = CooMatrix::new(live.len(), live.len());
+    for (j, &s) in live.iter().enumerate() {
+        let (cols, vals) = site_graph.weights().row(s);
+        for (&t, &w) in cols.iter().zip(vals) {
+            if let Some(jt) = dense_of[t] {
+                coo.push(j, jt, w);
+            }
+        }
+    }
+    (live, coo.to_csr())
+}
+
+/// Errors when a personalized configuration meets a graph with tombstoned
+/// sites: the slot-indexed vectors have no meaning over a restricted live
+/// chain, so the combination is rejected instead of silently re-weighted.
+pub(crate) fn reject_personalization_on_tombstones(
+    graph: &DocGraph,
+    config: &LayeredRankConfig,
+) -> Result<()> {
+    if config.site_personalization.is_some() {
+        return Err(LmmError::InvalidModel {
+            reason: "site personalization is unsupported on a graph with tombstoned \
+                     sites; compact_ids() first"
+                .into(),
+        });
+    }
+    if let Some(&s) = config
+        .local_personalization
+        .keys()
+        .find(|&&s| !graph.is_live_site(SiteId(s)))
+    {
+        return Err(LmmError::InvalidModel {
+            reason: format!("document personalization names tombstoned site {s}"),
+        });
+    }
+    Ok(())
+}
+
+/// The layered pipeline over a graph with tombstoned sites: the site layer
+/// runs on the live restriction and scatters back into the slot space;
+/// dead slots keep zero rank and an empty local vector.
+fn layered_doc_rank_tombstoned(
+    graph: &DocGraph,
+    config: &LayeredRankConfig,
+) -> Result<LayeredDocRank> {
+    reject_personalization_on_tombstones(graph, config)?;
+    let (live, chain) = live_site_chain(graph, &config.site_options);
+    if live.is_empty() {
+        return Err(LmmError::InvalidModel {
+            reason: "every site is tombstoned — nothing to rank".into(),
+        });
+    }
+    let stochastic = lmm_linalg::StochasticMatrix::from_adjacency(chain)?;
+    let (pi, site_report) = match config.site_method {
+        SiteLayerMethod::PageRank => {
+            let mut site_pr = PageRank::new();
+            site_pr
+                .damping(config.site_damping)
+                .tol(config.power.tol)
+                .max_iters(config.power.max_iters);
+            let result = site_pr.run(&stochastic)?;
+            (result.ranking.into_scores(), result.report)
+        }
+        SiteLayerMethod::Stationary => {
+            lmm_linalg::power::stationary_distribution(stochastic.matrix(), &config.power)?
+        }
+    };
+    let mut site_scores = vec![0.0f64; graph.n_sites()];
+    for (j, &s) in live.iter().enumerate() {
+        site_scores[s] = pi[j];
+    }
+    let site_rank = Ranking::from_scores(site_scores)?;
+
+    let pool = ThreadPool::shared(config.threads);
+    let solved = pool.par_map(&live, |_, &s| {
+        let sub = graph.site_subgraph(SiteId(s));
+        let mut pr = PageRank::new();
+        pr.damping(config.local_damping)
+            .tol(config.power.tol)
+            .max_iters(config.power.max_iters);
+        if let Some(v) = config.local_personalization.get(&s) {
+            pr.personalization(v.clone());
+        }
+        pr.run_adjacency(sub.adjacency)
+    });
+    let mut local_ranks = vec![Ranking::empty(); graph.n_sites()];
+    let mut total_local_iterations = 0usize;
+    let mut max_local_iterations = 0usize;
+    for (&s, result) in live.iter().zip(solved) {
+        let result = result?;
+        total_local_iterations += result.report.iterations;
+        max_local_iterations = max_local_iterations.max(result.report.iterations);
+        local_ranks[s] = result.ranking;
+    }
+
+    let mut scores = vec![0.0f64; graph.n_docs()];
+    for (s, ranks) in local_ranks.iter().enumerate() {
+        let weight = site_rank.score(s);
+        let members = graph.docs_of_site(SiteId(s));
+        for (local, doc) in members.iter().enumerate() {
+            scores[doc.index()] = weight * ranks.score(local);
+        }
+    }
+    let global = Ranking::from_scores(scores)?;
+    Ok(LayeredDocRank {
+        site_rank,
+        local_ranks,
+        global,
+        site_report,
+        total_local_iterations,
+        max_local_iterations,
+    })
+}
+
 /// Runs the full layered DocRank pipeline (Section 3.2) on a document
-/// graph.
+/// graph. Tombstoned sites (if any) keep zero rank and an empty local
+/// vector; the surviving sites' scores still form a distribution.
 ///
 /// # Errors
 /// Propagates PageRank failures (non-convergence, invalid personalization
-/// vectors) from either layer.
+/// vectors) from either layer; rejects personalization on a graph with
+/// tombstoned sites.
 ///
 /// # Example
 /// ```
@@ -162,6 +300,11 @@ impl LayeredDocRank {
 /// # }
 /// ```
 pub fn layered_doc_rank(graph: &DocGraph, config: &LayeredRankConfig) -> Result<LayeredDocRank> {
+    // Tombstoned sites change the site-layer state space; the dense path
+    // below stays bit-identical for graphs without them.
+    if !graph.dead_sites().is_empty() {
+        return layered_doc_rank_tombstoned(graph, config);
+    }
     // Step 2: SiteGraph — through the one shared derivation so distributed
     // and local pipelines provably rank the same `Y`.
     let site_graph = ranking_site_graph(graph, &config.site_options);

@@ -1,8 +1,11 @@
 //! Property tests of the delta pipeline: for random mixed-mutation
-//! sequences, `DocGraph::apply(delta)` followed by `incremental_update`
-//! must reproduce a from-scratch `layered_doc_rank` on the mutated graph —
-//! at one worker thread and at four — and malformed deltas must surface as
-//! errors, never as panics or silent misalignment.
+//! sequences — growth *and* removal — `DocGraph::apply(delta)` followed by
+//! `incremental_update` must reproduce a from-scratch `layered_doc_rank`
+//! on the mutated graph — at one worker thread and at four — rank mass
+//! must be conserved through every redistribution, and malformed deltas
+//! must surface as errors, never as panics or silent misalignment.
+
+use std::collections::{BTreeMap, BTreeSet};
 
 use lmm_core::incremental::{diff_sites, incremental_update, SiteDelta};
 use lmm_core::siterank::{layered_doc_rank, LayeredRankConfig};
@@ -39,12 +42,72 @@ impl Stream {
 }
 
 /// Builds a random mixed delta against `graph`: intra rewires, cross
-/// links, page growth, and (sometimes) a whole new site. `ops == 0` yields
-/// an empty delta.
+/// links, page growth, whole new sites, page/site removal, and cancelled
+/// (add-then-remove) additions. `ops == 0` yields an empty delta. Tracks
+/// planned removals so the delta stays valid: no double removal, no site
+/// emptied without `remove_site`, at least two sites survive.
 fn random_delta(graph: &DocGraph, stream: &mut Stream, ops: usize) -> GraphDelta {
     let mut delta = GraphDelta::for_graph(graph);
+    let mut removed_docs: BTreeSet<usize> = BTreeSet::new();
+    let mut removed_sites: BTreeSet<usize> = BTreeSet::new();
+    let mut lost_per_site: BTreeMap<usize, usize> = BTreeMap::new();
+    // Base sites this delta adds pages to: `apply` rejects removing a
+    // site while also adding pages to it (or removing its pages
+    // explicitly), so site removal must avoid these.
+    let mut added_to: BTreeSet<usize> = BTreeSet::new();
     for _ in 0..ops {
-        match stream.below(5) {
+        match stream.below(8) {
+            // Remove one page from a live site that keeps ≥ 2 members.
+            5 => {
+                let n = graph.n_sites();
+                let site = (0..n).map(|k| (stream.below(n) + k) % n).find(|&s| {
+                    !removed_sites.contains(&s)
+                        && graph.site_size(SiteId(s))
+                            > lost_per_site.get(&s).copied().unwrap_or(0) + 2
+                });
+                if let Some(s) = site {
+                    let docs = graph.docs_of_site(SiteId(s));
+                    let victim = (0..docs.len())
+                        .map(|k| docs[(stream.below(docs.len()) + k) % docs.len()])
+                        .find(|d| !removed_docs.contains(&d.index()));
+                    if let Some(victim) = victim {
+                        delta.remove_page(victim).unwrap();
+                        removed_docs.insert(victim.index());
+                        *lost_per_site.entry(s).or_insert(0) += 1;
+                    }
+                }
+            }
+            // Remove a whole site (keep at least two live; skip sites this
+            // delta already grew or shrank).
+            6 => {
+                if removed_sites.len() + 2 < graph.n_sites() {
+                    let n = graph.n_sites();
+                    let site = (0..n).map(|k| (stream.below(n) + k) % n).find(|s| {
+                        !removed_sites.contains(s)
+                            && !added_to.contains(s)
+                            && !lost_per_site.contains_key(s)
+                    });
+                    if let Some(s) = site {
+                        delta.remove_site(SiteId(s)).unwrap();
+                        removed_sites.insert(s);
+                    }
+                }
+            }
+            // Cancelled addition: add a page, link it, remove it again.
+            7 => {
+                let n = graph.n_sites();
+                let site = (0..n)
+                    .map(|k| SiteId((stream.below(n) + k) % n))
+                    .find(|s| !removed_sites.contains(&s.index()))
+                    .expect("at least two sites survive");
+                let root = graph.docs_of_site(site)[0];
+                let url = format!("http://cancelled.example/{}", stream.next());
+                let p = delta.add_page(site, &url).unwrap();
+                delta.add_link(root, p).unwrap();
+                delta.add_link(p, root).unwrap();
+                delta.remove_page(p).unwrap();
+                added_to.insert(site.index());
+            }
             // Intra-site rewire.
             0 => {
                 let site = SiteId(stream.below(graph.n_sites()));
@@ -64,14 +127,19 @@ fn random_delta(graph: &DocGraph, stream: &mut Stream, ops: usize) -> GraphDelta
                 let b = graph.docs_of_site(t)[0];
                 delta.add_link(a, b).unwrap();
             }
-            // Grow an existing site by one page.
+            // Grow an existing (not planned-removed) site by one page.
             2 => {
-                let site = SiteId(stream.below(graph.n_sites()));
+                let n = graph.n_sites();
+                let site = (0..n)
+                    .map(|k| SiteId((stream.below(n) + k) % n))
+                    .find(|s| !removed_sites.contains(&s.index()))
+                    .expect("at least two sites survive");
                 let root = graph.docs_of_site(site)[0];
                 let url = format!("http://grown.example/{}", stream.next());
                 let p = delta.add_page(site, &url).unwrap();
                 delta.add_link(root, p).unwrap();
                 delta.add_link(p, root).unwrap();
+                added_to.insert(site.index());
             }
             // Append a whole new site with one or two pages.
             3 => {
@@ -104,8 +172,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// apply(delta) + incremental_update ≡ from-scratch layered_doc_rank,
-    /// across random mixed-mutation sequences, at 1 and 4 threads, with
-    /// the apply-time summary agreeing with the two-snapshot diff.
+    /// across random mixed add/remove/grow churn, at 1 and 4 threads, with
+    /// the apply-time summary agreeing with the two-snapshot diff, exact
+    /// `UpdateStats` locality, and rank mass conserved through every
+    /// removal redistribution.
     #[test]
     fn incremental_matches_scratch_under_mixed_mutations(
         graph_seed in 0u64..4,
@@ -117,7 +187,10 @@ proptest! {
         let delta = random_delta(&base, &mut stream, ops);
         let (mutated, applied) = base.apply(&delta).expect("valid random delta");
         let site_delta = SiteDelta::from(&applied);
-        prop_assert_eq!(&site_delta, &diff_sites(&base, &mutated).expect("growth diff"));
+        prop_assert_eq!(&site_delta, &diff_sites(&base, &mutated).expect("churn diff"));
+        let live_added = (base.n_sites()..mutated.n_sites())
+            .filter(|&s| mutated.is_live_site(SiteId(s)))
+            .count();
 
         for threads in [1usize, 4] {
             let cfg = LayeredRankConfig {
@@ -130,19 +203,54 @@ proptest! {
             let scratch = layered_doc_rank(&mutated, &cfg).expect("scratch rank");
             let drift = vec_ops::l1_diff(updated.global.scores(), scratch.global.scores());
             prop_assert!(drift < 1e-7, "drift {} at {} threads", drift, threads);
+            let mass: f64 = updated.global.scores().iter().sum();
+            prop_assert!((mass - 1.0).abs() < 1e-9, "mass {} at {} threads", mass, threads);
             prop_assert_eq!(
                 stats.sites_recomputed + stats.sites_reused,
-                mutated.n_sites()
+                mutated.n_live_sites()
             );
             prop_assert_eq!(
                 stats.sites_recomputed,
                 site_delta.changed_sites.len()
                     + site_delta.grown_sites.len()
-                    + site_delta.added_sites
+                    + site_delta.shrunk_sites.len()
+                    + live_added
             );
+            prop_assert_eq!(stats.sites_removed, site_delta.removed_sites.len());
+            prop_assert_eq!(stats.sites_shrunk, site_delta.shrunk_sites.len());
             prop_assert_eq!(updated.local_ranks.len(), mutated.n_sites());
             prop_assert_eq!(updated.global.len(), mutated.n_docs());
+            // Dead slots hold no rank.
+            for &d in mutated.dead_docs() {
+                prop_assert_eq!(updated.global.score(d.index()), 0.0);
+            }
         }
+    }
+
+    /// compact() ≡ sequential replay for churn that includes removals and
+    /// cancelled (add-then-remove) additions — exactly when compared up to
+    /// densification, and exactly on every ranking-relevant summary set.
+    #[test]
+    fn compact_equals_replay_under_removal_churn(
+        graph_seed in 0u64..4,
+        delta_seed in any::<u64>(),
+        ops in 0usize..12,
+    ) {
+        let base = campus(graph_seed);
+        let mut stream = Stream(delta_seed);
+        let delta = random_delta(&base, &mut stream, ops);
+        let compacted = delta.compact();
+        let (seq, seq_applied) = base.apply(&delta).expect("replay");
+        let (one, one_applied) = base.apply(&compacted).expect("compacted");
+        prop_assert_eq!(seq.compact_ids().0, one.compact_ids().0);
+        prop_assert_eq!(&seq_applied.changed_sites, &one_applied.changed_sites);
+        prop_assert_eq!(&seq_applied.grown_sites, &one_applied.grown_sites);
+        prop_assert_eq!(&seq_applied.shrunk_sites, &one_applied.shrunk_sites);
+        prop_assert_eq!(&seq_applied.removed_sites, &one_applied.removed_sites);
+        prop_assert_eq!(
+            seq_applied.cross_links_changed,
+            one_applied.cross_links_changed
+        );
     }
 
     /// Duplicate site entries in a hand-built delta never inflate the

@@ -20,6 +20,23 @@ use lmm_graph::docgraph::DocGraph;
 use lmm_p2p::runner::{run_distributed, Architecture, DistributedConfig};
 use lmm_rank::Ranking;
 
+/// Backends that rank the whole slot space (flat PageRank, the factored
+/// global chain, the p2p simulator) would hand teleport mass to dead,
+/// linkless slots — so they demand a dense graph instead of silently
+/// mis-ranking a tombstoned one.
+fn require_dense_graph(graph: &DocGraph, backend: &str) -> Result<()> {
+    if graph.has_tombstones() {
+        return Err(EngineError::InvalidConfig {
+            reason: format!(
+                "the {backend} backend ranks the full id space and does not \
+                 support tombstoned graphs; call DocGraph::compact_ids() first \
+                 (the layered and incremental backends handle tombstones natively)"
+            ),
+        });
+    }
+    Ok(())
+}
+
 fn require_neutral_personalization(ctx: &ExecContext, backend: &str) -> Result<()> {
     if ctx.personalization.is_neutral() {
         Ok(())
@@ -77,6 +94,8 @@ fn apply_stats_to_telemetry(telemetry: &mut RunTelemetry, stats: &UpdateStats) {
     telemetry.sites_recomputed = stats.sites_recomputed;
     telemetry.sites_reused = stats.sites_reused;
     telemetry.sites_grown = stats.sites_grown + stats.sites_added;
+    telemetry.sites_shrunk = stats.sites_shrunk;
+    telemetry.sites_removed = stats.sites_removed;
 }
 
 /// **Approach 1's Web instantiation**: classical PageRank (maximal
@@ -95,6 +114,7 @@ impl Ranker for FlatPageRank {
     }
 
     fn rank(&self, graph: &DocGraph, ctx: &ExecContext) -> Result<RankOutcome> {
+        require_dense_graph(graph, "flat-pagerank")?;
         require_neutral_personalization(ctx, "flat-pagerank")?;
         let t0 = Instant::now();
         let result = siterank::flat_pagerank(
@@ -137,6 +157,7 @@ impl Ranker for CentralizedStationary {
     }
 
     fn rank(&self, graph: &DocGraph, ctx: &ExecContext) -> Result<RankOutcome> {
+        require_dense_graph(graph, "centralized-stationary")?;
         if ctx.personalization.site.is_some() {
             return Err(EngineError::InvalidConfig {
                 reason: "centralized-stationary has no site-layer teleport vector; \
@@ -231,6 +252,7 @@ impl Ranker for DistributedRanker {
     }
 
     fn rank(&self, graph: &DocGraph, ctx: &ExecContext) -> Result<RankOutcome> {
+        require_dense_graph(graph, "distributed")?;
         require_neutral_personalization(ctx, "distributed")?;
         let t0 = Instant::now();
         let config = DistributedConfig {

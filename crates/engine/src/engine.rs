@@ -498,22 +498,48 @@ impl RankEngine {
             GraphFingerprint::of(&updated.graph),
             "composed fingerprint diverged from a from-scratch hash"
         );
-        // Shard invalidation set: when the SiteRank reran, every document's
-        // score was rescaled — only a recompute-free update localizes to
-        // the delta's site sets. (Appended sites always rerun the
-        // SiteRank, so `Sites` never needs to name them.)
+        // Shard invalidation set. Three regimes:
+        //  * no SiteRank rerun — only the named sites' documents moved
+        //    (bit-identical elsewhere): `Sites`, shrunk sites included;
+        //  * SiteRank reran because of a removal — the survivors' per-site
+        //    orders are intact but every score was rescaled by the
+        //    redistribution: `Resized` names what must rebuild (membership
+        //    or local-order changes, appended slots included) and what was
+        //    tombstoned, so a serving tier refreshes the rest instead of
+        //    rebuilding the world;
+        //  * SiteRank reran on a growth-only delta — `Full`, as before.
+        let removal =
+            !updated.applied.removed_docs.is_empty() || !updated.applied.removed_sites.is_empty();
+        let mut sites = updated.applied.changed_sites.clone();
+        sites.extend_from_slice(&updated.applied.grown_sites);
+        sites.extend_from_slice(&updated.applied.shrunk_sites);
         let staleness = if updated.stats.site_rank_recomputed {
-            Staleness::Full
+            if removal {
+                let old_sites = updated.graph.n_sites() - updated.applied.added_sites;
+                // Only live appended slots: a slot appended dead (a
+                // cancelled same-delta addition) has no content to rebuild.
+                sites.extend(
+                    (old_sites..updated.graph.n_sites())
+                        .filter(|&s| updated.graph.is_live_site(SiteId(s))),
+                );
+                sites.sort_unstable();
+                Staleness::Resized {
+                    sites,
+                    removed_sites: updated.applied.removed_sites.clone(),
+                }
+            } else {
+                Staleness::Full
+            }
         } else {
-            let mut sites = updated.applied.changed_sites.clone();
-            sites.extend_from_slice(&updated.applied.grown_sites);
             sites.sort_unstable();
             Staleness::Sites(sites)
         };
         // Membership-preserving deltas (the common rewire) re-pin the
         // previous snapshot's membership/assignment tables instead of
         // re-materializing O(docs) copies — only the score vector is new.
-        let tables = if updated.applied.new_doc_sites.is_empty() && updated.applied.added_sites == 0
+        let tables = if updated.applied.new_doc_sites.is_empty()
+            && updated.applied.added_sites == 0
+            && !removal
         {
             (
                 cache.snapshot.site_members_arc(),
@@ -566,12 +592,24 @@ impl RankEngine {
     }
 
     /// The `k` top-ranked documents with scores, best first, from the
-    /// cache.
+    /// cache. Tombstoned documents never appear (their dead slots hold
+    /// zero score but are not ranked results), so this stays bitwise
+    /// comparable with the serving tier's `top_k` at any `k`.
     ///
     /// # Errors
     /// Returns [`EngineError::NotRanked`] before the first `rank` call.
     pub fn top_k(&self, k: usize) -> Result<Vec<(DocId, f64)>> {
-        Ok(self.outcome()?.top_k(k))
+        let cache = self.cache.as_ref().ok_or(EngineError::NotRanked)?;
+        let dead = cache.snapshot.n_docs() - cache.snapshot.n_live_docs();
+        if dead == 0 {
+            return Ok(cache.outcome.top_k(k));
+        }
+        // Dead slots score 0.0, so the top (k + dead) contains at least k
+        // live entries; filter them out rather than serve the dead.
+        let mut top = cache.outcome.top_k(k.saturating_add(dead));
+        top.retain(|&(d, _)| cache.snapshot.is_live_doc(d));
+        top.truncate(k);
+        Ok(top)
     }
 
     /// The `k` top-ranked documents *within one site*, best first, from
@@ -579,7 +617,8 @@ impl RankEngine {
     ///
     /// # Errors
     /// [`EngineError::NotRanked`] before the first `rank` call;
-    /// [`EngineError::OutOfRange`] for an unknown site.
+    /// [`EngineError::OutOfRange`] for an unknown site;
+    /// [`EngineError::Tombstoned`] for a removed site.
     pub fn top_k_for_site(&self, site: SiteId, k: usize) -> Result<Vec<(DocId, f64)>> {
         let cache = self.cache.as_ref().ok_or(EngineError::NotRanked)?;
         if site.index() >= cache.snapshot.n_sites() {
@@ -587,6 +626,12 @@ impl RankEngine {
                 what: "site",
                 index: site.index(),
                 len: cache.snapshot.n_sites(),
+            });
+        }
+        if cache.snapshot.is_tombstoned_site(site) {
+            return Err(EngineError::Tombstoned {
+                what: "site",
+                index: site.index(),
             });
         }
         let members = cache.snapshot.members_of_site(site);
@@ -606,9 +651,18 @@ impl RankEngine {
     ///
     /// # Errors
     /// [`EngineError::NotRanked`] before the first `rank` call;
-    /// [`EngineError::OutOfRange`] for an unknown document.
+    /// [`EngineError::OutOfRange`] for an unknown document;
+    /// [`EngineError::Tombstoned`] for a removed document (a dead slot's
+    /// zero is not a score).
     pub fn score(&self, doc: DocId) -> Result<f64> {
-        self.outcome()?.score(doc)
+        let cache = self.cache.as_ref().ok_or(EngineError::NotRanked)?;
+        if doc.index() < cache.snapshot.n_docs() && !cache.snapshot.is_live_doc(doc) {
+            return Err(EngineError::Tombstoned {
+                what: "document",
+                index: doc.index(),
+            });
+        }
+        cache.outcome.score(doc)
     }
 
     /// SiteRank score of one site, from the cache (`None` when the backend
@@ -616,9 +670,17 @@ impl RankEngine {
     ///
     /// # Errors
     /// [`EngineError::NotRanked`] before the first `rank` call;
-    /// [`EngineError::OutOfRange`] for an unknown site.
+    /// [`EngineError::OutOfRange`] for an unknown site;
+    /// [`EngineError::Tombstoned`] for a removed site.
     pub fn site_score(&self, site: SiteId) -> Result<Option<f64>> {
-        self.outcome()?.site_score(site)
+        let cache = self.cache.as_ref().ok_or(EngineError::NotRanked)?;
+        if site.index() < cache.snapshot.n_sites() && cache.snapshot.is_tombstoned_site(site) {
+            return Err(EngineError::Tombstoned {
+                what: "site",
+                index: site.index(),
+            });
+        }
+        cache.outcome.site_score(site)
     }
 
     /// Compares the cached ranking against another outcome (e.g. produced

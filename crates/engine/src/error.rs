@@ -39,6 +39,17 @@ pub enum EngineError {
         /// Number of valid entries.
         len: usize,
     },
+    /// A point lookup named a document or site that **was** ranked but has
+    /// been removed — its id slot is tombstoned. Distinct from
+    /// [`OutOfRange`](EngineError::OutOfRange) so callers can tell "gone"
+    /// from "never existed" (the serve tier mirrors this split with
+    /// `TombstonedDoc`/`TombstonedSite`).
+    Tombstoned {
+        /// What was referenced (`"document"` or `"site"`).
+        what: &'static str,
+        /// The removed id.
+        index: usize,
+    },
     /// Underlying LMM failure (model construction, approaches 1-4).
     Core(LmmError),
     /// Underlying distributed-run failure.
@@ -69,6 +80,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::OutOfRange { what, index, len } => {
                 write!(f, "{what} {index} out of range (graph has {len})")
+            }
+            EngineError::Tombstoned { what, index } => {
+                write!(f, "{what} {index} was removed (tombstoned)")
             }
             EngineError::Core(e) => write!(f, "layered model error: {e}"),
             EngineError::P2p(e) => write!(f, "distributed run error: {e}"),

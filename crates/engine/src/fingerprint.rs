@@ -74,18 +74,26 @@ pub struct GraphFingerprint {
 }
 
 impl GraphFingerprint {
-    /// Fingerprints a graph from scratch: one pass over the assignments and
-    /// the adjacency (O(docs + links)).
+    /// Fingerprints a graph from scratch: one pass over the **live**
+    /// assignments (walked through the member lists, which exclude
+    /// tombstoned documents) and the adjacency (dead rows are empty, dead
+    /// columns absent) — O(docs + links).
     ///
     /// Audit note: the hash must cover the *content* of the edge set and
     /// the site partition — not just the counts — or a same-shape recrawl
     /// with rewired links would serve a stale cached ranking. The collision
-    /// regression tests below keep this honest.
+    /// regression tests below keep this honest. Tombstoned slots are
+    /// *excluded* so removal terms can retire commutatively in
+    /// [`compose`](Self::compose); two graphs differing only in dead-slot
+    /// metadata hash alike, which is sound because dead slots carry no
+    /// ranking-relevant state.
     #[must_use]
     pub fn of(graph: &DocGraph) -> Self {
         let mut hash = 0u64;
-        for (doc, site) in graph.site_assignments().iter().enumerate() {
-            hash = hash.wrapping_add(assign_term(doc, site.index()));
+        for site in 0..graph.n_sites() {
+            for doc in graph.docs_of_site(lmm_graph::SiteId(site)) {
+                hash = hash.wrapping_add(assign_term(doc.index(), site));
+            }
         }
         for (src, dst, v) in graph.adjacency().iter() {
             hash = hash.wrapping_add(edge_term(src, dst, v.to_bits()));
@@ -99,17 +107,23 @@ impl GraphFingerprint {
     }
 
     /// Folds an applied delta into the fingerprint in O(delta): the terms
-    /// of appended documents and added links are added, the terms of
-    /// removed links subtracted. The result is bit-identical to
-    /// [`GraphFingerprint::of`] on the mutated graph, because
-    /// [`AppliedDelta`] reports the *exact* induced edge diff (no-op
-    /// mutations never appear) and [`DocGraph::apply`] creates every link
-    /// with weight `1.0`.
+    /// of appended documents and added links are added; the terms of
+    /// removed links **and removed documents' assignments** are
+    /// subtracted — removal composes commutatively exactly like addition,
+    /// because the combine is a wrapping sum of per-element terms. The
+    /// result is bit-identical to [`GraphFingerprint::of`] on the mutated
+    /// graph, because [`AppliedDelta`] reports the *exact* induced edge
+    /// diff (no-op mutations never appear; every link dropped by a
+    /// tombstoned endpoint does appear) and [`DocGraph::apply`] creates
+    /// every link with weight `1.0`.
     #[must_use]
     pub fn compose(&self, applied: &AppliedDelta) -> Self {
         let mut hash = self.hash;
         for (i, site) in applied.new_doc_sites.iter().enumerate() {
             hash = hash.wrapping_add(assign_term(self.n_docs + i, site.index()));
+        }
+        for (doc, site) in applied.removed_docs.iter().zip(&applied.removed_doc_sites) {
+            hash = hash.wrapping_sub(assign_term(doc.index(), site.index()));
         }
         let unit = 1.0f64.to_bits();
         for &(src, dst) in &applied.links_added {
@@ -219,6 +233,50 @@ mod tests {
         let (h, applied) = g.apply(&d).unwrap();
         assert_eq!(g, h);
         assert_eq!(base.compose(&applied), base);
+    }
+
+    #[test]
+    fn composition_is_exact_for_removal_deltas() {
+        let g = graph_with_edges(&[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let base = GraphFingerprint::of(&g);
+        // Tombstone one page: its assignment term and both incident links
+        // retire from the sum.
+        let mut d = GraphDelta::for_graph(&g);
+        d.remove_page(DocId(1)).unwrap();
+        let (h, applied) = g.apply(&d).unwrap();
+        assert_eq!(applied.removed_docs, vec![DocId(1)]);
+        let composed = base.compose(&applied);
+        assert_ne!(composed, base);
+        assert_eq!(composed, GraphFingerprint::of(&h));
+        // Tombstone a whole site on top — composition chains.
+        let mut d2 = GraphDelta::for_graph(&h);
+        d2.remove_site(SiteId(1)).unwrap();
+        let (i, applied2) = h.apply(&d2).unwrap();
+        assert_eq!(composed.compose(&applied2), GraphFingerprint::of(&i));
+        // A mixed remove + grow delta also composes exactly.
+        let mut d3 = GraphDelta::for_graph(&g);
+        d3.remove_page(DocId(3)).unwrap();
+        let p = d3.add_page(SiteId(0), "http://a.org/2").unwrap();
+        d3.add_link(DocId(0), p).unwrap();
+        let (j, applied3) = g.apply(&d3).unwrap();
+        assert_eq!(base.compose(&applied3), GraphFingerprint::of(&j));
+    }
+
+    #[test]
+    fn cancelled_additions_compose_to_the_same_fingerprint() {
+        // add-page-then-remove-page in one delta: the slot is appended
+        // dead, so its terms cancel and only the slot count moves.
+        let g = graph_with_edges(&[(0, 1), (2, 3)]);
+        let base = GraphFingerprint::of(&g);
+        let mut d = GraphDelta::for_graph(&g);
+        let doomed = d.add_page(SiteId(0), "http://a.org/doomed").unwrap();
+        d.add_link(DocId(0), doomed).unwrap();
+        d.remove_page(doomed).unwrap();
+        let (h, applied) = g.apply(&d).unwrap();
+        let composed = base.compose(&applied);
+        assert_eq!(composed, GraphFingerprint::of(&h));
+        assert_eq!(composed.hash, base.hash, "dead slot leaves no term");
+        assert_eq!(composed.n_docs, base.n_docs + 1, "but the slot count moved");
     }
 
     #[test]

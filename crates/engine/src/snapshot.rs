@@ -28,14 +28,33 @@ use lmm_graph::{DocId, SiteId};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Staleness {
     /// Everything may have moved (first computation, full recompute, or
-    /// any update that reran the SiteRank — a SiteRank change rescales
-    /// every document of every site).
+    /// any growth-only update that reran the SiteRank — a SiteRank change
+    /// rescales every document of every site).
     Full,
     /// Only the named sites' documents changed (sorted, deduplicated);
     /// every other site's scores and membership are bit-identical to the
     /// previous epoch. An empty list means the ranking is unchanged (e.g.
     /// a no-op delta) even though the epoch advanced.
     Sites(Vec<usize>),
+    /// Sites were removed (or pages removed) and the SiteRank was
+    /// redistributed over the survivors. The named `sites` (sorted) and
+    /// `removed_sites` changed **membership or within-site order** and
+    /// must be rebuilt. Every *other* live site kept its member list and
+    /// its within-site serving order (its local vector is untouched), but
+    /// its absolute scores were rescaled by the redistributed SiteRank —
+    /// so per-site orderings survive a cheap refresh while any cached
+    /// absolute score or cross-site interleaving must be re-derived from
+    /// this snapshot.
+    Resized {
+        /// Live sites whose membership or local ordering changed — grown,
+        /// shrunk, changed, and appended live sites (sorted,
+        /// deduplicated; slots appended dead by a cancelled same-delta
+        /// addition have no content and are not named).
+        sites: Vec<usize>,
+        /// Sites tombstoned by this epoch (sorted); their documents are
+        /// gone and point lookups for them must fail typed.
+        removed_sites: Vec<usize>,
+    },
 }
 
 /// One immutable, cheaply clonable ranking epoch: everything a serving
@@ -101,6 +120,13 @@ impl RankSnapshot {
         self.site_members.len()
     }
 
+    /// Number of live (non-tombstoned) documents at this epoch — one pass
+    /// over the member lists.
+    #[must_use]
+    pub fn n_live_docs(&self) -> usize {
+        self.site_members.iter().map(Vec::len).sum()
+    }
+
     /// The global score vector, indexed by `DocId`.
     #[must_use]
     pub fn scores(&self) -> &[f64] {
@@ -140,6 +166,25 @@ impl RankSnapshot {
     #[must_use]
     pub fn staleness(&self) -> &Staleness {
         &self.staleness
+    }
+
+    /// `true` when `doc` is ranked live at this epoch: in range and still
+    /// a member of its site. Tombstoned documents keep their slot (and
+    /// their last site assignment, for routing) but leave the member list,
+    /// so liveness is a binary search in the owning site's members.
+    #[must_use]
+    pub fn is_live_doc(&self, doc: DocId) -> bool {
+        let Some(&site) = self.site_of.get(doc.index()) else {
+            return false;
+        };
+        self.members_of_site(site).binary_search(&doc).is_ok()
+    }
+
+    /// `true` when `site` is in range and tombstoned (no members). Live
+    /// sites are never empty, so emptiness is the tombstone marker.
+    #[must_use]
+    pub fn is_tombstoned_site(&self, site: SiteId) -> bool {
+        site.index() < self.n_sites() && self.members_of_site(site).is_empty()
     }
 
     /// Shared membership table — lets the engine re-pin it across
@@ -183,6 +228,29 @@ mod tests {
         assert!(s.members_of_site(SiteId(9)).is_empty());
         assert_eq!(s.site_of(DocId(1)), SiteId(1));
         assert_eq!(s.staleness(), &Staleness::Sites(vec![1]));
+    }
+
+    #[test]
+    fn liveness_follows_membership() {
+        // Doc 1's slot exists but it left site 1's member list: tombstoned.
+        let s = RankSnapshot::new(
+            3,
+            "test".into(),
+            Arc::new(vec![0.6, 0.0, 0.4]),
+            None,
+            Arc::new(vec![vec![DocId(0)], Vec::new(), vec![DocId(2)]]),
+            Arc::new(vec![SiteId(0), SiteId(1), SiteId(2)]),
+            Staleness::Resized {
+                sites: vec![],
+                removed_sites: vec![1],
+            },
+        );
+        assert!(s.is_live_doc(DocId(0)));
+        assert!(!s.is_live_doc(DocId(1)));
+        assert!(!s.is_live_doc(DocId(9))); // out of range, not tombstoned
+        assert!(s.is_tombstoned_site(SiteId(1)));
+        assert!(!s.is_tombstoned_site(SiteId(0)));
+        assert!(!s.is_tombstoned_site(SiteId(9)));
     }
 
     #[test]

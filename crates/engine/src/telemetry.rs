@@ -37,6 +37,12 @@ pub struct RunTelemetry {
     /// document set changed — grown existing sites plus appended new sites
     /// (structural-delta updates only).
     pub sites_grown: usize,
+    /// Of the recomputed sites, how many were rebuilt cold because they
+    /// lost pages to a removal (structural-delta updates only).
+    pub sites_shrunk: usize,
+    /// Sites tombstoned outright by the update — no local rank computed,
+    /// their mass redistributed over the survivors.
+    pub sites_removed: usize,
     /// Messages sent over the simulated network (distributed backends).
     pub messages: u64,
     /// Bytes sent over the simulated network (distributed backends).

@@ -161,6 +161,121 @@ fn apply_delta_streams_compose() {
 }
 
 #[test]
+fn apply_delta_handles_removal_and_stays_a_cache_hit() {
+    let base = campus();
+    let sink = Arc::new(MemorySink::new());
+    let mut engine = incremental_engine(sink.clone());
+    engine.rank(&base).unwrap();
+
+    // Remove one whole site and one page of another; grow a third.
+    let mut delta = GraphDelta::for_graph(&base);
+    delta.remove_site(SiteId(2)).unwrap();
+    let shrunk_doc = base.docs_of_site(SiteId(6))[1];
+    delta.remove_page(shrunk_doc).unwrap();
+    let root = base.docs_of_site(SiteId(9))[0];
+    let p = delta
+        .add_page(SiteId(9), "http://engine-grow.example/")
+        .unwrap();
+    delta.add_link(root, p).unwrap();
+    delta.add_link(p, root).unwrap();
+    let (mutated, _) = base.apply(&delta).unwrap();
+
+    let outcome = engine.apply_delta(&delta).unwrap().clone();
+    // Mass conserved after redistribution.
+    let total: f64 = outcome.ranking.scores().iter().sum();
+    assert!((total - 1.0).abs() < 1e-9, "mass leaked: {total}");
+    // Dead slots carry no score; the member tables dropped them.
+    for &d in base.docs_of_site(SiteId(2)) {
+        assert_eq!(outcome.ranking.score(d.index()), 0.0);
+    }
+    let snap = engine.snapshot().unwrap();
+    assert!(!snap.is_live_doc(shrunk_doc));
+    assert!(snap.is_tombstoned_site(SiteId(2)));
+    assert!(snap.members_of_site(SiteId(2)).is_empty());
+
+    // The engine's own query surface refuses the dead — a dead slot's
+    // zero is not a score, and top-k never lists tombstoned ids even when
+    // k exceeds the live count.
+    assert!(matches!(
+        engine.score(shrunk_doc),
+        Err(EngineError::Tombstoned {
+            what: "document",
+            ..
+        })
+    ));
+    assert!(matches!(
+        engine.site_score(SiteId(2)),
+        Err(EngineError::Tombstoned { what: "site", .. })
+    ));
+    assert!(matches!(
+        engine.top_k_for_site(SiteId(2), 3),
+        Err(EngineError::Tombstoned { what: "site", .. })
+    ));
+    let everything = engine.top_k(mutated.n_docs() + 10).unwrap();
+    assert_eq!(everything.len(), mutated.n_live_docs());
+    assert!(everything.iter().all(|&(d, _)| snap.is_live_doc(d)));
+
+    // Telemetry reports the removal accounting.
+    let update = &sink.runs()[1];
+    assert_eq!(update.sites_removed, 1);
+    assert_eq!(update.sites_shrunk, 1);
+    assert_eq!(
+        update.sites_reused,
+        mutated.n_live_sites() - update.sites_recomputed
+    );
+
+    // Survivors match a from-scratch layered run on the compacted graph.
+    let (dense, remap) = mutated.compact_ids();
+    let mut scratch = RankEngine::builder()
+        .backend(BackendSpec::Layered {
+            site_layer: SiteLayerMethod::PageRank,
+        })
+        .damping(0.85)
+        .tolerance(1e-10)
+        .build()
+        .unwrap();
+    scratch.rank(&dense).unwrap();
+    let mut l1 = 0.0f64;
+    for d in 0..mutated.n_docs() {
+        if let Some(new) = remap.doc(lmm_graph::DocId(d)) {
+            l1 += (outcome.ranking.score(d) - scratch.score(new).unwrap()).abs();
+        }
+    }
+    assert!(l1 < 1e-6, "drifted from compacted scratch by {l1}");
+
+    // The composed fingerprint keeps the tombstoned graph a cache hit.
+    let before = sink.len();
+    engine.rank(&mutated).unwrap();
+    assert_eq!(sink.len(), before, "re-rank of the tombstoned graph missed");
+}
+
+#[test]
+fn dense_backends_reject_tombstoned_graphs() {
+    let base = campus();
+    let mut delta = GraphDelta::for_graph(&base);
+    delta.remove_page(base.docs_of_site(SiteId(0))[1]).unwrap();
+    let (tombstoned, _) = base.apply(&delta).unwrap();
+    for backend in [
+        BackendSpec::FlatPageRank,
+        BackendSpec::CentralizedStationary,
+    ] {
+        let mut engine = RankEngine::builder().backend(backend).build().unwrap();
+        let err = engine.rank(&tombstoned).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidConfig { .. }), "{err}");
+    }
+    // The layered backend handles tombstones natively.
+    let mut layered = RankEngine::builder()
+        .backend(BackendSpec::Layered {
+            site_layer: SiteLayerMethod::PageRank,
+        })
+        .build()
+        .unwrap();
+    let outcome = layered.rank(&tombstoned).unwrap();
+    let total: f64 = outcome.ranking.scores().iter().sum();
+    assert!((total - 1.0).abs() < 1e-9);
+}
+
+#[test]
 fn apply_delta_requires_a_ranked_incremental_backend() {
     let base = campus();
     let delta = GraphDelta::for_graph(&base);

@@ -165,6 +165,9 @@ fn engine_delta_stream_stays_a_cache_hit_and_localizes_staleness() {
                 expected.sort_unstable();
                 assert_eq!(sites, &expected, "step {step}: staleness set mismatch");
             }
+            Staleness::Resized { .. } => {
+                panic!("step {step}: growth-only churn must never report Resized");
+            }
         }
         // The composed fingerprint must make this a cache hit.
         let before = sink.len();

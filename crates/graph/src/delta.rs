@@ -1,32 +1,40 @@
 //! Structural graph deltas: validated, composable mutations of a
-//! [`DocGraph`].
+//! [`DocGraph`] — growth **and** shrinkage.
 //!
 //! The paper's Section 1.2 motivates the layered decomposition with the
-//! observation that centralized PageRank cannot keep up with Web *growth* —
-//! yet growth is exactly what a same-shape recrawl diff cannot express. A
-//! [`GraphDelta`] records the missing mutations against a fixed base graph:
+//! observation that centralized PageRank cannot keep up with Web churn —
+//! and real crawls delete as much as they add. A [`GraphDelta`] records
+//! every structural mutation against a fixed base graph:
 //!
 //! * link additions and removals (in order, so add/remove on the same pair
 //!   compose like sequential edits);
 //! * new pages joining an existing site;
-//! * whole new sites (which must receive at least one page).
+//! * whole new sites (which must receive at least one page);
+//! * **page removals** ([`GraphDelta::remove_page`]) and **whole-site
+//!   removals** ([`GraphDelta::remove_site`]).
 //!
 //! [`DocGraph::apply`] replays a delta onto the base graph and returns the
 //! mutated graph together with the induced [`AppliedDelta`] — the
 //! site-granular summary the incremental ranking layer consumes: which
-//! existing sites changed internally, which grew, how many sites were
-//! appended, and whether any cross-site link changed.
+//! existing sites changed internally, which grew, which **shrank**, which
+//! were **removed**, how many sites were appended, and whether any
+//! cross-site link changed.
 //!
 //! Renumbering is *consistent*: every existing document and site keeps its
 //! id; new documents get ids `n_docs..`, new sites get ids `n_sites..`, in
-//! the order they were added to the delta. That stability is what lets the
-//! incremental layer reuse per-site rank vectors by index.
+//! the order they were added to the delta. Removal is **tombstone-based**:
+//! a removed document's slot stays (so surviving ids never shift under a
+//! delta stream), its incident links are dropped, and it leaves its site's
+//! member list. Densifying the id space is the *explicit*
+//! [`DocGraph::compact_ids`] maintenance step, which returns the old→new
+//! [`IdRemap`](crate::remap::IdRemap).
 //!
 //! Deltas **compose**: [`GraphDelta::merge`] appends a delta built against
 //! the shape this delta produces, and applying the merged delta equals
 //! applying the two in sequence.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 use crate::docgraph::{DocGraph, PageKind};
 use crate::error::{GraphError, Result};
@@ -87,6 +95,12 @@ pub struct GraphDelta {
     new_sites: Vec<String>,
     new_pages: Vec<NewPage>,
     link_ops: Vec<LinkOp>,
+    /// Documents to tombstone, in result-space indices (base documents or
+    /// pages added by this delta).
+    removed_pages: BTreeSet<usize>,
+    /// Sites to tombstone, in result-space indices; removing a site
+    /// implicitly removes all its pages.
+    removed_sites: BTreeSet<usize>,
 }
 
 impl GraphDelta {
@@ -106,6 +120,8 @@ impl GraphDelta {
             new_sites: Vec::new(),
             new_pages: Vec::new(),
             link_ops: Vec::new(),
+            removed_pages: BTreeSet::new(),
+            removed_sites: BTreeSet::new(),
         }
     }
 
@@ -115,13 +131,14 @@ impl GraphDelta {
         (self.base_docs, self.base_sites)
     }
 
-    /// Documents in the graph this delta produces.
+    /// Document slots in the graph this delta produces (tombstoned slots
+    /// included — removal never shrinks the id space).
     #[must_use]
     pub fn result_docs(&self) -> usize {
         self.base_docs + self.new_pages.len()
     }
 
-    /// Sites in the graph this delta produces.
+    /// Site slots in the graph this delta produces.
     #[must_use]
     pub fn result_sites(&self) -> usize {
         self.base_sites + self.new_sites.len()
@@ -130,7 +147,11 @@ impl GraphDelta {
     /// `true` when the delta records no mutation at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.new_sites.is_empty() && self.new_pages.is_empty() && self.link_ops.is_empty()
+        self.new_sites.is_empty()
+            && self.new_pages.is_empty()
+            && self.link_ops.is_empty()
+            && self.removed_pages.is_empty()
+            && self.removed_sites.is_empty()
     }
 
     /// Number of pages this delta adds.
@@ -143,6 +164,19 @@ impl GraphDelta {
     #[must_use]
     pub fn n_new_sites(&self) -> usize {
         self.new_sites.len()
+    }
+
+    /// Number of explicitly removed pages (pages of removed sites are
+    /// implicit and not counted here).
+    #[must_use]
+    pub fn n_removed_pages(&self) -> usize {
+        self.removed_pages.len()
+    }
+
+    /// Number of removed sites.
+    #[must_use]
+    pub fn n_removed_sites(&self) -> usize {
+        self.removed_sites.len()
     }
 
     /// Number of recorded link additions.
@@ -201,9 +235,55 @@ impl GraphDelta {
         Ok(id)
     }
 
+    /// Tombstones a page (a base document or a page added by this delta).
+    /// Its incident links are dropped at `apply`; its id slot stays dead.
+    ///
+    /// # Errors
+    /// [`GraphError::UnknownDoc`] when the id is outside the delta's
+    /// resulting range; [`GraphError::InvalidDelta`] when this delta
+    /// already removed the page.
+    pub fn remove_page(&mut self, doc: DocId) -> Result<()> {
+        if doc.index() >= self.result_docs() {
+            return Err(GraphError::UnknownDoc {
+                doc: doc.index(),
+                n_docs: self.result_docs(),
+            });
+        }
+        if !self.removed_pages.insert(doc.index()) {
+            return Err(GraphError::InvalidDelta {
+                reason: format!("page {doc} is already removed by this delta"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Tombstones a whole site (a base site or one added by this delta),
+    /// implicitly removing all its pages.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::InvalidDelta`] for an unknown site, or when
+    /// this delta already removed it.
+    pub fn remove_site(&mut self, site: SiteId) -> Result<()> {
+        if site.index() >= self.result_sites() {
+            return Err(GraphError::InvalidDelta {
+                reason: format!(
+                    "remove_site names site {} but only {} sites exist",
+                    site.index(),
+                    self.result_sites()
+                ),
+            });
+        }
+        if !self.removed_sites.insert(site.index()) {
+            return Err(GraphError::InvalidDelta {
+                reason: format!("site {site} is already removed by this delta"),
+            });
+        }
+        Ok(())
+    }
+
     /// Records a link addition between two documents (existing or added by
     /// this delta). A link that already exists collapses at `apply` like
-    /// every duplicate.
+    /// every duplicate; a link to a removed document is dropped.
     ///
     /// # Errors
     /// Returns [`GraphError::UnknownDoc`] when either endpoint is outside
@@ -239,33 +319,116 @@ impl GraphDelta {
         Ok(())
     }
 
-    /// Collapses add/remove churn: for every `(from, to)` pair only the
-    /// **last** recorded link op survives, so replaying a long merged log
-    /// onto a cold replica is O(final changes) instead of O(stream length).
+    /// Collapses churn:
     ///
-    /// This is semantically exact, not a heuristic: link ops have set
-    /// semantics (adding a present link and removing an absent one are
-    /// no-ops), so the final presence of a pair depends only on its last
-    /// op — whatever the base graph held. Ops on distinct pairs are
-    /// independent, hence dropping the superseded prefix of each pair's
-    /// history preserves [`DocGraph::apply`]'s result *and* its induced
-    /// [`AppliedDelta`] bit for bit.
+    /// * for every `(from, to)` pair only the **last** recorded link op
+    ///   survives (link ops have set semantics, so a pair's final presence
+    ///   depends only on its last op);
+    /// * link ops touching a removed page are dropped (the dead row/column
+    ///   makes them no-ops);
+    /// * **add-then-remove pairs cancel to nothing**: a page (or whole
+    ///   site) that this delta both adds and removes is dropped from the
+    ///   delta entirely, and later additions are renumbered down to fill
+    ///   the gap.
     ///
-    /// Page and site additions are untouched: their ids are assigned by
-    /// position (and link ops reference those ids), so they must stay in
-    /// recording order — they are already O(final changes) per site, with
-    /// [`DocGraph::apply`] folding the membership appends per site in one
-    /// pass.
+    /// For deltas without cancelled additions this is exact bit for bit:
+    /// `apply(compact())` equals `apply(self)`, induced summary included.
+    /// When additions are cancelled, the compacted delta produces a graph
+    /// without the short-lived dead slots, so equivalence holds *up to
+    /// densification*: `apply(self).0.compact_ids().0 ==
+    /// apply(compact()).0.compact_ids().0`, and every ranking-relevant
+    /// summary set over pre-existing sites is identical.
     #[must_use]
     pub fn compact(&self) -> GraphDelta {
-        // Index of the last op per pair; earlier ops are superseded.
+        // Cancelled additions: pages/sites this delta both adds and removes
+        // (pages of cancelled sites are implicitly cancelled).
+        let cancelled_sites: BTreeSet<usize> = self
+            .removed_sites
+            .iter()
+            .copied()
+            .filter(|&s| s >= self.base_sites)
+            .collect();
+        let mut cancelled_pages: BTreeSet<usize> = self
+            .removed_pages
+            .iter()
+            .copied()
+            .filter(|&d| d >= self.base_docs)
+            .collect();
+        for (k, page) in self.new_pages.iter().enumerate() {
+            if cancelled_sites.contains(&page.site.index()) {
+                cancelled_pages.insert(self.base_docs + k);
+            }
+        }
+
+        // Renumber surviving additions down past the cancelled ones.
+        let mut page_map: HashMap<usize, usize> = HashMap::new();
+        let mut next_doc = self.base_docs;
+        let mut new_pages = Vec::with_capacity(self.new_pages.len());
+        let mut kept_pages: Vec<&NewPage> = Vec::new();
+        for (k, page) in self.new_pages.iter().enumerate() {
+            let old = self.base_docs + k;
+            if cancelled_pages.contains(&old) {
+                continue;
+            }
+            page_map.insert(old, next_doc);
+            next_doc += 1;
+            kept_pages.push(page);
+        }
+        let mut site_map: HashMap<usize, usize> = HashMap::new();
+        let mut next_site = self.base_sites;
+        let mut new_sites = Vec::with_capacity(self.new_sites.len());
+        for (k, name) in self.new_sites.iter().enumerate() {
+            let old = self.base_sites + k;
+            if cancelled_sites.contains(&old) {
+                continue;
+            }
+            site_map.insert(old, next_site);
+            next_site += 1;
+            new_sites.push(name.clone());
+        }
+        let map_doc = |d: DocId| -> DocId {
+            if d.index() < self.base_docs {
+                d
+            } else {
+                DocId(page_map[&d.index()])
+            }
+        };
+        for page in kept_pages {
+            let site = if page.site.index() < self.base_sites {
+                page.site
+            } else {
+                SiteId(site_map[&page.site.index()])
+            };
+            new_pages.push(NewPage {
+                site,
+                url: page.url.clone(),
+                kind: page.kind,
+            });
+        }
+
+        // Drop ops on removed pages (no-ops on dead rows/columns), then keep
+        // only the last op per pair — earlier ops are superseded.
+        let dead_endpoint = |d: DocId| {
+            cancelled_pages.contains(&d.index()) || self.removed_pages.contains(&d.index())
+        };
+        let kept_ops: Vec<LinkOp> = self
+            .link_ops
+            .iter()
+            .filter(|op| {
+                let (LinkOp::Add(from, to) | LinkOp::Remove(from, to)) = **op;
+                !dead_endpoint(from) && !dead_endpoint(to)
+            })
+            .map(|op| match *op {
+                LinkOp::Add(from, to) => LinkOp::Add(map_doc(from), map_doc(to)),
+                LinkOp::Remove(from, to) => LinkOp::Remove(map_doc(from), map_doc(to)),
+            })
+            .collect();
         let mut last: HashMap<(DocId, DocId), usize> = HashMap::new();
-        for (i, op) in self.link_ops.iter().enumerate() {
+        for (i, op) in kept_ops.iter().enumerate() {
             let (LinkOp::Add(from, to) | LinkOp::Remove(from, to)) = *op;
             last.insert((from, to), i);
         }
-        let link_ops = self
-            .link_ops
+        let link_ops = kept_ops
             .iter()
             .enumerate()
             .filter(|(i, op)| {
@@ -274,14 +437,25 @@ impl GraphDelta {
             })
             .map(|(_, op)| *op)
             .collect();
-        // Field-by-field (not `..self.clone()`): cloning `self` would copy
-        // the full pre-compaction op log just to throw it away.
+
         GraphDelta {
             base_docs: self.base_docs,
             base_sites: self.base_sites,
-            new_sites: self.new_sites.clone(),
-            new_pages: self.new_pages.clone(),
+            new_sites,
+            new_pages,
             link_ops,
+            removed_pages: self
+                .removed_pages
+                .iter()
+                .copied()
+                .filter(|&d| d < self.base_docs)
+                .collect(),
+            removed_sites: self
+                .removed_sites
+                .iter()
+                .copied()
+                .filter(|&s| s < self.base_sites)
+                .collect(),
         }
     }
 
@@ -291,7 +465,9 @@ impl GraphDelta {
     ///
     /// # Errors
     /// Returns [`GraphError::InvalidDelta`] when `next`'s base shape does
-    /// not match this delta's resulting shape.
+    /// not match this delta's resulting shape, or when `next` removes a
+    /// page or site this delta already removed (the sequential application
+    /// would reject the double removal).
     pub fn merge(&mut self, next: GraphDelta) -> Result<()> {
         if next.base_docs != self.result_docs() || next.base_sites != self.result_sites() {
             return Err(GraphError::InvalidDelta {
@@ -305,9 +481,29 @@ impl GraphDelta {
                 ),
             });
         }
+        if let Some(&d) = next
+            .removed_pages
+            .iter()
+            .find(|d| self.removed_pages.contains(d))
+        {
+            return Err(GraphError::InvalidDelta {
+                reason: format!("cannot merge: page {d} is removed by both deltas"),
+            });
+        }
+        if let Some(&s) = next
+            .removed_sites
+            .iter()
+            .find(|s| self.removed_sites.contains(s))
+        {
+            return Err(GraphError::InvalidDelta {
+                reason: format!("cannot merge: site {s} is removed by both deltas"),
+            });
+        }
         self.new_sites.extend(next.new_sites);
         self.new_pages.extend(next.new_pages);
         self.link_ops.extend(next.link_ops);
+        self.removed_pages.extend(next.removed_pages);
+        self.removed_sites.extend(next.removed_sites);
         Ok(())
     }
 
@@ -327,35 +523,52 @@ impl GraphDelta {
 /// **exact** edge diff the serving layer folds into delta-composed graph
 /// fingerprints (and a future delta-gossip layer can ship to replicas).
 ///
-/// `changed_sites` and `grown_sites` are disjoint, sorted, and deduplicated;
-/// both only name *pre-existing* sites. Appended sites are counted by
-/// `added_sites` (their ids are the trailing range of the mutated graph).
-/// `links_added`/`links_removed` record only *real* changes: no-op
-/// mutations (removing an absent link, re-adding a present one, add+remove
-/// churn on one pair) never appear.
+/// `changed_sites`, `grown_sites`, `shrunk_sites`, and `removed_sites` are
+/// pairwise disjoint, sorted, and deduplicated; all name *pre-existing*
+/// sites. Appended site slots are counted by `added_sites` (their ids are
+/// the trailing range of the mutated graph; a slot both added and removed
+/// by the delta is appended dead). `links_added`/`links_removed` record
+/// only *real* changes: no-op mutations (removing an absent link, re-adding
+/// a present one, add+remove churn on one pair) never appear, while every
+/// link dropped by a page or site removal does.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct AppliedDelta {
     /// Pre-existing sites with unchanged membership whose intra-site link
     /// structure actually changed (a rank recomputation can warm-start from
     /// the previous vector).
     pub changed_sites: Vec<usize>,
-    /// Pre-existing sites that gained pages (their local rank dimension
-    /// changed — cold rebuild).
+    /// Pre-existing sites that gained pages and lost none (their local
+    /// rank dimension changed — cold rebuild).
     pub grown_sites: Vec<usize>,
-    /// Number of whole sites appended (ids `old_n_sites..new_n_sites`).
+    /// Pre-existing sites that lost pages but survive (cold rebuild; they
+    /// may have gained pages too).
+    pub shrunk_sites: Vec<usize>,
+    /// Pre-existing sites tombstoned by this delta (their pages all appear
+    /// in `removed_docs`).
+    pub removed_sites: Vec<usize>,
+    /// Number of site slots appended (ids `old_n_sites..new_n_sites`).
     pub added_sites: usize,
-    /// Whether any cross-site link (or the site count itself) changed, i.e.
-    /// whether the SiteRank is stale.
+    /// Whether the SiteRank is stale: any cross-site link count changed,
+    /// or the live site set itself changed.
     pub cross_links_changed: bool,
     /// Every link present in the mutated graph but not the base graph
     /// (deterministic order: by source row, then destination).
     pub links_added: Vec<(DocId, DocId)>,
     /// Every link present in the base graph but not the mutated graph
-    /// (same ordering as `links_added`).
+    /// (same ordering as `links_added`) — including links dropped because
+    /// an endpoint was removed.
     pub links_removed: Vec<(DocId, DocId)>,
-    /// Site assignment of every appended document, in id order
-    /// (`old_n_docs..new_n_docs`).
+    /// Site assignment of every appended document slot, in id order
+    /// (`old_n_docs..new_n_docs`; slots cancelled by a same-delta removal
+    /// included).
     pub new_doc_sites: Vec<SiteId>,
+    /// Every document tombstoned by this delta, ascending — explicit page
+    /// removals, members of removed sites, and same-delta cancelled
+    /// additions.
+    pub removed_docs: Vec<DocId>,
+    /// Site assignment of each entry of `removed_docs` (parallel), so
+    /// fingerprints can retire the assignment terms in O(delta).
+    pub removed_doc_sites: Vec<SiteId>,
 }
 
 impl AppliedDelta {
@@ -368,6 +581,8 @@ impl AppliedDelta {
     pub fn is_empty(&self) -> bool {
         self.changed_sites.is_empty()
             && self.grown_sites.is_empty()
+            && self.shrunk_sites.is_empty()
+            && self.removed_sites.is_empty()
             && self.added_sites == 0
             && !self.cross_links_changed
     }
@@ -378,20 +593,30 @@ impl DocGraph {
     /// induced [`AppliedDelta`].
     ///
     /// Renumbering is consistent: existing documents and sites keep their
-    /// ids; new documents and sites are appended in delta order.
+    /// ids; new documents and sites are appended in delta order; removed
+    /// documents and sites are **tombstoned** in place (see
+    /// [`compact_ids`](DocGraph::compact_ids) for the explicit
+    /// densification step).
     ///
     /// This is the hot path of live re-ranking, so it **patches** rather
     /// than rebuilds: untouched adjacency rows are copied wholesale, only
-    /// rows named by the delta's link ops are edited, and the induced
-    /// summary falls out of the same pass — the per-row diffs between old
-    /// and new edge sets. No-op mutations (removing an absent link,
-    /// re-adding an existing one, net-zero cross rewires) therefore never
-    /// mark a layer stale.
+    /// rows named by the delta's link ops (or holding a link to a removed
+    /// document) are edited, the URL/kind columns share their existing
+    /// segments copy-on-write, and the induced summary falls out of the
+    /// same pass — the per-row diffs between old and new edge sets. No-op
+    /// mutations (removing an absent link, re-adding an existing one,
+    /// net-zero cross rewires) therefore never mark a layer stale.
+    /// Append-only deltas cost O(delta + sites); deltas that remove pages
+    /// additionally scan the adjacency once to drop in-links of the dead.
     ///
     /// # Errors
     /// Returns [`GraphError::InvalidDelta`] when the delta was built
     /// against a different shape, a new site name is empty / duplicates an
-    /// existing or sibling name, or a new site received no pages.
+    /// existing or sibling name, a new site received no (surviving) pages,
+    /// a removal names an already-tombstoned page or site, a page is added
+    /// to an already-tombstoned site, or a removal empties a site that was
+    /// not itself removed.
+    #[allow(clippy::too_many_lines)]
     pub fn apply(&self, delta: &GraphDelta) -> Result<(DocGraph, AppliedDelta)> {
         if delta.base_docs != self.n_docs() || delta.base_sites != self.n_sites() {
             return Err(GraphError::InvalidDelta {
@@ -404,7 +629,9 @@ impl DocGraph {
                 ),
             });
         }
-        let mut names: HashSet<&str> = (0..self.n_sites())
+        let n_base_docs = self.n_docs();
+        let n_base_sites = self.n_sites();
+        let mut names: HashSet<&str> = (0..n_base_sites)
             .map(|s| self.site_name(SiteId(s)))
             .collect();
         for name in &delta.new_sites {
@@ -419,19 +646,131 @@ impl DocGraph {
                 });
             }
         }
-        // Every new site must end up non-empty: an empty site has no local
-        // rank distribution and would poison the layered pipeline.
-        let mut new_site_pages = vec![0usize; delta.new_sites.len()];
-        for page in &delta.new_pages {
-            if let Some(k) = page.site.index().checked_sub(self.n_sites()) {
-                new_site_pages[k] += 1;
+
+        // --- Removal validation and the newly-dead set. ---
+        for &s in &delta.removed_sites {
+            if s < n_base_sites && !self.is_live_site(SiteId(s)) {
+                return Err(GraphError::InvalidDelta {
+                    reason: format!("site {s} is already tombstoned"),
+                });
             }
         }
-        if let Some(k) = new_site_pages.iter().position(|&c| c == 0) {
-            return Err(GraphError::InvalidDelta {
-                reason: format!("new site {:?} has no pages", delta.new_sites[k]),
-            });
+        let mut dead_new: BTreeSet<usize> = BTreeSet::new();
+        for &d in &delta.removed_pages {
+            if d < n_base_docs {
+                if !self.is_live_doc(DocId(d)) {
+                    return Err(GraphError::InvalidDelta {
+                        reason: format!("page {d} is already tombstoned"),
+                    });
+                }
+                // Strict so merge ≡ sequential: removing a base page whose
+                // whole site this delta also removes would succeed merged
+                // but fail replayed (the site removal tombstones it first).
+                let s = self.site_of(DocId(d)).index();
+                if delta.removed_sites.contains(&s) {
+                    return Err(GraphError::InvalidDelta {
+                        reason: format!(
+                            "page {d} belongs to site {s}, which this delta also \
+                             removes — drop the redundant remove_page"
+                        ),
+                    });
+                }
+            }
+            dead_new.insert(d);
         }
+        for &s in &delta.removed_sites {
+            if s < n_base_sites {
+                for &d in self.docs_of_site(SiteId(s)) {
+                    dead_new.insert(d.index());
+                }
+            }
+        }
+        for (k, page) in delta.new_pages.iter().enumerate() {
+            // Adds to a base site this delta removes are rejected (they
+            // would fail a sequential replay too); adds to a site the
+            // delta itself created and then removed are the cancellation
+            // path — the page materializes tombstoned.
+            if page.site.index() < n_base_sites
+                && (!self.is_live_site(page.site)
+                    || delta.removed_sites.contains(&page.site.index()))
+            {
+                return Err(GraphError::InvalidDelta {
+                    reason: format!(
+                        "page {:?} added to tombstoned site {}",
+                        page.url,
+                        page.site.index()
+                    ),
+                });
+            }
+            if delta.removed_sites.contains(&page.site.index()) {
+                dead_new.insert(n_base_docs + k);
+            }
+        }
+
+        // --- Per-site membership accounting (live pages only). ---
+        // `lost`: explicit page removals per pre-existing site (validated
+        // above: such a site is never itself removed, so it survives).
+        let mut lost: BTreeMap<usize, usize> = BTreeMap::new();
+        for &d in &delta.removed_pages {
+            if d < n_base_docs {
+                *lost.entry(self.site_of(DocId(d)).index()).or_insert(0) += 1;
+            }
+        }
+        // `appended`: surviving new pages per site slot, in id order.
+        let mut appended: BTreeMap<usize, Vec<DocId>> = BTreeMap::new();
+        for (k, page) in delta.new_pages.iter().enumerate() {
+            let id = n_base_docs + k;
+            if !dead_new.contains(&id) {
+                appended
+                    .entry(page.site.index())
+                    .or_default()
+                    .push(DocId(id));
+            }
+        }
+        // Every surviving site must stay non-empty.
+        for s in 0..n_base_sites {
+            if !self.is_live_site(SiteId(s)) || delta.removed_sites.contains(&s) {
+                continue;
+            }
+            let size = self.site_size(SiteId(s)) + appended.get(&s).map_or(0, Vec::len)
+                - lost.get(&s).copied().unwrap_or(0);
+            if size == 0 {
+                return Err(GraphError::InvalidDelta {
+                    reason: format!(
+                        "removing every page of site {s} ({:?}) without removing the \
+                         site — remove_site makes the intent explicit",
+                        self.site_name(SiteId(s))
+                    ),
+                });
+            }
+        }
+        for (k, name) in delta.new_sites.iter().enumerate() {
+            let slot = n_base_sites + k;
+            if !delta.removed_sites.contains(&slot) && appended.get(&slot).map_or(0, Vec::len) == 0
+            {
+                return Err(GraphError::InvalidDelta {
+                    reason: format!("new site {name:?} has no pages"),
+                });
+            }
+        }
+
+        // --- Site classification (pre-existing, pairwise disjoint). ---
+        let removed_sites: Vec<usize> = delta
+            .removed_sites
+            .iter()
+            .copied()
+            .filter(|&s| s < n_base_sites)
+            .collect();
+        let shrunk: BTreeSet<usize> = lost.keys().copied().collect();
+        let grown: BTreeSet<usize> = appended
+            .keys()
+            .copied()
+            .filter(|&s| s < n_base_sites && !shrunk.contains(&s))
+            .collect();
+        // Sites whose rank is already stale for membership reasons never
+        // also land in `changed`.
+        let mut cold: BTreeSet<usize> = shrunk.union(&grown).copied().collect();
+        cold.extend(removed_sites.iter().copied());
 
         // Group link ops by source row, preserving replay order within a
         // row: a removal only erases links present *at that point*, so
@@ -457,13 +796,6 @@ impl DocGraph {
         row_ptr.push(0usize);
         let mut col_idx: Vec<usize> = Vec::with_capacity(base.nnz() + delta.link_ops.len());
 
-        // Induced-delta accumulators, filled from the per-row edge diffs.
-        let grown: BTreeSet<usize> = delta
-            .new_pages
-            .iter()
-            .filter(|p| p.site.index() < self.n_sites())
-            .map(|p| p.site.index())
-            .collect();
         let mut changed: BTreeSet<usize> = BTreeSet::new();
         // Net cross-link count change per ordered site pair: the SiteRank
         // depends on the *counts*, so a rewire that removes one s->t link
@@ -481,7 +813,7 @@ impl DocGraph {
             let s = delta.site_of_ref(self, DocId(src)).index();
             let t = delta.site_of_ref(self, DocId(dst)).index();
             if s == t {
-                if s < self.n_sites() && !grown.contains(&s) {
+                if s < n_base_sites && !cold.contains(&s) {
                     changed.insert(s);
                 }
             } else {
@@ -489,51 +821,71 @@ impl DocGraph {
             }
         };
 
+        // A target is dead when tombstoned by this delta or already dead in
+        // the base (live base rows never hold old-dead columns, but link
+        // ops may name them).
+        let is_dead = |d: usize| -> bool {
+            dead_new.contains(&d) || (d < n_base_docs && !self.is_live_doc(DocId(d)))
+        };
         for row in 0..n_docs {
-            let base_cols: &[usize] = if row < self.n_docs() {
+            let base_cols: &[usize] = if row < n_base_docs {
                 base.row(row).0
             } else {
                 &[]
             };
-            match ops_by_src.get(&row) {
-                None => col_idx.extend_from_slice(base_cols),
-                Some(ops) => {
-                    let mut set: BTreeSet<usize> = base_cols.iter().copied().collect();
-                    for &(dst, is_add) in ops {
-                        if is_add {
-                            set.insert(dst);
-                        } else {
-                            set.remove(&dst);
-                        }
+            if is_dead(row) {
+                // The whole row dies; every base link is a real removal.
+                for &b in base_cols {
+                    record_change(row, b, -1);
+                }
+                row_ptr.push(col_idx.len());
+                continue;
+            }
+            let ops = ops_by_src.get(&row);
+            let holds_dead =
+                !dead_new.is_empty() && base_cols.iter().any(|&c| dead_new.contains(&c));
+            if ops.is_none() && !holds_dead {
+                col_idx.extend_from_slice(base_cols);
+                row_ptr.push(col_idx.len());
+                continue;
+            }
+            let mut set: BTreeSet<usize> = base_cols.iter().copied().collect();
+            if let Some(ops) = ops {
+                for &(dst, is_add) in ops {
+                    if is_add {
+                        set.insert(dst);
+                    } else {
+                        set.remove(&dst);
                     }
-                    let final_cols: Vec<usize> = set.into_iter().collect();
-                    // Sorted merge-diff of base vs final edge sets — only
-                    // *real* changes feed the induced delta.
-                    let (mut i, mut j) = (0usize, 0usize);
-                    while i < base_cols.len() || j < final_cols.len() {
-                        match (base_cols.get(i), final_cols.get(j)) {
-                            (Some(&b), Some(&f)) if b == f => {
-                                i += 1;
-                                j += 1;
-                            }
-                            (Some(&b), Some(&f)) if b < f => {
-                                record_change(row, b, -1);
-                                i += 1;
-                            }
-                            (Some(&b), None) => {
-                                record_change(row, b, -1);
-                                i += 1;
-                            }
-                            (_, Some(&f)) => {
-                                record_change(row, f, 1);
-                                j += 1;
-                            }
-                            (None, None) => unreachable!("loop condition"),
-                        }
-                    }
-                    col_idx.extend_from_slice(&final_cols);
                 }
             }
+            set.retain(|&c| !is_dead(c));
+            let final_cols: Vec<usize> = set.into_iter().collect();
+            // Sorted merge-diff of base vs final edge sets — only *real*
+            // changes feed the induced delta.
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < base_cols.len() || j < final_cols.len() {
+                match (base_cols.get(i), final_cols.get(j)) {
+                    (Some(&b), Some(&f)) if b == f => {
+                        i += 1;
+                        j += 1;
+                    }
+                    (Some(&b), Some(&f)) if b < f => {
+                        record_change(row, b, -1);
+                        i += 1;
+                    }
+                    (Some(&b), None) => {
+                        record_change(row, b, -1);
+                        i += 1;
+                    }
+                    (_, Some(&f)) => {
+                        record_change(row, f, 1);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!("loop condition"),
+                }
+            }
+            col_idx.extend_from_slice(&final_cols);
             row_ptr.push(col_idx.len());
         }
         let values = vec![1.0f64; col_idx.len()];
@@ -542,41 +894,90 @@ impl DocGraph {
                 reason: format!("patched adjacency is inconsistent: {e}"),
             })?;
 
-        // Extend the columnar document/site storage (existing entries keep
-        // their positions — that is the renumbering guarantee).
-        let (urls, kinds, site_names, site_members) = self.parts();
-        let mut urls = urls.to_vec();
-        let mut kinds = kinds.to_vec();
-        let mut site_of = self.site_assignments().to_vec();
-        let mut site_names = site_names.to_vec();
-        let mut site_members = site_members.to_vec();
+        // --- Columnar storage: copy-on-write extension + targeted member
+        // rebuilds (existing entries keep their positions — that is the
+        // renumbering guarantee). ---
+        let urls = self
+            .urls
+            .append(delta.new_pages.iter().map(|p| p.url.clone()).collect());
+        let kinds = self
+            .kinds
+            .append(delta.new_pages.iter().map(|p| p.kind).collect());
+        let mut site_of = self.site_of.clone();
+        site_of.extend(delta.new_pages.iter().map(|p| p.site));
+        let mut site_names = self.site_names.clone();
         site_names.extend(delta.new_sites.iter().cloned());
-        site_members.resize(site_names.len(), Vec::new());
-        for (k, page) in delta.new_pages.iter().enumerate() {
-            urls.push(page.url.clone());
-            kinds.push(page.kind);
-            site_of.push(page.site);
-            site_members[page.site.index()].push(DocId(self.n_docs() + k));
+        let mut site_members = self.site_members.clone();
+        site_members.resize(site_names.len(), Arc::new(Vec::new()));
+        let mut rebuild: BTreeSet<usize> = appended.keys().copied().collect();
+        rebuild.extend(lost.keys().copied());
+        rebuild.extend(removed_sites.iter().copied());
+        for &s in &rebuild {
+            let mut members: Vec<DocId> = if s < n_base_sites && !delta.removed_sites.contains(&s) {
+                self.site_members[s]
+                    .iter()
+                    .copied()
+                    .filter(|d| !dead_new.contains(&d.index()))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            if !delta.removed_sites.contains(&s) {
+                if let Some(adds) = appended.get(&s) {
+                    members.extend_from_slice(adds);
+                }
+            }
+            site_members[s] = Arc::new(members);
         }
-        let mutated = DocGraph::from_validated_parts(
+        let mut dead_docs: Vec<DocId> = self.dead_docs.as_ref().clone();
+        dead_docs.extend(dead_new.iter().map(|&d| DocId(d)));
+        dead_docs.sort_unstable();
+        let mut dead_sites: Vec<SiteId> = self.dead_sites.as_ref().clone();
+        dead_sites.extend(delta.removed_sites.iter().map(|&s| SiteId(s)));
+        dead_sites.sort_unstable();
+
+        let removed_doc_sites: Vec<SiteId> = dead_new
+            .iter()
+            .map(|&d| {
+                if d < n_base_docs {
+                    self.site_of(DocId(d))
+                } else {
+                    delta.new_pages[d - n_base_docs].site
+                }
+            })
+            .collect();
+        let removed_docs: Vec<DocId> = dead_new.iter().map(|&d| DocId(d)).collect();
+
+        let mutated = DocGraph {
             urls,
             kinds,
             site_of,
             site_names,
             site_members,
+            dead_docs: Arc::new(dead_docs),
+            dead_sites: Arc::new(dead_sites),
             adjacency,
-        );
+        };
 
         let added_sites = delta.new_sites.len();
-        let cross_links_changed = added_sites > 0 || cross_deltas.values().any(|&net| net != 0);
+        let live_added = (0..added_sites)
+            .filter(|k| !delta.removed_sites.contains(&(n_base_sites + k)))
+            .count();
+        let cross_links_changed = live_added > 0
+            || !removed_sites.is_empty()
+            || cross_deltas.values().any(|&net| net != 0);
         let applied = AppliedDelta {
             changed_sites: changed.into_iter().collect(),
             grown_sites: grown.into_iter().collect(),
+            shrunk_sites: shrunk.into_iter().collect(),
+            removed_sites,
             added_sites,
             cross_links_changed,
             links_added,
             links_removed,
             new_doc_sites: delta.new_pages.iter().map(|p| p.site).collect(),
+            removed_docs,
+            removed_doc_sites,
         };
         Ok((mutated, applied))
     }
@@ -781,6 +1182,8 @@ mod tests {
         assert!(d.add_page(SiteId(7), "http://nowhere/").is_err());
         assert!(d.add_link(DocId(0), DocId(99)).is_err());
         assert!(d.remove_link(DocId(99), DocId(0)).is_err());
+        assert!(d.remove_page(DocId(99)).is_err());
+        assert!(d.remove_site(SiteId(7)).is_err());
         // A link to a page added by the delta itself is fine.
         let p = d.add_page(SiteId(0), "http://a.org/x").unwrap();
         d.add_link(DocId(0), p).unwrap();
@@ -896,5 +1299,270 @@ mod tests {
         assert!(applied.cross_links_changed);
         assert_eq!(h.n_docs(), 7);
         assert_eq!(h.n_sites(), 3);
+    }
+
+    // --- Removal ---
+
+    #[test]
+    fn remove_page_tombstones_in_place() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        d.remove_page(DocId(1)).unwrap();
+        let (h, applied) = g.apply(&d).unwrap();
+        // Slots unchanged; doc 1 is dead, its links dropped both ways.
+        assert_eq!(h.n_docs(), 5);
+        assert_eq!(h.n_live_docs(), 4);
+        assert!(!h.is_live_doc(DocId(1)));
+        assert!(h.is_live_doc(DocId(0)));
+        assert_eq!(h.docs_of_site(SiteId(0)), &[DocId(0), DocId(2)]);
+        assert_eq!(h.adjacency().get(0, 1), 0.0); // in-link dropped
+        assert_eq!(h.out_degree(DocId(1)), 0); // out-links dropped
+        assert_eq!(applied.shrunk_sites, vec![0]);
+        assert!(applied.changed_sites.is_empty());
+        assert!(applied.removed_sites.is_empty());
+        assert_eq!(applied.removed_docs, vec![DocId(1)]);
+        assert_eq!(applied.removed_doc_sites, vec![SiteId(0)]);
+        assert_eq!(
+            applied.links_removed,
+            vec![(DocId(0), DocId(1)), (DocId(1), DocId(2))]
+        );
+        // Intra-only removal: cross counts are untouched.
+        assert!(!applied.cross_links_changed);
+        // Ids stay meaningful: surviving docs keep urls and sites.
+        assert_eq!(h.url(DocId(2)), g.url(DocId(2)));
+    }
+
+    #[test]
+    fn remove_site_tombstones_every_member() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        d.remove_site(SiteId(1)).unwrap();
+        let (h, applied) = g.apply(&d).unwrap();
+        assert_eq!(h.n_sites(), 2);
+        assert_eq!(h.n_live_sites(), 1);
+        assert!(!h.is_live_site(SiteId(1)));
+        assert!(h.docs_of_site(SiteId(1)).is_empty());
+        assert!(!h.is_live_doc(DocId(3)));
+        assert!(!h.is_live_doc(DocId(4)));
+        assert_eq!(applied.removed_sites, vec![1]);
+        assert_eq!(applied.removed_docs, vec![DocId(3), DocId(4)]);
+        assert!(applied.cross_links_changed);
+        // The a2 -> b0 and b1 -> a0 cross links died with the site.
+        assert!(applied.links_removed.contains(&(DocId(2), DocId(3))));
+        assert!(applied.links_removed.contains(&(DocId(4), DocId(0))));
+        // Site 0 lost no members: it is not shrunk (its cross row changed,
+        // which the SiteRank recompute covers).
+        assert!(applied.shrunk_sites.is_empty());
+        assert_eq!(h.live_sites().collect::<Vec<_>>(), vec![SiteId(0)]);
+    }
+
+    #[test]
+    fn double_removal_is_rejected() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        d.remove_page(DocId(1)).unwrap();
+        assert!(d.remove_page(DocId(1)).is_err());
+        d.remove_site(SiteId(1)).unwrap();
+        assert!(d.remove_site(SiteId(1)).is_err());
+        // Applying twice: the second apply sees already-dead slots.
+        let (h, _) = g.apply(&d).unwrap();
+        let mut again = GraphDelta::for_graph(&h);
+        again.remove_page(DocId(1)).unwrap();
+        assert!(matches!(
+            h.apply(&again),
+            Err(GraphError::InvalidDelta { .. })
+        ));
+        let mut again = GraphDelta::for_graph(&h);
+        again.remove_site(SiteId(1)).unwrap();
+        assert!(matches!(
+            h.apply(&again),
+            Err(GraphError::InvalidDelta { .. })
+        ));
+    }
+
+    #[test]
+    fn emptying_a_site_without_removing_it_is_rejected() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        d.remove_page(DocId(3)).unwrap();
+        d.remove_page(DocId(4)).unwrap();
+        assert!(matches!(g.apply(&d), Err(GraphError::InvalidDelta { .. })));
+        // Replacing the membership keeps the site alive.
+        let mut d = GraphDelta::for_graph(&g);
+        d.remove_page(DocId(3)).unwrap();
+        d.remove_page(DocId(4)).unwrap();
+        let p = d.add_page(SiteId(1), "http://b.org/fresh").unwrap();
+        d.add_link(p, DocId(0)).unwrap();
+        let (h, applied) = g.apply(&d).unwrap();
+        assert_eq!(h.docs_of_site(SiteId(1)), &[p]);
+        // Lost and gained: classified shrunk (cold rebuild), not grown.
+        assert_eq!(applied.shrunk_sites, vec![1]);
+        assert!(applied.grown_sites.is_empty());
+    }
+
+    #[test]
+    fn adding_to_a_tombstoned_site_is_rejected() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        d.remove_site(SiteId(1)).unwrap();
+        let (h, _) = g.apply(&d).unwrap();
+        let mut again = GraphDelta::for_graph(&h);
+        again.add_page(SiteId(1), "http://b.org/zombie").unwrap();
+        assert!(matches!(
+            h.apply(&again),
+            Err(GraphError::InvalidDelta { .. })
+        ));
+    }
+
+    #[test]
+    fn removal_then_growth_keeps_ids_stable_across_a_stream() {
+        let g = base();
+        let mut d1 = GraphDelta::for_graph(&g);
+        d1.remove_page(DocId(1)).unwrap();
+        let (h, _) = g.apply(&d1).unwrap();
+        // The next delta's new page lands after the tombstoned slot.
+        let mut d2 = GraphDelta::for_graph(&h);
+        let p = d2.add_page(SiteId(0), "http://a.org/late").unwrap();
+        assert_eq!(p, DocId(5));
+        d2.add_link(DocId(0), p).unwrap();
+        let (i, applied) = h.apply(&d2).unwrap();
+        assert_eq!(i.docs_of_site(SiteId(0)), &[DocId(0), DocId(2), p]);
+        assert!(!i.is_live_doc(DocId(1)));
+        assert_eq!(applied.grown_sites, vec![0]);
+        // Merge must equal the sequential application.
+        let mut merged = d1.clone();
+        merged.merge(d2).unwrap();
+        let (one_shot, _) = g.apply(&merged).unwrap();
+        assert_eq!(i, one_shot);
+    }
+
+    #[test]
+    fn links_to_removed_docs_are_dropped_not_errors() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        d.remove_page(DocId(1)).unwrap();
+        d.add_link(DocId(0), DocId(1)).unwrap(); // target dies
+        d.add_link(DocId(1), DocId(2)).unwrap(); // source dies
+        let (h, applied) = g.apply(&d).unwrap();
+        assert_eq!(h.adjacency().get(0, 1), 0.0);
+        assert_eq!(h.out_degree(DocId(1)), 0);
+        // Neither op produced a link_added entry.
+        assert!(applied.links_added.is_empty());
+    }
+
+    #[test]
+    fn compact_cancels_add_then_remove_page_pairs() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        let doomed = d.add_page(SiteId(0), "http://a.org/doomed").unwrap();
+        d.add_link(DocId(0), doomed).unwrap();
+        let kept = d.add_page(SiteId(0), "http://a.org/kept").unwrap();
+        d.add_link(DocId(0), kept).unwrap();
+        d.remove_page(doomed).unwrap();
+        let compacted = d.compact();
+        // The cancelled page (and its link) is gone; `kept` renumbered down.
+        assert_eq!(compacted.n_new_pages(), 1);
+        assert!(compacted.removed_pages.is_empty());
+        let (seq, seq_applied) = g.apply(&d).unwrap();
+        let (one, one_applied) = g.apply(&compacted).unwrap();
+        // Equivalent up to densification of the short-lived dead slot.
+        assert_ne!(seq.n_docs(), one.n_docs());
+        assert_eq!(seq.compact_ids().0, one.compact_ids().0);
+        assert_eq!(seq_applied.grown_sites, one_applied.grown_sites);
+        assert_eq!(seq_applied.changed_sites, one_applied.changed_sites);
+        assert_eq!(seq_applied.shrunk_sites, one_applied.shrunk_sites);
+        assert_eq!(
+            seq_applied.cross_links_changed,
+            one_applied.cross_links_changed
+        );
+    }
+
+    #[test]
+    fn compact_cancels_add_then_remove_site() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        let s = d.add_site("doomed.org");
+        let q = d.add_page(s, "http://doomed.org/").unwrap();
+        d.add_link(DocId(0), q).unwrap();
+        let keep = d.add_site("kept.org");
+        let k0 = d.add_page(keep, "http://kept.org/").unwrap();
+        d.add_link(k0, DocId(0)).unwrap();
+        d.remove_site(s).unwrap();
+        let compacted = d.compact();
+        assert_eq!(compacted.n_new_sites(), 1);
+        assert_eq!(compacted.n_new_pages(), 1);
+        assert!(compacted.removed_sites.is_empty());
+        let (seq, _) = g.apply(&d).unwrap();
+        let (one, _) = g.apply(&compacted).unwrap();
+        assert_eq!(seq.compact_ids().0, one.compact_ids().0);
+        // The cancelled site occupies a dead slot in the uncompacted replay.
+        assert_eq!(seq.n_sites(), 4);
+        assert_eq!(seq.n_live_sites(), 3);
+        assert_eq!(one.n_sites(), 3);
+    }
+
+    #[test]
+    fn compact_ids_densifies_after_removal() {
+        let g = base();
+        let mut d = GraphDelta::for_graph(&g);
+        d.remove_page(DocId(1)).unwrap();
+        let (h, _) = g.apply(&d).unwrap();
+        let (dense, remap) = h.compact_ids();
+        assert_eq!(dense.n_docs(), 4);
+        assert!(!dense.has_tombstones());
+        assert_eq!(remap.doc(DocId(0)), Some(DocId(0)));
+        assert_eq!(remap.doc(DocId(1)), None);
+        assert_eq!(remap.doc(DocId(2)), Some(DocId(1)));
+        assert_eq!(remap.doc(DocId(4)), Some(DocId(3)));
+        assert_eq!(dense.url(DocId(1)), g.url(DocId(2)));
+        // Edges survive under the renumbering: a2 -> a0 becomes 1 -> 0.
+        assert_eq!(dense.adjacency().get(1, 0), 1.0);
+        // Site removal compacts the site axis too.
+        let mut d2 = GraphDelta::for_graph(&h);
+        d2.remove_site(SiteId(1)).unwrap();
+        let (i, _) = h.apply(&d2).unwrap();
+        let (dense2, remap2) = i.compact_ids();
+        assert_eq!(dense2.n_sites(), 1);
+        assert_eq!(remap2.site(SiteId(1)), None);
+        assert_eq!(dense2.n_docs(), 2);
+    }
+
+    #[test]
+    fn mixed_removal_delta_summary_is_exact() {
+        // One removed site, one shrunk site, one grown site — the
+        // acceptance shape at graph level — on a 4-site base.
+        let mut b = DocGraphBuilder::new();
+        let mut docs = Vec::new();
+        for s in 0..4 {
+            let name = format!("s{s}.org");
+            let d0 = b.add_doc(&name, &format!("http://{name}/"));
+            let d1 = b.add_doc(&name, &format!("http://{name}/1"));
+            let d2 = b.add_doc(&name, &format!("http://{name}/2"));
+            b.add_link(d0, d1).unwrap();
+            b.add_link(d1, d2).unwrap();
+            b.add_link(d2, d0).unwrap();
+            docs.push((d0, d1, d2));
+        }
+        b.add_link(docs[0].2, docs[1].0).unwrap();
+        b.add_link(docs[1].2, docs[2].0).unwrap();
+        b.add_link(docs[3].0, docs[0].0).unwrap();
+        let g = b.build();
+
+        let mut d = GraphDelta::for_graph(&g);
+        d.remove_site(SiteId(1)).unwrap();
+        d.remove_page(docs[2].1).unwrap();
+        let p = d.add_page(SiteId(3), "http://s3.org/new").unwrap();
+        d.add_link(docs[3].0, p).unwrap();
+        d.add_link(p, docs[3].0).unwrap();
+        let (h, applied) = g.apply(&d).unwrap();
+        assert_eq!(applied.removed_sites, vec![1]);
+        assert_eq!(applied.shrunk_sites, vec![2]);
+        assert_eq!(applied.grown_sites, vec![3]);
+        assert!(applied.changed_sites.is_empty());
+        assert!(applied.cross_links_changed);
+        assert_eq!(h.n_live_sites(), 3);
+        assert_eq!(h.site_size(SiteId(2)), 2);
+        assert_eq!(h.site_size(SiteId(3)), 4);
+        assert_eq!(applied.removed_docs.len(), 4);
     }
 }

@@ -1,9 +1,11 @@
 //! The document-level web graph `G_D(V_D, E_D)` of Section 3.1.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::error::{GraphError, Result};
 use crate::ids::{DocId, SiteId};
+use crate::remap::IdRemap;
 use lmm_linalg::{CooMatrix, CsrMatrix};
 
 /// Classification of a generated or crawled page, used as ground truth by
@@ -45,24 +47,120 @@ impl PageKind {
     }
 }
 
+/// Append-friendly copy-on-write column: a sequence of immutable `Arc`
+/// segments. [`DocGraph::apply`](crate::delta::GraphDelta) clones the
+/// segment *pointers* and pushes one new segment per delta, so append-only
+/// deltas pay O(delta + segments) instead of O(n_docs) per apply.
+///
+/// Lookups binary-search the (tiny) offset table; iteration chains the
+/// segments in order.
+#[derive(Debug)]
+pub(crate) struct CowColumn<T> {
+    segments: Vec<Arc<Vec<T>>>,
+    /// Cumulative segment starts; `offsets.len() == segments.len() + 1`,
+    /// first entry 0, last entry the column length.
+    offsets: Vec<usize>,
+}
+
+impl<T> CowColumn<T> {
+    pub(crate) fn from_vec(v: Vec<T>) -> Self {
+        let len = v.len();
+        if len == 0 {
+            return Self {
+                segments: Vec::new(),
+                offsets: vec![0],
+            };
+        }
+        Self {
+            segments: vec![Arc::new(v)],
+            offsets: vec![0, len],
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        *self.offsets.last().expect("offsets are non-empty")
+    }
+
+    pub(crate) fn get(&self, i: usize) -> &T {
+        let seg = self.offsets.partition_point(|&o| o <= i) - 1;
+        &self.segments[seg][i - self.offsets[seg]]
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = &T> {
+        self.segments.iter().flat_map(|s| s.iter())
+    }
+
+    /// A new column sharing every existing segment plus `tail` appended.
+    pub(crate) fn append(&self, tail: Vec<T>) -> Self {
+        let mut col = self.clone();
+        if !tail.is_empty() {
+            col.offsets.push(col.len() + tail.len());
+            col.segments.push(Arc::new(tail));
+        }
+        col
+    }
+}
+
+// Manual impl: the derive would demand `T: Clone`, but cloning only copies
+// the segment `Arc`s.
+impl<T> Clone for CowColumn<T> {
+    fn clone(&self) -> Self {
+        Self {
+            segments: self.segments.clone(),
+            offsets: self.offsets.clone(),
+        }
+    }
+}
+
+impl<T: PartialEq> PartialEq for CowColumn<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
 /// An immutable document-level web graph: documents with URLs, their owning
 /// sites, and deduplicated hyperlink edges.
 ///
 /// Build one with [`DocGraphBuilder`] or generate one with
 /// [`crate::generator`].
-#[derive(Debug, Clone, PartialEq)]
+///
+/// # Tombstones
+///
+/// Structural deltas can **remove** pages and sites
+/// ([`crate::delta::GraphDelta::remove_page`] /
+/// [`remove_site`](crate::delta::GraphDelta::remove_site)). Removal is
+/// tombstone-based: the slot stays (so every surviving id keeps meaning
+/// across deltas — the stability serving caches and delta-composed
+/// fingerprints rely on), but the document leaves its site's member list
+/// and every incident link is dropped. [`DocGraph::compact_ids`] is the
+/// explicit maintenance step that densifies the id space, returning the
+/// old→new [`IdRemap`].
+#[derive(Debug, Clone)]
 pub struct DocGraph {
-    urls: Vec<String>,
-    kinds: Vec<PageKind>,
-    site_of: Vec<SiteId>,
-    site_names: Vec<String>,
-    site_members: Vec<Vec<DocId>>,
-    adjacency: CsrMatrix,
+    pub(crate) urls: CowColumn<String>,
+    pub(crate) kinds: CowColumn<PageKind>,
+    pub(crate) site_of: Vec<SiteId>,
+    pub(crate) site_names: Vec<String>,
+    pub(crate) site_members: Vec<Arc<Vec<DocId>>>,
+    /// Tombstoned document ids, ascending (usually empty).
+    pub(crate) dead_docs: Arc<Vec<DocId>>,
+    /// Tombstoned site ids, ascending (usually empty).
+    pub(crate) dead_sites: Arc<Vec<SiteId>>,
+    pub(crate) adjacency: CsrMatrix,
 }
 
-/// Borrowed columnar storage of a [`DocGraph`] — crate-internal, consumed
-/// by the delta fast path: `(urls, kinds, site_names, site_members)`.
-pub(crate) type GraphParts<'a> = (&'a [String], &'a [PageKind], &'a [String], &'a [Vec<DocId>]);
+impl PartialEq for DocGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.urls == other.urls
+            && self.kinds == other.kinds
+            && self.site_of == other.site_of
+            && self.site_names == other.site_names
+            && self.site_members == other.site_members
+            && self.dead_docs == other.dead_docs
+            && self.dead_sites == other.dead_sites
+            && self.adjacency == other.adjacency
+    }
+}
 
 /// An intra-site subgraph `G_d^s = (V_d(s), E_d(s))`: only the documents of
 /// one site and the links between them (Section 3.1).
@@ -75,16 +173,67 @@ pub struct SiteSubgraph {
 }
 
 impl DocGraph {
-    /// Number of documents `N_D`.
+    /// Number of document slots `N_D` (tombstoned slots included; see
+    /// [`n_live_docs`](Self::n_live_docs)).
     #[must_use]
     pub fn n_docs(&self) -> usize {
         self.urls.len()
     }
 
-    /// Number of sites `N_S`.
+    /// Number of site slots `N_S` (tombstoned slots included; see
+    /// [`n_live_sites`](Self::n_live_sites)).
     #[must_use]
     pub fn n_sites(&self) -> usize {
         self.site_names.len()
+    }
+
+    /// Number of live (non-tombstoned) documents.
+    #[must_use]
+    pub fn n_live_docs(&self) -> usize {
+        self.n_docs() - self.dead_docs.len()
+    }
+
+    /// Number of live (non-tombstoned) sites.
+    #[must_use]
+    pub fn n_live_sites(&self) -> usize {
+        self.n_sites() - self.dead_sites.len()
+    }
+
+    /// `true` when any document or site slot is tombstoned.
+    #[must_use]
+    pub fn has_tombstones(&self) -> bool {
+        !self.dead_docs.is_empty() || !self.dead_sites.is_empty()
+    }
+
+    /// Tombstoned document ids, ascending.
+    #[must_use]
+    pub fn dead_docs(&self) -> &[DocId] {
+        &self.dead_docs
+    }
+
+    /// Tombstoned site ids, ascending.
+    #[must_use]
+    pub fn dead_sites(&self) -> &[SiteId] {
+        &self.dead_sites
+    }
+
+    /// `true` when `doc` is in range and not tombstoned.
+    #[must_use]
+    pub fn is_live_doc(&self, doc: DocId) -> bool {
+        doc.index() < self.n_docs() && self.dead_docs.binary_search(&doc).is_err()
+    }
+
+    /// `true` when `site` is in range and not tombstoned.
+    #[must_use]
+    pub fn is_live_site(&self, site: SiteId) -> bool {
+        site.index() < self.n_sites() && self.dead_sites.binary_search(&site).is_err()
+    }
+
+    /// Live site ids, ascending.
+    pub fn live_sites(&self) -> impl Iterator<Item = SiteId> + '_ {
+        (0..self.n_sites())
+            .map(SiteId)
+            .filter(|&s| self.dead_sites.binary_search(&s).is_err())
     }
 
     /// Number of (deduplicated) hyperlink edges.
@@ -99,7 +248,7 @@ impl DocGraph {
     /// Panics if the id is out of bounds.
     #[must_use]
     pub fn url(&self, doc: DocId) -> &str {
-        &self.urls[doc.index()]
+        self.urls.get(doc.index())
     }
 
     /// Page classification of a document.
@@ -108,10 +257,12 @@ impl DocGraph {
     /// Panics if the id is out of bounds.
     #[must_use]
     pub fn kind(&self, doc: DocId) -> PageKind {
-        self.kinds[doc.index()]
+        *self.kinds.get(doc.index())
     }
 
-    /// The owning site of a document (the paper's `site(d)`).
+    /// The owning site of a document (the paper's `site(d)`). Tombstoned
+    /// documents keep their last site assignment, so removed ids still
+    /// route (e.g. to the shard that must answer "gone").
     ///
     /// # Panics
     /// Panics if the id is out of bounds.
@@ -135,7 +286,8 @@ impl DocGraph {
         &self.site_names[site.index()]
     }
 
-    /// Documents of a site (ascending ids) — the paper's `V_d(s)`.
+    /// Live documents of a site (ascending ids) — the paper's `V_d(s)`.
+    /// Empty for a tombstoned site.
     ///
     /// # Panics
     /// Panics if the id is out of bounds.
@@ -144,7 +296,7 @@ impl DocGraph {
         &self.site_members[site.index()]
     }
 
-    /// Size of a site, `size(s)`.
+    /// Size of a site, `size(s)` — live members only.
     ///
     /// # Panics
     /// Panics if the id is out of bounds.
@@ -153,7 +305,8 @@ impl DocGraph {
         self.site_members[site.index()].len()
     }
 
-    /// The deduplicated 0/1 adjacency matrix of the DocGraph.
+    /// The deduplicated 0/1 adjacency matrix of the DocGraph. Tombstoned
+    /// documents have empty rows and appear in no column.
     #[must_use]
     pub fn adjacency(&self) -> &CsrMatrix {
         &self.adjacency
@@ -194,7 +347,7 @@ impl DocGraph {
     /// Panics if the id is out of bounds.
     #[must_use]
     pub fn site_subgraph(&self, site: SiteId) -> SiteSubgraph {
-        let members = &self.site_members[site.index()];
+        let members: &[DocId] = &self.site_members[site.index()];
         let mut local_of: HashMap<usize, usize> = HashMap::with_capacity(members.len());
         for (local, d) in members.iter().enumerate() {
             local_of.insert(d.index(), local);
@@ -210,7 +363,7 @@ impl DocGraph {
         }
         SiteSubgraph {
             adjacency: coo.to_csr(),
-            members: members.clone(),
+            members: members.to_vec(),
         }
     }
 
@@ -230,37 +383,100 @@ impl DocGraph {
             .map(|(src, dst, _)| (DocId(src), DocId(dst)))
     }
 
-    /// Crate-internal read access for the delta fast path, which patches
-    /// the graph's columnar storage directly instead of routing every
-    /// document and edge back through the builder.
-    pub(crate) fn parts(&self) -> GraphParts<'_> {
-        (
-            &self.urls,
-            &self.kinds,
-            &self.site_names,
-            &self.site_members,
-        )
-    }
+    /// Densifies the id space: drops every tombstoned document and site
+    /// slot, renumbering survivors in order, and returns the compacted
+    /// graph together with the old→new [`IdRemap`].
+    ///
+    /// This is the explicit maintenance step that trades id stability for
+    /// a dense graph (flat baselines, snapshots, and rebalancing want
+    /// density; live delta streams want stability). On a graph without
+    /// tombstones it returns a clone and the identity remap.
+    #[must_use]
+    pub fn compact_ids(&self) -> (DocGraph, IdRemap) {
+        if !self.has_tombstones() {
+            return (
+                self.clone(),
+                IdRemap::identity(self.n_docs(), self.n_sites()),
+            );
+        }
+        let mut next = 0usize;
+        let doc_map: Vec<Option<DocId>> = (0..self.n_docs())
+            .map(|d| {
+                self.is_live_doc(DocId(d)).then(|| {
+                    let id = DocId(next);
+                    next += 1;
+                    id
+                })
+            })
+            .collect();
+        let mut next_site = 0usize;
+        let site_map: Vec<Option<SiteId>> = (0..self.n_sites())
+            .map(|s| {
+                self.is_live_site(SiteId(s)).then(|| {
+                    let id = SiteId(next_site);
+                    next_site += 1;
+                    id
+                })
+            })
+            .collect();
 
-    /// Crate-internal constructor from parts whose invariants the caller
-    /// has already established (used by [`crate::delta`]'s patch-based
-    /// apply; the adjacency is validated by `CsrMatrix::from_raw_parts`).
-    pub(crate) fn from_validated_parts(
-        urls: Vec<String>,
-        kinds: Vec<PageKind>,
-        site_of: Vec<SiteId>,
-        site_names: Vec<String>,
-        site_members: Vec<Vec<DocId>>,
-        adjacency: CsrMatrix,
-    ) -> Self {
-        Self {
-            urls,
-            kinds,
+        let mut urls = Vec::with_capacity(next);
+        let mut kinds = Vec::with_capacity(next);
+        let mut site_of = Vec::with_capacity(next);
+        for (d, mapped) in doc_map.iter().enumerate() {
+            if mapped.is_some() {
+                urls.push(self.urls.get(d).clone());
+                kinds.push(*self.kinds.get(d));
+                site_of.push(
+                    site_map[self.site_of[d].index()].expect(
+                        "a live document always belongs to a live site (apply enforces it)",
+                    ),
+                );
+            }
+        }
+        let mut site_names = Vec::with_capacity(next_site);
+        let mut site_members = Vec::with_capacity(next_site);
+        for (s, mapped) in site_map.iter().enumerate() {
+            if mapped.is_some() {
+                site_names.push(self.site_names[s].clone());
+                site_members.push(Arc::new(
+                    self.site_members[s]
+                        .iter()
+                        .map(|&d| doc_map[d.index()].expect("members are live"))
+                        .collect::<Vec<_>>(),
+                ));
+            }
+        }
+        // Adjacency rows in old order restricted to live rows: survivors
+        // keep their relative order, so the new CSR can be built directly.
+        let mut row_ptr = Vec::with_capacity(next + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::with_capacity(self.adjacency.nnz());
+        for (d, mapped) in doc_map.iter().enumerate() {
+            if mapped.is_none() {
+                continue;
+            }
+            let (cols, _) = self.adjacency.row(d);
+            col_idx.extend(
+                cols.iter()
+                    .map(|&c| doc_map[c].expect("no live row links a dead column").index()),
+            );
+            row_ptr.push(col_idx.len());
+        }
+        let values = vec![1.0f64; col_idx.len()];
+        let adjacency = CsrMatrix::from_raw_parts(next, next, row_ptr, col_idx, values)
+            .expect("compacted adjacency is consistent by construction");
+        let compacted = DocGraph {
+            urls: CowColumn::from_vec(urls),
+            kinds: CowColumn::from_vec(kinds),
             site_of,
             site_names,
             site_members,
+            dead_docs: Arc::new(Vec::new()),
+            dead_sites: Arc::new(Vec::new()),
             adjacency,
-        }
+        };
+        (compacted, IdRemap::new(doc_map, site_map))
     }
 }
 
@@ -380,8 +596,16 @@ impl DocGraphBuilder {
     /// Reconstructs a builder from an existing graph, so callers can apply
     /// edits (recrawls, link additions/removals) and rebuild — the workflow
     /// behind incremental rank maintenance.
+    ///
+    /// # Panics
+    /// Panics on a tombstoned graph: the builder's dense id space cannot
+    /// represent dead slots — [`DocGraph::compact_ids`] first.
     #[must_use]
     pub fn from_graph(graph: &DocGraph) -> Self {
+        assert!(
+            !graph.has_tombstones(),
+            "DocGraphBuilder::from_graph needs a dense graph; call compact_ids() first"
+        );
         let mut builder = Self::with_capacity(graph.n_docs(), graph.n_links());
         // Intern sites in id order so ids are preserved.
         for s in 0..graph.n_sites() {
@@ -422,11 +646,13 @@ impl DocGraphBuilder {
             site_members[site.index()].push(DocId(doc));
         }
         DocGraph {
-            urls: self.urls,
-            kinds: self.kinds,
+            urls: CowColumn::from_vec(self.urls),
+            kinds: CowColumn::from_vec(self.kinds),
             site_of: self.site_of,
             site_names: self.site_names,
-            site_members,
+            site_members: site_members.into_iter().map(Arc::new).collect(),
+            dead_docs: Arc::new(Vec::new()),
+            dead_sites: Arc::new(Vec::new()),
             adjacency,
         }
     }
@@ -459,6 +685,9 @@ mod tests {
         assert_eq!(g.n_sites(), 2);
         assert_eq!(g.n_links(), 6);
         assert_eq!(g.cross_site_links(), 2);
+        assert_eq!(g.n_live_docs(), 5);
+        assert_eq!(g.n_live_sites(), 2);
+        assert!(!g.has_tombstones());
     }
 
     #[test]
@@ -589,5 +818,32 @@ mod tests {
         let g = two_site_graph();
         let mut b = DocGraphBuilder::from_graph(&g);
         assert_eq!(b.remove_link(DocId(4), DocId(4)), 0);
+    }
+
+    #[test]
+    fn cow_column_appends_share_segments() {
+        let base = CowColumn::from_vec(vec![1, 2, 3]);
+        let grown = base.append(vec![4, 5]);
+        assert_eq!(grown.len(), 5);
+        assert_eq!(*grown.get(0), 1);
+        assert_eq!(*grown.get(4), 5);
+        assert_eq!(
+            grown.iter().copied().collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+        // The first segment is shared, not cloned.
+        assert!(Arc::ptr_eq(&base.segments[0], &grown.segments[0]));
+        // Empty appends add no segment.
+        let same = base.append(Vec::new());
+        assert_eq!(same.segments.len(), base.segments.len());
+        assert_eq!(base, base.clone());
+    }
+
+    #[test]
+    fn compact_ids_on_dense_graph_is_identity() {
+        let g = two_site_graph();
+        let (dense, remap) = g.compact_ids();
+        assert_eq!(dense, g);
+        assert!(remap.is_identity());
     }
 }

@@ -28,8 +28,15 @@ const MAGIC: &str = "lmm-graph v1";
 /// A mutable reference works as well: `write_snapshot(&g, &mut file)`.
 ///
 /// # Errors
-/// Propagates IO failures as [`GraphError::Io`].
+/// Propagates IO failures as [`GraphError::Io`], and rejects tombstoned
+/// graphs with [`GraphError::InvalidConfig`] — the dense line format has no
+/// dead-slot notion, so compact first.
 pub fn write_snapshot<W: Write>(graph: &DocGraph, mut w: W) -> Result<()> {
+    if graph.has_tombstones() {
+        return Err(GraphError::InvalidConfig {
+            reason: "cannot snapshot a tombstoned graph; call compact_ids() first".into(),
+        });
+    }
     writeln!(w, "{MAGIC}")?;
     writeln!(w, "sites {}", graph.n_sites())?;
     for s in 0..graph.n_sites() {

@@ -11,9 +11,12 @@
 //! This crate provides both, plus:
 //!
 //! * [`delta`] — validated, composable structural mutations
-//!   ([`delta::GraphDelta`]) with consistent renumbering under
+//!   ([`delta::GraphDelta`]) with consistent renumbering and
+//!   tombstone-based removal under
 //!   [`DocGraph::apply`](docgraph::DocGraph::apply) — the substrate of
-//!   incremental re-ranking under Web growth;
+//!   incremental re-ranking under Web churn — plus the explicit
+//!   [`compact_ids`](docgraph::DocGraph::compact_ids) densification step
+//!   and its [`remap::IdRemap`] table;
 //! * [`url`] — extraction of the owning site from document URLs;
 //! * [`generator`] — deterministic synthetic web-graph generators,
 //!   including the **campus-web model** that substitutes for the paper's
@@ -52,6 +55,7 @@ pub mod error;
 pub mod generator;
 pub mod ids;
 pub mod io;
+pub mod remap;
 pub mod sharding;
 pub mod sitegraph;
 pub mod stats;
@@ -62,5 +66,6 @@ pub use docgraph::{DocGraph, DocGraphBuilder};
 pub use error::{GraphError, Result};
 pub use generator::CampusWebConfig;
 pub use ids::{DocId, SiteId};
+pub use remap::IdRemap;
 pub use sharding::ShardMap;
 pub use sitegraph::{ranking_site_graph, SiteGraph, SiteGraphOptions};

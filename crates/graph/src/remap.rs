@@ -1,0 +1,125 @@
+//! Old→new id tables produced when a tombstoned graph is densified.
+//!
+//! Removal keeps ids stable: [`DocGraph::apply`](crate::docgraph::DocGraph::apply)
+//! tombstones removed documents and sites in place, so every surviving id
+//! keeps meaning across deltas — the property the serving tier and the
+//! delta-composed fingerprints rely on. Densifying is therefore an
+//! **explicit maintenance step**:
+//! [`DocGraph::compact_ids`](crate::docgraph::DocGraph::compact_ids) drops
+//! the dead slots and returns the compacted graph together with an
+//! [`IdRemap`] — the old→new table consumers use to carry state (previous
+//! rank vectors, client-held ids, shard bookkeeping) across the
+//! renumbering.
+
+use crate::ids::{DocId, SiteId};
+
+/// The old→new id tables of one [`compact_ids`] renumbering: surviving ids
+/// map to their dense new ids, tombstoned ids map to `None`.
+///
+/// Survivors keep their relative order (the remap is monotone), so
+/// per-site orderings and membership lists stay sorted after translation.
+///
+/// [`compact_ids`]: crate::docgraph::DocGraph::compact_ids
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdRemap {
+    docs: Vec<Option<DocId>>,
+    sites: Vec<Option<SiteId>>,
+}
+
+impl IdRemap {
+    /// Assembles a remap from its tables (crate-internal: produced by
+    /// `compact_ids`).
+    pub(crate) fn new(docs: Vec<Option<DocId>>, sites: Vec<Option<SiteId>>) -> Self {
+        Self { docs, sites }
+    }
+
+    /// The identity remap over a graph without tombstones.
+    #[must_use]
+    pub fn identity(n_docs: usize, n_sites: usize) -> Self {
+        Self {
+            docs: (0..n_docs).map(|d| Some(DocId(d))).collect(),
+            sites: (0..n_sites).map(|s| Some(SiteId(s))).collect(),
+        }
+    }
+
+    /// `true` when every id maps to itself (no slot was dropped).
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.docs
+            .iter()
+            .enumerate()
+            .all(|(i, d)| *d == Some(DocId(i)))
+            && self
+                .sites
+                .iter()
+                .enumerate()
+                .all(|(i, s)| *s == Some(SiteId(i)))
+    }
+
+    /// New id of an old document (`None`: tombstoned, or out of range).
+    #[must_use]
+    pub fn doc(&self, old: DocId) -> Option<DocId> {
+        self.docs.get(old.index()).copied().flatten()
+    }
+
+    /// New id of an old site (`None`: tombstoned, or out of range).
+    #[must_use]
+    pub fn site(&self, old: SiteId) -> Option<SiteId> {
+        self.sites.get(old.index()).copied().flatten()
+    }
+
+    /// Number of document slots (dead included) in the old graph.
+    #[must_use]
+    pub fn n_old_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Number of site slots (dead included) in the old graph.
+    #[must_use]
+    pub fn n_old_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of documents in the compacted graph.
+    #[must_use]
+    pub fn n_new_docs(&self) -> usize {
+        self.docs.iter().flatten().count()
+    }
+
+    /// Number of sites in the compacted graph.
+    #[must_use]
+    pub fn n_new_sites(&self) -> usize {
+        self.sites.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_every_id_to_itself() {
+        let r = IdRemap::identity(3, 2);
+        assert!(r.is_identity());
+        assert_eq!(r.doc(DocId(2)), Some(DocId(2)));
+        assert_eq!(r.site(SiteId(1)), Some(SiteId(1)));
+        assert_eq!(r.doc(DocId(3)), None); // out of range
+        assert_eq!(r.n_old_docs(), 3);
+        assert_eq!(r.n_new_docs(), 3);
+    }
+
+    #[test]
+    fn holes_map_to_none_and_survivors_stay_monotone() {
+        let r = IdRemap::new(
+            vec![Some(DocId(0)), None, Some(DocId(1)), Some(DocId(2))],
+            vec![Some(SiteId(0)), None, Some(SiteId(1))],
+        );
+        assert!(!r.is_identity());
+        assert_eq!(r.doc(DocId(1)), None);
+        assert_eq!(r.doc(DocId(3)), Some(DocId(2)));
+        assert_eq!(r.site(SiteId(2)), Some(SiteId(1)));
+        assert_eq!(r.n_old_docs(), 4);
+        assert_eq!(r.n_new_docs(), 3);
+        assert_eq!(r.n_new_sites(), 2);
+    }
+}

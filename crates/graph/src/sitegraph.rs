@@ -110,6 +110,13 @@ impl SiteGraph {
         &self.weights
     }
 
+    /// Consumes the graph, returning the owned weight matrix — for callers
+    /// that only need the matrix and would otherwise clone O(nnz) storage.
+    #[must_use]
+    pub fn into_weights(self) -> CsrMatrix {
+        self.weights
+    }
+
     /// Weight of one SiteLink (0 when absent).
     ///
     /// # Panics

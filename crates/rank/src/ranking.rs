@@ -54,6 +54,14 @@ impl Ranking {
         Ok(Self { scores: weights })
     }
 
+    /// The empty ranking over zero items — the placeholder a layered
+    /// pipeline stores for a tombstoned (removed) site slot, whose member
+    /// set is empty and whose rank weight is zero.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self { scores: Vec::new() }
+    }
+
     /// The uniform ranking over `n` items.
     ///
     /// # Errors
@@ -73,8 +81,8 @@ impl Ranking {
         self.scores.len()
     }
 
-    /// Returns `true` when the ranking covers no items (never constructible
-    /// through the public API; kept for `len`/`is_empty` pairing).
+    /// Returns `true` when the ranking covers no items (only
+    /// [`Ranking::empty`] constructs such a value).
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.scores.is_empty()

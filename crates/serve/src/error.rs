@@ -28,6 +28,24 @@ pub enum ServeError {
         /// The epoch that could not answer.
         epoch: u64,
     },
+    /// A point lookup named a document that **was** ranked but has been
+    /// removed — its id slot is tombstoned. Distinct from
+    /// [`UnknownDoc`](ServeError::UnknownDoc) so clients can tell "never
+    /// existed" from "gone": the first is a caller bug, the second is the
+    /// web shrinking under them.
+    TombstonedDoc {
+        /// The removed document's (stable) id.
+        doc: usize,
+        /// The epoch that answered.
+        epoch: u64,
+    },
+    /// A site-scoped query named a site that was removed.
+    TombstonedSite {
+        /// The removed site's (stable) id.
+        site: usize,
+        /// The epoch that answered.
+        epoch: u64,
+    },
     /// A published snapshot's epoch is older than the one being served.
     StaleSnapshot {
         /// Epoch of the rejected snapshot.
@@ -53,6 +71,18 @@ impl fmt::Display for ServeError {
             }
             ServeError::UnknownSite { site, epoch } => {
                 write!(f, "site {site} unknown at serving epoch {epoch}")
+            }
+            ServeError::TombstonedDoc { doc, epoch } => {
+                write!(
+                    f,
+                    "document {doc} was removed (tombstoned) as of epoch {epoch}"
+                )
+            }
+            ServeError::TombstonedSite { site, epoch } => {
+                write!(
+                    f,
+                    "site {site} was removed (tombstoned) as of epoch {epoch}"
+                )
             }
             ServeError::StaleSnapshot { published, serving } => {
                 write!(

@@ -37,8 +37,15 @@
 //!   straddle a swap retry, then escalate to the publish gate.
 //! * **Writes never block reads** ([`ShardedServer::publish`]): a delta
 //!   produces a new snapshot + staleness set; only stale shards rebuild,
-//!   the rest re-pin their store `Arc` under the new epoch, and readers
-//!   keep answering (from the old epoch) throughout the swap.
+//!   the rest re-pin their store `Arc` under the new epoch — or, after a
+//!   removal redistributed the SiteRank, *refresh* (per-site orders
+//!   reused, shard top list re-merged) — and readers keep answering
+//!   (from the old epoch) throughout the swap.
+//! * **Removal is first-class**: tombstoned documents and sites answer
+//!   typed errors ([`ServeError::TombstonedDoc`] /
+//!   [`ServeError::TombstonedSite`]) instead of stale scores, and
+//!   [`ServeStatsSnapshot::doc_skew`] exposes the per-shard doc-count
+//!   imbalance churn leaves behind — the dynamic-resharding trigger.
 //!
 //! # Example
 //!

@@ -29,7 +29,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 use crate::error::{Result, ServeError};
-use crate::shard::ShardState;
+use crate::shard::{DocScore, ShardState, SiteTopK};
 use crate::telemetry::{ServeStats, ServeStatsSnapshot};
 use lmm_engine::{RankSnapshot, Staleness};
 use lmm_graph::sharding::ShardMap;
@@ -63,8 +63,11 @@ pub struct PublishReport {
     pub epoch: u64,
     /// Shard stores rebuilt (stale shards).
     pub shards_rebuilt: usize,
-    /// Shard stores re-pinned (fresh shards).
+    /// Shard stores re-pinned (fresh shards: new epoch, same data).
     pub shards_repinned: usize,
+    /// Shard stores refreshed (removal publishes: per-site orders reused,
+    /// shard top list re-merged under the redistributed scores).
+    pub shards_refreshed: usize,
     /// `true` when the snapshot was already being served and nothing was
     /// swapped.
     pub noop: bool,
@@ -91,7 +94,7 @@ struct ShardRequest {
 enum ShardReply {
     Scores {
         epoch: u64,
-        scores: Vec<Option<f64>>,
+        scores: Vec<DocScore>,
     },
     Top {
         epoch: u64,
@@ -100,7 +103,7 @@ enum ShardReply {
     },
     SiteTop {
         epoch: u64,
-        entries: Option<Vec<(DocId, f64)>>,
+        entries: SiteTopK,
     },
 }
 
@@ -238,18 +241,32 @@ impl ShardedServer {
         *self.gate.lock().expect("publish gate poisoned")
     }
 
-    /// The server's telemetry counters.
+    /// The server's telemetry counters, plus the live per-shard document
+    /// counts (read from the currently pinned stores) — the skew signal a
+    /// rebalancer watches: removal drains shards in place and growth piles
+    /// into the last one, so
+    /// [`doc_skew`](crate::ServeStatsSnapshot::doc_skew) drifting from 1.0
+    /// is the trigger to re-split the site ranges.
     #[must_use]
     pub fn stats(&self) -> ServeStatsSnapshot {
-        self.stats.snapshot()
+        let mut snapshot = self.stats.snapshot();
+        snapshot.shard_docs = self
+            .cells
+            .iter()
+            .map(|cell| cell.lock().expect("shard cell poisoned").n_docs() as u64)
+            .collect();
+        snapshot
     }
 
     /// Swaps in a fresh snapshot, shard by shard, without ever blocking
     /// readers: shards whose sites the snapshot's [`Staleness`] set names
     /// rebuild their stores; every other shard re-pins its existing store
-    /// `Arc` against the new epoch. A snapshot that skipped epochs (the
-    /// publisher missed one) conservatively rebuilds everything, since its
-    /// staleness set only describes the last step.
+    /// `Arc` against the new epoch — or, after a removal
+    /// ([`Staleness::Resized`]), **refreshes**: the per-site orders are
+    /// reused and only the shard top list re-merges under the
+    /// redistributed scores. A snapshot that skipped epochs (the publisher
+    /// missed one) conservatively rebuilds everything, since its staleness
+    /// set only describes the last step.
     ///
     /// # Errors
     /// Returns [`ServeError::StaleSnapshot`] when the snapshot's epoch is
@@ -269,16 +286,34 @@ impl ShardedServer {
                 epoch: *serving,
                 shards_rebuilt: 0,
                 shards_repinned: 0,
+                shards_refreshed: 0,
                 noop: true,
             });
         }
         let contiguous = snapshot.epoch() == *serving + 1;
-        let stale_shards: Vec<usize> = match (contiguous, snapshot.staleness()) {
-            (true, Staleness::Sites(sites)) => self.map.shards_of_sites(sites.iter().copied()),
-            _ => (0..self.n_shards()).collect(),
-        };
+        // Fresh shards re-pin under `Sites` (bit-identical contract) but
+        // must refresh under `Resized` (scores rescaled, orders intact).
+        let (stale_shards, refresh_fresh): (Vec<usize>, bool) =
+            match (contiguous, snapshot.staleness()) {
+                (true, Staleness::Sites(sites)) => {
+                    (self.map.shards_of_sites(sites.iter().copied()), false)
+                }
+                (
+                    true,
+                    Staleness::Resized {
+                        sites,
+                        removed_sites,
+                    },
+                ) => (
+                    self.map
+                        .shards_of_sites(sites.iter().chain(removed_sites).copied()),
+                    true,
+                ),
+                _ => ((0..self.n_shards()).collect(), false),
+            };
         let mut rebuilt = 0usize;
         let mut repinned = 0usize;
+        let mut refreshed = 0usize;
         let mut stale_iter = stale_shards.iter().peekable();
         for (shard, cell) in self.cells.iter().enumerate() {
             let is_stale = stale_iter.next_if(|&&s| s == shard).is_some();
@@ -287,9 +322,14 @@ impl ShardedServer {
                 let sites = shard_range(&self.map, shard, snapshot.n_sites());
                 Arc::new(ShardState::build(snapshot, sites, self.config.heap_k))
             } else {
-                repinned += 1;
                 let current = cell.lock().expect("shard cell poisoned").clone();
-                Arc::new(current.repin(snapshot))
+                if refresh_fresh {
+                    refreshed += 1;
+                    Arc::new(current.refresh(snapshot, self.config.heap_k))
+                } else {
+                    repinned += 1;
+                    Arc::new(current.repin(snapshot))
+                }
             };
             // The swap itself: readers blocked only for this assignment.
             *cell.lock().expect("shard cell poisoned") = next;
@@ -298,10 +338,12 @@ impl ShardedServer {
         *serving = snapshot.epoch();
         ServeStats::add(&self.stats.shards_rebuilt, rebuilt as u64);
         ServeStats::add(&self.stats.shards_repinned, repinned as u64);
+        ServeStats::add(&self.stats.shards_refreshed, refreshed as u64);
         Ok(PublishReport {
             epoch: snapshot.epoch(),
             shards_rebuilt: rebuilt,
             shards_repinned: repinned,
+            shards_refreshed: refreshed,
             noop: false,
         })
     }
@@ -310,8 +352,10 @@ impl ShardedServer {
     /// and answered from that shard's pinned snapshot.
     ///
     /// # Errors
-    /// [`ServeError::UnknownDoc`] when the answering epoch does not rank
-    /// the document; [`ServeError::ShardDown`] during shutdown.
+    /// [`ServeError::UnknownDoc`] when the answering epoch never ranked
+    /// the document; [`ServeError::TombstonedDoc`] when the document was
+    /// removed (stale scores are never served for the dead);
+    /// [`ServeError::ShardDown`] during shutdown.
     pub fn score(&self, doc: DocId) -> Result<(u64, f64)> {
         ServeStats::bump(&self.stats.score_queries);
         let shard = self.shard_of_doc(doc);
@@ -319,9 +363,22 @@ impl ShardedServer {
         let ShardReply::Scores { epoch, scores } = reply else {
             unreachable!("scores request answered with a different reply kind");
         };
-        match scores[0] {
-            Some(score) => Ok((epoch, score)),
-            None => Err(ServeError::UnknownDoc {
+        self.doc_score_to_result(scores[0], doc, epoch)
+            .map(|score| (epoch, score))
+    }
+
+    /// Maps a shard-level score lookup into the router's typed errors.
+    fn doc_score_to_result(&self, score: DocScore, doc: DocId, epoch: u64) -> Result<f64> {
+        match score {
+            DocScore::Live(score) => Ok(score),
+            DocScore::Tombstoned => {
+                ServeStats::bump(&self.stats.tombstone_rejections);
+                Err(ServeError::TombstonedDoc {
+                    doc: doc.index(),
+                    epoch,
+                })
+            }
+            DocScore::Unknown => Err(ServeError::UnknownDoc {
                 doc: doc.index(),
                 epoch,
             }),
@@ -375,8 +432,9 @@ impl ShardedServer {
     /// per-site ranking.
     ///
     /// # Errors
-    /// [`ServeError::UnknownSite`] when the answering epoch does not rank
-    /// the site; [`ServeError::ShardDown`] during shutdown.
+    /// [`ServeError::UnknownSite`] when the answering epoch never ranked
+    /// the site; [`ServeError::TombstonedSite`] when the site was removed;
+    /// [`ServeError::ShardDown`] during shutdown.
     pub fn top_k_for_site(&self, site: SiteId, k: usize) -> Result<(u64, Vec<(DocId, f64)>)> {
         ServeStats::bump(&self.stats.site_top_k_queries);
         let shard = self.map.shard_of_site(site);
@@ -384,10 +442,20 @@ impl ShardedServer {
         let ShardReply::SiteTop { epoch, entries } = reply else {
             unreachable!("site top-k request answered with a different reply kind");
         };
-        entries.map(|e| (epoch, e)).ok_or(ServeError::UnknownSite {
-            site: site.index(),
-            epoch,
-        })
+        match entries {
+            SiteTopK::Entries(e) => Ok((epoch, e)),
+            SiteTopK::Tombstoned => {
+                ServeStats::bump(&self.stats.tombstone_rejections);
+                Err(ServeError::TombstonedSite {
+                    site: site.index(),
+                    epoch,
+                })
+            }
+            SiteTopK::NotCovered => Err(ServeError::UnknownSite {
+                site: site.index(),
+                epoch,
+            }),
+        }
     }
 
     /// Compares two documents at one epoch: `Greater` means `a` outranks
@@ -456,10 +524,7 @@ impl ShardedServer {
                 unreachable!("scores request answered with a different reply kind");
             };
             for (&pos, score) in per_shard[&shard].1.iter().zip(scores) {
-                out[pos] = score.ok_or(ServeError::UnknownDoc {
-                    doc: docs[pos].index(),
-                    epoch,
-                })?;
+                out[pos] = self.doc_score_to_result(score, docs[pos], epoch)?;
             }
         }
         Ok((epoch, out))

@@ -1,15 +1,25 @@
-//! Immutable per-shard stores: precomputed top-k heaps, per-site document
-//! orderings, and score lookups over one pinned [`RankSnapshot`].
+//! Immutable per-shard stores: precomputed top-k orderings, per-site
+//! document orderings, and score lookups over one pinned [`RankSnapshot`].
 //!
 //! A [`ShardState`] is the unit the hot-swap replaces: it pins one snapshot
-//! epoch and the shard's precomputed [`ShardData`]. Rebuilding the data is
-//! the expensive part (a heap selection over the shard's documents), so a
-//! publish only rebuilds the shards whose sites the delta staled —
-//! everything else is [`re-pinned`](ShardState::repin): a new `ShardState`
-//! with the new epoch and snapshot but the **same** `Arc<ShardData>`. The
-//! engine's [`Staleness`](lmm_engine::Staleness) contract (untouched sites
-//! keep bit-identical scores) is what makes pairing old orderings with the
-//! new snapshot sound.
+//! epoch and the shard's precomputed [`ShardData`]. Scores are **always
+//! read through the pinned snapshot** — the data stores only document
+//! *orderings* — which gives the publisher three swap grades:
+//!
+//! * [`build`](ShardState::build) — full rebuild (per-site sorts over the
+//!   shard's documents) for shards whose sites a delta staled;
+//! * [`refresh`](ShardState::refresh) — reuse the per-site orderings,
+//!   re-merge the shard-level top list under the new snapshot's scores.
+//!   Sound whenever every covered site kept its member list and
+//!   within-site order (the [`Staleness::Resized`] contract after a
+//!   removal's SiteRank redistribution: per-site orders survive, absolute
+//!   scores and cross-site interleavings do not);
+//! * [`repin`](ShardState::repin) — share the data `Arc` outright, for
+//!   snapshots whose unnamed sites are bit-identical
+//!   ([`Staleness::Sites`]).
+//!
+//! [`Staleness::Resized`]: lmm_engine::Staleness::Resized
+//! [`Staleness::Sites`]: lmm_engine::Staleness::Sites
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -54,16 +64,69 @@ impl Ord for Weakest {
     }
 }
 
-/// The heavy, rebuild-on-stale part of a shard: everything derived from
-/// the shard's document scores.
+/// Max-heap head for the k-way merge in [`ShardState::refresh`]: greatest
+/// = best in serving order.
+struct MergeHead {
+    entry: (DocId, f64),
+    site_idx: usize,
+    pos: usize,
+}
+
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for MergeHead {}
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MergeHead {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // serve_cmp returns Less when its first argument serves first, so
+        // flipping the arguments makes the serve-first entry the greatest.
+        serve_cmp(&other.entry, &self.entry)
+    }
+}
+
+/// A shard-level score lookup: live value, tombstoned slot, or a document
+/// the answering epoch never ranked.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DocScore {
+    /// The document is ranked at this epoch.
+    Live(f64),
+    /// The document existed but was removed — its id slot is dead.
+    Tombstoned,
+    /// The document id is outside the answering epoch's range.
+    Unknown,
+}
+
+/// A shard-level site top-k answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SiteTopK {
+    /// The site's best documents in serving order.
+    Entries(Vec<(DocId, f64)>),
+    /// The site was removed — queries for it must fail typed.
+    Tombstoned,
+    /// The site is outside this shard's range or the epoch's site count.
+    NotCovered,
+}
+
+/// The heavy, rebuild-on-stale part of a shard: the document *orderings*
+/// derived from the shard's scores (never the scores themselves — those
+/// are always read through the pinned snapshot, so a refresh can re-pair
+/// surviving orders with rescaled scores).
 #[derive(Debug)]
 pub struct ShardData {
-    /// The shard's best documents (score desc, id asc), at most the
-    /// configured heap capacity.
-    top: Vec<(DocId, f64)>,
+    /// The shard's best documents in serving order, at most the configured
+    /// heap capacity.
+    top: Vec<DocId>,
     /// Per covered site (indexed relative to the shard's first site), the
-    /// site's documents in serving order.
-    site_order: Vec<Vec<DocId>>,
+    /// site's documents in serving order. Shared between a refreshed state
+    /// and its predecessor.
+    site_order: Arc<Vec<Vec<DocId>>>,
     /// Documents owned by the shard (so `top.len() == n_docs.min(cap)`
     /// tells whether `top` is exhaustive).
     n_docs: usize,
@@ -81,7 +144,8 @@ pub struct ShardState {
 impl ShardState {
     /// Builds a shard store from scratch over `sites` (heap capacity
     /// `heap_k`): one pass over the shard's documents into a bounded
-    /// top-k heap, plus a per-site sort.
+    /// top-k heap, plus a per-site sort. Tombstoned sites in the range
+    /// contribute an empty ordering.
     #[must_use]
     pub fn build(snapshot: &RankSnapshot, sites: Range<usize>, heap_k: usize) -> Self {
         let scores = snapshot.scores();
@@ -112,8 +176,8 @@ impl ShardState {
             sites,
             snapshot: snapshot.clone(),
             data: Arc::new(ShardData {
-                top,
-                site_order,
+                top: top.into_iter().map(|(d, _)| d).collect(),
+                site_order: Arc::new(site_order),
                 n_docs,
             }),
         }
@@ -132,6 +196,53 @@ impl ShardState {
         }
     }
 
+    /// Rebuilds only the shard-level top list under the new snapshot's
+    /// scores, **reusing** the per-site orderings (shared `Arc`). Exact —
+    /// a k-way merge of the per-site orders is the shard's true top-k —
+    /// whenever every covered site kept its member list and within-site
+    /// order, which is what [`Staleness::Resized`] guarantees for sites it
+    /// does not name. O(sites + k log sites) instead of a full re-sort.
+    ///
+    /// [`Staleness::Resized`]: lmm_engine::Staleness::Resized
+    #[must_use]
+    pub fn refresh(&self, snapshot: &RankSnapshot, heap_k: usize) -> Self {
+        debug_assert!(snapshot.epoch() >= self.snapshot.epoch());
+        let scores = snapshot.scores();
+        let orders = &self.data.site_order;
+        let mut heads: BinaryHeap<MergeHead> = BinaryHeap::with_capacity(orders.len());
+        for (site_idx, order) in orders.iter().enumerate() {
+            if let Some(&d) = order.first() {
+                heads.push(MergeHead {
+                    entry: (d, scores[d.index()]),
+                    site_idx,
+                    pos: 0,
+                });
+            }
+        }
+        let mut top = Vec::with_capacity(heap_k.min(self.data.n_docs));
+        while top.len() < heap_k {
+            let Some(head) = heads.pop() else { break };
+            top.push(head.entry.0);
+            let order = &orders[head.site_idx];
+            if let Some(&next) = order.get(head.pos + 1) {
+                heads.push(MergeHead {
+                    entry: (next, scores[next.index()]),
+                    site_idx: head.site_idx,
+                    pos: head.pos + 1,
+                });
+            }
+        }
+        Self {
+            sites: self.sites.clone(),
+            snapshot: snapshot.clone(),
+            data: Arc::new(ShardData {
+                top,
+                site_order: Arc::clone(orders),
+                n_docs: self.data.n_docs,
+            }),
+        }
+    }
+
     /// The epoch this state answers from.
     #[must_use]
     pub fn epoch(&self) -> u64 {
@@ -144,6 +255,12 @@ impl ShardState {
         &self.sites
     }
 
+    /// Live documents owned by this shard.
+    #[must_use]
+    pub fn n_docs(&self) -> usize {
+        self.data.n_docs
+    }
+
     /// `true` when this state shares its data with `other` (re-pinned, not
     /// rebuilt).
     #[must_use]
@@ -151,26 +268,46 @@ impl ShardState {
         Arc::ptr_eq(&self.data, &other.data)
     }
 
+    /// `true` when this state shares its per-site orderings with `other`
+    /// (refreshed: new top list, same orders).
+    #[must_use]
+    pub fn shares_orders_with(&self, other: &ShardState) -> bool {
+        Arc::ptr_eq(&self.data.site_order, &other.data.site_order)
+    }
+
     /// Score of one document at this shard's epoch — answered from the
     /// pinned global score vector, so *any* shard can serve any document.
+    /// Tombstoned slots answer [`DocScore::Tombstoned`], so a removed id
+    /// never leaks a stale (or zero) score as if it were ranked.
     #[must_use]
-    pub fn score(&self, doc: DocId) -> Option<f64> {
-        self.snapshot.scores().get(doc.index()).copied()
+    pub fn score(&self, doc: DocId) -> DocScore {
+        if doc.index() >= self.snapshot.n_docs() {
+            return DocScore::Unknown;
+        }
+        if !self.snapshot.is_live_doc(doc) {
+            return DocScore::Tombstoned;
+        }
+        DocScore::Live(self.snapshot.scores()[doc.index()])
     }
 
     /// The shard's `k` best documents. The boolean reports whether the
-    /// precomputed heap sufficed (`false` = `k` exceeded its capacity and
+    /// precomputed list sufficed (`false` = `k` exceeded its capacity and
     /// the shard fell back to a full scan).
     #[must_use]
     pub fn top_k(&self, k: usize) -> (Vec<(DocId, f64)>, bool) {
         let data = &self.data;
-        if k <= data.top.len() || data.top.len() == data.n_docs {
-            let mut out = data.top.clone();
-            out.truncate(k);
-            return (out, true);
-        }
-        // k exceeds the heap capacity: scan every covered site.
         let scores = self.snapshot.scores();
+        if k <= data.top.len() || data.top.len() == data.n_docs {
+            return (
+                data.top
+                    .iter()
+                    .take(k)
+                    .map(|&d| (d, scores[d.index()]))
+                    .collect(),
+                true,
+            );
+        }
+        // k exceeds the precomputed capacity: scan every covered site.
         let mut all: Vec<(DocId, f64)> = self
             .sites
             .clone()
@@ -182,16 +319,21 @@ impl ShardState {
         (all, false)
     }
 
-    /// The `k` best documents of one covered site, or `None` when the site
-    /// is outside this shard's range or unknown to the pinned snapshot.
+    /// The `k` best documents of one covered site, distinguishing a
+    /// tombstoned site from one this shard never covered.
     #[must_use]
-    pub fn site_top_k(&self, site: SiteId, k: usize) -> Option<Vec<(DocId, f64)>> {
+    pub fn site_top_k(&self, site: SiteId, k: usize) -> SiteTopK {
         if !self.sites.contains(&site.index()) || site.index() >= self.snapshot.n_sites() {
-            return None;
+            return SiteTopK::NotCovered;
         }
-        let order = self.data.site_order.get(site.index() - self.sites.start)?;
+        if self.snapshot.is_tombstoned_site(site) {
+            return SiteTopK::Tombstoned;
+        }
+        let Some(order) = self.data.site_order.get(site.index() - self.sites.start) else {
+            return SiteTopK::NotCovered;
+        };
         let scores = self.snapshot.scores();
-        Some(
+        SiteTopK::Entries(
             order
                 .iter()
                 .take(k)
@@ -227,16 +369,20 @@ mod tests {
         let snap = snapshot(1, vec![0.1, 0.3, 0.2, 0.25, 0.15]);
         let shard = ShardState::build(&snap, 0..2, 3);
         assert_eq!(shard.epoch(), 1);
+        assert_eq!(shard.n_docs(), 5);
         let (top, from_heap) = shard.top_k(3);
         assert!(from_heap);
         assert_eq!(
             top,
             vec![(DocId(1), 0.3), (DocId(3), 0.25), (DocId(2), 0.2)]
         );
-        let site1 = shard.site_top_k(SiteId(1), 2).unwrap();
-        assert_eq!(site1, vec![(DocId(3), 0.25), (DocId(2), 0.2)]);
-        assert_eq!(shard.score(DocId(4)), Some(0.15));
-        assert_eq!(shard.score(DocId(9)), None);
+        let site1 = shard.site_top_k(SiteId(1), 2);
+        assert_eq!(
+            site1,
+            SiteTopK::Entries(vec![(DocId(3), 0.25), (DocId(2), 0.2)])
+        );
+        assert_eq!(shard.score(DocId(4)), DocScore::Live(0.15));
+        assert_eq!(shard.score(DocId(9)), DocScore::Unknown);
     }
 
     #[test]
@@ -259,7 +405,7 @@ mod tests {
         assert_eq!(top.len(), 5);
         assert_eq!(top[0], (DocId(1), 0.3));
         assert_eq!(top[4], (DocId(0), 0.1));
-        // Small shards whose heap holds everything never scan.
+        // Small shards whose list holds everything never scan.
         let all = ShardState::build(&snap, 0..2, 16);
         let (_, from_heap) = all.top_k(9);
         assert!(from_heap);
@@ -279,13 +425,69 @@ mod tests {
     }
 
     #[test]
+    fn refresh_remerges_the_top_under_rescaled_scores() {
+        let snap1 = snapshot(1, vec![0.1, 0.3, 0.2, 0.25, 0.15]);
+        let shard = ShardState::build(&snap1, 0..2, 3);
+        // Site 0's weight shrank, site 1's grew: per-site orders are
+        // unchanged but the cross-site interleaving flips.
+        let snap2 = snapshot(2, vec![0.02, 0.06, 0.30, 0.375, 0.225]);
+        let refreshed = shard.refresh(&snap2, 3);
+        assert_eq!(refreshed.epoch(), 2);
+        assert!(!refreshed.shares_data_with(&shard));
+        assert!(refreshed.shares_orders_with(&shard));
+        let (top, from_heap) = refreshed.top_k(3);
+        assert!(from_heap);
+        assert_eq!(
+            top,
+            vec![(DocId(3), 0.375), (DocId(2), 0.30), (DocId(4), 0.225)]
+        );
+        // The refreshed top equals a full rebuild's, entry for entry.
+        let rebuilt = ShardState::build(&snap2, 0..2, 3);
+        assert_eq!(refreshed.top_k(3), rebuilt.top_k(3));
+        // Per-site answers read fresh scores through the shared orders.
+        assert_eq!(
+            refreshed.site_top_k(SiteId(0), 2),
+            SiteTopK::Entries(vec![(DocId(1), 0.06), (DocId(0), 0.02)])
+        );
+    }
+
+    #[test]
+    fn tombstoned_docs_and_sites_answer_typed() {
+        // Site 1 removed: members empty, its docs dead (slots remain).
+        let snap = RankSnapshot::new(
+            2,
+            "test".into(),
+            Arc::new(vec![0.4, 0.6, 0.0, 0.0, 0.0]),
+            None,
+            Arc::new(vec![vec![DocId(0), DocId(1)], Vec::new()]),
+            Arc::new(vec![SiteId(0), SiteId(0), SiteId(1), SiteId(1), SiteId(1)]),
+            Staleness::Resized {
+                sites: vec![],
+                removed_sites: vec![1],
+            },
+        );
+        let shard = ShardState::build(&snap, 0..2, 4);
+        assert_eq!(shard.n_docs(), 2);
+        assert_eq!(shard.score(DocId(0)), DocScore::Live(0.4));
+        assert_eq!(shard.score(DocId(3)), DocScore::Tombstoned);
+        assert_eq!(shard.score(DocId(7)), DocScore::Unknown);
+        assert_eq!(shard.site_top_k(SiteId(1), 2), SiteTopK::Tombstoned);
+        assert_eq!(shard.site_top_k(SiteId(5), 2), SiteTopK::NotCovered);
+        let (top, _) = shard.top_k(4);
+        assert_eq!(top, vec![(DocId(1), 0.6), (DocId(0), 0.4)]);
+    }
+
+    #[test]
     fn site_outside_the_shard_is_refused() {
         let snap = snapshot(1, vec![0.1, 0.3, 0.2, 0.25, 0.15]);
         let shard = ShardState::build(&snap, 1..2, 3);
-        assert!(shard.site_top_k(SiteId(0), 2).is_none());
-        assert!(shard.site_top_k(SiteId(7), 2).is_none());
-        assert!(shard.site_top_k(SiteId(1), 2).is_some());
+        assert_eq!(shard.site_top_k(SiteId(0), 2), SiteTopK::NotCovered);
+        assert_eq!(shard.site_top_k(SiteId(7), 2), SiteTopK::NotCovered);
+        assert!(matches!(
+            shard.site_top_k(SiteId(1), 2),
+            SiteTopK::Entries(_)
+        ));
         // But scores of foreign documents still answer (global vector).
-        assert_eq!(shard.score(DocId(0)), Some(0.1));
+        assert_eq!(shard.score(DocId(0)), DocScore::Live(0.1));
     }
 }

@@ -15,6 +15,12 @@ pub struct ServeStats {
     /// Shard stores re-pinned by publishes (fresh shards: new epoch, same
     /// data `Arc`).
     pub shards_repinned: AtomicU64,
+    /// Shard stores refreshed by removal publishes (per-site orders
+    /// reused, shard top list re-merged under redistributed scores).
+    pub shards_refreshed: AtomicU64,
+    /// Point lookups rejected because they named a tombstoned document or
+    /// site.
+    pub tombstone_rejections: AtomicU64,
     /// Point score lookups answered.
     pub score_queries: AtomicU64,
     /// Batched score lookups answered (one batch = one count).
@@ -35,8 +41,10 @@ pub struct ServeStats {
     pub heap_overflow_scans: AtomicU64,
 }
 
-/// A plain-value copy of [`ServeStats`] at one instant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// A plain-value copy of [`ServeStats`] at one instant, extended by
+/// [`ShardedServer::stats`](crate::ShardedServer::stats) with the live
+/// per-shard document counts.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ServeStatsSnapshot {
     /// See [`ServeStats::publishes`].
     pub publishes: u64,
@@ -44,6 +52,15 @@ pub struct ServeStatsSnapshot {
     pub shards_rebuilt: u64,
     /// See [`ServeStats::shards_repinned`].
     pub shards_repinned: u64,
+    /// See [`ServeStats::shards_refreshed`].
+    pub shards_refreshed: u64,
+    /// See [`ServeStats::tombstone_rejections`].
+    pub tombstone_rejections: u64,
+    /// Live documents per shard at the instant of the snapshot (filled by
+    /// `ShardedServer::stats`; empty when read straight off `ServeStats`).
+    /// Removal drains entries in place and growth piles into the last
+    /// shard — the imbalance a dynamic resharder triggers on.
+    pub shard_docs: Vec<u64>,
     /// See [`ServeStats::score_queries`].
     pub score_queries: u64,
     /// See [`ServeStats::batch_queries`].
@@ -82,6 +99,9 @@ impl ServeStats {
             publishes: read(&self.publishes),
             shards_rebuilt: read(&self.shards_rebuilt),
             shards_repinned: read(&self.shards_repinned),
+            shards_refreshed: read(&self.shards_refreshed),
+            tombstone_rejections: read(&self.tombstone_rejections),
+            shard_docs: Vec::new(),
             score_queries: read(&self.score_queries),
             batch_queries: read(&self.batch_queries),
             top_k_queries: read(&self.top_k_queries),
@@ -104,6 +124,22 @@ impl ServeStatsSnapshot {
             + self.site_top_k_queries
             + self.compare_queries
     }
+
+    /// Per-shard document-count skew: the largest shard's live doc count
+    /// over the mean — `1.0` is perfectly balanced, and a value drifting
+    /// upward under churn (removal draining some shards, growth clamping
+    /// into the last) is the dynamic-resharding trigger signal. `1.0` when
+    /// `shard_docs` is empty or the server holds no documents.
+    #[must_use]
+    pub fn doc_skew(&self) -> f64 {
+        let total: u64 = self.shard_docs.iter().sum();
+        if self.shard_docs.is_empty() || total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.shard_docs.len() as f64;
+        let max = *self.shard_docs.iter().max().expect("non-empty") as f64;
+        max / mean
+    }
 }
 
 #[cfg(test)]
@@ -115,11 +151,28 @@ mod tests {
         let stats = ServeStats::default();
         ServeStats::bump(&stats.publishes);
         ServeStats::add(&stats.shards_rebuilt, 3);
+        ServeStats::add(&stats.shards_refreshed, 2);
+        ServeStats::bump(&stats.tombstone_rejections);
         ServeStats::bump(&stats.top_k_queries);
         ServeStats::bump(&stats.score_queries);
         let snap = stats.snapshot();
         assert_eq!(snap.publishes, 1);
         assert_eq!(snap.shards_rebuilt, 3);
+        assert_eq!(snap.shards_refreshed, 2);
+        assert_eq!(snap.tombstone_rejections, 1);
         assert_eq!(snap.total_queries(), 2);
+    }
+
+    #[test]
+    fn doc_skew_measures_imbalance() {
+        let mut snap = ServeStatsSnapshot::default();
+        assert!((snap.doc_skew() - 1.0).abs() < 1e-12);
+        snap.shard_docs = vec![100, 100, 100, 100];
+        assert!((snap.doc_skew() - 1.0).abs() < 1e-12);
+        // One shard drained to 40, another bloated to 160: skew = 160/100.
+        snap.shard_docs = vec![40, 100, 100, 160];
+        assert!((snap.doc_skew() - 1.6).abs() < 1e-12);
+        snap.shard_docs = vec![0, 0];
+        assert!((snap.doc_skew() - 1.0).abs() < 1e-12);
     }
 }

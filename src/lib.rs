@@ -78,6 +78,7 @@ pub mod prelude {
         delta::{AppliedDelta, GraphDelta},
         docgraph::{DocGraph, DocGraphBuilder},
         generator::CampusWebConfig,
+        remap::IdRemap,
         sharding::ShardMap,
         sitegraph::{SiteGraph, SiteGraphOptions},
         DocId, SiteId,
@@ -90,7 +91,7 @@ pub mod prelude {
         pagerank::{PageRank, PageRankConfig},
         ranking::Ranking,
     };
-    pub use lmm_serve::{ServeConfig, ShardedServer};
+    pub use lmm_serve::{ServeConfig, ServeError, ShardedServer};
 }
 
 /// Thin deprecated shims over the pre-engine ad-hoc entry points.
