@@ -1,0 +1,822 @@
+//! The cluster controller: node registry, shard placement, heartbeat
+//! monitoring with missed-beat eviction, and the **two-phase,
+//! epoch-coordinated publish** that keeps every remote answer
+//! single-epoch.
+//!
+//! # The publish protocol
+//!
+//! A publish of rank snapshot `R` over cluster epoch `C` runs:
+//!
+//! 1. **Grade** every shard with the same [`publish_grades`] the
+//!    in-process tier uses (rebuild / refresh / repin per the staleness
+//!    contract), then force-rebuild any shard whose *owner* changed —
+//!    a grade describes data movement, not placement movement.
+//! 2. **Stage** (phase one): cut a [`SnapshotSegment`] per
+//!    rebuild/refresh shard and ship it to the owning node at epoch
+//!    `C+1`, in parallel across nodes. Nodes hold staged sets without
+//!    serving them.
+//! 3. **Commit** (phase two): only after *every* node acked its stages,
+//!    tell each to flip to `C+1`. A node that fails either phase is
+//!    evicted and the whole publish retries against the survivors at
+//!    `C+2` — commits are idempotent and restages supersede, so partial
+//!    progress is harmless.
+//!
+//! Queries key their gather consistency on the cluster epoch, so during
+//! the commit fan-out a client sees a mix of `C` and `C+1` and simply
+//! retries; it never merges across the flip.
+//!
+//! # Failover
+//!
+//! The monitor thread pings every node each interval. A node missing
+//! more than `miss_limit` beats is evicted; its shards are reassigned
+//! round-robin to the survivors and re-staged as **rebuilds cut from the
+//! controller's pinned snapshot** under a bumped cluster epoch — the
+//! same rank epoch, republished. Clients in flight get retriable
+//! `NodeUnavailable` / epoch-mismatch retries, never wrong-epoch data.
+
+use std::collections::BTreeMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lmm_engine::{RankSnapshot, SnapshotSegment};
+use lmm_graph::sharding::ShardMap;
+use lmm_serve::{publish_grades, shard_site_range, SwapGrade};
+
+use crate::error::{ClusterError, Result};
+use crate::transport::{FaultPlan, FramedConn, WireCounters};
+use crate::wire::{Message, NodeWireStats};
+
+/// Controller tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Heartbeat probe interval.
+    pub heartbeat_interval: Duration,
+    /// Consecutive missed beats after which a node is evicted.
+    pub miss_limit: u32,
+    /// Read/write/connect timeout on every controller connection.
+    pub io_timeout: Duration,
+    /// Evict-and-reassign automatically from the monitor thread. Tests
+    /// that want to drive failover by hand can turn this off.
+    pub auto_failover: bool,
+    /// Optional deterministic fault injection on controller sends.
+    pub fault: Option<FaultPlan>,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_interval: Duration::from_millis(75),
+            miss_limit: 3,
+            io_timeout: Duration::from_secs(2),
+            auto_failover: true,
+            fault: None,
+        }
+    }
+}
+
+/// One registered node, as the controller sees it.
+#[derive(Debug, Clone)]
+struct NodeEntry {
+    addr: String,
+    missed: u32,
+    rtt_us: u64,
+    last_fanout_ms: f64,
+}
+
+#[derive(Default)]
+struct ControlState {
+    next_node: u64,
+    nodes: BTreeMap<u64, NodeEntry>,
+    /// `placement[shard]` = owning node id. Empty until the first publish.
+    placement: Vec<u64>,
+    cepoch: u64,
+    rank_epoch: u64,
+    pinned: Option<RankSnapshot>,
+}
+
+struct ControllerInner {
+    map: ShardMap,
+    cfg: ControllerConfig,
+    addr: String,
+    shutdown: AtomicBool,
+    state: Mutex<ControlState>,
+    /// Serializes publishes and failovers. Lock order: this, then `state`.
+    publish_gate: Mutex<()>,
+    counters: Arc<WireCounters>,
+    next_conn: AtomicU64,
+    publishes: AtomicU64,
+    evictions: AtomicU64,
+    failovers: AtomicU64,
+    missed_heartbeats: AtomicU64,
+}
+
+/// Accounting of one cluster publish (or failover republish).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterPublishReport {
+    /// The committed cluster epoch.
+    pub epoch: u64,
+    /// The rank epoch now served.
+    pub rank_epoch: u64,
+    /// Nodes that took part.
+    pub nodes: usize,
+    /// Shards rebuilt / refreshed / re-pinned, summed over nodes.
+    pub rebuilt: usize,
+    /// See [`ClusterPublishReport::rebuilt`].
+    pub refreshed: usize,
+    /// See [`ClusterPublishReport::rebuilt`].
+    pub repinned: usize,
+    /// Shards whose owner changed in this publish.
+    pub reassigned: usize,
+    /// Publish attempts (more than 1 means a node died mid-publish and
+    /// was evicted on the way).
+    pub attempts: usize,
+    /// Slowest per-node stage fan-out, milliseconds.
+    pub max_fanout_ms: f64,
+    /// `true` when the snapshot was already served and nothing moved.
+    pub noop: bool,
+}
+
+/// One node's row in [`ClusterStats`].
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Controller-assigned node id.
+    pub node: u64,
+    /// The node's listen address.
+    pub addr: String,
+    /// Consecutive missed heartbeats right now.
+    pub missed: u32,
+    /// Last measured heartbeat round-trip, microseconds.
+    pub rtt_us: u64,
+    /// Stage fan-out time of the last publish that reached this node,
+    /// milliseconds.
+    pub last_fanout_ms: f64,
+    /// The node's own counters (`None` if it did not answer).
+    pub wire: Option<NodeWireStats>,
+}
+
+/// A cluster-wide statistics snapshot.
+#[derive(Debug, Clone)]
+pub struct ClusterStats {
+    /// Committed cluster epoch.
+    pub epoch: u64,
+    /// Served rank epoch.
+    pub rank_epoch: u64,
+    /// Successful publishes (including failover republishes).
+    pub publishes: u64,
+    /// Nodes evicted over the controller's lifetime.
+    pub evictions: u64,
+    /// Failover republishes triggered.
+    pub failovers: u64,
+    /// Heartbeats that went unanswered.
+    pub missed_heartbeats: u64,
+    /// Per-node rows, id-ordered.
+    pub nodes: Vec<NodeReport>,
+    /// Live-document skew across **all** cluster shards (max shard over
+    /// mean, the `ServeStatsSnapshot::doc_skew` formula) — the dynamic
+    /// resharding trigger signal, now cluster-wide.
+    pub doc_skew: f64,
+    /// Tombstone rejections summed over nodes.
+    pub tombstone_rejections: u64,
+    /// Bytes the controller wrote / read.
+    pub controller_bytes: (u64, u64),
+}
+
+/// The running controller. Stop with [`ClusterController::shutdown`].
+pub struct ClusterController {
+    inner: Arc<ControllerInner>,
+    threads: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl ClusterController {
+    /// Binds a loopback listener and starts the accept and monitor
+    /// threads. `map` fixes the shard count and site boundaries for the
+    /// controller's lifetime (growth clamps into the last shard, as in
+    /// the in-process tier).
+    ///
+    /// # Errors
+    /// [`ClusterError::InvalidConfig`] when the listener cannot bind.
+    pub fn start(map: ShardMap, cfg: ControllerConfig) -> Result<Self> {
+        let listener =
+            TcpListener::bind("127.0.0.1:0").map_err(|e| ClusterError::InvalidConfig {
+                reason: format!("cannot bind a loopback listener: {e}"),
+            })?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ClusterError::InvalidConfig {
+                reason: format!("listener has no local address: {e}"),
+            })?
+            .to_string();
+        let inner = Arc::new(ControllerInner {
+            map,
+            cfg,
+            addr,
+            shutdown: AtomicBool::new(false),
+            state: Mutex::new(ControlState::default()),
+            publish_gate: Mutex::new(()),
+            counters: Arc::new(WireCounters::default()),
+            next_conn: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            missed_heartbeats: AtomicU64::new(0),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let inner = Arc::clone(&inner);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || accept_loop(&listener, &inner, &conns))
+        };
+        let monitor = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || monitor_loop(&inner))
+        };
+        Ok(Self {
+            inner,
+            threads: vec![accept, monitor],
+            conns,
+        })
+    }
+
+    /// The controller's listen address (`ip:port`).
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.inner.addr
+    }
+
+    /// The committed `(cluster epoch, rank epoch)` pair.
+    #[must_use]
+    pub fn epochs(&self) -> (u64, u64) {
+        let state = lock_clean(&self.inner.state);
+        (state.cepoch, state.rank_epoch)
+    }
+
+    /// Registered (live) node count.
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        lock_clean(&self.inner.state).nodes.len()
+    }
+
+    /// Blocks until at least `n` nodes registered.
+    ///
+    /// # Errors
+    /// [`ClusterError::NoNodes`] on timeout.
+    pub fn wait_for_nodes(&self, n: usize, timeout: Duration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        while self.n_nodes() < n {
+            if Instant::now() >= deadline {
+                return Err(ClusterError::NoNodes);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Ok(())
+    }
+
+    /// Publishes a snapshot cluster-wide: stage everywhere, then commit,
+    /// bumping the cluster epoch. Nodes that fail mid-publish are evicted
+    /// and the publish retries against survivors.
+    ///
+    /// # Errors
+    /// [`ClusterError::NoNodes`] with an empty registry;
+    /// [`ClusterError::StalePublish`] for an epoch older than the pinned
+    /// one; [`ClusterError::PublishFailed`] when every attempt failed.
+    pub fn publish(&self, snapshot: &RankSnapshot) -> Result<ClusterPublishReport> {
+        let _gate = self
+            .inner
+            .publish_gate
+            .lock()
+            .map_err(|_| ClusterError::PublishFailed {
+                detail: "publish gate poisoned".into(),
+            })?;
+        {
+            let state = lock_clean(&self.inner.state);
+            if state.pinned.is_some() {
+                if snapshot.epoch() < state.rank_epoch {
+                    return Err(ClusterError::StalePublish {
+                        published: snapshot.epoch(),
+                        pinned: state.rank_epoch,
+                    });
+                }
+                if snapshot.epoch() == state.rank_epoch {
+                    return Ok(ClusterPublishReport {
+                        epoch: state.cepoch,
+                        rank_epoch: state.rank_epoch,
+                        nodes: state.nodes.len(),
+                        rebuilt: 0,
+                        refreshed: 0,
+                        repinned: 0,
+                        reassigned: 0,
+                        attempts: 0,
+                        max_fanout_ms: 0.0,
+                        noop: true,
+                    });
+                }
+            }
+        }
+        self.inner.publish_locked(snapshot)
+    }
+
+    /// Evicts dead placements and republishes the pinned snapshot under a
+    /// bumped cluster epoch. Called automatically by the monitor when
+    /// `auto_failover` is on; public so tests and operators can force it.
+    ///
+    /// # Errors
+    /// [`ClusterError::NoNodes`] when no survivors remain;
+    /// [`ClusterError::NotPublished`] before any publish.
+    pub fn failover(&self) -> Result<ClusterPublishReport> {
+        self.inner.failover()
+    }
+
+    /// Gathers cluster-wide statistics, dialing every node for its
+    /// counters (unreachable nodes report `wire: None`).
+    #[must_use]
+    pub fn stats(&self) -> ClusterStats {
+        let inner = &self.inner;
+        let (epoch, rank_epoch, rows): (u64, u64, Vec<(u64, NodeEntry)>) = {
+            let state = lock_clean(&inner.state);
+            (
+                state.cepoch,
+                state.rank_epoch,
+                state.nodes.iter().map(|(&id, e)| (id, e.clone())).collect(),
+            )
+        };
+        let mut nodes = Vec::with_capacity(rows.len());
+        let mut shard_docs: Vec<u64> = Vec::new();
+        let mut tombstones = 0u64;
+        for (id, entry) in rows {
+            let wire = inner
+                .dial(&entry.addr)
+                .and_then(|mut conn| conn.call(&Message::StatsReq).map_err(|_| ()))
+                .ok()
+                .and_then(|reply| match reply {
+                    Message::Stats(stats) => Some(stats),
+                    _ => None,
+                });
+            if let Some(stats) = &wire {
+                tombstones += stats.tombstone_rejections;
+                shard_docs.extend(stats.shard_docs.iter().map(|&(_, d)| d));
+            }
+            nodes.push(NodeReport {
+                node: id,
+                addr: entry.addr,
+                missed: entry.missed,
+                rtt_us: entry.rtt_us,
+                last_fanout_ms: entry.last_fanout_ms,
+                wire,
+            });
+        }
+        let doc_skew = lmm_serve::ServeStatsSnapshot {
+            shard_docs,
+            ..Default::default()
+        }
+        .doc_skew();
+        ClusterStats {
+            epoch,
+            rank_epoch,
+            publishes: inner.publishes.load(Ordering::Relaxed),
+            evictions: inner.evictions.load(Ordering::Relaxed),
+            failovers: inner.failovers.load(Ordering::Relaxed),
+            missed_heartbeats: inner.missed_heartbeats.load(Ordering::Relaxed),
+            nodes,
+            doc_skew,
+            tombstone_rejections: tombstones,
+            controller_bytes: inner.counters.totals(),
+        }
+    }
+
+    /// Stops the controller and joins its threads.
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        let handles = std::mem::take(&mut *lock_clean(&self.conns));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One node's work order within a publish attempt.
+struct NodeJob {
+    node: u64,
+    addr: String,
+    stages: Vec<(u64, SwapGrade, Option<SnapshotSegment>)>,
+}
+
+impl ControllerInner {
+    fn dial(&self, addr: &str) -> std::result::Result<FramedConn, ()> {
+        let conn = FramedConn::connect(addr, self.cfg.io_timeout, Arc::clone(&self.counters))
+            .map_err(|_| ())?;
+        Ok(match &self.cfg.fault {
+            Some(plan) => conn.with_faults(Arc::new(
+                plan.injector(self.next_conn.fetch_add(1, Ordering::Relaxed)),
+            )),
+            None => conn,
+        })
+    }
+
+    /// The publish loop. Caller holds the publish gate.
+    fn publish_locked(&self, snapshot: &RankSnapshot) -> Result<ClusterPublishReport> {
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            // --- plan under the state lock -------------------------------
+            let (next_epoch, placement, jobs, reassigned, counts) = {
+                let state = lock_clean(&self.state);
+                if state.nodes.is_empty() {
+                    return Err(ClusterError::NoNodes);
+                }
+                let survivors: Vec<u64> = state.nodes.keys().copied().collect();
+                let n_shards = self.map.n_shards();
+                // Sticky placement: keep live owners, round-robin the rest
+                // over survivors (first publish: contiguous ranges).
+                let mut placement = vec![0u64; n_shards];
+                let mut changed = vec![false; n_shards];
+                if state.placement.is_empty() {
+                    let owners = survivors.len().min(n_shards);
+                    let ranges =
+                        self.map
+                            .owner_ranges(owners)
+                            .map_err(|e| ClusterError::InvalidConfig {
+                                reason: format!("owner ranges: {e}"),
+                            })?;
+                    for (owner, range) in ranges.into_iter().enumerate() {
+                        for shard in range {
+                            placement[shard] = survivors[owner];
+                            changed[shard] = true;
+                        }
+                    }
+                } else {
+                    let mut cycle = survivors.iter().cycle();
+                    for shard in 0..n_shards {
+                        let prev = state.placement[shard];
+                        if state.nodes.contains_key(&prev) {
+                            placement[shard] = prev;
+                        } else {
+                            placement[shard] = *cycle.next().expect("survivors is non-empty");
+                            changed[shard] = true;
+                        }
+                    }
+                }
+                // Grade data movement, then force-rebuild placement moves.
+                let mut grades: Vec<SwapGrade> = if state.cepoch == 0 {
+                    vec![SwapGrade::Rebuild; n_shards]
+                } else if snapshot.epoch() == state.rank_epoch {
+                    // Failover republish: identical data, new placement.
+                    vec![SwapGrade::Repin; n_shards]
+                } else {
+                    publish_grades(&self.map, state.rank_epoch, snapshot)
+                };
+                let mut reassigned = 0usize;
+                for shard in 0..n_shards {
+                    if changed[shard] {
+                        grades[shard] = SwapGrade::Rebuild;
+                        reassigned += 1;
+                    }
+                }
+                let counts = (
+                    grades.iter().filter(|g| **g == SwapGrade::Rebuild).count(),
+                    grades.iter().filter(|g| **g == SwapGrade::Refresh).count(),
+                    grades.iter().filter(|g| **g == SwapGrade::Repin).count(),
+                );
+                // Cut segments while planning: clone cost is bounded by
+                // the stale shards' sites, and we hold no node locks.
+                let mut jobs: BTreeMap<u64, NodeJob> = BTreeMap::new();
+                for shard in 0..n_shards {
+                    let node = placement[shard];
+                    let job = jobs.entry(node).or_insert_with(|| NodeJob {
+                        node,
+                        addr: state.nodes[&node].addr.clone(),
+                        stages: Vec::new(),
+                    });
+                    let segment = match grades[shard] {
+                        SwapGrade::Repin => None,
+                        SwapGrade::Rebuild | SwapGrade::Refresh => Some(snapshot.export_segment(
+                            shard_site_range(&self.map, shard, snapshot.n_sites()),
+                        )),
+                    };
+                    job.stages.push((shard as u64, grades[shard], segment));
+                }
+                (
+                    state.cepoch + 1,
+                    placement,
+                    jobs.into_values().collect::<Vec<_>>(),
+                    reassigned,
+                    counts,
+                )
+            };
+            // --- phase one: stage, in parallel across nodes --------------
+            let n_jobs = jobs.len();
+            let mut fanouts: Vec<(u64, f64)> = Vec::with_capacity(n_jobs);
+            let mut failed: Vec<(u64, String)> = Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n_jobs);
+                for job in &jobs {
+                    handles.push(scope.spawn(move || {
+                        let started = Instant::now();
+                        self.stage_node(job, next_epoch)
+                            .map(|()| (job.node, started.elapsed().as_secs_f64() * 1e3))
+                            .map_err(|detail| (job.node, detail))
+                    }));
+                }
+                for handle in handles {
+                    match handle.join().expect("stage thread panicked") {
+                        Ok(ok) => fanouts.push(ok),
+                        Err(err) => failed.push(err),
+                    }
+                }
+            });
+            // --- phase two: commit only after every node staged ----------
+            if failed.is_empty() {
+                for job in &jobs {
+                    if let Err(detail) = self.commit_node(job, next_epoch, snapshot.epoch()) {
+                        failed.push((job.node, detail));
+                    }
+                }
+            }
+            if !failed.is_empty() {
+                let detail = failed
+                    .iter()
+                    .map(|(node, d)| format!("node {node}: {d}"))
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                let mut state = lock_clean(&self.state);
+                for (node, _) in &failed {
+                    if state.nodes.remove(node).is_some() {
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                if state.nodes.is_empty() {
+                    return Err(ClusterError::PublishFailed { detail });
+                }
+                continue; // retry against survivors at next_epoch + 1
+            }
+            // --- success: commit the control state -----------------------
+            let max_fanout_ms = fanouts.iter().fold(0.0f64, |acc, &(_, ms)| acc.max(ms));
+            let mut state = lock_clean(&self.state);
+            for (node, ms) in fanouts {
+                if let Some(entry) = state.nodes.get_mut(&node) {
+                    entry.last_fanout_ms = ms;
+                }
+            }
+            state.cepoch = next_epoch;
+            state.rank_epoch = snapshot.epoch();
+            state.placement = placement;
+            state.pinned = Some(snapshot.clone());
+            self.publishes.fetch_add(1, Ordering::Relaxed);
+            return Ok(ClusterPublishReport {
+                epoch: next_epoch,
+                rank_epoch: snapshot.epoch(),
+                nodes: n_jobs,
+                rebuilt: counts.0,
+                refreshed: counts.1,
+                repinned: counts.2,
+                reassigned,
+                attempts,
+                max_fanout_ms,
+                noop: false,
+            });
+        }
+    }
+
+    fn stage_node(&self, job: &NodeJob, epoch: u64) -> std::result::Result<(), String> {
+        let mut conn = self
+            .dial(&job.addr)
+            .map_err(|()| format!("dial {}", job.addr))?;
+        for (shard, grade, segment) in &job.stages {
+            let reply = conn
+                .call(&Message::Stage {
+                    epoch,
+                    shard: *shard,
+                    grade: *grade,
+                    segment: segment.clone(),
+                })
+                .map_err(|e| format!("stage shard {shard}: {e}"))?;
+            match reply {
+                Message::Ack { epoch: acked } if acked == epoch => {}
+                other => return Err(format!("stage shard {shard} answered {other:?}")),
+            }
+        }
+        Ok(())
+    }
+
+    fn commit_node(
+        &self,
+        job: &NodeJob,
+        epoch: u64,
+        rank_epoch: u64,
+    ) -> std::result::Result<(), String> {
+        let mut conn = self
+            .dial(&job.addr)
+            .map_err(|()| format!("dial {}", job.addr))?;
+        let reply = conn
+            .call(&Message::Commit { epoch, rank_epoch })
+            .map_err(|e| format!("commit: {e}"))?;
+        match reply {
+            Message::Ack { epoch: acked } if acked == epoch => Ok(()),
+            other => Err(format!("commit answered {other:?}")),
+        }
+    }
+
+    fn failover(&self) -> Result<ClusterPublishReport> {
+        let _gate = self
+            .publish_gate
+            .lock()
+            .map_err(|_| ClusterError::PublishFailed {
+                detail: "publish gate poisoned".into(),
+            })?;
+        let pinned = {
+            let state = lock_clean(&self.state);
+            state.pinned.clone().ok_or(ClusterError::NotPublished)?
+        };
+        let report = self.publish_locked(&pinned)?;
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+        Ok(report)
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    inner: &Arc<ControllerInner>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let inner = Arc::clone(inner);
+                let handle = std::thread::spawn(move || serve_conn(stream, &inner));
+                lock_clean(conns).push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_conn(stream: TcpStream, inner: &Arc<ControllerInner>) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let Ok(mut conn) =
+        FramedConn::from_stream(stream, inner.cfg.io_timeout, Arc::clone(&inner.counters))
+    else {
+        return;
+    };
+    loop {
+        let msg = match conn.recv_idle(&mut || !inner.shutdown.load(Ordering::SeqCst)) {
+            Ok(msg) => msg,
+            Err(crate::transport::TransportError::Wire(e)) => {
+                if conn
+                    .send(&Message::Bad {
+                        detail: e.to_string(),
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        let reply = match msg {
+            Message::Register { addr } => {
+                let mut state = lock_clean(&inner.state);
+                let node = state.next_node;
+                state.next_node += 1;
+                state.nodes.insert(
+                    node,
+                    NodeEntry {
+                        addr,
+                        missed: 0,
+                        rtt_us: 0,
+                        last_fanout_ms: 0.0,
+                    },
+                );
+                Message::Registered { node }
+            }
+            Message::PlacementReq => {
+                let state = lock_clean(&inner.state);
+                if state.cepoch == 0 {
+                    // Epoch 0 = "nothing published"; clients map this to
+                    // a typed NotPublished.
+                    Message::Placement {
+                        epoch: 0,
+                        rank_epoch: 0,
+                        boundaries: Vec::new(),
+                        owners: Vec::new(),
+                    }
+                } else {
+                    Message::Placement {
+                        epoch: state.cepoch,
+                        rank_epoch: state.rank_epoch,
+                        boundaries: inner.map.boundaries().iter().map(|&b| b as u64).collect(),
+                        owners: state
+                            .placement
+                            .iter()
+                            .map(|id| {
+                                state
+                                    .nodes
+                                    .get(id)
+                                    .map_or_else(String::new, |n| n.addr.clone())
+                            })
+                            .collect(),
+                    }
+                }
+            }
+            Message::RoutingReq => {
+                let state = lock_clean(&inner.state);
+                match &state.pinned {
+                    Some(snapshot) => Message::Routing {
+                        rank_epoch: state.rank_epoch,
+                        site_of: snapshot
+                            .site_assignments()
+                            .iter()
+                            .map(|s| s.index() as u64)
+                            .collect(),
+                    },
+                    None => Message::Routing {
+                        rank_epoch: 0,
+                        site_of: Vec::new(),
+                    },
+                }
+            }
+            other => Message::Bad {
+                detail: format!("unexpected message at the controller: {other:?}"),
+            },
+        };
+        if conn.send(&reply).is_err() {
+            return;
+        }
+    }
+}
+
+fn monitor_loop(inner: &Arc<ControllerInner>) {
+    let mut seq = 0u64;
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(inner.cfg.heartbeat_interval);
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let targets: Vec<(u64, String)> = {
+            let state = lock_clean(&inner.state);
+            state
+                .nodes
+                .iter()
+                .map(|(&id, e)| (id, e.addr.clone()))
+                .collect()
+        };
+        let mut dead: Vec<u64> = Vec::new();
+        for (id, addr) in targets {
+            seq += 1;
+            let started = Instant::now();
+            let alive = inner
+                .dial(&addr)
+                .ok()
+                .and_then(|mut conn| conn.call(&Message::Ping { seq }).ok())
+                .is_some_and(|reply| matches!(reply, Message::Pong { seq: s, .. } if s == seq));
+            let mut state = lock_clean(&inner.state);
+            let Some(entry) = state.nodes.get_mut(&id) else {
+                continue;
+            };
+            if alive {
+                entry.missed = 0;
+                entry.rtt_us = started.elapsed().as_micros() as u64;
+            } else {
+                inner.missed_heartbeats.fetch_add(1, Ordering::Relaxed);
+                entry.missed += 1;
+                if entry.missed > inner.cfg.miss_limit {
+                    dead.push(id);
+                }
+            }
+        }
+        if dead.is_empty() {
+            continue;
+        }
+        {
+            let mut state = lock_clean(&inner.state);
+            for id in &dead {
+                if state.nodes.remove(id).is_some() {
+                    inner.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if inner.cfg.auto_failover {
+            // NotPublished / NoNodes here just mean there is nothing to
+            // repair yet; publish-time failures surface on the publisher.
+            let _ = inner.failover();
+        }
+    }
+}

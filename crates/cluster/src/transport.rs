@@ -1,0 +1,477 @@
+//! Framed TCP transport: one [`FramedConn`] per socket, bounded timeouts
+//! on every read and write, byte counters, and a deterministic
+//! fault-injection shim.
+//!
+//! The fabric is std-only: plain `TcpStream`s on loopback (or any
+//! network), thread-per-connection on the accepting side. Every
+//! connection gets explicit read/write timeouts, so a dead peer costs a
+//! bounded wait — never a hang — and the caller maps the typed
+//! [`TransportError`] to a retriable `NodeUnavailable`.
+//!
+//! Fault injection ([`FaultPlan`]) is applied on the *send* side: a sent
+//! frame can be silently dropped (the peer's read times out), delayed, or
+//! the socket torn down mid-conversation. The schedule is a pure function
+//! of the plan's seed and the connection's index, so a failing run replays
+//! exactly.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::wire::{decode_message, encode_frame, Message, WireError, MAX_PAYLOAD};
+
+/// Transport-level failures, distinct from protocol-level [`WireError`]s
+/// (which are also surfaced here once bytes arrive but do not parse).
+#[derive(Debug)]
+pub enum TransportError {
+    /// A socket operation failed.
+    Io(std::io::Error),
+    /// The peer closed the connection (EOF mid-protocol).
+    Closed,
+    /// No full frame arrived within the read timeout.
+    TimedOut,
+    /// Bytes arrived but did not parse.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "io error: {e}"),
+            TransportError::Closed => write!(f, "peer closed the connection"),
+            TransportError::TimedOut => write!(f, "timed out waiting for a frame"),
+            TransportError::Wire(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Wire(e)
+    }
+}
+
+/// Bytes moved through a set of connections (an endpoint shares one
+/// counter pair across all its sockets).
+#[derive(Debug, Default)]
+pub struct WireCounters {
+    /// Bytes written.
+    pub sent: AtomicU64,
+    /// Bytes read.
+    pub recv: AtomicU64,
+}
+
+impl WireCounters {
+    /// Reads both counters.
+    #[must_use]
+    pub fn totals(&self) -> (u64, u64) {
+        (
+            self.sent.load(Ordering::Relaxed),
+            self.recv.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Declarative fault schedule, deterministic from `seed`. Rates are per
+/// mille per sent frame; faults are rolled independently per frame in the
+/// order disconnect → drop → delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the xorshift stream all rolls derive from.
+    pub seed: u64,
+    /// Frames silently dropped, per mille.
+    pub drop_per_mille: u32,
+    /// Frames delayed by [`FaultPlan::delay`], per mille.
+    pub delay_per_mille: u32,
+    /// Delay applied to delayed frames.
+    pub delay: Duration,
+    /// Sends that tear the connection down instead, per mille.
+    pub disconnect_per_mille: u32,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a config default).
+    #[must_use]
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            seed,
+            drop_per_mille: 0,
+            delay_per_mille: 0,
+            delay: Duration::ZERO,
+            disconnect_per_mille: 0,
+        }
+    }
+
+    /// Builds the injector for the `index`-th connection of this plan.
+    /// Each connection gets its own deterministic roll stream, so the
+    /// fault sequence does not depend on cross-connection interleaving.
+    #[must_use]
+    pub fn injector(&self, index: u64) -> FaultInjector {
+        FaultInjector {
+            plan: *self,
+            state: Mutex::new(splitmix(
+                self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            )),
+        }
+    }
+}
+
+/// One fault decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    None,
+    Drop,
+    Delay(Duration),
+    Disconnect,
+}
+
+/// Per-connection deterministic fault roller.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    state: Mutex<u64>,
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) | 1
+}
+
+impl FaultInjector {
+    fn roll(&self) -> Fault {
+        let mut state = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        let draw = (*state % 1000) as u32;
+        let p = &self.plan;
+        if draw < p.disconnect_per_mille {
+            Fault::Disconnect
+        } else if draw < p.disconnect_per_mille + p.drop_per_mille {
+            Fault::Drop
+        } else if draw < p.disconnect_per_mille + p.drop_per_mille + p.delay_per_mille {
+            Fault::Delay(p.delay)
+        } else {
+            Fault::None
+        }
+    }
+}
+
+/// A framed, fault-injectable message stream over one `TcpStream`.
+#[derive(Debug)]
+pub struct FramedConn {
+    stream: TcpStream,
+    peer: String,
+    counters: Arc<WireCounters>,
+    faults: Option<Arc<FaultInjector>>,
+}
+
+impl FramedConn {
+    /// Dials `addr` with `timeout` as the connect, read, and write bound.
+    ///
+    /// # Errors
+    /// Any socket error (unresolvable address, refused, timed out).
+    pub fn connect(
+        addr: &str,
+        timeout: Duration,
+        counters: Arc<WireCounters>,
+    ) -> Result<Self, TransportError> {
+        let sockaddr: SocketAddr = addr
+            .to_socket_addrs()
+            .map_err(TransportError::Io)?
+            .next()
+            .ok_or_else(|| {
+                TransportError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("address {addr} resolved to nothing"),
+                ))
+            })?;
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout).map_err(TransportError::Io)?;
+        Self::from_stream(stream, timeout, counters)
+    }
+
+    /// Wraps an accepted (or freshly dialed) stream, installing bounded
+    /// read/write timeouts.
+    ///
+    /// # Errors
+    /// Socket-option failures.
+    pub fn from_stream(
+        stream: TcpStream,
+        timeout: Duration,
+        counters: Arc<WireCounters>,
+    ) -> Result<Self, TransportError> {
+        stream.set_nodelay(true).map_err(TransportError::Io)?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(TransportError::Io)?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(TransportError::Io)?;
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "<unknown>".into());
+        Ok(Self {
+            stream,
+            peer,
+            counters,
+            faults: None,
+        })
+    }
+
+    /// Installs a fault injector on this connection's sends.
+    #[must_use]
+    pub fn with_faults(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
+    /// The peer's address, for error messages.
+    #[must_use]
+    pub fn peer(&self) -> &str {
+        &self.peer
+    }
+
+    /// Sends one message, rolling the fault plan first: a dropped frame
+    /// returns `Ok` without writing (the peer sees silence), a delayed
+    /// frame sleeps, a disconnect tears the socket down and errors.
+    ///
+    /// # Errors
+    /// Socket errors, encode failures, injected disconnects.
+    pub fn send(&mut self, msg: &Message) -> Result<(), TransportError> {
+        if let Some(faults) = &self.faults {
+            match faults.roll() {
+                Fault::None => {}
+                Fault::Drop => return Ok(()),
+                Fault::Delay(d) => std::thread::sleep(d),
+                Fault::Disconnect => {
+                    let _ = self.stream.shutdown(std::net::Shutdown::Both);
+                    return Err(TransportError::Closed);
+                }
+            }
+        }
+        let frame = encode_frame(msg)?;
+        self.stream.write_all(&frame).map_err(|e| classify(&e))?;
+        self.counters
+            .sent
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Receives one message, waiting at most one read-timeout for it to
+    /// start arriving.
+    ///
+    /// # Errors
+    /// [`TransportError::TimedOut`] when nothing arrives in time,
+    /// [`TransportError::Closed`] on EOF, wire errors on garbage.
+    pub fn recv(&mut self) -> Result<Message, TransportError> {
+        self.recv_idle(&mut || false)
+    }
+
+    /// Receives one message; on an idle read timeout (no byte of the next
+    /// frame arrived yet) consults `keep_waiting` — `true` keeps
+    /// listening, `false` gives up with [`TransportError::TimedOut`].
+    /// Accept loops pass their shutdown flag here so an idle connection
+    /// thread can wind down promptly without dropping mid-frame.
+    ///
+    /// # Errors
+    /// See [`FramedConn::recv`].
+    pub fn recv_idle(
+        &mut self,
+        keep_waiting: &mut dyn FnMut() -> bool,
+    ) -> Result<Message, TransportError> {
+        let mut header = [0u8; 4];
+        self.read_exact_idle(&mut header, keep_waiting)?;
+        let len = u32::from_be_bytes(header);
+        if len > MAX_PAYLOAD {
+            return Err(WireError::Oversized {
+                len: u64::from(len),
+            }
+            .into());
+        }
+        // The frame has started: finish it regardless of keep_waiting.
+        let mut payload = vec![0u8; len as usize];
+        self.read_exact_idle(&mut payload, &mut || true)?;
+        self.counters
+            .recv
+            .fetch_add(4 + u64::from(len), Ordering::Relaxed);
+        Ok(decode_message(&payload)?)
+    }
+
+    /// `read_exact` that survives read-timeout wakeups: progress made so
+    /// far is kept, and `keep_waiting` decides whether an *idle* timeout
+    /// (zero bytes of `buf` filled) aborts. A timeout mid-buffer always
+    /// keeps waiting — the bytes are in flight.
+    fn read_exact_idle(
+        &mut self,
+        buf: &mut [u8],
+        keep_waiting: &mut dyn FnMut() -> bool,
+    ) -> Result<(), TransportError> {
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            match self.stream.read(&mut buf[filled..]) {
+                Ok(0) => return Err(TransportError::Closed),
+                Ok(n) => filled += n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if filled == 0 && !keep_waiting() {
+                        return Err(TransportError::TimedOut);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(classify(&e)),
+            }
+        }
+        Ok(())
+    }
+
+    /// One round trip: send `msg`, wait for the answer.
+    ///
+    /// # Errors
+    /// See [`FramedConn::send`] and [`FramedConn::recv`].
+    pub fn call(&mut self, msg: &Message) -> Result<Message, TransportError> {
+        self.send(msg)?;
+        self.recv()
+    }
+}
+
+fn classify(e: &std::io::Error) -> TransportError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => TransportError::TimedOut,
+        std::io::ErrorKind::UnexpectedEof
+        | std::io::ErrorKind::ConnectionReset
+        | std::io::ErrorKind::ConnectionAborted
+        | std::io::ErrorKind::BrokenPipe => TransportError::Closed,
+        _ => TransportError::Io(std::io::Error::new(e.kind(), e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (FramedConn, FramedConn) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let timeout = Duration::from_millis(500);
+        let client = FramedConn::connect(&addr, timeout, Arc::new(WireCounters::default()))
+            .expect("connect");
+        let (accepted, _) = listener.accept().expect("accept");
+        let server = FramedConn::from_stream(accepted, timeout, Arc::new(WireCounters::default()))
+            .expect("wrap");
+        (client, server)
+    }
+
+    #[test]
+    fn frames_cross_a_real_socket_and_are_counted() {
+        let (mut client, mut server) = pair();
+        client.send(&Message::Ping { seq: 42 }).expect("send");
+        let got = server.recv().expect("recv");
+        assert_eq!(got, Message::Ping { seq: 42 });
+        server
+            .send(&Message::Pong { seq: 42, epoch: 7 })
+            .expect("send");
+        assert_eq!(
+            client.recv().expect("recv"),
+            Message::Pong { seq: 42, epoch: 7 }
+        );
+        let (sent, recv) = client.counters.totals();
+        assert!(sent > 0 && recv > 0);
+        // Both directions framed identically: what one side sent, the
+        // other counted received.
+        assert_eq!(server.counters.totals().1, sent);
+        assert_eq!(server.counters.totals().0, recv);
+    }
+
+    #[test]
+    fn idle_timeout_is_bounded_and_typed() {
+        let (mut client, _server) = pair();
+        let started = std::time::Instant::now();
+        let err = client.recv().expect_err("nothing was sent");
+        assert!(matches!(err, TransportError::TimedOut));
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn dropped_frames_leave_the_peer_waiting() {
+        let (client, mut server) = pair();
+        let plan = FaultPlan {
+            seed: 7,
+            drop_per_mille: 1000,
+            delay_per_mille: 0,
+            delay: Duration::ZERO,
+            disconnect_per_mille: 0,
+        };
+        let mut client = client.with_faults(Arc::new(plan.injector(0)));
+        client
+            .send(&Message::Ping { seq: 1 })
+            .expect("drop is silent");
+        assert!(matches!(
+            server.recv().expect_err("frame was dropped"),
+            TransportError::TimedOut
+        ));
+        assert_eq!(client.counters.totals().0, 0);
+    }
+
+    #[test]
+    fn injected_disconnects_are_loud_on_both_sides() {
+        let (client, mut server) = pair();
+        let plan = FaultPlan {
+            seed: 7,
+            drop_per_mille: 0,
+            delay_per_mille: 0,
+            delay: Duration::ZERO,
+            disconnect_per_mille: 1000,
+        };
+        let mut client = client.with_faults(Arc::new(plan.injector(3)));
+        assert!(matches!(
+            client
+                .send(&Message::Ping { seq: 1 })
+                .expect_err("torn down"),
+            TransportError::Closed
+        ));
+        assert!(matches!(
+            server.recv().expect_err("peer vanished"),
+            TransportError::Closed | TransportError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed_and_connection() {
+        let plan = FaultPlan {
+            seed: 99,
+            drop_per_mille: 200,
+            delay_per_mille: 100,
+            delay: Duration::from_millis(1),
+            disconnect_per_mille: 50,
+        };
+        let a: Vec<_> = {
+            let inj = plan.injector(5);
+            (0..64).map(|_| inj.roll()).collect()
+        };
+        let b: Vec<_> = {
+            let inj = plan.injector(5);
+            (0..64).map(|_| inj.roll()).collect()
+        };
+        assert_eq!(a, b);
+        let other: Vec<_> = {
+            let inj = plan.injector(6);
+            (0..64).map(|_| inj.roll()).collect()
+        };
+        assert_ne!(a, other);
+        assert!(a.iter().any(|f| *f != Fault::None));
+    }
+}

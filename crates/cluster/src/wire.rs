@@ -1,0 +1,1086 @@
+//! The cluster wire protocol: a hand-rolled, length-prefixed binary codec.
+//!
+//! Every frame on a cluster connection is
+//!
+//! ```text
+//! [u32 BE payload length][u8 version][u8 tag][body...]
+//! ```
+//!
+//! with all integers big-endian and every `f64` carried as its IEEE-754
+//! bit pattern (`to_bits`/`from_bits`) — scores survive the wire
+//! **bitwise**, which is what lets the parity bench compare a remote
+//! answer against an in-process one with `==` instead of a tolerance.
+//!
+//! Decoding is total: [`decode_frame`] and [`decode_message`] return a
+//! typed [`WireError`] for truncated frames, oversized length prefixes,
+//! unknown version bytes, unknown tags, and malformed bodies — they never
+//! panic and never allocate proportionally to a length claim that the
+//! remaining bytes cannot back (a 4 GB vector header on a 40-byte frame
+//! is rejected before any allocation). The property suite in
+//! `tests/wire_props.rs` hammers both directions.
+
+use std::fmt;
+
+use lmm_engine::SnapshotSegment;
+use lmm_graph::{DocId, SiteId};
+use lmm_serve::{DocScore, SiteTopK, SwapGrade};
+
+/// Protocol version carried by every frame. Peers reject frames whose
+/// version byte differs — a mixed-version cluster fails typed instead of
+/// misparsing.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard cap on a frame's payload length. Large enough for a full-web
+/// snapshot segment, small enough that a corrupt or hostile length prefix
+/// cannot drive an allocation.
+pub const MAX_PAYLOAD: u32 = 64 * 1024 * 1024;
+
+/// Decode/encode failures. Every variant is a *refusal*, not a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the announced content did.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// A length prefix exceeded [`MAX_PAYLOAD`].
+    Oversized {
+        /// The claimed payload length.
+        len: u64,
+    },
+    /// The version byte is not [`WIRE_VERSION`].
+    BadVersion {
+        /// The version byte received.
+        version: u8,
+    },
+    /// The message tag is not one this protocol defines.
+    BadTag {
+        /// The tag byte received.
+        tag: u8,
+    },
+    /// The body contradicted itself (impossible counts, invalid UTF-8,
+    /// enum discriminants out of range, non-finite score bits, ...).
+    Malformed {
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// The body decoded cleanly but bytes were left over.
+    TrailingBytes {
+        /// Leftover byte count.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated frame: needed {needed} bytes, have {have}")
+            }
+            WireError::Oversized { len } => {
+                write!(f, "oversized frame: {len} bytes exceeds cap {MAX_PAYLOAD}")
+            }
+            WireError::BadVersion { version } => {
+                write!(
+                    f,
+                    "unknown protocol version {version} (expected {WIRE_VERSION})"
+                )
+            }
+            WireError::BadTag { tag } => write!(f, "unknown message tag {tag}"),
+            WireError::Malformed { detail } => write!(f, "malformed message body: {detail}"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after message body")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Per-node counters shipped over the wire on a stats request — the
+/// cluster-tier analogue of `ServeStatsSnapshot`, extended with transport
+/// accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeWireStats {
+    /// The node's controller-assigned id.
+    pub node: u64,
+    /// The node's committed cluster epoch.
+    pub epoch: u64,
+    /// The rank (snapshot) epoch the node answers from.
+    pub rank_epoch: u64,
+    /// `(shard, live docs)` per owned shard, sorted by shard.
+    pub shard_docs: Vec<(u64, u64)>,
+    /// Queries answered (score batches, top-k, site top-k).
+    pub queries: u64,
+    /// Point lookups that answered a tombstoned document or site.
+    pub tombstone_rejections: u64,
+    /// Snapshot segments staged (including restages superseded before
+    /// commit).
+    pub staged: u64,
+    /// Commits applied (epoch flips).
+    pub commits: u64,
+    /// Bytes written to peers since the node started.
+    pub bytes_sent: u64,
+    /// Bytes read from peers since the node started.
+    pub bytes_recv: u64,
+}
+
+impl NodeWireStats {
+    /// Live documents across this node's owned shards.
+    #[must_use]
+    pub fn n_docs(&self) -> u64 {
+        self.shard_docs.iter().map(|&(_, d)| d).sum()
+    }
+
+    /// Document skew across this node's *own* shards — the same
+    /// max-over-mean signal `ServeStatsSnapshot::doc_skew` computes for
+    /// the in-process tier, reused here so dashboards read one number.
+    #[must_use]
+    pub fn doc_skew(&self) -> f64 {
+        let snap = lmm_serve::ServeStatsSnapshot {
+            shard_docs: self.shard_docs.iter().map(|&(_, d)| d).collect(),
+            ..Default::default()
+        };
+        snap.doc_skew()
+    }
+}
+
+/// Every message of the cluster protocol. One enum for both directions —
+/// the tag byte identifies the variant on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Node → controller: announce a fresh node listening on `addr`.
+    Register {
+        /// The node's `ip:port` listen address.
+        addr: String,
+    },
+    /// Controller → node: registration accepted, node id assigned.
+    Registered {
+        /// The assigned node id.
+        node: u64,
+    },
+    /// Controller → node heartbeat probe.
+    Ping {
+        /// Echo token.
+        seq: u64,
+    },
+    /// Node → controller heartbeat answer.
+    Pong {
+        /// The probe's echo token.
+        seq: u64,
+        /// The node's committed cluster epoch.
+        epoch: u64,
+    },
+    /// Client → controller: request the current placement map.
+    PlacementReq,
+    /// Controller → client: the committed placement.
+    Placement {
+        /// Committed cluster epoch.
+        epoch: u64,
+        /// Rank (snapshot) epoch the cluster serves.
+        rank_epoch: u64,
+        /// Shard-map boundaries (first site of each shard, starting 0).
+        boundaries: Vec<u64>,
+        /// Owning node address per shard (parallel to shards).
+        owners: Vec<String>,
+    },
+    /// Client → controller: request the document → site routing table.
+    RoutingReq,
+    /// Controller → client: document → site assignments (append-only ids,
+    /// so a cached prefix stays valid as the web grows).
+    Routing {
+        /// Rank epoch the table was read from.
+        rank_epoch: u64,
+        /// `site_of[doc]` for every document id.
+        site_of: Vec<u64>,
+    },
+    /// Controller → node, publish phase 1: stage one shard at the next
+    /// cluster epoch. `segment` is `None` exactly for [`SwapGrade::Repin`]
+    /// — the node reuses its current store.
+    Stage {
+        /// The cluster epoch being staged (commit flips to it).
+        epoch: u64,
+        /// The shard being staged.
+        shard: u64,
+        /// How the node must swap this shard.
+        grade: SwapGrade,
+        /// The shard's snapshot slice (rebuild/refresh only).
+        segment: Option<SnapshotSegment>,
+    },
+    /// Controller → node, publish phase 2: flip to the staged epoch.
+    Commit {
+        /// The cluster epoch to commit (must equal the staged epoch).
+        epoch: u64,
+        /// The rank epoch the staged segments came from.
+        rank_epoch: u64,
+    },
+    /// Node → controller: stage or commit applied.
+    Ack {
+        /// The acknowledged cluster epoch.
+        epoch: u64,
+    },
+    /// Client → node: score a batch of documents on one owned shard.
+    ScoreBatch {
+        /// The shard to answer from.
+        shard: u64,
+        /// Document ids to score.
+        docs: Vec<u64>,
+    },
+    /// Client → node: one shard's best `k` documents.
+    TopKReq {
+        /// The shard to answer from.
+        shard: u64,
+        /// How many documents.
+        k: u64,
+    },
+    /// Client → node: one site's best `k` documents.
+    SiteTopKReq {
+        /// The shard owning the site.
+        shard: u64,
+        /// The site.
+        site: u64,
+        /// How many documents.
+        k: u64,
+    },
+    /// Node → client: batched score answer.
+    Scores {
+        /// The node's committed cluster epoch.
+        epoch: u64,
+        /// The rank epoch the scores came from.
+        rank_epoch: u64,
+        /// One typed answer per requested document, in request order.
+        scores: Vec<DocScore>,
+    },
+    /// Node → client: shard top-k answer.
+    Top {
+        /// The node's committed cluster epoch.
+        epoch: u64,
+        /// The rank epoch the entries came from.
+        rank_epoch: u64,
+        /// The shard's best documents in serving order.
+        entries: Vec<(DocId, f64)>,
+        /// `false` when `k` exceeded the precomputed list and the shard
+        /// fell back to a scan.
+        complete: bool,
+    },
+    /// Node → client: site top-k answer.
+    SiteTop {
+        /// The node's committed cluster epoch.
+        epoch: u64,
+        /// The rank epoch the reply came from.
+        rank_epoch: u64,
+        /// The typed site answer.
+        reply: SiteTopK,
+    },
+    /// Controller/client → node: request counters.
+    StatsReq,
+    /// Node → requester: counters.
+    Stats(NodeWireStats),
+    /// Node → client: the queried shard is not owned here (placement
+    /// changed under the client; refresh and retry).
+    NotOwner {
+        /// The shard that was asked for.
+        shard: u64,
+    },
+    /// Either direction: the request could not be honoured.
+    Bad {
+        /// Human-readable cause.
+        detail: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// primitive writers/readers
+// ---------------------------------------------------------------------------
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_be_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn boolean(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+    fn len(&mut self, n: usize) -> Result<(), WireError> {
+        let n32 = u32::try_from(n).map_err(|_| WireError::Malformed {
+            detail: format!("collection of {n} items exceeds u32 length prefix"),
+        })?;
+        self.u32(n32);
+        Ok(())
+    }
+    fn str(&mut self, s: &str) -> Result<(), WireError> {
+        self.len(s.len())?;
+        self.0.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                have: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn boolean(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(WireError::Malformed {
+                detail: format!("boolean byte {b}"),
+            }),
+        }
+    }
+
+    /// Reads a collection length prefix and refuses any claim the
+    /// remaining bytes cannot possibly back (`min_elem` bytes/element),
+    /// so a corrupt header cannot drive an allocation.
+    fn claimed_len(&mut self, min_elem: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        let floor = n.saturating_mul(min_elem.max(1));
+        if floor > self.remaining() {
+            return Err(WireError::Truncated {
+                needed: floor,
+                have: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.claimed_len(1)?;
+        let raw = self.bytes(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| WireError::Malformed {
+            detail: "invalid UTF-8 in string field".into(),
+        })
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::TrailingBytes {
+                extra: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// compound field codecs
+// ---------------------------------------------------------------------------
+
+fn put_u64s(w: &mut Writer, items: &[u64]) -> Result<(), WireError> {
+    w.len(items.len())?;
+    for &v in items {
+        w.u64(v);
+    }
+    Ok(())
+}
+
+fn take_u64s(r: &mut Reader<'_>) -> Result<Vec<u64>, WireError> {
+    let n = r.claimed_len(8)?;
+    (0..n).map(|_| r.u64()).collect()
+}
+
+fn put_entries(w: &mut Writer, entries: &[(DocId, f64)]) -> Result<(), WireError> {
+    w.len(entries.len())?;
+    for &(doc, score) in entries {
+        w.u64(doc.index() as u64);
+        w.f64(score);
+    }
+    Ok(())
+}
+
+fn take_entries(r: &mut Reader<'_>) -> Result<Vec<(DocId, f64)>, WireError> {
+    let n = r.claimed_len(16)?;
+    (0..n).map(|_| Ok((take_doc(r)?, r.f64()?))).collect()
+}
+
+fn take_doc(r: &mut Reader<'_>) -> Result<DocId, WireError> {
+    let raw = r.u64()?;
+    usize::try_from(raw)
+        .map(DocId)
+        .map_err(|_| WireError::Malformed {
+            detail: format!("document id {raw} does not fit this platform"),
+        })
+}
+
+fn take_usize(r: &mut Reader<'_>) -> Result<usize, WireError> {
+    let raw = r.u64()?;
+    usize::try_from(raw).map_err(|_| WireError::Malformed {
+        detail: format!("value {raw} does not fit this platform"),
+    })
+}
+
+fn put_grade(w: &mut Writer, grade: SwapGrade) {
+    w.u8(match grade {
+        SwapGrade::Rebuild => 0,
+        SwapGrade::Refresh => 1,
+        SwapGrade::Repin => 2,
+    });
+}
+
+fn take_grade(r: &mut Reader<'_>) -> Result<SwapGrade, WireError> {
+    match r.u8()? {
+        0 => Ok(SwapGrade::Rebuild),
+        1 => Ok(SwapGrade::Refresh),
+        2 => Ok(SwapGrade::Repin),
+        b => Err(WireError::Malformed {
+            detail: format!("swap grade discriminant {b}"),
+        }),
+    }
+}
+
+fn put_doc_score(w: &mut Writer, score: DocScore) {
+    match score {
+        DocScore::Live(v) => {
+            w.u8(0);
+            w.f64(v);
+        }
+        DocScore::Tombstoned => w.u8(1),
+        DocScore::Unknown => w.u8(2),
+    }
+}
+
+fn take_doc_score(r: &mut Reader<'_>) -> Result<DocScore, WireError> {
+    match r.u8()? {
+        0 => Ok(DocScore::Live(r.f64()?)),
+        1 => Ok(DocScore::Tombstoned),
+        2 => Ok(DocScore::Unknown),
+        b => Err(WireError::Malformed {
+            detail: format!("doc score discriminant {b}"),
+        }),
+    }
+}
+
+fn put_site_top(w: &mut Writer, reply: &SiteTopK) -> Result<(), WireError> {
+    match reply {
+        SiteTopK::Entries(entries) => {
+            w.u8(0);
+            put_entries(w, entries)?;
+        }
+        SiteTopK::Tombstoned => w.u8(1),
+        SiteTopK::NotCovered => w.u8(2),
+    }
+    Ok(())
+}
+
+fn take_site_top(r: &mut Reader<'_>) -> Result<SiteTopK, WireError> {
+    match r.u8()? {
+        0 => Ok(SiteTopK::Entries(take_entries(r)?)),
+        1 => Ok(SiteTopK::Tombstoned),
+        2 => Ok(SiteTopK::NotCovered),
+        b => Err(WireError::Malformed {
+            detail: format!("site top-k discriminant {b}"),
+        }),
+    }
+}
+
+fn put_segment(w: &mut Writer, seg: &SnapshotSegment) -> Result<(), WireError> {
+    w.u64(seg.epoch);
+    w.str(&seg.backend)?;
+    w.u64(seg.sites.start as u64);
+    w.u64(seg.sites.end as u64);
+    w.u64(seg.n_docs as u64);
+    w.u64(seg.n_sites as u64);
+    w.len(seg.members.len())?;
+    for (docs, scores) in seg.members.iter().zip(&seg.member_scores) {
+        w.len(docs.len())?;
+        for (&doc, &score) in docs.iter().zip(scores) {
+            w.u64(doc.index() as u64);
+            w.f64(score);
+        }
+    }
+    w.len(seg.tombstoned.len())?;
+    for &(doc, site) in &seg.tombstoned {
+        w.u64(doc.index() as u64);
+        w.u64(site.index() as u64);
+    }
+    Ok(())
+}
+
+fn take_segment(r: &mut Reader<'_>) -> Result<SnapshotSegment, WireError> {
+    let epoch = r.u64()?;
+    let backend = r.str()?;
+    let start = take_usize(r)?;
+    let end = take_usize(r)?;
+    if end < start {
+        return Err(WireError::Malformed {
+            detail: format!("segment site range {start}..{end} is inverted"),
+        });
+    }
+    let n_docs = take_usize(r)?;
+    let n_sites = take_usize(r)?;
+    let covered = r.claimed_len(4)?;
+    if covered != end - start {
+        return Err(WireError::Malformed {
+            detail: format!(
+                "segment covers {covered} sites but its range {start}..{end} holds {}",
+                end - start
+            ),
+        });
+    }
+    let mut members = Vec::with_capacity(covered);
+    let mut member_scores = Vec::with_capacity(covered);
+    for _ in 0..covered {
+        let n = r.claimed_len(16)?;
+        let mut docs = Vec::with_capacity(n);
+        let mut scores = Vec::with_capacity(n);
+        for _ in 0..n {
+            let doc = take_doc(r)?;
+            if doc.index() >= n_docs {
+                return Err(WireError::Malformed {
+                    detail: format!("member doc {} outside id space {n_docs}", doc.index()),
+                });
+            }
+            docs.push(doc);
+            scores.push(r.f64()?);
+        }
+        members.push(docs);
+        member_scores.push(scores);
+    }
+    let n_tomb = r.claimed_len(16)?;
+    let mut tombstoned = Vec::with_capacity(n_tomb);
+    for _ in 0..n_tomb {
+        let doc = take_doc(r)?;
+        if doc.index() >= n_docs {
+            return Err(WireError::Malformed {
+                detail: format!("tombstoned doc {} outside id space {n_docs}", doc.index()),
+            });
+        }
+        tombstoned.push((doc, SiteId(take_usize(r)?)));
+    }
+    Ok(SnapshotSegment {
+        epoch,
+        backend,
+        sites: start..end,
+        n_docs,
+        n_sites,
+        members,
+        member_scores,
+        tombstoned,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// message codec
+// ---------------------------------------------------------------------------
+
+impl Message {
+    fn tag(&self) -> u8 {
+        match self {
+            Message::Register { .. } => 1,
+            Message::Registered { .. } => 2,
+            Message::Ping { .. } => 3,
+            Message::Pong { .. } => 4,
+            Message::PlacementReq => 5,
+            Message::Placement { .. } => 6,
+            Message::RoutingReq => 7,
+            Message::Routing { .. } => 8,
+            Message::Stage { .. } => 9,
+            Message::Commit { .. } => 10,
+            Message::Ack { .. } => 11,
+            Message::ScoreBatch { .. } => 12,
+            Message::TopKReq { .. } => 13,
+            Message::SiteTopKReq { .. } => 14,
+            Message::Scores { .. } => 15,
+            Message::Top { .. } => 16,
+            Message::SiteTop { .. } => 17,
+            Message::StatsReq => 18,
+            Message::Stats(_) => 19,
+            Message::NotOwner { .. } => 20,
+            Message::Bad { .. } => 21,
+        }
+    }
+}
+
+/// Encodes a message payload (`[version][tag][body]`, no length prefix —
+/// the transport frames it).
+///
+/// # Errors
+/// [`WireError::Malformed`] when a collection exceeds the u32 length
+/// prefix (practically unreachable below [`MAX_PAYLOAD`]).
+pub fn encode_message(msg: &Message) -> Result<Vec<u8>, WireError> {
+    let mut w = Writer(Vec::with_capacity(64));
+    w.u8(WIRE_VERSION);
+    w.u8(msg.tag());
+    match msg {
+        Message::Register { addr } => w.str(addr)?,
+        Message::Registered { node } => w.u64(*node),
+        Message::Ping { seq } => w.u64(*seq),
+        Message::Pong { seq, epoch } => {
+            w.u64(*seq);
+            w.u64(*epoch);
+        }
+        Message::PlacementReq | Message::RoutingReq | Message::StatsReq => {}
+        Message::Placement {
+            epoch,
+            rank_epoch,
+            boundaries,
+            owners,
+        } => {
+            w.u64(*epoch);
+            w.u64(*rank_epoch);
+            put_u64s(&mut w, boundaries)?;
+            w.len(owners.len())?;
+            for owner in owners {
+                w.str(owner)?;
+            }
+        }
+        Message::Routing {
+            rank_epoch,
+            site_of,
+        } => {
+            w.u64(*rank_epoch);
+            put_u64s(&mut w, site_of)?;
+        }
+        Message::Stage {
+            epoch,
+            shard,
+            grade,
+            segment,
+        } => {
+            w.u64(*epoch);
+            w.u64(*shard);
+            put_grade(&mut w, *grade);
+            match segment {
+                Some(seg) => {
+                    w.u8(1);
+                    put_segment(&mut w, seg)?;
+                }
+                None => w.u8(0),
+            }
+        }
+        Message::Commit { epoch, rank_epoch } => {
+            w.u64(*epoch);
+            w.u64(*rank_epoch);
+        }
+        Message::Ack { epoch } => w.u64(*epoch),
+        Message::ScoreBatch { shard, docs } => {
+            w.u64(*shard);
+            put_u64s(&mut w, docs)?;
+        }
+        Message::TopKReq { shard, k } => {
+            w.u64(*shard);
+            w.u64(*k);
+        }
+        Message::SiteTopKReq { shard, site, k } => {
+            w.u64(*shard);
+            w.u64(*site);
+            w.u64(*k);
+        }
+        Message::Scores {
+            epoch,
+            rank_epoch,
+            scores,
+        } => {
+            w.u64(*epoch);
+            w.u64(*rank_epoch);
+            w.len(scores.len())?;
+            for &s in scores {
+                put_doc_score(&mut w, s);
+            }
+        }
+        Message::Top {
+            epoch,
+            rank_epoch,
+            entries,
+            complete,
+        } => {
+            w.u64(*epoch);
+            w.u64(*rank_epoch);
+            put_entries(&mut w, entries)?;
+            w.boolean(*complete);
+        }
+        Message::SiteTop {
+            epoch,
+            rank_epoch,
+            reply,
+        } => {
+            w.u64(*epoch);
+            w.u64(*rank_epoch);
+            put_site_top(&mut w, reply)?;
+        }
+        Message::Stats(stats) => {
+            w.u64(stats.node);
+            w.u64(stats.epoch);
+            w.u64(stats.rank_epoch);
+            w.len(stats.shard_docs.len())?;
+            for &(shard, docs) in &stats.shard_docs {
+                w.u64(shard);
+                w.u64(docs);
+            }
+            w.u64(stats.queries);
+            w.u64(stats.tombstone_rejections);
+            w.u64(stats.staged);
+            w.u64(stats.commits);
+            w.u64(stats.bytes_sent);
+            w.u64(stats.bytes_recv);
+        }
+        Message::NotOwner { shard } => w.u64(*shard),
+        Message::Bad { detail } => w.str(detail)?,
+    }
+    if w.0.len() > MAX_PAYLOAD as usize {
+        return Err(WireError::Oversized {
+            len: w.0.len() as u64,
+        });
+    }
+    Ok(w.0)
+}
+
+/// Decodes one message payload (`[version][tag][body]`). Total: every
+/// failure is a typed [`WireError`], and the whole payload must be
+/// consumed.
+///
+/// # Errors
+/// See [`WireError`].
+pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader::new(payload);
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion { version });
+    }
+    let tag = r.u8()?;
+    let msg = match tag {
+        1 => Message::Register { addr: r.str()? },
+        2 => Message::Registered { node: r.u64()? },
+        3 => Message::Ping { seq: r.u64()? },
+        4 => Message::Pong {
+            seq: r.u64()?,
+            epoch: r.u64()?,
+        },
+        5 => Message::PlacementReq,
+        6 => {
+            let epoch = r.u64()?;
+            let rank_epoch = r.u64()?;
+            let boundaries = take_u64s(&mut r)?;
+            let n = r.claimed_len(4)?;
+            let owners = (0..n).map(|_| r.str()).collect::<Result<_, _>>()?;
+            Message::Placement {
+                epoch,
+                rank_epoch,
+                boundaries,
+                owners,
+            }
+        }
+        7 => Message::RoutingReq,
+        8 => Message::Routing {
+            rank_epoch: r.u64()?,
+            site_of: take_u64s(&mut r)?,
+        },
+        9 => {
+            let epoch = r.u64()?;
+            let shard = r.u64()?;
+            let grade = take_grade(&mut r)?;
+            let segment = match r.u8()? {
+                0 => None,
+                1 => Some(take_segment(&mut r)?),
+                b => {
+                    return Err(WireError::Malformed {
+                        detail: format!("segment option byte {b}"),
+                    })
+                }
+            };
+            Message::Stage {
+                epoch,
+                shard,
+                grade,
+                segment,
+            }
+        }
+        10 => Message::Commit {
+            epoch: r.u64()?,
+            rank_epoch: r.u64()?,
+        },
+        11 => Message::Ack { epoch: r.u64()? },
+        12 => Message::ScoreBatch {
+            shard: r.u64()?,
+            docs: take_u64s(&mut r)?,
+        },
+        13 => Message::TopKReq {
+            shard: r.u64()?,
+            k: r.u64()?,
+        },
+        14 => Message::SiteTopKReq {
+            shard: r.u64()?,
+            site: r.u64()?,
+            k: r.u64()?,
+        },
+        15 => {
+            let epoch = r.u64()?;
+            let rank_epoch = r.u64()?;
+            let n = r.claimed_len(1)?;
+            let scores = (0..n)
+                .map(|_| take_doc_score(&mut r))
+                .collect::<Result<_, _>>()?;
+            Message::Scores {
+                epoch,
+                rank_epoch,
+                scores,
+            }
+        }
+        16 => Message::Top {
+            epoch: r.u64()?,
+            rank_epoch: r.u64()?,
+            entries: take_entries(&mut r)?,
+            complete: r.boolean()?,
+        },
+        17 => Message::SiteTop {
+            epoch: r.u64()?,
+            rank_epoch: r.u64()?,
+            reply: take_site_top(&mut r)?,
+        },
+        18 => Message::StatsReq,
+        19 => {
+            let node = r.u64()?;
+            let epoch = r.u64()?;
+            let rank_epoch = r.u64()?;
+            let n = r.claimed_len(16)?;
+            let shard_docs = (0..n)
+                .map(|_| Ok((r.u64()?, r.u64()?)))
+                .collect::<Result<_, WireError>>()?;
+            Message::Stats(NodeWireStats {
+                node,
+                epoch,
+                rank_epoch,
+                shard_docs,
+                queries: r.u64()?,
+                tombstone_rejections: r.u64()?,
+                staged: r.u64()?,
+                commits: r.u64()?,
+                bytes_sent: r.u64()?,
+                bytes_recv: r.u64()?,
+            })
+        }
+        20 => Message::NotOwner { shard: r.u64()? },
+        21 => Message::Bad { detail: r.str()? },
+        tag => return Err(WireError::BadTag { tag }),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+/// Encodes a full frame: `[u32 BE payload length][payload]`.
+///
+/// # Errors
+/// [`WireError::Oversized`] when the payload exceeds [`MAX_PAYLOAD`].
+pub fn encode_frame(msg: &Message) -> Result<Vec<u8>, WireError> {
+    let payload = encode_message(msg)?;
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
+/// Decodes one frame off the front of `bytes`, returning the message and
+/// the bytes consumed. Never panics on arbitrary input.
+///
+/// # Errors
+/// See [`WireError`].
+pub fn decode_frame(bytes: &[u8]) -> Result<(Message, usize), WireError> {
+    if bytes.len() < 4 {
+        return Err(WireError::Truncated {
+            needed: 4,
+            have: bytes.len(),
+        });
+    }
+    let len = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized {
+            len: u64::from(len),
+        });
+    }
+    let len = len as usize;
+    if bytes.len() - 4 < len {
+        return Err(WireError::Truncated {
+            needed: 4 + len,
+            have: bytes.len(),
+        });
+    }
+    let msg = decode_message(&bytes[4..4 + len])?;
+    Ok((msg, 4 + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(msg: &Message) {
+        let frame = encode_frame(msg).expect("encode");
+        let (back, consumed) = decode_frame(&frame).expect("decode");
+        assert_eq!(&back, msg);
+        assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        round_trip(&Message::Register {
+            addr: "127.0.0.1:4077".into(),
+        });
+        round_trip(&Message::Placement {
+            epoch: 3,
+            rank_epoch: 7,
+            boundaries: vec![0, 4, 9],
+            owners: vec!["a:1".into(), "a:1".into(), "b:2".into()],
+        });
+        round_trip(&Message::Scores {
+            epoch: 2,
+            rank_epoch: 2,
+            scores: vec![
+                DocScore::Live(0.125),
+                DocScore::Tombstoned,
+                DocScore::Unknown,
+            ],
+        });
+        round_trip(&Message::SiteTop {
+            epoch: 1,
+            rank_epoch: 1,
+            reply: SiteTopK::Entries(vec![(DocId(4), 0.5), (DocId(1), 0.25)]),
+        });
+    }
+
+    #[test]
+    fn segment_stages_round_trip_bitwise() {
+        let seg = SnapshotSegment {
+            epoch: 9,
+            backend: "layered".into(),
+            sites: 2..4,
+            n_docs: 10,
+            n_sites: 5,
+            members: vec![vec![DocId(3), DocId(4)], vec![DocId(7)]],
+            member_scores: vec![vec![0.1 + 0.2, f64::MIN_POSITIVE], vec![1.0 / 3.0]],
+            tombstoned: vec![(DocId(5), SiteId(2))],
+        };
+        let msg = Message::Stage {
+            epoch: 4,
+            shard: 1,
+            grade: SwapGrade::Rebuild,
+            segment: Some(seg.clone()),
+        };
+        let frame = encode_frame(&msg).expect("encode");
+        let (back, _) = decode_frame(&frame).expect("decode");
+        let Message::Stage {
+            segment: Some(got), ..
+        } = back
+        else {
+            panic!("wrong variant");
+        };
+        // Bitwise, not approximate: scores survive via to_bits.
+        for (a, b) in got
+            .member_scores
+            .iter()
+            .flatten()
+            .zip(seg.member_scores.iter().flatten())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(got, seg);
+    }
+
+    #[test]
+    fn hostile_headers_are_refused_without_allocating() {
+        // Claims 4 billion entries on a 12-byte body.
+        let mut w = Writer(Vec::new());
+        w.u8(WIRE_VERSION);
+        w.u8(12); // ScoreBatch
+        w.u64(0); // shard
+        w.u32(u32::MAX); // docs length claim
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(w.0.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&w.0);
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn version_and_tag_are_checked() {
+        let frame = encode_frame(&Message::Ping { seq: 1 }).expect("encode");
+        let mut wrong_version = frame.clone();
+        wrong_version[4] = 99;
+        assert_eq!(
+            decode_frame(&wrong_version),
+            Err(WireError::BadVersion { version: 99 })
+        );
+        let mut wrong_tag = frame;
+        wrong_tag[5] = 200;
+        assert_eq!(
+            decode_frame(&wrong_tag),
+            Err(WireError::BadTag { tag: 200 })
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused() {
+        let mut frame = vec![0u8; 8];
+        frame[..4].copy_from_slice(&(MAX_PAYLOAD + 1).to_be_bytes());
+        assert_eq!(
+            decode_frame(&frame),
+            Err(WireError::Oversized {
+                len: u64::from(MAX_PAYLOAD) + 1
+            })
+        );
+    }
+
+    #[test]
+    fn node_stats_reuse_the_serve_skew_formula() {
+        let stats = NodeWireStats {
+            shard_docs: vec![(0, 40), (1, 100), (2, 100), (3, 160)],
+            ..Default::default()
+        };
+        assert!((stats.doc_skew() - 1.6).abs() < 1e-12);
+        assert_eq!(stats.n_docs(), 400);
+    }
+}

@@ -1,0 +1,336 @@
+//! End-to-end loopback cluster tests: a real controller, real `ShardNode`
+//! processes-in-threads behind real TCP sockets, and a `ClusterClient`
+//! whose answers must be **bitwise identical** to the in-process
+//! `ShardedServer` at every published epoch — through churn republishes,
+//! heartbeat-driven eviction, and a mid-run node kill.
+//!
+//! Everything binds 127.0.0.1:0 and spawns its own threads, so the suite
+//! is `RUST_TEST_THREADS=1`-safe.
+
+use std::time::{Duration, Instant};
+
+use lmm_cluster::{
+    ClientConfig, ClusterClient, ClusterController, ClusterError, ControllerConfig, NodeConfig,
+    ShardNode,
+};
+use lmm_engine::{BackendSpec, RankEngine, RankSnapshot};
+use lmm_graph::delta::GraphDelta;
+use lmm_graph::generator::CampusWebConfig;
+use lmm_graph::sharding::ShardMap;
+use lmm_graph::{DocGraph, DocId, SiteId};
+use lmm_serve::{ServeConfig, ShardQuery, ShardedServer};
+
+fn campus(docs: usize, sites: usize) -> DocGraph {
+    let mut cfg = CampusWebConfig::small();
+    cfg.total_docs = docs;
+    cfg.n_sites = sites;
+    cfg.spam_farms.clear();
+    cfg.generate().unwrap()
+}
+
+fn engine_for(graph: &DocGraph) -> RankEngine {
+    let mut engine = RankEngine::builder()
+        .backend(BackendSpec::Incremental)
+        .damping(0.85)
+        .tolerance(1e-10)
+        .threads(1)
+        .build()
+        .unwrap();
+    engine.rank(graph).unwrap();
+    engine
+}
+
+/// A churn delta: intra-site rewire every step, growth every 2nd step, a
+/// cross-site link every 3rd — the same mix the serve-tier tests use, so
+/// the cluster sees rebuild, refresh, and re-pin publish grades.
+fn delta_for_step(graph: &DocGraph, step: usize) -> GraphDelta {
+    let n_sites = graph.n_sites();
+    let mut delta = GraphDelta::for_graph(graph);
+    let mut site = (step * 5 + 1) % n_sites;
+    while graph.site_size(SiteId(site)) < 3 {
+        site = (site + 1) % n_sites;
+    }
+    let docs = graph.docs_of_site(SiteId(site));
+    delta.remove_link(docs[0], docs[1]).unwrap();
+    delta.add_link(docs[1], docs[2]).unwrap();
+    delta.add_link(docs[2], docs[0]).unwrap();
+    if step.is_multiple_of(2) {
+        let target = SiteId((step * 7 + 2) % n_sites);
+        let root = graph.docs_of_site(target)[0];
+        let p = delta
+            .add_page(target, &format!("http://cluster-grow-{step}.page/"))
+            .unwrap();
+        delta.add_link(root, p).unwrap();
+        delta.add_link(p, root).unwrap();
+    }
+    if step.is_multiple_of(3) {
+        let a = graph.docs_of_site(SiteId((step * 3 + 4) % n_sites))[0];
+        let b = graph.docs_of_site(SiteId((step * 11 + 7) % n_sites))[0];
+        delta.add_link(a, b).unwrap();
+    }
+    delta
+}
+
+fn fast_controller() -> ControllerConfig {
+    ControllerConfig {
+        heartbeat_interval: Duration::from_millis(40),
+        miss_limit: 2,
+        io_timeout: Duration::from_secs(2),
+        auto_failover: true,
+        fault: None,
+    }
+}
+
+/// Assert the over-the-wire answers are bit-equal to the in-process
+/// tier's for the whole query surface, at the same rank epoch.
+fn assert_parity(
+    client: &ClusterClient,
+    server: &ShardedServer,
+    snapshot: &RankSnapshot,
+    graph_docs: usize,
+    graph_sites: usize,
+) {
+    let want_epoch = snapshot.epoch();
+
+    let (le, local_top) = server.top_k(10).unwrap();
+    let (re, remote_top) = client.top_k(10).unwrap();
+    assert_eq!((le, re), (want_epoch, want_epoch));
+    assert_eq!(local_top.len(), remote_top.len());
+    for (l, r) in local_top.iter().zip(remote_top.iter()) {
+        assert_eq!(l.0, r.0);
+        assert_eq!(
+            l.1.to_bits(),
+            r.1.to_bits(),
+            "top-k score drift at {:?}",
+            l.0
+        );
+    }
+
+    let batch: Vec<DocId> = (0..graph_docs.min(64)).map(DocId).collect();
+    let (le, local_scores) = server.score_batch(&batch).unwrap();
+    let (re, remote_scores) = client.score_batch(&batch).unwrap();
+    assert_eq!((le, re), (want_epoch, want_epoch));
+    for (i, (l, r)) in local_scores.iter().zip(remote_scores.iter()).enumerate() {
+        assert_eq!(l.to_bits(), r.to_bits(), "score drift at doc {i}");
+    }
+
+    for site in 0..graph_sites {
+        let local = server.top_k_for_site(SiteId(site), 5);
+        let remote = client.top_k_for_site(SiteId(site), 5);
+        match (local, remote) {
+            (Ok((le, l)), Ok((re, r))) => {
+                assert_eq!((le, re), (want_epoch, want_epoch));
+                assert_eq!(l.len(), r.len(), "site {site} length drift");
+                for (a, b) in l.iter().zip(r.iter()) {
+                    assert_eq!(a.0, b.0);
+                    assert_eq!(a.1.to_bits(), b.1.to_bits());
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (l, r) => panic!("site {site}: local {l:?} vs remote {r:?}"),
+        }
+    }
+
+    let (a, b) = (DocId(0), DocId(graph_docs / 2));
+    let (le, local_ord) = server.compare(a, b).unwrap();
+    let (re, remote_ord) = client.compare(a, b).unwrap();
+    assert_eq!((le, re), (want_epoch, want_epoch));
+    assert_eq!(local_ord, remote_ord);
+}
+
+#[test]
+fn cluster_matches_in_process_tier_across_churn() {
+    let mut graph = campus(400, 8);
+    let mut engine = engine_for(&graph);
+    let map = ShardMap::balanced(&graph, 4).unwrap();
+
+    let controller = ClusterController::start(map.clone(), fast_controller()).unwrap();
+    let nodes: Vec<ShardNode> = (0..2)
+        .map(|_| ShardNode::start(controller.addr(), NodeConfig::default()).unwrap())
+        .collect();
+    controller
+        .wait_for_nodes(2, Duration::from_secs(5))
+        .unwrap();
+
+    // Before the first publish the cluster must say so, typed.
+    let client = ClusterClient::new(controller.addr(), ClientConfig::default());
+    assert!(matches!(client.top_k(5), Err(ClusterError::NotPublished)));
+
+    let snapshot = engine.snapshot().unwrap();
+    let report = controller.publish(&snapshot).unwrap();
+    assert_eq!(report.rank_epoch, snapshot.epoch());
+    assert_eq!(report.nodes, 2);
+    assert!(!report.noop);
+
+    let server = ShardedServer::start(
+        map,
+        &snapshot,
+        ServeConfig {
+            heap_k: 64,
+            max_gather_retries: 2,
+        },
+    )
+    .unwrap();
+
+    assert_parity(&client, &server, &snapshot, graph.n_docs(), graph.n_sites());
+
+    // Re-publishing the identical rank epoch is an acknowledged no-op.
+    assert!(controller.publish(&snapshot).unwrap().noop);
+
+    // Churn: publish to both tiers, compare after every flip.
+    for step in 0..4 {
+        let delta = delta_for_step(&graph, step);
+        let (mutated, _) = graph.apply(&delta).unwrap();
+        engine.apply_delta(&delta).unwrap();
+        graph = mutated;
+
+        let snapshot = engine.snapshot().unwrap();
+        let report = controller.publish(&snapshot).unwrap();
+        assert_eq!(report.rank_epoch, snapshot.epoch());
+        server.publish(&snapshot).unwrap();
+        assert_parity(&client, &server, &snapshot, graph.n_docs(), graph.n_sites());
+    }
+
+    // Trait object surface: the cluster client is a ShardQuery tier too.
+    let tier: &dyn ShardQuery<Error = ClusterError> = &client;
+    assert_eq!(tier.serving_epoch(), engine.epoch());
+
+    // Telemetry made it across the wire.
+    let stats = controller.stats();
+    assert_eq!(stats.rank_epoch, engine.epoch());
+    assert_eq!(stats.nodes.len(), 2);
+    assert!(stats.publishes >= 5);
+    assert!(stats.doc_skew >= 1.0);
+    let wired: Vec<_> = stats.nodes.iter().filter_map(|n| n.wire.as_ref()).collect();
+    assert_eq!(wired.len(), 2);
+    assert!(wired.iter().all(|w| w.commits >= 5 && w.bytes_recv > 0));
+    let served: u64 = wired.iter().map(|w| w.queries).sum();
+    assert!(served > 0, "nodes never saw a query");
+
+    drop(client);
+    controller.shutdown();
+    for node in nodes {
+        node.kill();
+    }
+}
+
+#[test]
+fn node_kill_evicts_fails_over_and_serving_survives() {
+    let graph = campus(300, 8);
+    let engine = engine_for(&graph);
+    let map = ShardMap::balanced(&graph, 8).unwrap();
+
+    let controller = ClusterController::start(map.clone(), fast_controller()).unwrap();
+    let mut nodes: Vec<ShardNode> = (0..3)
+        .map(|_| ShardNode::start(controller.addr(), NodeConfig::default()).unwrap())
+        .collect();
+    controller
+        .wait_for_nodes(3, Duration::from_secs(5))
+        .unwrap();
+
+    let snapshot = engine.snapshot().unwrap();
+    controller.publish(&snapshot).unwrap();
+    let (cepoch_before, rank_before) = controller.epochs();
+
+    let server = ShardedServer::start(
+        map,
+        &snapshot,
+        ServeConfig {
+            heap_k: 64,
+            max_gather_retries: 2,
+        },
+    )
+    .unwrap();
+    let client = ClusterClient::new(controller.addr(), ClientConfig::default());
+    assert_parity(&client, &server, &snapshot, graph.n_docs(), graph.n_sites());
+
+    // Kill a node that provably owns shards, then hammer queries through
+    // the eviction window: every response is either correct at the pinned
+    // rank epoch or a *retriable* error — never wrong-epoch data.
+    nodes.remove(0).kill();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut survived_early_queries = 0u64;
+    while controller.epochs().0 == cepoch_before {
+        assert!(
+            Instant::now() < deadline,
+            "controller never evicted the dead node"
+        );
+        match client.top_k(5) {
+            Ok((epoch, top)) => {
+                assert_eq!(epoch, rank_before, "wrong-epoch data during failover");
+                let (_, want) = server.top_k(5).unwrap();
+                assert_eq!(top.len(), want.len());
+                for (a, b) in top.iter().zip(want.iter()) {
+                    assert_eq!(a.0, b.0);
+                    assert_eq!(a.1.to_bits(), b.1.to_bits());
+                }
+                survived_early_queries += 1;
+            }
+            Err(err) => assert!(err.is_retriable(), "non-retriable during failover: {err}"),
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Failover bumped the *cluster* epoch but re-published the *same*
+    // pinned rank snapshot — the ranking the world sees is unchanged.
+    let (cepoch_after, rank_after) = controller.epochs();
+    assert!(cepoch_after > cepoch_before);
+    assert_eq!(rank_after, rank_before);
+    assert_eq!(controller.n_nodes(), 2);
+
+    // Full surface parity again, now served entirely by the survivors.
+    assert_parity(&client, &server, &snapshot, graph.n_docs(), graph.n_sites());
+
+    let stats = controller.stats();
+    assert!(stats.evictions >= 1, "eviction not counted");
+    assert!(stats.failovers >= 1, "failover not counted");
+    assert!(stats.missed_heartbeats >= 1);
+    assert_eq!(stats.nodes.len(), 2);
+    // All 8 shard ranges are still owned: a full top-k gather succeeds
+    // and covers every document.
+    let all: Vec<DocId> = (0..graph.n_docs()).map(DocId).collect();
+    let (epoch, scores) = client.score_batch(&all).unwrap();
+    assert_eq!(epoch, rank_before);
+    assert_eq!(scores.len(), all.len());
+    let _ = survived_early_queries; // informational; may be 0 on slow CI
+
+    drop(client);
+    controller.shutdown();
+    for node in nodes {
+        node.kill();
+    }
+}
+
+#[test]
+fn stale_publish_is_rejected_and_newer_snapshot_wins() {
+    let mut graph = campus(200, 6);
+    let mut engine = engine_for(&graph);
+    let map = ShardMap::balanced(&graph, 3).unwrap();
+
+    let controller = ClusterController::start(map, fast_controller()).unwrap();
+    let node = ShardNode::start(controller.addr(), NodeConfig::default()).unwrap();
+    controller
+        .wait_for_nodes(1, Duration::from_secs(5))
+        .unwrap();
+
+    let old = engine.snapshot().unwrap();
+    let delta = delta_for_step(&graph, 1);
+    let (mutated, _) = graph.apply(&delta).unwrap();
+    engine.apply_delta(&delta).unwrap();
+    graph = mutated;
+    let new = engine.snapshot().unwrap();
+
+    controller.publish(&new).unwrap();
+    match controller.publish(&old) {
+        Err(ClusterError::StalePublish { published, pinned }) => {
+            assert_eq!(published, old.epoch());
+            assert_eq!(pinned, new.epoch());
+        }
+        other => panic!("stale publish accepted: {other:?}"),
+    }
+    assert_eq!(controller.epochs().1, new.epoch());
+    let _ = graph;
+
+    controller.shutdown();
+    node.kill();
+}

@@ -94,5 +94,5 @@ pub use error::{EngineError, Result};
 pub use fingerprint::GraphFingerprint;
 pub use outcome::{RankComparison, RankOutcome};
 pub use ranker::{DeltaOutcome, Ranker};
-pub use snapshot::{RankSnapshot, Staleness};
+pub use snapshot::{RankSnapshot, SnapshotSegment, Staleness};
 pub use telemetry::{MemorySink, NullSink, RunTelemetry, TelemetrySink};

@@ -187,6 +187,51 @@ impl RankSnapshot {
         site.index() < self.n_sites() && self.members_of_site(site).is_empty()
     }
 
+    /// Exports the slice of this snapshot one shard needs: the member
+    /// lists and scores of the sites in `sites`, plus the tombstoned
+    /// document slots assigned to those sites (so a remote store can
+    /// answer "gone" distinctly from "never existed"). The segment is the
+    /// unit a cluster controller stages to a shard node over the wire; a
+    /// node turns it back into a servable (sparse) snapshot with
+    /// [`SnapshotSegment::to_snapshot`].
+    ///
+    /// Sites beyond this snapshot's range contribute nothing (the range is
+    /// clamped), so callers can pass a shard map's last-shard range
+    /// extended past the site count without special-casing.
+    #[must_use]
+    pub fn export_segment(&self, sites: std::ops::Range<usize>) -> SnapshotSegment {
+        let sites = sites.start.min(self.n_sites())..sites.end.min(self.n_sites());
+        let members: Vec<Vec<DocId>> = sites
+            .clone()
+            .map(|s| self.site_members[s].clone())
+            .collect();
+        let member_scores: Vec<Vec<f64>> = members
+            .iter()
+            .map(|docs| docs.iter().map(|d| self.scores[d.index()]).collect())
+            .collect();
+        // One pass over the assignment table finds the dead slots owned by
+        // the covered sites: assigned in range, absent from the members.
+        let tombstoned: Vec<(DocId, SiteId)> = self
+            .site_of
+            .iter()
+            .enumerate()
+            .filter_map(|(d, &site)| {
+                let doc = DocId(d);
+                (sites.contains(&site.index()) && !self.is_live_doc(doc)).then_some((doc, site))
+            })
+            .collect();
+        SnapshotSegment {
+            epoch: self.epoch,
+            backend: self.backend.clone(),
+            sites,
+            n_docs: self.n_docs(),
+            n_sites: self.n_sites(),
+            members,
+            member_scores,
+            tombstoned,
+        }
+    }
+
     /// Shared membership table — lets the engine re-pin it across
     /// membership-preserving deltas instead of re-materializing O(docs)
     /// tables per update.
@@ -197,6 +242,82 @@ impl RankSnapshot {
     /// Shared assignment table (see [`Self::site_members_arc`]).
     pub(crate) fn site_of_arc(&self) -> Arc<Vec<SiteId>> {
         Arc::clone(&self.site_of)
+    }
+}
+
+/// One shard's slice of a [`RankSnapshot`]: everything a remote shard
+/// store needs to serve its site range at one epoch, in a flat,
+/// wire-serializable shape (plain vectors, no `Arc` sharing).
+///
+/// Scores are carried as `f64` values and round-trip bit-exactly through
+/// `to_bits`/`from_bits`, so a store rebuilt from a shipped segment is
+/// *bitwise* identical to one built from the full snapshot — the property
+/// the cluster tier's parity benches assert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotSegment {
+    /// The snapshot epoch the segment was cut from.
+    pub epoch: u64,
+    /// Name of the backend that produced the ranking.
+    pub backend: String,
+    /// The covered site-id range (clamped to the snapshot's site count).
+    pub sites: std::ops::Range<usize>,
+    /// Total documents of the source snapshot (the full id space, so the
+    /// reconstruction can distinguish out-of-range ids from dead slots).
+    pub n_docs: usize,
+    /// Total sites of the source snapshot.
+    pub n_sites: usize,
+    /// Member documents per covered site (empty = tombstoned site).
+    pub members: Vec<Vec<DocId>>,
+    /// Scores parallel to `members`.
+    pub member_scores: Vec<Vec<f64>>,
+    /// Dead document slots assigned to covered sites, with their last site
+    /// assignment — needed so point lookups for removed documents answer
+    /// typed "tombstoned" rather than "unknown".
+    pub tombstoned: Vec<(DocId, SiteId)>,
+}
+
+impl SnapshotSegment {
+    /// Live documents carried by this segment.
+    #[must_use]
+    pub fn n_live_docs(&self) -> usize {
+        self.members.iter().map(Vec::len).sum()
+    }
+
+    /// Reconstructs a servable snapshot covering exactly this segment's
+    /// sites. The result is **sparse**: score and membership tables have
+    /// the source snapshot's full dimensions (so document/site ids resolve
+    /// identically), but only the covered sites' entries are populated —
+    /// queries for documents of *uncovered* sites are a routing error and
+    /// answer as dead slots. Staleness is [`Staleness::Full`]; swap
+    /// grading happens controller-side, before segments are cut.
+    #[must_use]
+    pub fn to_snapshot(&self) -> RankSnapshot {
+        let mut scores = vec![0.0f64; self.n_docs];
+        let mut site_members = vec![Vec::new(); self.n_sites];
+        // Uncovered documents point at an out-of-range site, whose member
+        // list is empty: `is_live_doc` correctly answers false.
+        let mut site_of = vec![SiteId(usize::MAX); self.n_docs];
+        for (offset, (docs, doc_scores)) in self.members.iter().zip(&self.member_scores).enumerate()
+        {
+            let site = self.sites.start + offset;
+            for (&doc, &score) in docs.iter().zip(doc_scores) {
+                scores[doc.index()] = score;
+                site_of[doc.index()] = SiteId(site);
+            }
+            site_members[site] = docs.clone();
+        }
+        for &(doc, site) in &self.tombstoned {
+            site_of[doc.index()] = site;
+        }
+        RankSnapshot::new(
+            self.epoch,
+            self.backend.clone(),
+            Arc::new(scores),
+            None,
+            Arc::new(site_members),
+            Arc::new(site_of),
+            Staleness::Full,
+        )
     }
 }
 
@@ -258,5 +379,80 @@ mod tests {
         let s = snapshot(Staleness::Full);
         let t = s.clone();
         assert!(std::ptr::eq(s.scores().as_ptr(), t.scores().as_ptr()));
+    }
+
+    /// 3 sites: {0,1}, {} (tombstoned, doc 2 dead), {3,4}.
+    fn tombstoned_snapshot() -> RankSnapshot {
+        RankSnapshot::new(
+            5,
+            "test".into(),
+            Arc::new(vec![0.3, 0.2, 0.0, 0.4, 0.1]),
+            None,
+            Arc::new(vec![
+                vec![DocId(0), DocId(1)],
+                Vec::new(),
+                vec![DocId(3), DocId(4)],
+            ]),
+            Arc::new(vec![SiteId(0), SiteId(0), SiteId(1), SiteId(2), SiteId(2)]),
+            Staleness::Full,
+        )
+    }
+
+    #[test]
+    fn segment_carries_the_covered_slice() {
+        let s = tombstoned_snapshot();
+        let seg = s.export_segment(1..3);
+        assert_eq!(seg.epoch, 5);
+        assert_eq!(seg.sites, 1..3);
+        assert_eq!(seg.n_docs, 5);
+        assert_eq!(seg.n_sites, 3);
+        assert_eq!(seg.n_live_docs(), 2);
+        assert_eq!(seg.members, vec![Vec::new(), vec![DocId(3), DocId(4)]]);
+        assert_eq!(seg.member_scores, vec![Vec::new(), vec![0.4, 0.1]]);
+        // Doc 2's slot is dead and owned by covered site 1.
+        assert_eq!(seg.tombstoned, vec![(DocId(2), SiteId(1))]);
+        // A segment of other sites does not carry it.
+        assert!(s.export_segment(0..1).tombstoned.is_empty());
+    }
+
+    #[test]
+    fn segment_range_is_clamped() {
+        let s = tombstoned_snapshot();
+        // The last shard's range is extended past the site count; the
+        // export must clamp instead of panicking.
+        let seg = s.export_segment(2..10);
+        assert_eq!(seg.sites, 2..3);
+        assert_eq!(seg.members.len(), 1);
+    }
+
+    #[test]
+    fn reconstructed_snapshot_answers_like_the_source_on_covered_sites() {
+        let s = tombstoned_snapshot();
+        let seg = s.export_segment(1..3);
+        let sparse = seg.to_snapshot();
+        assert_eq!(sparse.epoch(), 5);
+        assert_eq!(sparse.n_docs(), 5);
+        assert_eq!(sparse.n_sites(), 3);
+        // Covered sites: bitwise-equal scores, identical membership and
+        // liveness — including the typed tombstone for doc 2.
+        for doc in [3usize, 4] {
+            assert_eq!(
+                sparse.scores()[doc].to_bits(),
+                s.scores()[doc].to_bits(),
+                "score of doc {doc} must survive the segment bit-exactly"
+            );
+            assert!(sparse.is_live_doc(DocId(doc)));
+            assert_eq!(sparse.site_of(DocId(doc)), s.site_of(DocId(doc)));
+        }
+        assert_eq!(
+            sparse.members_of_site(SiteId(2)),
+            s.members_of_site(SiteId(2))
+        );
+        assert!(sparse.is_tombstoned_site(SiteId(1)));
+        assert!(!sparse.is_live_doc(DocId(2)));
+        // Uncovered documents read as dead slots, never as live zeros.
+        assert!(!sparse.is_live_doc(DocId(0)));
+        // Out-of-range ids stay out of range.
+        assert!(!sparse.is_live_doc(DocId(9)));
     }
 }

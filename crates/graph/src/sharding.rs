@@ -120,6 +120,61 @@ impl ShardMap {
         self.starts[shard]..self.starts[shard + 1]
     }
 
+    /// The raw shard boundaries (`n_shards + 1` ascending site ids) — the
+    /// wire form of the map. A cluster placement reply carries these so a
+    /// remote client can rebuild the identical map with
+    /// [`ShardMap::from_boundaries`] and route site→shard locally.
+    #[must_use]
+    pub fn boundaries(&self) -> &[usize] {
+        &self.starts
+    }
+
+    /// Rebuilds a map from boundaries produced by
+    /// [`ShardMap::boundaries`] (e.g. received over the wire).
+    ///
+    /// # Errors
+    /// Returns [`GraphError::InvalidShardMap`] unless the boundaries are
+    /// strictly ascending, start at 0, and describe at least one shard.
+    pub fn from_boundaries(starts: Vec<usize>) -> Result<Self> {
+        let ascending = starts.windows(2).all(|w| w[0] < w[1]);
+        if starts.len() < 2 || starts[0] != 0 || !ascending {
+            return Err(GraphError::InvalidShardMap {
+                reason: format!(
+                    "boundaries must be >= 2 strictly ascending values starting at 0, got {starts:?}"
+                ),
+            });
+        }
+        Ok(Self { starts })
+    }
+
+    /// Splits this map's shards contiguously across `n_owners` nodes of a
+    /// cluster: owner `i` is responsible for the `i`-th returned range of
+    /// *shard* indices (near-equal counts, remainder spread left). The
+    /// controller's initial placement; failover reassigns individual
+    /// shards off this baseline.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::InvalidShardMap`] when `n_owners` is zero or
+    /// exceeds the shard count.
+    pub fn owner_ranges(&self, n_owners: usize) -> Result<Vec<Range<usize>>> {
+        let n_shards = self.n_shards();
+        if n_owners == 0 || n_owners > n_shards {
+            return Err(GraphError::InvalidShardMap {
+                reason: format!("cannot split {n_shards} shards across {n_owners} owners"),
+            });
+        }
+        let base = n_shards / n_owners;
+        let extra = n_shards % n_owners;
+        let mut ranges = Vec::with_capacity(n_owners);
+        let mut at = 0usize;
+        for owner in 0..n_owners {
+            let len = base + usize::from(owner < extra);
+            ranges.push(at..at + len);
+            at += len;
+        }
+        Ok(ranges)
+    }
+
     /// Maps a set of stale site ids to the sorted, deduplicated set of
     /// shards they stale — the translation from an
     /// [`AppliedDelta`](crate::delta::AppliedDelta)'s site sets to a shard
@@ -224,6 +279,36 @@ mod tests {
         // Sites 6, 7 share shard 3; site 0 is shard 0.
         assert_eq!(map.shards_of_sites([7, 0, 6]), vec![0, 3]);
         assert!(map.shards_of_sites(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn boundaries_round_trip_over_the_wire_form() {
+        let map = ShardMap::uniform(10, 3).unwrap();
+        let rebuilt = ShardMap::from_boundaries(map.boundaries().to_vec()).unwrap();
+        assert_eq!(rebuilt, map);
+        assert!(ShardMap::from_boundaries(vec![]).is_err());
+        assert!(ShardMap::from_boundaries(vec![0]).is_err());
+        assert!(ShardMap::from_boundaries(vec![1, 4]).is_err());
+        assert!(ShardMap::from_boundaries(vec![0, 4, 4]).is_err());
+        assert!(ShardMap::from_boundaries(vec![0, 4, 2]).is_err());
+    }
+
+    #[test]
+    fn owner_ranges_cover_every_shard_once() {
+        let map = ShardMap::uniform(16, 8).unwrap();
+        let ranges = map.owner_ranges(3).unwrap();
+        assert_eq!(ranges.len(), 3);
+        // 8 shards over 3 owners: 3, 3, 2 — remainder spread left.
+        assert_eq!(ranges[0], 0..3);
+        assert_eq!(ranges[1], 3..6);
+        assert_eq!(ranges[2], 6..8);
+        let covered: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(covered, map.n_shards());
+        assert!(map.owner_ranges(0).is_err());
+        assert!(map.owner_ranges(9).is_err());
+        // One owner per shard is the degenerate fine-grained placement.
+        let fine = map.owner_ranges(8).unwrap();
+        assert!(fine.iter().all(|r| r.len() == 1));
     }
 
     #[test]

@@ -58,6 +58,13 @@ pub enum ServeError {
         /// Index of the unreachable shard.
         shard: usize,
     },
+    /// The publish gate is poisoned: a publisher panicked mid-swap. The
+    /// per-shard stores are individually intact (each swap is one `Arc`
+    /// assignment), but the tier may be serving a mix of epochs that no
+    /// new publish will repair, so publishing and gate-escalated gathers
+    /// fail typed instead of propagating the panic into callers — readers
+    /// on the single-shard fast path keep answering.
+    PublishPoisoned,
 }
 
 impl fmt::Display for ServeError {
@@ -92,6 +99,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::ShardDown { shard } => {
                 write!(f, "shard {shard} worker is no longer running")
+            }
+            ServeError::PublishPoisoned => {
+                write!(f, "publish gate poisoned: a publisher panicked mid-swap")
             }
         }
     }

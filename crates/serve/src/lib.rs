@@ -80,13 +80,17 @@
 //! ```
 
 pub mod error;
+pub mod query;
 pub mod router;
 pub mod shard;
 pub mod telemetry;
 
 pub use error::{Result, ServeError};
-pub use router::{PublishReport, ServeConfig, ShardedServer};
-pub use shard::ShardState;
+pub use query::ShardQuery;
+pub use router::{
+    publish_grades, shard_site_range, PublishReport, ServeConfig, ShardedServer, SwapGrade,
+};
+pub use shard::{DocScore, ShardState, SiteTopK};
 pub use telemetry::{ServeStats, ServeStatsSnapshot};
 
 // Re-exported so downstream code can name the shard key without a direct

@@ -56,6 +56,74 @@ impl Default for ServeConfig {
     }
 }
 
+/// How one shard's store is swapped by a publish — the three grades the
+/// epoch/staleness contract allows. Shared with the cluster tier
+/// (`lmm-cluster`), whose controller grades each remote shard with the
+/// same rules before shipping segments over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapGrade {
+    /// The snapshot's staleness set names one of the shard's sites: the
+    /// store is rebuilt from the snapshot.
+    Rebuild,
+    /// A removal rescaled every site's absolute scores
+    /// ([`Staleness::Resized`]): per-site orders are reused, the shard top
+    /// list re-merges under the new scores.
+    Refresh,
+    /// Bit-identical data ([`Staleness::Sites`] not naming the shard): the
+    /// existing store is re-pinned against the new epoch.
+    Repin,
+}
+
+/// Grades every shard of `map` for publishing `snapshot` over a tier
+/// currently serving `serving_epoch`. A snapshot that skipped epochs
+/// conservatively rebuilds everything, since its staleness set only
+/// describes the last step. This is the single source of truth for the
+/// swap contract: the in-process publisher and the cluster controller
+/// both call it, so a shard is rebuilt remotely exactly when it would be
+/// rebuilt locally.
+#[must_use]
+pub fn publish_grades(
+    map: &ShardMap,
+    serving_epoch: u64,
+    snapshot: &RankSnapshot,
+) -> Vec<SwapGrade> {
+    let n_shards = map.n_shards();
+    let contiguous = snapshot.epoch() == serving_epoch + 1;
+    let (stale_shards, fresh): (Vec<usize>, SwapGrade) = match (contiguous, snapshot.staleness()) {
+        (true, Staleness::Sites(sites)) => {
+            (map.shards_of_sites(sites.iter().copied()), SwapGrade::Repin)
+        }
+        (
+            true,
+            Staleness::Resized {
+                sites,
+                removed_sites,
+            },
+        ) => (
+            map.shards_of_sites(sites.iter().chain(removed_sites).copied()),
+            SwapGrade::Refresh,
+        ),
+        _ => ((0..n_shards).collect(), SwapGrade::Repin),
+    };
+    let mut grades = vec![fresh; n_shards];
+    for shard in stale_shards {
+        grades[shard] = SwapGrade::Rebuild;
+    }
+    grades
+}
+
+/// Shard `shard`'s site range under `map`, with the last shard extended to
+/// absorb sites appended after the map was built — the range a shard store
+/// (local or remote) must cover at a snapshot with `n_sites` sites.
+#[must_use]
+pub fn shard_site_range(map: &ShardMap, shard: usize, n_sites: usize) -> std::ops::Range<usize> {
+    let mut range = map.sites_of_shard(shard);
+    if shard == map.n_shards() - 1 {
+        range.end = range.end.max(n_sites);
+    }
+    range
+}
+
 /// Accounting of one [`ShardedServer::publish`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PublishReport {
@@ -176,7 +244,7 @@ impl ShardedServer {
         let mut queues = Vec::with_capacity(n_shards);
         let mut workers = Vec::with_capacity(n_shards);
         for shard in 0..n_shards {
-            let sites = shard_range(&map, shard, snapshot.n_sites());
+            let sites = shard_site_range(&map, shard, snapshot.n_sites());
             let state = Arc::new(ShardState::build(snapshot, sites, config.heap_k));
             let cell = Arc::new(Mutex::new(state));
             let (tx, rx) = mpsc::channel::<ShardRequest>();
@@ -235,10 +303,15 @@ impl ShardedServer {
     }
 
     /// The epoch currently being published to (reads may still answer from
-    /// the previous epoch while a swap is in flight).
+    /// the previous epoch while a swap is in flight). Reading the epoch is
+    /// safe even after a publisher panic poisoned the gate — the `u64`
+    /// itself cannot be torn — so this recovers instead of failing.
     #[must_use]
     pub fn epoch(&self) -> u64 {
-        *self.gate.lock().expect("publish gate poisoned")
+        *self
+            .gate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// The server's telemetry counters, plus the live per-shard document
@@ -270,10 +343,27 @@ impl ShardedServer {
     ///
     /// # Errors
     /// Returns [`ServeError::StaleSnapshot`] when the snapshot's epoch is
-    /// older than the serving epoch. Re-publishing the serving epoch is a
-    /// no-op, not an error.
+    /// older than the serving epoch, and [`ServeError::PublishPoisoned`]
+    /// when a previous publisher panicked mid-swap. Re-publishing the
+    /// serving epoch is a no-op, not an error.
     pub fn publish(&self, snapshot: &RankSnapshot) -> Result<PublishReport> {
-        let mut serving = self.gate.lock().expect("publish gate poisoned");
+        self.publish_paced(snapshot, &|_| {})
+    }
+
+    /// [`publish`](Self::publish) with a pacing hook invoked after each
+    /// shard cell swap — lets tests construct deterministic straddling
+    /// interleavings (a gather racing a half-done swap). Not part of the
+    /// stable API.
+    ///
+    /// # Errors
+    /// As [`publish`](Self::publish).
+    #[doc(hidden)]
+    pub fn publish_paced(
+        &self,
+        snapshot: &RankSnapshot,
+        swapped: &dyn Fn(usize),
+    ) -> Result<PublishReport> {
+        let mut serving = self.gate.lock().map_err(|_| ServeError::PublishPoisoned)?;
         if snapshot.epoch() < *serving {
             return Err(ServeError::StaleSnapshot {
                 published: snapshot.epoch(),
@@ -290,49 +380,31 @@ impl ShardedServer {
                 noop: true,
             });
         }
-        let contiguous = snapshot.epoch() == *serving + 1;
-        // Fresh shards re-pin under `Sites` (bit-identical contract) but
-        // must refresh under `Resized` (scores rescaled, orders intact).
-        let (stale_shards, refresh_fresh): (Vec<usize>, bool) =
-            match (contiguous, snapshot.staleness()) {
-                (true, Staleness::Sites(sites)) => {
-                    (self.map.shards_of_sites(sites.iter().copied()), false)
-                }
-                (
-                    true,
-                    Staleness::Resized {
-                        sites,
-                        removed_sites,
-                    },
-                ) => (
-                    self.map
-                        .shards_of_sites(sites.iter().chain(removed_sites).copied()),
-                    true,
-                ),
-                _ => ((0..self.n_shards()).collect(), false),
-            };
+        let grades = publish_grades(&self.map, *serving, snapshot);
         let mut rebuilt = 0usize;
         let mut repinned = 0usize;
         let mut refreshed = 0usize;
-        let mut stale_iter = stale_shards.iter().peekable();
-        for (shard, cell) in self.cells.iter().enumerate() {
-            let is_stale = stale_iter.next_if(|&&s| s == shard).is_some();
-            let next = if is_stale {
-                rebuilt += 1;
-                let sites = shard_range(&self.map, shard, snapshot.n_sites());
-                Arc::new(ShardState::build(snapshot, sites, self.config.heap_k))
-            } else {
-                let current = cell.lock().expect("shard cell poisoned").clone();
-                if refresh_fresh {
+        for (shard, (cell, grade)) in self.cells.iter().zip(&grades).enumerate() {
+            let next = match grade {
+                SwapGrade::Rebuild => {
+                    rebuilt += 1;
+                    let sites = shard_site_range(&self.map, shard, snapshot.n_sites());
+                    Arc::new(ShardState::build(snapshot, sites, self.config.heap_k))
+                }
+                SwapGrade::Refresh => {
                     refreshed += 1;
+                    let current = cell.lock().expect("shard cell poisoned").clone();
                     Arc::new(current.refresh(snapshot, self.config.heap_k))
-                } else {
+                }
+                SwapGrade::Repin => {
                     repinned += 1;
+                    let current = cell.lock().expect("shard cell poisoned").clone();
                     Arc::new(current.repin(snapshot))
                 }
             };
             // The swap itself: readers blocked only for this assignment.
             *cell.lock().expect("shard cell poisoned") = next;
+            swapped(shard);
         }
         *self.routing.lock().expect("routing snapshot poisoned") = snapshot.clone();
         *serving = snapshot.epoch();
@@ -585,22 +657,16 @@ impl ShardedServer {
             ServeStats::bump(&self.stats.gather_retries);
         }
         // Escalate: hold the publish gate so no swap can run, guaranteeing
-        // one consistent pass.
-        let _quiesce: MutexGuard<'_, u64> = self.gate.lock().expect("publish gate poisoned");
+        // one consistent pass. Counted before the lock so observers can
+        // see the escalation while it blocks on an in-flight swap. A
+        // poisoned gate (publisher panicked mid-swap) degrades to a typed
+        // error instead of propagating the panic into the reader.
         ServeStats::bump(&self.stats.gather_escalations);
+        let _quiesce: MutexGuard<'_, u64> =
+            self.gate.lock().map_err(|_| ServeError::PublishPoisoned)?;
         let (_, epoch, replies) = scatter(true)?;
         Ok((epoch, replies))
     }
-}
-
-/// Shard `shard`'s site range, with the last shard extended to absorb
-/// sites appended after the map was built.
-fn shard_range(map: &ShardMap, shard: usize, n_sites: usize) -> std::ops::Range<usize> {
-    let mut range = map.sites_of_shard(shard);
-    if shard == map.n_shards() - 1 {
-        range.end = range.end.max(n_sites);
-    }
-    range
 }
 
 impl Drop for ShardedServer {
@@ -764,6 +830,64 @@ mod tests {
         let snap = snapshot(2, base_scores(), Staleness::Full);
         let report = srv.publish(&snap).unwrap();
         assert_eq!(report.shards_rebuilt, 2);
+    }
+
+    #[test]
+    fn poisoned_gate_degrades_to_typed_errors() {
+        let srv = server();
+        // Poison the publish gate: a publisher panics while holding it.
+        let poisoner = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = srv.gate.lock().expect("gate still clean");
+                panic!("publisher died mid-swap");
+            })
+            .join()
+        });
+        assert!(poisoner.is_err(), "the poisoner must have panicked");
+        // Readers on the fast path keep answering, and the epoch read
+        // recovers (a u64 cannot be torn).
+        assert_eq!(srv.epoch(), 1);
+        let (_, score) = srv.score(DocId(5)).unwrap();
+        assert_eq!(score, 0.12);
+        let (_, top) = srv.top_k(2).unwrap();
+        assert_eq!(top.len(), 2);
+        // Publishing fails typed instead of propagating the panic.
+        let snap = snapshot(2, base_scores(), Staleness::Full);
+        assert!(matches!(
+            srv.publish(&snap),
+            Err(ServeError::PublishPoisoned)
+        ));
+        assert_eq!(srv.epoch(), 1, "a poisoned publish must swap nothing");
+    }
+
+    #[test]
+    fn grades_follow_the_staleness_contract() {
+        let map = ShardMap::uniform(4, 2).unwrap();
+        // Contiguous + Sites: named shards rebuild, rest re-pin.
+        let snap = snapshot(2, base_scores(), Staleness::Sites(vec![3]));
+        assert_eq!(
+            publish_grades(&map, 1, &snap),
+            vec![SwapGrade::Repin, SwapGrade::Rebuild]
+        );
+        // Contiguous + Resized: named shards rebuild, rest refresh.
+        let snap = snapshot(
+            2,
+            base_scores(),
+            Staleness::Resized {
+                sites: vec![0],
+                removed_sites: vec![],
+            },
+        );
+        assert_eq!(
+            publish_grades(&map, 1, &snap),
+            vec![SwapGrade::Rebuild, SwapGrade::Refresh]
+        );
+        // Skipped epoch: staleness untrustworthy, rebuild everything.
+        let snap = snapshot(3, base_scores(), Staleness::Sites(vec![]));
+        assert_eq!(
+            publish_grades(&map, 1, &snap),
+            vec![SwapGrade::Rebuild, SwapGrade::Rebuild]
+        );
     }
 
     #[test]

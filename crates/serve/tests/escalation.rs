@@ -1,0 +1,192 @@
+//! Deterministic coverage of the router's straddling-gather escalation
+//! path: epoch-mismatch retries followed by the publish-gate wait.
+//!
+//! `exp_serve` only exercises this probabilistically (a reader has to
+//! race a swap just so); here the interleaving is *constructed*: the
+//! publisher is paused via the pacing hook after swapping shard 0, so a
+//! cross-shard gather is guaranteed to observe shard 0 at the new epoch
+//! and shard 1 at the old one, exhaust its retries, and escalate to the
+//! publish gate — where it blocks until the paused publisher finishes.
+//!
+//! Runs its own threads only; safe under `RUST_TEST_THREADS=1`.
+
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lmm_engine::{RankSnapshot, Staleness};
+use lmm_graph::sharding::ShardMap;
+use lmm_graph::{DocId, SiteId};
+use lmm_serve::{ServeConfig, ShardedServer};
+
+/// 4 sites x 2 docs over 2 shards.
+fn snapshot(epoch: u64, scores: Vec<f64>, staleness: Staleness) -> RankSnapshot {
+    let n = scores.len();
+    let members = (0..n / 2)
+        .map(|s| vec![DocId(2 * s), DocId(2 * s + 1)])
+        .collect::<Vec<_>>();
+    let site_of = (0..n).map(|d| SiteId(d / 2)).collect::<Vec<_>>();
+    RankSnapshot::new(
+        epoch,
+        "test".into(),
+        Arc::new(scores),
+        None,
+        Arc::new(members),
+        Arc::new(site_of),
+        staleness,
+    )
+}
+
+#[test]
+fn straddling_gather_retries_then_escalates_to_the_publish_gate() {
+    let scores_v1 = vec![0.05, 0.10, 0.20, 0.15, 0.08, 0.12, 0.18, 0.12];
+    let mut scores_v2 = scores_v1.clone();
+    scores_v2[2] = 0.30; // shard 0 (site 1)
+    scores_v2[6] = 0.35; // shard 1 (site 3)
+
+    let map = ShardMap::uniform(4, 2).unwrap();
+    let server = Arc::new(
+        ShardedServer::start(
+            map,
+            &snapshot(1, scores_v1, Staleness::Full),
+            ServeConfig {
+                heap_k: 8,
+                max_gather_retries: 2,
+            },
+        )
+        .unwrap(),
+    );
+
+    // The publisher swaps shard 0, reports in, then blocks until released
+    // — the straddle is now a stable state, not a race window.
+    let (swapped_tx, swapped_rx) = mpsc::channel::<usize>();
+    let (resume_tx, resume_rx) = mpsc::channel::<()>();
+    let publisher = {
+        let server = Arc::clone(&server);
+        // Full staleness: both shards rebuild, so the hook fires for
+        // shard 0 with shard 1 still pinned to epoch 1.
+        let snap = snapshot(2, scores_v2.clone(), Staleness::Full);
+        std::thread::spawn(move || {
+            let report = server
+                .publish_paced(&snap, &move |shard| {
+                    if shard == 0 {
+                        swapped_tx.send(shard).expect("test alive");
+                        resume_rx.recv().expect("released");
+                    }
+                })
+                .expect("publish succeeds");
+            assert_eq!(report.shards_rebuilt, 2);
+        })
+    };
+    assert_eq!(swapped_rx.recv().unwrap(), 0, "shard 0 swapped first");
+
+    // A cross-shard gather now *must* see epochs {2, 1}: it retries
+    // max_gather_retries times, escalates, and blocks on the gate the
+    // publisher holds.
+    let reader_done = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let server = Arc::clone(&server);
+        let reader_done = Arc::clone(&reader_done);
+        std::thread::spawn(move || {
+            let result = server.top_k(3).expect("escalated gather answers");
+            reader_done.store(true, AtomicOrdering::Relaxed);
+            result
+        })
+    };
+
+    // The escalation counter is bumped *before* the gate wait, so we can
+    // observe the reader parked on the gate while the publisher is paused.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().gather_escalations == 0 {
+        assert!(Instant::now() < deadline, "reader never escalated");
+        std::thread::yield_now();
+    }
+    assert!(
+        !reader_done.load(AtomicOrdering::Relaxed),
+        "the escalated gather must wait for the in-flight swap"
+    );
+    let mid_stats = server.stats();
+    assert!(
+        mid_stats.gather_retries >= 2,
+        "expected the retry budget spent before escalating, saw {}",
+        mid_stats.gather_retries
+    );
+
+    // Release the publisher; the gate frees; the escalated gather answers
+    // one consistent epoch-2 response.
+    resume_tx.send(()).unwrap();
+    publisher.join().expect("publisher panicked");
+    let (epoch, top) = reader.join().expect("reader panicked");
+    assert_eq!(epoch, 2);
+    assert_eq!(
+        top,
+        vec![(DocId(6), 0.35), (DocId(2), 0.30), (DocId(3), 0.15)]
+    );
+    assert_eq!(server.stats().gather_escalations, 1);
+}
+
+/// The retry path alone (no escalation): a gather straddling a brief swap
+/// succeeds once the swap completes, within its retry budget.
+#[test]
+fn straddling_gather_recovers_within_its_retry_budget() {
+    let scores = vec![0.05, 0.10, 0.20, 0.15, 0.08, 0.12, 0.18, 0.12];
+    let map = ShardMap::uniform(4, 2).unwrap();
+    let server = Arc::new(
+        ShardedServer::start(
+            map,
+            &snapshot(1, scores.clone(), Staleness::Full),
+            ServeConfig {
+                heap_k: 8,
+                // Effectively unbounded: the reader must ride out the
+                // paused swap on retries alone, never the gate.
+                max_gather_retries: usize::MAX,
+            },
+        )
+        .unwrap(),
+    );
+    // Publisher pauses after shard 0 only until the reader has seen one
+    // mixed gather, then finishes — the reader's next retry succeeds
+    // without touching the gate.
+    let (swapped_tx, swapped_rx) = mpsc::channel::<()>();
+    let (resume_tx, resume_rx) = mpsc::channel::<()>();
+    let publisher = {
+        let server = Arc::clone(&server);
+        let snap = snapshot(2, scores, Staleness::Full);
+        std::thread::spawn(move || {
+            server
+                .publish_paced(&snap, &move |shard| {
+                    if shard == 0 {
+                        swapped_tx.send(()).expect("test alive");
+                        resume_rx.recv().expect("released");
+                    }
+                })
+                .expect("publish succeeds");
+        })
+    };
+    swapped_rx.recv().unwrap();
+    let reader = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.top_k(2).expect("gather answers"))
+    };
+    // Wait for the reader to burn at least one retry on the straddle,
+    // then let the publisher finish.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().gather_retries == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "reader never observed the straddle"
+        );
+        std::thread::yield_now();
+    }
+    resume_tx.send(()).unwrap();
+    publisher.join().expect("publisher panicked");
+    let (epoch, _) = reader.join().expect("reader panicked");
+    assert_eq!(epoch, 2);
+    assert!(server.stats().gather_retries >= 1);
+    assert_eq!(
+        server.stats().gather_escalations,
+        0,
+        "the retry budget must absorb a short swap without escalating"
+    );
+}

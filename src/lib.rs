@@ -18,7 +18,10 @@
 //!   Theorem, and the SiteRank × DocRank pipeline;
 //! * [`p2p`] — the distributed (peer-to-peer) computation simulator;
 //! * [`serve`] — the sharded concurrent serving tier: site-range shards,
-//!   epoch-consistent queries, and snapshot hot-swap over live deltas.
+//!   epoch-consistent queries, and snapshot hot-swap over live deltas;
+//! * [`cluster`] — the same serving protocol across processes over TCP:
+//!   shard nodes, a controller with heartbeat eviction and failover, and
+//!   a client whose answers are bitwise identical to the in-process tier.
 //!
 //! # Quickstart
 //!
@@ -56,6 +59,7 @@
 //! # }
 //! ```
 
+pub use lmm_cluster as cluster;
 pub use lmm_core as core;
 pub use lmm_engine as engine;
 pub use lmm_graph as graph;
@@ -66,6 +70,10 @@ pub use lmm_serve as serve;
 
 /// Commonly used items, importable with `use lmm::prelude::*`.
 pub mod prelude {
+    pub use lmm_cluster::{
+        ClientConfig, ClusterClient, ClusterController, ClusterError, ControllerConfig, NodeConfig,
+        ShardNode,
+    };
     pub use lmm_core::{
         approaches::RankApproach, model::LayeredMarkovModel, siterank::LayeredRankConfig,
         siterank::SiteLayerMethod,
@@ -91,7 +99,7 @@ pub mod prelude {
         pagerank::{PageRank, PageRankConfig},
         ranking::Ranking,
     };
-    pub use lmm_serve::{ServeConfig, ServeError, ShardedServer};
+    pub use lmm_serve::{ServeConfig, ServeError, ShardQuery, ShardedServer};
 }
 
 /// Thin deprecated shims over the pre-engine ad-hoc entry points.
