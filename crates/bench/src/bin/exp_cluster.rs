@@ -278,6 +278,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             miss_limit: 2,
             io_timeout: Duration::from_secs(5),
             auto_failover: true,
+            retry: lmm_cluster::RetryPolicy::default(),
             fault: None,
         },
     )?;

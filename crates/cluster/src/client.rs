@@ -21,6 +21,14 @@
 //! the cached table only refreshes when a query names a document beyond
 //! its end; documents beyond even the *controller's* table route to the
 //! last shard, exactly like the in-process router.
+//!
+//! The *placement* cache is not append-only — owners move on failover
+//! and rejoin — so it is **evicted** the moment a node answers
+//! `NotOwner`, and every refresh prunes pooled connections to addresses
+//! no longer in the placement. Pooled connections themselves are lazily
+//! reconnected: a call over a stale stream (the peer restarted since it
+//! was parked) falls through to one fresh dial before the failure
+//! surfaces, so a node restart costs callers a reconnect, not an error.
 
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BTreeMap, HashMap};
@@ -33,6 +41,7 @@ use lmm_graph::{DocId, SiteId};
 use lmm_serve::{DocScore, ServeError, ShardQuery, SiteTopK};
 
 use crate::error::{ClusterError, Result};
+use crate::retry::RetryPolicy;
 use crate::transport::{FaultPlan, FramedConn, TransportError, WireCounters};
 use crate::wire::Message;
 
@@ -41,13 +50,14 @@ use crate::wire::Message;
 pub struct ClientConfig {
     /// Connect/read/write timeout per call.
     pub io_timeout: Duration,
-    /// Gather retries before escalating (mirrors the in-process
+    /// Free gather retries before escalating (mirrors the in-process
     /// `ServeConfig::max_gather_retries`).
     pub max_gather_retries: usize,
-    /// Escalation rounds: each re-fetches placement and backs off.
-    pub escalation_rounds: usize,
-    /// Sleep between escalation rounds.
-    pub escalation_backoff: Duration,
+    /// Retry discipline past the free retries: each escalation round
+    /// re-fetches placement and sleeps a budgeted, jittered backoff step
+    /// — the same [`RetryPolicy`] the controller and nodes use, so the
+    /// whole fabric converges instead of stampeding.
+    pub retry: RetryPolicy,
     /// Optional deterministic fault injection on this client's sends.
     pub fault: Option<FaultPlan>,
 }
@@ -57,8 +67,7 @@ impl Default for ClientConfig {
         Self {
             io_timeout: Duration::from_secs(2),
             max_gather_retries: 4,
-            escalation_rounds: 40,
-            escalation_backoff: Duration::from_millis(25),
+            retry: RetryPolicy::default(),
             fault: None,
         }
     }
@@ -105,6 +114,10 @@ pub struct ClientStats {
     pub placement_refreshes: u64,
     /// Routing-table fetches from the controller.
     pub routing_refreshes: u64,
+    /// Cached placements evicted after a `NotOwner` answer.
+    pub placement_evictions: u64,
+    /// Stale pooled connections replaced by a fresh dial.
+    pub reconnects: u64,
     /// Bytes written / read by this client.
     pub bytes: (u64, u64),
 }
@@ -118,11 +131,16 @@ pub struct ClusterClient {
     pool: Mutex<HashMap<String, FramedConn>>,
     counters: Arc<WireCounters>,
     next_conn: AtomicU64,
+    /// Per-gather salt: desynchronizes concurrent gathers' jitter
+    /// streams without touching the shared budget.
+    next_op: AtomicU64,
     gather_retries: AtomicU64,
     gather_escalations: AtomicU64,
     node_failures: AtomicU64,
     placement_refreshes: AtomicU64,
     routing_refreshes: AtomicU64,
+    placement_evictions: AtomicU64,
+    reconnects: AtomicU64,
 }
 
 fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -151,11 +169,14 @@ impl ClusterClient {
             pool: Mutex::new(HashMap::new()),
             counters: Arc::new(WireCounters::default()),
             next_conn: AtomicU64::new(0),
+            next_op: AtomicU64::new(0),
             gather_retries: AtomicU64::new(0),
             gather_escalations: AtomicU64::new(0),
             node_failures: AtomicU64::new(0),
             placement_refreshes: AtomicU64::new(0),
             routing_refreshes: AtomicU64::new(0),
+            placement_evictions: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
         }
     }
 
@@ -168,6 +189,8 @@ impl ClusterClient {
             node_failures: self.node_failures.load(Ordering::Relaxed),
             placement_refreshes: self.placement_refreshes.load(Ordering::Relaxed),
             routing_refreshes: self.routing_refreshes.load(Ordering::Relaxed),
+            placement_evictions: self.placement_evictions.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
             bytes: self.counters.totals(),
         }
     }
@@ -189,24 +212,41 @@ impl ClusterClient {
     /// Runs `f` over a pooled (or freshly dialed) connection to `addr`.
     /// The connection returns to the pool only on success — any error
     /// drops it, so a poisoned stream never serves a later call.
+    ///
+    /// A pooled stream can be *stale*: the peer restarted (or the pool
+    /// outlived a partition) since it was parked. Every call made through
+    /// here is idempotent, so a transport failure on a pooled stream
+    /// falls through to exactly one fresh dial before surfacing — the
+    /// lazy reconnect that makes node restarts invisible to callers.
+    /// Wire errors are typed peer answers, not staleness, and surface
+    /// immediately.
     fn with_conn<T>(
         &self,
         addr: &str,
-        f: impl FnOnce(&mut FramedConn) -> std::result::Result<T, TransportError>,
+        mut f: impl FnMut(&mut FramedConn) -> std::result::Result<T, TransportError>,
     ) -> std::result::Result<T, TransportError> {
+        // Bind the pooled entry first: an `if let` on the locked pool
+        // would hold the guard across the whole block (and deadlock on
+        // the re-insert).
         let pooled = lock_clean(&self.pool).remove(addr);
-        let mut conn = match pooled {
-            Some(conn) => conn,
-            None => {
-                let conn =
-                    FramedConn::connect(addr, self.cfg.io_timeout, Arc::clone(&self.counters))?;
-                match &self.cfg.fault {
-                    Some(plan) => conn.with_faults(Arc::new(
-                        plan.injector(self.next_conn.fetch_add(1, Ordering::Relaxed)),
-                    )),
-                    None => conn,
+        if let Some(mut conn) = pooled {
+            match f(&mut conn) {
+                Ok(out) => {
+                    lock_clean(&self.pool).insert(addr.to_string(), conn);
+                    return Ok(out);
+                }
+                Err(e @ TransportError::Wire(_)) => return Err(e),
+                Err(_) => {
+                    self.reconnects.fetch_add(1, Ordering::Relaxed);
                 }
             }
+        }
+        let conn = FramedConn::connect(addr, self.cfg.io_timeout, Arc::clone(&self.counters))?;
+        let mut conn = match &self.cfg.fault {
+            Some(plan) => conn.with_faults(Arc::new(
+                plan.injector(self.next_conn.fetch_add(1, Ordering::Relaxed)),
+            )),
+            None => conn,
         };
         let out = f(&mut conn)?;
         lock_clean(&self.pool).insert(addr.to_string(), conn);
@@ -225,11 +265,18 @@ impl ClusterClient {
             }
         })?;
         match reply {
-            // Placement moved under us: retriable, refresh and re-route.
-            Message::NotOwner { shard } => Err(ClusterError::NodeUnavailable {
-                addr: addr.to_string(),
-                detail: format!("no longer owns shard {shard}"),
-            }),
+            // Placement moved under us (failover or a rejoin handing
+            // shards home). The cached view is *wrong*, not merely old —
+            // evict it so the retry re-fetches instead of re-asking the
+            // same non-owner.
+            Message::NotOwner { shard } => {
+                lock_clean(&self.state).placement = None;
+                self.placement_evictions.fetch_add(1, Ordering::Relaxed);
+                Err(ClusterError::NodeUnavailable {
+                    addr: addr.to_string(),
+                    detail: format!("no longer owns shard {shard}"),
+                })
+            }
             Message::Bad { detail } => Err(ClusterError::Protocol { detail }),
             other => Ok(other),
         }
@@ -292,6 +339,11 @@ impl ClusterClient {
             owners,
         });
         lock_clean(&self.state).placement = Some(Arc::clone(&view));
+        // Prune pooled connections to addresses the new placement no
+        // longer names — dead nodes' streams would otherwise linger until
+        // some call tripped over them.
+        lock_clean(&self.pool)
+            .retain(|addr, _| *addr == self.controller || view.owners.contains(addr));
         Ok(view)
     }
 
@@ -330,20 +382,30 @@ impl ClusterClient {
     /// Scatters one request per shard (built by `plan` from the placement
     /// it will run against) and collects replies until every reply
     /// carries the same cluster epoch. Retries absorb straddled publishes
-    /// and dead nodes; escalation re-fetches placement with backoff until
-    /// the cluster re-converges.
+    /// and dead nodes; escalation re-fetches placement and backs off per
+    /// the shared [`RetryPolicy`] until the budget is spent or the
+    /// cluster re-converges.
     fn consistent_gather(&self, plan: GatherPlan<'_>) -> Result<GatherOutcome> {
         let mut refresh = false;
         let mut last_err: Option<ClusterError> = None;
-        let total = self.cfg.max_gather_retries + self.cfg.escalation_rounds + 1;
-        for round in 0..total {
-            if round == self.cfg.max_gather_retries + 1 {
-                self.gather_escalations.fetch_add(1, Ordering::Relaxed);
-            }
-            if round > self.cfg.max_gather_retries {
-                std::thread::sleep(self.cfg.escalation_backoff);
+        let mut schedule = self
+            .cfg
+            .retry
+            .begin(self.next_op.fetch_add(1, Ordering::Relaxed));
+        let mut rounds = 0usize;
+        let mut escalated = false;
+        loop {
+            if rounds > self.cfg.max_gather_retries {
+                if !escalated {
+                    escalated = true;
+                    self.gather_escalations.fetch_add(1, Ordering::Relaxed);
+                }
+                if !schedule.backoff_and_retry() {
+                    break;
+                }
                 refresh = true;
             }
+            rounds += 1;
             let view = match self.placement(refresh) {
                 Ok(view) => view,
                 Err(e @ ClusterError::NotPublished) => return Err(e),
@@ -393,7 +455,7 @@ impl ClusterClient {
             let (epoch, rank_epoch) = epochs.unwrap_or((view.epoch, view.rank_epoch));
             return Ok((epoch, rank_epoch, replies));
         }
-        Err(last_err.unwrap_or(ClusterError::Inconsistent { rounds: total }))
+        Err(last_err.unwrap_or(ClusterError::Inconsistent { rounds }))
     }
 
     // -- the query surface --------------------------------------------------

@@ -17,9 +17,12 @@
 //!    serving them.
 //! 3. **Commit** (phase two): only after *every* node acked its stages,
 //!    tell each to flip to `C+1`. A node that fails either phase is
-//!    evicted and the whole publish retries against the survivors at
+//!    evicted, every survivor gets an **`Abort(C+1)`** (the attempt's
+//!    epoch is burnt, never reused), and the whole publish backs off per
+//!    the shared [`RetryPolicy`] then retries against the survivors at
 //!    `C+2` — commits are idempotent and restages supersede, so partial
-//!    progress is harmless.
+//!    progress is harmless. Survivors the abort cannot reach expire the
+//!    dead staged set by TTL on their own.
 //!
 //! Queries key their gather consistency on the cluster epoch, so during
 //! the commit fan-out a client sees a mix of `C` and `C+1` and simply
@@ -33,8 +36,18 @@
 //! controller's pinned snapshot** under a bumped cluster epoch — the
 //! same rank epoch, republished. Clients in flight get retriable
 //! `NodeUnavailable` / epoch-mismatch retries, never wrong-epoch data.
+//!
+//! # Restart & rejoin
+//!
+//! A restarted node announces itself with `Rejoin { node, addr }` and is
+//! re-admitted **under its prior id**. The eviction recorded its shard
+//! claim, so the catch-up republish (same rank epoch, bumped cluster
+//! epoch) hands its old shards back — restoring the pre-failure balance
+//! instead of leaving them piled on survivors — and, because the
+//! returner is marked *fresh*, stages them as full rebuilds cut from the
+//! pinned snapshot.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -46,13 +59,18 @@ use lmm_graph::sharding::ShardMap;
 use lmm_serve::{publish_grades, shard_site_range, SwapGrade};
 
 use crate::error::{ClusterError, Result};
+use crate::retry::RetryPolicy;
 use crate::transport::{FaultPlan, FramedConn, WireCounters};
 use crate::wire::{Message, NodeWireStats};
 
 /// Controller tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ControllerConfig {
-    /// Heartbeat probe interval.
+    /// Heartbeat probe interval. Together with
+    /// [`ControllerConfig::miss_limit`] this sets the failure-detection
+    /// horizon: a node is declared dead only after `miss_limit + 1`
+    /// consecutive intervals without a `Pong`, so a slow-but-alive node
+    /// (delays under `io_timeout`) is never spuriously evicted.
     pub heartbeat_interval: Duration,
     /// Consecutive missed beats after which a node is evicted.
     pub miss_limit: u32,
@@ -61,6 +79,11 @@ pub struct ControllerConfig {
     /// Evict-and-reassign automatically from the monitor thread. Tests
     /// that want to drive failover by hand can turn this off.
     pub auto_failover: bool,
+    /// Retry discipline shared by publish machinery: per-node stage and
+    /// commit calls retry transient transport faults (with a tight
+    /// attempt cap) before the node is declared failed, and whole-publish
+    /// attempts back off between retries instead of hammering survivors.
+    pub retry: RetryPolicy,
     /// Optional deterministic fault injection on controller sends.
     pub fault: Option<FaultPlan>,
 }
@@ -72,6 +95,7 @@ impl Default for ControllerConfig {
             miss_limit: 3,
             io_timeout: Duration::from_secs(2),
             auto_failover: true,
+            retry: RetryPolicy::default(),
             fault: None,
         }
     }
@@ -95,6 +119,16 @@ struct ControlState {
     cepoch: u64,
     rank_epoch: u64,
     pinned: Option<RankSnapshot>,
+    /// Shard claims of evicted nodes, keyed by node id: if the node
+    /// rejoins, placement hands its old shards back (restoring the
+    /// pre-failure balance) instead of leaving them piled on survivors.
+    /// A claim is dropped once a publish applies it; an eviction strips
+    /// its shards from all older claims, so each shard has one claimant.
+    former: BTreeMap<u64, Vec<u64>>,
+    /// Nodes that (re)joined with no serving state since the last
+    /// successful publish that placed them — every shard placed on a
+    /// fresh node is force-rebuilt, never repinned or refreshed.
+    fresh: BTreeSet<u64>,
 }
 
 struct ControllerInner {
@@ -106,11 +140,16 @@ struct ControllerInner {
     /// Serializes publishes and failovers. Lock order: this, then `state`.
     publish_gate: Mutex<()>,
     counters: Arc<WireCounters>,
+    /// Background catch-up publishes spawned by rejoins; joined at
+    /// shutdown.
+    aux: Mutex<Vec<JoinHandle<()>>>,
     next_conn: AtomicU64,
     publishes: AtomicU64,
     evictions: AtomicU64,
     failovers: AtomicU64,
     missed_heartbeats: AtomicU64,
+    rejoins: AtomicU64,
+    publish_aborts: AtomicU64,
 }
 
 /// Accounting of one cluster publish (or failover republish).
@@ -172,6 +211,11 @@ pub struct ClusterStats {
     pub failovers: u64,
     /// Heartbeats that went unanswered.
     pub missed_heartbeats: u64,
+    /// Restarted nodes re-admitted under their prior id.
+    pub rejoins: u64,
+    /// `Abort` messages delivered to survivors of failed publish
+    /// attempts.
+    pub publish_aborts: u64,
     /// Per-node rows, id-ordered.
     pub nodes: Vec<NodeReport>,
     /// Live-document skew across **all** cluster shards (max shard over
@@ -202,8 +246,27 @@ impl ClusterController {
     /// the in-process tier).
     ///
     /// # Errors
-    /// [`ClusterError::InvalidConfig`] when the listener cannot bind.
+    /// [`ClusterError::InvalidConfig`] when the listener cannot bind or
+    /// the heartbeat knobs are degenerate (zero interval, zero miss
+    /// limit, or zero io timeout — each would make the failure detector
+    /// either a busy-loop or a hair trigger).
     pub fn start(map: ShardMap, cfg: ControllerConfig) -> Result<Self> {
+        if cfg.heartbeat_interval.is_zero() {
+            return Err(ClusterError::InvalidConfig {
+                reason: "heartbeat_interval must be positive".into(),
+            });
+        }
+        if cfg.miss_limit == 0 {
+            return Err(ClusterError::InvalidConfig {
+                reason: "miss_limit must be at least 1 (a single dropped frame is not death)"
+                    .into(),
+            });
+        }
+        if cfg.io_timeout.is_zero() {
+            return Err(ClusterError::InvalidConfig {
+                reason: "io_timeout must be positive".into(),
+            });
+        }
         let listener =
             TcpListener::bind("127.0.0.1:0").map_err(|e| ClusterError::InvalidConfig {
                 reason: format!("cannot bind a loopback listener: {e}"),
@@ -222,11 +285,14 @@ impl ClusterController {
             state: Mutex::new(ControlState::default()),
             publish_gate: Mutex::new(()),
             counters: Arc::new(WireCounters::default()),
+            aux: Mutex::new(Vec::new()),
             next_conn: AtomicU64::new(0),
             publishes: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             missed_heartbeats: AtomicU64::new(0),
+            rejoins: AtomicU64::new(0),
+            publish_aborts: AtomicU64::new(0),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -384,6 +450,8 @@ impl ClusterController {
             evictions: inner.evictions.load(Ordering::Relaxed),
             failovers: inner.failovers.load(Ordering::Relaxed),
             missed_heartbeats: inner.missed_heartbeats.load(Ordering::Relaxed),
+            rejoins: inner.rejoins.load(Ordering::Relaxed),
+            publish_aborts: inner.publish_aborts.load(Ordering::Relaxed),
             nodes,
             doc_skew,
             tombstone_rejections: tombstones,
@@ -399,6 +467,10 @@ impl ClusterController {
         }
         let handles = std::mem::take(&mut *lock_clean(&self.conns));
         for handle in handles {
+            let _ = handle.join();
+        }
+        let aux = std::mem::take(&mut *lock_clean(&self.inner.aux));
+        for handle in aux {
             let _ = handle.join();
         }
     }
@@ -426,18 +498,33 @@ impl ControllerInner {
     /// The publish loop. Caller holds the publish gate.
     fn publish_locked(&self, snapshot: &RankSnapshot) -> Result<ClusterPublishReport> {
         let mut attempts = 0usize;
+        let mut schedule = self.cfg.retry.begin(snapshot.epoch() ^ 0x0B11_5EED);
         loop {
             attempts += 1;
             // --- plan under the state lock -------------------------------
-            let (next_epoch, placement, jobs, reassigned, counts) = {
+            let (next_epoch, placement, jobs, reassigned, counts, claimed, fresh_used) = {
                 let state = lock_clean(&self.state);
                 if state.nodes.is_empty() {
                     return Err(ClusterError::NoNodes);
                 }
                 let survivors: Vec<u64> = state.nodes.keys().copied().collect();
                 let n_shards = self.map.n_shards();
-                // Sticky placement: keep live owners, round-robin the rest
-                // over survivors (first publish: contiguous ranges).
+                // Claims of evicted-then-rejoined nodes: hand each such
+                // shard back to its returning owner instead of leaving it
+                // piled on whoever absorbed it at failover.
+                let mut claims: HashMap<u64, u64> = HashMap::new();
+                let mut claimed: Vec<u64> = Vec::new();
+                for (&node, shards) in &state.former {
+                    if state.nodes.contains_key(&node) {
+                        claimed.push(node);
+                        for &shard in shards {
+                            claims.insert(shard, node);
+                        }
+                    }
+                }
+                // Sticky placement: claimants win, then live owners keep
+                // their shards, round-robin the rest over survivors (first
+                // publish: contiguous ranges).
                 let mut placement = vec![0u64; n_shards];
                 let mut changed = vec![false; n_shards];
                 if state.placement.is_empty() {
@@ -458,12 +545,29 @@ impl ControllerInner {
                     let mut cycle = survivors.iter().cycle();
                     for shard in 0..n_shards {
                         let prev = state.placement[shard];
-                        if state.nodes.contains_key(&prev) {
+                        if let Some(&claimant) = claims.get(&(shard as u64)) {
+                            placement[shard] = claimant;
+                            changed[shard] = claimant != prev;
+                        } else if state.nodes.contains_key(&prev) {
                             placement[shard] = prev;
                         } else {
                             placement[shard] = *cycle.next().expect("survivors is non-empty");
                             changed[shard] = true;
                         }
+                    }
+                }
+                // A fresh (just-rejoined) node holds no serving state, so
+                // every shard placed on it must be a full rebuild even if
+                // the grade or placement says otherwise.
+                let fresh_used: Vec<u64> = state
+                    .fresh
+                    .iter()
+                    .copied()
+                    .filter(|id| placement.contains(id))
+                    .collect();
+                for shard in 0..n_shards {
+                    if state.fresh.contains(&placement[shard]) {
+                        changed[shard] = true;
                     }
                 }
                 // Grade data movement, then force-rebuild placement moves.
@@ -506,11 +610,15 @@ impl ControllerInner {
                     job.stages.push((shard as u64, grades[shard], segment));
                 }
                 (
-                    state.cepoch + 1,
+                    // Per-attempt epochs: a failed attempt's number is
+                    // burnt, never reused, so an `Abort` at it is final.
+                    state.cepoch + attempts as u64,
                     placement,
                     jobs.into_values().collect::<Vec<_>>(),
                     reassigned,
                     counts,
+                    claimed,
+                    fresh_used,
                 )
             };
             // --- phase one: stage, in parallel across nodes --------------
@@ -548,16 +656,28 @@ impl ControllerInner {
                     .map(|(node, d)| format!("node {node}: {d}"))
                     .collect::<Vec<_>>()
                     .join("; ");
-                let mut state = lock_clean(&self.state);
-                for (node, _) in &failed {
-                    if state.nodes.remove(node).is_some() {
-                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                // This attempt's epoch is dead: tell every survivor to
+                // drop its staged set so nothing can ever commit it (nodes
+                // the abort cannot reach expire it by TTL instead).
+                let failed_ids: BTreeSet<u64> = failed.iter().map(|(node, _)| *node).collect();
+                self.abort_attempt(&jobs, &failed_ids, next_epoch);
+                {
+                    let mut state = lock_clean(&self.state);
+                    for id in &failed_ids {
+                        self.evict_locked(&mut state, *id);
+                    }
+                    if state.nodes.is_empty() {
+                        return Err(ClusterError::PublishFailed { detail });
                     }
                 }
-                if state.nodes.is_empty() {
-                    return Err(ClusterError::PublishFailed { detail });
+                if schedule.backoff_and_retry() {
+                    continue; // retry against survivors at the next epoch
                 }
-                continue; // retry against survivors at next_epoch + 1
+                return Err(ClusterError::RetryExhausted {
+                    op: "publish",
+                    attempts: schedule.attempts(),
+                    detail,
+                });
             }
             // --- success: commit the control state -----------------------
             let max_fanout_ms = fanouts.iter().fold(0.0f64, |acc, &(_, ms)| acc.max(ms));
@@ -571,6 +691,15 @@ impl ControllerInner {
             state.rank_epoch = snapshot.epoch();
             state.placement = placement;
             state.pinned = Some(snapshot.clone());
+            // Only the claims and fresh flags this plan actually used are
+            // consumed — a node that rejoined *mid-attempt* keeps its
+            // flag for the catch-up publish that follows.
+            for node in &claimed {
+                state.former.remove(node);
+            }
+            for node in &fresh_used {
+                state.fresh.remove(node);
+            }
             self.publishes.fetch_add(1, Ordering::Relaxed);
             return Ok(ClusterPublishReport {
                 epoch: next_epoch,
@@ -587,7 +716,34 @@ impl ControllerInner {
         }
     }
 
+    /// The tight per-node retry cap. Transient transport faults get a
+    /// couple of quick retries with a fresh dial (both phases are
+    /// idempotent: restages supersede, duplicate commits ack), but a node
+    /// that keeps failing is declared dead fast — burning the *full*
+    /// retry budget here would stretch every failover by the whole
+    /// deadline.
+    fn call_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 2,
+            ..self.cfg.retry
+        }
+    }
+
     fn stage_node(&self, job: &NodeJob, epoch: u64) -> std::result::Result<(), String> {
+        let mut schedule = self.call_policy().begin(epoch ^ job.node.rotate_left(32));
+        loop {
+            match self.try_stage(job, epoch) {
+                Ok(()) => return Ok(()),
+                Err(detail) => {
+                    if !schedule.backoff_and_retry() {
+                        return Err(detail);
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_stage(&self, job: &NodeJob, epoch: u64) -> std::result::Result<(), String> {
         let mut conn = self
             .dial(&job.addr)
             .map_err(|()| format!("dial {}", job.addr))?;
@@ -614,6 +770,27 @@ impl ControllerInner {
         epoch: u64,
         rank_epoch: u64,
     ) -> std::result::Result<(), String> {
+        let mut schedule = self
+            .call_policy()
+            .begin(epoch ^ job.node.rotate_left(32) ^ 0xC0);
+        loop {
+            match self.try_commit(job, epoch, rank_epoch) {
+                Ok(()) => return Ok(()),
+                Err(detail) => {
+                    if !schedule.backoff_and_retry() {
+                        return Err(detail);
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_commit(
+        &self,
+        job: &NodeJob,
+        epoch: u64,
+        rank_epoch: u64,
+    ) -> std::result::Result<(), String> {
         let mut conn = self
             .dial(&job.addr)
             .map_err(|()| format!("dial {}", job.addr))?;
@@ -626,7 +803,56 @@ impl ControllerInner {
         }
     }
 
-    fn failover(&self) -> Result<ClusterPublishReport> {
+    /// Best-effort `Abort` to every node of the attempt that did **not**
+    /// fail it. Unreachable survivors are fine: the staged epoch also
+    /// expires by TTL, and nodes refuse stage/commit at or below their
+    /// last aborted epoch, so the dead epoch cannot resurrect either way.
+    fn abort_attempt(&self, jobs: &[NodeJob], failed: &BTreeSet<u64>, epoch: u64) {
+        for job in jobs {
+            if failed.contains(&job.node) {
+                continue;
+            }
+            let acked = self
+                .dial(&job.addr)
+                .ok()
+                .and_then(|mut conn| conn.call(&Message::Abort { epoch }).ok())
+                .is_some_and(|reply| matches!(reply, Message::Ack { .. }));
+            if acked {
+                self.publish_aborts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Removes a node from the registry, recording which shards it owned
+    /// so a rejoin hands them back. Each shard has exactly one claimant:
+    /// the newest eviction strips its shards from every older claim.
+    fn evict_locked(&self, state: &mut ControlState, id: u64) {
+        if state.nodes.remove(&id).is_none() {
+            return;
+        }
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        state.fresh.remove(&id);
+        let owned: Vec<u64> = state
+            .placement
+            .iter()
+            .enumerate()
+            .filter(|&(_, &owner)| owner == id)
+            .map(|(shard, _)| shard as u64)
+            .collect();
+        if owned.is_empty() {
+            return;
+        }
+        for shards in state.former.values_mut() {
+            shards.retain(|s| !owned.contains(s));
+        }
+        state.former.retain(|_, shards| !shards.is_empty());
+        state.former.insert(id, owned);
+    }
+
+    /// Republishes the pinned snapshot under the gate — the shared tail
+    /// of failover and rejoin catch-up. Same rank epoch, bumped cluster
+    /// epoch.
+    fn republish_pinned(&self) -> Result<ClusterPublishReport> {
         let _gate = self
             .publish_gate
             .lock()
@@ -637,7 +863,11 @@ impl ControllerInner {
             let state = lock_clean(&self.state);
             state.pinned.clone().ok_or(ClusterError::NotPublished)?
         };
-        let report = self.publish_locked(&pinned)?;
+        self.publish_locked(&pinned)
+    }
+
+    fn failover(&self) -> Result<ClusterPublishReport> {
+        let report = self.republish_pinned()?;
         self.failovers.fetch_add(1, Ordering::Relaxed);
         Ok(report)
     }
@@ -705,6 +935,40 @@ fn serve_conn(stream: TcpStream, inner: &Arc<ControllerInner>) {
                         last_fanout_ms: 0.0,
                     },
                 );
+                Message::Registered { node }
+            }
+            Message::Rejoin { node, addr } => {
+                // A restarted node comes back under its prior id with an
+                // empty serving state. Re-admit it, mark it fresh (every
+                // shard placed on it rebuilds), and catch it up in the
+                // background by republishing the pinned snapshot — its
+                // old shards come home via the `former` claim, under a
+                // bumped cluster epoch but the *same* rank epoch.
+                let has_pinned = {
+                    let mut state = lock_clean(&inner.state);
+                    state.next_node = state.next_node.max(node + 1);
+                    state.nodes.insert(
+                        node,
+                        NodeEntry {
+                            addr,
+                            missed: 0,
+                            rtt_us: 0,
+                            last_fanout_ms: 0.0,
+                        },
+                    );
+                    state.fresh.insert(node);
+                    state.pinned.is_some()
+                };
+                inner.rejoins.fetch_add(1, Ordering::Relaxed);
+                if has_pinned {
+                    let catcher = Arc::clone(inner);
+                    let handle = std::thread::spawn(move || {
+                        // NoNodes/NotPublished just mean the cluster moved
+                        // on; real publish failures surface via stats.
+                        let _ = catcher.republish_pinned();
+                    });
+                    lock_clean(&inner.aux).push(handle);
+                }
                 Message::Registered { node }
             }
             Message::PlacementReq => {
@@ -808,9 +1072,7 @@ fn monitor_loop(inner: &Arc<ControllerInner>) {
         {
             let mut state = lock_clean(&inner.state);
             for id in &dead {
-                if state.nodes.remove(id).is_some() {
-                    inner.evictions.fetch_add(1, Ordering::Relaxed);
-                }
+                inner.evict_locked(&mut state, *id);
             }
         }
         if inner.cfg.auto_failover {

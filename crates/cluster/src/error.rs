@@ -70,6 +70,17 @@ pub enum ClusterError {
         /// Human-readable cause of the last attempt.
         detail: String,
     },
+    /// An operation exhausted its [`RetryPolicy`](crate::RetryPolicy)
+    /// budget — every attempt failed and no further backoff was granted.
+    /// Terminal by construction: the budget *is* the caller's patience.
+    RetryExhausted {
+        /// The operation that gave up.
+        op: &'static str,
+        /// Attempts made (initial try plus retries).
+        attempts: u32,
+        /// The last attempt's failure.
+        detail: String,
+    },
     /// A typed serving-tier answer (unknown/tombstoned document or site)
     /// relayed from the answering node.
     Serve(ServeError),
@@ -122,6 +133,16 @@ impl fmt::Display for ClusterError {
                 )
             }
             ClusterError::PublishFailed { detail } => write!(f, "publish failed: {detail}"),
+            ClusterError::RetryExhausted {
+                op,
+                attempts,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "{op} gave up after {attempts} attempts (retry budget spent): {detail}"
+                )
+            }
             ClusterError::Serve(e) => write!(f, "{e}"),
             ClusterError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
         }
@@ -167,6 +188,14 @@ mod tests {
         assert!(!ClusterError::NotPublished.is_retriable());
         assert!(!ClusterError::ControllerUnavailable {
             detail: "refused".into()
+        }
+        .is_retriable());
+        // A spent retry budget is terminal: retrying a retry-exhaustion
+        // would make the budget meaningless.
+        assert!(!ClusterError::RetryExhausted {
+            op: "publish",
+            attempts: 7,
+            detail: "node 3 unreachable".into()
         }
         .is_retriable());
     }

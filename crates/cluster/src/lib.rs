@@ -50,6 +50,7 @@ pub mod client;
 pub mod controller;
 pub mod error;
 pub mod node;
+pub mod retry;
 pub mod transport;
 pub mod wire;
 
@@ -59,6 +60,7 @@ pub use controller::{
 };
 pub use error::{ClusterError, Result};
 pub use node::{NodeConfig, ShardNode};
+pub use retry::{RetryPolicy, RetrySchedule};
 pub use transport::{FaultPlan, FramedConn, TransportError, WireCounters};
 pub use wire::{
     decode_frame, decode_message, encode_frame, encode_message, Message, NodeWireStats, WireError,

@@ -20,13 +20,14 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lmm_engine::SnapshotSegment;
 use lmm_graph::{DocId, SiteId};
 use lmm_serve::{DocScore, ShardState, SiteTopK, SwapGrade};
 
 use crate::error::{ClusterError, Result};
+use crate::retry::RetryPolicy;
 use crate::transport::{FaultPlan, FramedConn, TransportError, WireCounters};
 use crate::wire::{Message, NodeWireStats};
 
@@ -39,7 +40,19 @@ pub struct NodeConfig {
     pub io_timeout: Duration,
     /// How often idle connection threads check the shutdown flag.
     pub poll: Duration,
-    /// Optional deterministic fault injection on this node's sends.
+    /// How long a staged-but-uncommitted epoch set may wait for its
+    /// commit before the node garbage-collects it. A publishing
+    /// controller that dies (or silently gives up) between stage and
+    /// commit must not leave segments pinned forever — and a commit for
+    /// an expired set is refused, so a resurrected controller cannot
+    /// flip the node onto a stale epoch.
+    pub stage_ttl: Duration,
+    /// Retry discipline for registration and rejoin with the controller
+    /// (kept modest by default so a genuinely absent controller fails in
+    /// tens of milliseconds, not the full chaos-grade budget).
+    pub retry: RetryPolicy,
+    /// Optional deterministic fault injection on this node's accepted
+    /// connections (both directions).
     pub fault: Option<FaultPlan>,
 }
 
@@ -49,6 +62,11 @@ impl Default for NodeConfig {
             heap_k: 64,
             io_timeout: Duration::from_secs(2),
             poll: Duration::from_millis(25),
+            stage_ttl: Duration::from_secs(60),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::default()
+            },
             fault: None,
         }
     }
@@ -64,11 +82,14 @@ struct Serving {
 }
 
 /// The pending stage set for one not-yet-committed cluster epoch. A stage
-/// at a newer epoch supersedes (clears) an older uncommitted set.
+/// at a newer epoch supersedes (clears) an older uncommitted set, and a
+/// set that outlives [`NodeConfig::stage_ttl`] is expired.
 #[derive(Default)]
 struct Staged {
     epoch: u64,
     entries: HashMap<u64, (SwapGrade, Option<SnapshotSegment>)>,
+    /// When the set's most recent stage arrived (TTL clock).
+    at: Option<Instant>,
 }
 
 struct NodeInner {
@@ -78,12 +99,18 @@ struct NodeInner {
     shutdown: AtomicBool,
     serving: Mutex<Serving>,
     staged: Mutex<Staged>,
+    /// Highest cluster epoch the controller has explicitly aborted; stage
+    /// and commit at or below it are refused, so a dead epoch can never
+    /// be committed by a late or replayed message.
+    last_aborted: AtomicU64,
     counters: Arc<WireCounters>,
     next_conn: AtomicU64,
     queries: AtomicU64,
     tombstone_rejections: AtomicU64,
     staged_count: AtomicU64,
     commits: AtomicU64,
+    aborted: AtomicU64,
+    staged_expired: AtomicU64,
 }
 
 /// A running shard node. Dropping the handle does **not** stop the node;
@@ -100,8 +127,29 @@ impl ShardNode {
     ///
     /// # Errors
     /// [`ClusterError::InvalidConfig`] for a zero `heap_k`;
-    /// [`ClusterError::ControllerUnavailable`] when registration fails.
+    /// [`ClusterError::ControllerUnavailable`] or
+    /// [`ClusterError::RetryExhausted`] when registration fails past the
+    /// config's retry budget.
     pub fn start(controller_addr: &str, cfg: NodeConfig) -> Result<Self> {
+        Self::launch(controller_addr, cfg, None)
+    }
+
+    /// Restarts a killed node: binds a *fresh* listener (the old port is
+    /// gone with the old process) and announces itself to the controller
+    /// under the node id of its previous incarnation. The controller
+    /// re-admits the id, restores its former shard claim, and catches the
+    /// node up by republishing the pinned snapshot under a bumped cluster
+    /// epoch — the rank epoch is untouched, the same two-epoch discipline
+    /// as failover. Until that catch-up publish commits, the node answers
+    /// `NotOwner` (a retriable condition clients already handle).
+    ///
+    /// # Errors
+    /// See [`ShardNode::start`].
+    pub fn restart(controller_addr: &str, prior_node: u64, cfg: NodeConfig) -> Result<Self> {
+        Self::launch(controller_addr, cfg, Some(prior_node))
+    }
+
+    fn launch(controller_addr: &str, cfg: NodeConfig, prior: Option<u64>) -> Result<Self> {
         if cfg.heap_k == 0 {
             return Err(ClusterError::InvalidConfig {
                 reason: "heap_k must be at least 1".into(),
@@ -119,21 +167,10 @@ impl ShardNode {
             .to_string();
         let counters = Arc::new(WireCounters::default());
         // Register before serving: the controller must know us before any
-        // publish can place shards here.
-        let mut ctrl = FramedConn::connect(controller_addr, cfg.io_timeout, Arc::clone(&counters))
-            .map_err(|e| ClusterError::ControllerUnavailable {
-                detail: format!("dial {controller_addr}: {e}"),
-            })?;
-        let reply = ctrl
-            .call(&Message::Register { addr: addr.clone() })
-            .map_err(|e| ClusterError::ControllerUnavailable {
-                detail: format!("register with {controller_addr}: {e}"),
-            })?;
-        let Message::Registered { node } = reply else {
-            return Err(ClusterError::Protocol {
-                detail: format!("expected Registered, got {reply:?}"),
-            });
-        };
+        // publish can place shards here. The listener is already bound,
+        // so a catch-up stage racing in right after the reply parks in
+        // the TCP backlog until the accept loop spins up.
+        let node = register_with_controller(controller_addr, &addr, prior, &cfg, &counters)?;
         let inner = Arc::new(NodeInner {
             node_id: AtomicU64::new(node),
             addr,
@@ -141,12 +178,15 @@ impl ShardNode {
             shutdown: AtomicBool::new(false),
             serving: Mutex::new(Serving::default()),
             staged: Mutex::new(Staged::default()),
+            last_aborted: AtomicU64::new(0),
             counters,
             next_conn: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             tombstone_rejections: AtomicU64::new(0),
             staged_count: AtomicU64::new(0),
             commits: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            staged_expired: AtomicU64::new(0),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -206,6 +246,74 @@ impl ShardNode {
 /// wholesale, so a panicked peer thread cannot leave it torn).
 fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Registers (or rejoins) with the controller under the node's retry
+/// policy: transport hiccups back off and retry, protocol violations
+/// surface immediately.
+fn register_with_controller(
+    controller_addr: &str,
+    addr: &str,
+    prior: Option<u64>,
+    cfg: &NodeConfig,
+    counters: &Arc<WireCounters>,
+) -> Result<u64> {
+    let hello = match prior {
+        Some(node) => Message::Rejoin {
+            node,
+            addr: addr.to_string(),
+        },
+        None => Message::Register {
+            addr: addr.to_string(),
+        },
+    };
+    let salt = addr.bytes().fold(prior.unwrap_or(0), |acc, b| {
+        acc.rotate_left(8) ^ u64::from(b)
+    });
+    let mut schedule = cfg.retry.begin(salt);
+    loop {
+        let attempt = (|| -> Result<u64> {
+            let mut ctrl =
+                FramedConn::connect(controller_addr, cfg.io_timeout, Arc::clone(counters))
+                    .map_err(|e| ClusterError::ControllerUnavailable {
+                        detail: format!("dial {controller_addr}: {e}"),
+                    })?;
+            let reply = ctrl
+                .call(&hello)
+                .map_err(|e| ClusterError::ControllerUnavailable {
+                    detail: format!("register with {controller_addr}: {e}"),
+                })?;
+            match reply {
+                Message::Registered { node } => Ok(node),
+                other => Err(ClusterError::Protocol {
+                    detail: format!("expected Registered, got {other:?}"),
+                }),
+            }
+        })();
+        match attempt {
+            Ok(node) => return Ok(node),
+            err @ Err(ClusterError::Protocol { .. }) => return err,
+            Err(e) => {
+                if !schedule.backoff_and_retry() {
+                    return if schedule.attempts() == 0 {
+                        // No retry was ever granted: surface the plain
+                        // cause, not a budget complaint.
+                        Err(e)
+                    } else {
+                        Err(ClusterError::RetryExhausted {
+                            op: if prior.is_some() {
+                                "rejoin"
+                            } else {
+                                "register"
+                            },
+                            attempts: schedule.attempts() + 1,
+                            detail: e.to_string(),
+                        })
+                    };
+                }
+            }
+        }
+    }
 }
 
 fn accept_loop(
@@ -279,6 +387,10 @@ impl NodeInner {
     fn handle(&self, msg: Message) -> Message {
         match msg {
             Message::Ping { seq } => {
+                // Heartbeats double as the staged-epoch GC tick: a set
+                // whose publisher went silent is expired here even if no
+                // further stage or commit ever arrives.
+                self.expire_stale_stage();
                 let epoch = lock_clean(&self.serving).epoch;
                 Message::Pong { seq, epoch }
             }
@@ -289,6 +401,7 @@ impl NodeInner {
                 segment,
             } => self.stage(epoch, shard, grade, segment),
             Message::Commit { epoch, rank_epoch } => self.commit(epoch, rank_epoch),
+            Message::Abort { epoch } => self.abort(epoch),
             Message::ScoreBatch { shard, docs } => self.score_batch(shard, &docs),
             Message::TopKReq { shard, k } => self.top_k(shard, k),
             Message::SiteTopKReq { shard, site, k } => self.site_top_k(shard, site, k),
@@ -297,6 +410,40 @@ impl NodeInner {
                 detail: format!("unexpected message at a shard node: {other:?}"),
             },
         }
+    }
+
+    /// Discards any staged set at or below the aborted epoch and refuses
+    /// that epoch (and everything older) forever after. Idempotent — a
+    /// replayed abort re-acks.
+    fn abort(&self, epoch: u64) -> Message {
+        self.last_aborted.fetch_max(epoch, Ordering::Relaxed);
+        let mut staged = lock_clean(&self.staged);
+        if !staged.entries.is_empty() && staged.epoch <= epoch {
+            staged.entries.clear();
+            staged.at = None;
+            self.aborted.fetch_add(1, Ordering::Relaxed);
+        }
+        Message::Ack { epoch }
+    }
+
+    /// Clears a staged set that outlived the stage TTL, counting it.
+    /// Returns `true` when something was expired.
+    fn expire_locked(&self, staged: &mut Staged) -> bool {
+        let expired = !staged.entries.is_empty()
+            && staged
+                .at
+                .is_some_and(|at| at.elapsed() > self.cfg.stage_ttl);
+        if expired {
+            staged.entries.clear();
+            staged.at = None;
+            self.staged_expired.fetch_add(1, Ordering::Relaxed);
+        }
+        expired
+    }
+
+    fn expire_stale_stage(&self) {
+        let mut staged = lock_clean(&self.staged);
+        self.expire_locked(&mut staged);
     }
 
     fn stage(
@@ -311,6 +458,12 @@ impl NodeInner {
                 detail: format!("stage of shard {shard} grade {grade:?} carries no segment"),
             };
         }
+        let aborted = self.last_aborted.load(Ordering::Relaxed);
+        if epoch <= aborted && aborted > 0 {
+            return Message::Bad {
+                detail: format!("stage epoch {epoch} was aborted (last aborted {aborted})"),
+            };
+        }
         {
             let committed = lock_clean(&self.serving).epoch;
             if epoch <= committed {
@@ -320,12 +473,14 @@ impl NodeInner {
             }
         }
         let mut staged = lock_clean(&self.staged);
+        self.expire_locked(&mut staged);
         if staged.epoch != epoch {
             // A newer publish supersedes any uncommitted older stage set.
             staged.entries.clear();
             staged.epoch = epoch;
         }
         staged.entries.insert(shard, (grade, segment));
+        staged.at = Some(Instant::now());
         self.staged_count.fetch_add(1, Ordering::Relaxed);
         Message::Ack { epoch }
     }
@@ -336,7 +491,21 @@ impl NodeInner {
             // Duplicate commit (a publish retry): already serving it.
             return Message::Ack { epoch };
         }
+        let aborted = self.last_aborted.load(Ordering::Relaxed);
+        if epoch <= aborted && aborted > 0 {
+            return Message::Bad {
+                detail: format!("commit of epoch {epoch} refused: epoch was aborted"),
+            };
+        }
         let mut staged = lock_clean(&self.staged);
+        if self.expire_locked(&mut staged) {
+            return Message::Bad {
+                detail: format!(
+                    "commit of epoch {epoch} refused: staged set expired after {:?}",
+                    self.cfg.stage_ttl
+                ),
+            };
+        }
         if staged.epoch != epoch || staged.entries.is_empty() {
             return Message::Bad {
                 detail: format!(
@@ -479,6 +648,8 @@ impl NodeInner {
             tombstone_rejections: self.tombstone_rejections.load(Ordering::Relaxed),
             staged: self.staged_count.load(Ordering::Relaxed),
             commits: self.commits.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+            staged_expired: self.staged_expired.load(Ordering::Relaxed),
             bytes_sent,
             bytes_recv,
         }

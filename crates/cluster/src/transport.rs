@@ -8,11 +8,14 @@
 //! bounded wait — never a hang — and the caller maps the typed
 //! [`TransportError`] to a retriable `NodeUnavailable`.
 //!
-//! Fault injection ([`FaultPlan`]) is applied on the *send* side: a sent
-//! frame can be silently dropped (the peer's read times out), delayed, or
-//! the socket torn down mid-conversation. The schedule is a pure function
-//! of the plan's seed and the connection's index, so a failing run replays
-//! exactly.
+//! Fault injection ([`FaultPlan`]) is symmetric: a *sent* frame can be
+//! silently dropped (the peer's read times out), delayed, or the socket
+//! torn down mid-conversation; a *received* frame can be swallowed after
+//! full receipt or delayed before delivery; and periodic **partition
+//! windows** black out both directions at once, so the endpoint looks
+//! alive at the TCP layer but exchanges nothing. Every schedule is a pure
+//! function of the plan's seed and the connection's index, so a failing
+//! run replays exactly.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -77,20 +80,40 @@ impl WireCounters {
 }
 
 /// Declarative fault schedule, deterministic from `seed`. Rates are per
-/// mille per sent frame; faults are rolled independently per frame in the
-/// order disconnect → drop → delay.
+/// mille per frame; send-side faults are rolled independently per frame
+/// in the order disconnect → drop → delay, receive-side faults (drop →
+/// delay) from a second independent stream, and partition windows black
+/// out both directions on a shared frame counter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
-    /// Seed of the xorshift stream all rolls derive from.
+    /// Seed of the xorshift streams all rolls derive from.
     pub seed: u64,
-    /// Frames silently dropped, per mille.
+    /// Sent frames silently dropped, per mille.
     pub drop_per_mille: u32,
-    /// Frames delayed by [`FaultPlan::delay`], per mille.
+    /// Sent frames delayed by [`FaultPlan::delay`], per mille.
     pub delay_per_mille: u32,
-    /// Delay applied to delayed frames.
+    /// Delay applied to delayed frames (both directions).
     pub delay: Duration,
     /// Sends that tear the connection down instead, per mille.
     pub disconnect_per_mille: u32,
+    /// Received frames swallowed *after* full receipt, per mille — the
+    /// bytes crossed the socket (and are counted) but the caller never
+    /// sees the message, so the requester's read times out.
+    pub recv_drop_per_mille: u32,
+    /// Received frames delayed by [`FaultPlan::delay`] before delivery,
+    /// per mille.
+    pub recv_delay_per_mille: u32,
+    /// Bidirectional partition cadence: out of every `partition_period`
+    /// frames crossing the connection (sends and receives share one
+    /// counter), [`FaultPlan::partition_len`] consecutive frames are
+    /// blacked out. Each connection's cadence starts at a deterministic
+    /// per-connection phase — a fresh dial is not automatically born
+    /// inside the blackout, which would turn a periodic partition into a
+    /// permanent one for fresh-dial-per-call flows like heartbeats.
+    /// `0` disables partitions.
+    pub partition_period: u64,
+    /// Frames blacked out per partition window.
+    pub partition_len: u64,
 }
 
 impl FaultPlan {
@@ -103,19 +126,33 @@ impl FaultPlan {
             delay_per_mille: 0,
             delay: Duration::ZERO,
             disconnect_per_mille: 0,
+            recv_drop_per_mille: 0,
+            recv_delay_per_mille: 0,
+            partition_period: 0,
+            partition_len: 0,
         }
     }
 
     /// Builds the injector for the `index`-th connection of this plan.
-    /// Each connection gets its own deterministic roll stream, so the
-    /// fault sequence does not depend on cross-connection interleaving.
+    /// Each connection gets its own deterministic roll streams (one per
+    /// direction), so the fault sequence does not depend on
+    /// cross-connection interleaving.
     #[must_use]
     pub fn injector(&self, index: u64) -> FaultInjector {
+        let lane = self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // Phase-shift the partition cadence per connection: the window
+        // still reopens every `partition_period` frames, but where in the
+        // cycle this connection starts is a deterministic roll.
+        let phase = if self.partition_period == 0 {
+            0
+        } else {
+            splitmix(lane ^ 0x0FF5_0FF5_0FF5_0FF5) % self.partition_period
+        };
         FaultInjector {
             plan: *self,
-            state: Mutex::new(splitmix(
-                self.seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-            )),
+            state: Mutex::new(splitmix(lane)),
+            recv_state: Mutex::new(splitmix(lane ^ 0xD1E5_E10F_ACE5_0FF5)),
+            frames: AtomicU64::new(phase),
         }
     }
 }
@@ -134,6 +171,8 @@ enum Fault {
 pub struct FaultInjector {
     plan: FaultPlan,
     state: Mutex<u64>,
+    recv_state: Mutex<u64>,
+    frames: AtomicU64,
 }
 
 fn splitmix(mut x: u64) -> u64 {
@@ -145,15 +184,19 @@ fn splitmix(mut x: u64) -> u64 {
 }
 
 impl FaultInjector {
-    fn roll(&self) -> Fault {
-        let mut state = self
-            .state
+    fn draw(state: &Mutex<u64>) -> u32 {
+        let mut state = state
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         *state ^= *state << 13;
         *state ^= *state >> 7;
         *state ^= *state << 17;
-        let draw = (*state % 1000) as u32;
+        (*state % 1000) as u32
+    }
+
+    /// Send-side roll: disconnect → drop → delay.
+    fn roll(&self) -> Fault {
+        let draw = Self::draw(&self.state);
         let p = &self.plan;
         if draw < p.disconnect_per_mille {
             Fault::Disconnect
@@ -164,6 +207,31 @@ impl FaultInjector {
         } else {
             Fault::None
         }
+    }
+
+    /// Receive-side roll: drop → delay (a receiver cannot "disconnect" a
+    /// frame it already has; teardown is a send-side fault).
+    fn recv_roll(&self) -> Fault {
+        let draw = Self::draw(&self.recv_state);
+        let p = &self.plan;
+        if draw < p.recv_drop_per_mille {
+            Fault::Drop
+        } else if draw < p.recv_drop_per_mille + p.recv_delay_per_mille {
+            Fault::Delay(p.delay)
+        } else {
+            Fault::None
+        }
+    }
+
+    /// Advances the shared frame counter and reports whether this frame
+    /// falls inside a partition blackout window.
+    fn partitioned(&self) -> bool {
+        let p = &self.plan;
+        if p.partition_period == 0 || p.partition_len == 0 {
+            return false;
+        }
+        let frame = self.frames.fetch_add(1, Ordering::Relaxed);
+        frame % p.partition_period < p.partition_len
     }
 }
 
@@ -196,7 +264,10 @@ impl FramedConn {
                     format!("address {addr} resolved to nothing"),
                 ))
             })?;
-        let stream = TcpStream::connect_timeout(&sockaddr, timeout).map_err(TransportError::Io)?;
+        // Classified, not raw `Io`: a connect that times out must look
+        // exactly like a read that timed out (`TimedOut`) so retry
+        // classification upstream is platform-independent.
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout).map_err(|e| classify(&e))?;
         Self::from_stream(stream, timeout, counters)
     }
 
@@ -242,14 +313,18 @@ impl FramedConn {
         &self.peer
     }
 
-    /// Sends one message, rolling the fault plan first: a dropped frame
-    /// returns `Ok` without writing (the peer sees silence), a delayed
-    /// frame sleeps, a disconnect tears the socket down and errors.
+    /// Sends one message, rolling the fault plan first: a partitioned or
+    /// dropped frame returns `Ok` without writing (the peer sees
+    /// silence), a delayed frame sleeps, a disconnect tears the socket
+    /// down and errors.
     ///
     /// # Errors
     /// Socket errors, encode failures, injected disconnects.
     pub fn send(&mut self, msg: &Message) -> Result<(), TransportError> {
         if let Some(faults) = &self.faults {
+            if faults.partitioned() {
+                return Ok(());
+            }
             match faults.roll() {
                 Fault::None => {}
                 Fault::Drop => return Ok(()),
@@ -284,9 +359,37 @@ impl FramedConn {
     /// Accept loops pass their shutdown flag here so an idle connection
     /// thread can wind down promptly without dropping mid-frame.
     ///
+    /// Receive-side faults are rolled *after* a frame fully arrives: a
+    /// partitioned or dropped frame is swallowed (bytes counted, message
+    /// discarded) and the read continues waiting for the next one — to
+    /// the requester this is indistinguishable from send-side loss.
+    ///
     /// # Errors
     /// See [`FramedConn::recv`].
     pub fn recv_idle(
+        &mut self,
+        keep_waiting: &mut dyn FnMut() -> bool,
+    ) -> Result<Message, TransportError> {
+        loop {
+            let msg = self.recv_frame(keep_waiting)?;
+            if let Some(faults) = &self.faults {
+                if faults.partitioned() {
+                    continue;
+                }
+                match faults.recv_roll() {
+                    Fault::None => {}
+                    Fault::Drop => continue,
+                    Fault::Delay(d) => std::thread::sleep(d),
+                    // recv_roll never yields Disconnect.
+                    Fault::Disconnect => {}
+                }
+            }
+            return Ok(msg);
+        }
+    }
+
+    /// Reads exactly one frame off the socket (no fault rolls).
+    fn recv_frame(
         &mut self,
         keep_waiting: &mut dyn FnMut() -> bool,
     ) -> Result<Message, TransportError> {
@@ -409,11 +512,8 @@ mod tests {
     fn dropped_frames_leave_the_peer_waiting() {
         let (client, mut server) = pair();
         let plan = FaultPlan {
-            seed: 7,
             drop_per_mille: 1000,
-            delay_per_mille: 0,
-            delay: Duration::ZERO,
-            disconnect_per_mille: 0,
+            ..FaultPlan::quiet(7)
         };
         let mut client = client.with_faults(Arc::new(plan.injector(0)));
         client
@@ -430,11 +530,8 @@ mod tests {
     fn injected_disconnects_are_loud_on_both_sides() {
         let (client, mut server) = pair();
         let plan = FaultPlan {
-            seed: 7,
-            drop_per_mille: 0,
-            delay_per_mille: 0,
-            delay: Duration::ZERO,
             disconnect_per_mille: 1000,
+            ..FaultPlan::quiet(7)
         };
         let mut client = client.with_faults(Arc::new(plan.injector(3)));
         assert!(matches!(
@@ -452,26 +549,144 @@ mod tests {
     #[test]
     fn fault_schedule_is_deterministic_per_seed_and_connection() {
         let plan = FaultPlan {
-            seed: 99,
             drop_per_mille: 200,
             delay_per_mille: 100,
             delay: Duration::from_millis(1),
             disconnect_per_mille: 50,
+            recv_drop_per_mille: 150,
+            ..FaultPlan::quiet(99)
         };
         let a: Vec<_> = {
             let inj = plan.injector(5);
-            (0..64).map(|_| inj.roll()).collect()
+            (0..64).map(|_| (inj.roll(), inj.recv_roll())).collect()
         };
         let b: Vec<_> = {
             let inj = plan.injector(5);
-            (0..64).map(|_| inj.roll()).collect()
+            (0..64).map(|_| (inj.roll(), inj.recv_roll())).collect()
         };
         assert_eq!(a, b);
         let other: Vec<_> = {
             let inj = plan.injector(6);
-            (0..64).map(|_| inj.roll()).collect()
+            (0..64).map(|_| (inj.roll(), inj.recv_roll())).collect()
         };
         assert_ne!(a, other);
-        assert!(a.iter().any(|f| *f != Fault::None));
+        assert!(a.iter().any(|(f, _)| *f != Fault::None));
+        // The two directions draw from independent streams.
+        assert!(a
+            .iter()
+            .any(|(f, r)| (*f == Fault::None) != (*r == Fault::None)));
+    }
+
+    #[test]
+    fn recv_side_drops_swallow_frames_after_receipt() {
+        let (mut client, server) = pair();
+        let plan = FaultPlan {
+            recv_drop_per_mille: 1000,
+            ..FaultPlan::quiet(11)
+        };
+        let mut server = server.with_faults(Arc::new(plan.injector(0)));
+        client.send(&Message::Ping { seq: 9 }).expect("send");
+        // The bytes cross the socket, but the receiver swallows the frame
+        // and keeps waiting until its idle timeout fires.
+        assert!(matches!(
+            server.recv().expect_err("every frame is swallowed"),
+            TransportError::TimedOut
+        ));
+        assert!(
+            server.counters.totals().1 > 0,
+            "swallowed bytes still count"
+        );
+    }
+
+    #[test]
+    fn partition_windows_black_out_both_directions() {
+        let (client, mut server) = pair();
+        // Every frame falls inside the blackout window.
+        let plan = FaultPlan {
+            partition_period: 4,
+            partition_len: 4,
+            ..FaultPlan::quiet(3)
+        };
+        let mut client = client.with_faults(Arc::new(plan.injector(0)));
+        client.send(&Message::Ping { seq: 1 }).expect("silent");
+        assert_eq!(
+            client.counters.totals().0,
+            0,
+            "partitioned send writes nothing"
+        );
+        assert!(matches!(
+            server.recv().expect_err("nothing crossed"),
+            TransportError::TimedOut
+        ));
+        // And the same window swallows inbound frames too.
+        server
+            .send(&Message::Pong { seq: 1, epoch: 0 })
+            .expect("send");
+        assert!(matches!(
+            client.recv().expect_err("inbound blacked out"),
+            TransportError::TimedOut
+        ));
+    }
+
+    #[test]
+    fn partition_windows_reopen_on_schedule() {
+        let plan = FaultPlan {
+            partition_period: 4,
+            partition_len: 2,
+            ..FaultPlan::quiet(3)
+        };
+        // The cadence starts at a per-connection phase, so assert the
+        // shape, not the offset: exactly `len` of every `period`
+        // consecutive frames are blacked out, the pattern repeats with
+        // the period, and the blackout frames are contiguous (cyclically).
+        for index in 0..16 {
+            let inj = plan.injector(index);
+            let pattern: Vec<bool> = (0..16).map(|_| inj.partitioned()).collect();
+            for window in pattern.windows(4) {
+                assert_eq!(window.iter().filter(|&&b| b).count(), 2, "{pattern:?}");
+            }
+            for (a, b) in pattern.iter().zip(pattern.iter().skip(4)) {
+                assert_eq!(a, b, "cadence drifted: {pattern:?}");
+            }
+        }
+        // And across connections the phases differ: not every fresh dial
+        // may be born partitioned.
+        let clean_start = (0..16).any(|index| !plan.injector(index).partitioned());
+        assert!(clean_start, "every connection starts inside the blackout");
+    }
+
+    #[test]
+    fn timeouts_classify_identically_regardless_of_platform_kind() {
+        for kind in [std::io::ErrorKind::WouldBlock, std::io::ErrorKind::TimedOut] {
+            assert!(matches!(
+                classify(&std::io::Error::new(kind, "t")),
+                TransportError::TimedOut
+            ));
+        }
+        assert!(matches!(
+            classify(&std::io::Error::new(std::io::ErrorKind::BrokenPipe, "p")),
+            TransportError::Closed
+        ));
+    }
+
+    #[test]
+    fn connect_to_a_dead_port_fails_typed_not_raw() {
+        // Bind a listener, note its port, drop it: connecting now must
+        // fail through `classify`, i.e. never panic and never produce a
+        // `TimedOut`-shaped raw `Io`.
+        let port = {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.local_addr().expect("addr").port()
+        };
+        let err = FramedConn::connect(
+            &format!("127.0.0.1:{port}"),
+            Duration::from_millis(200),
+            Arc::new(WireCounters::default()),
+        )
+        .expect_err("nothing listens");
+        assert!(matches!(
+            err,
+            TransportError::Io(_) | TransportError::Closed | TransportError::TimedOut
+        ));
     }
 }

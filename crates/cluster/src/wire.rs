@@ -121,6 +121,11 @@ pub struct NodeWireStats {
     pub staged: u64,
     /// Commits applied (epoch flips).
     pub commits: u64,
+    /// Staged epoch sets discarded by an explicit controller `Abort`.
+    pub aborted: u64,
+    /// Staged epoch sets discarded by the node's own TTL expiry (the
+    /// controller died or lost this node between stage and commit).
+    pub staged_expired: u64,
     /// Bytes written to peers since the node started.
     pub bytes_sent: u64,
     /// Bytes read from peers since the node started.
@@ -160,6 +165,17 @@ pub enum Message {
     Registered {
         /// The assigned node id.
         node: u64,
+    },
+    /// Node → controller: a restarted node announces itself under the id
+    /// it held before it died. The controller re-admits the id, restores
+    /// its former shard claim, and catches it up by republishing the
+    /// pinned snapshot under a bumped cluster epoch (rank epoch
+    /// untouched). Answered with [`Message::Registered`].
+    Rejoin {
+        /// The node id from the previous incarnation.
+        node: u64,
+        /// The restarted node's new `ip:port` listen address.
+        addr: String,
     },
     /// Controller → node heartbeat probe.
     Ping {
@@ -216,7 +232,15 @@ pub enum Message {
         /// The rank epoch the staged segments came from.
         rank_epoch: u64,
     },
-    /// Node → controller: stage or commit applied.
+    /// Controller → node: a publish attempt died between stage and
+    /// commit; discard anything staged at or below this epoch and refuse
+    /// to ever commit it. Answered with [`Message::Ack`].
+    Abort {
+        /// The dead cluster epoch.
+        epoch: u64,
+    },
+    /// Node → controller: stage or commit applied (also acknowledges an
+    /// abort).
     Ack {
         /// The acknowledged cluster epoch.
         epoch: u64,
@@ -641,6 +665,8 @@ impl Message {
             Message::Stats(_) => 19,
             Message::NotOwner { .. } => 20,
             Message::Bad { .. } => 21,
+            Message::Abort { .. } => 22,
+            Message::Rejoin { .. } => 23,
         }
     }
 }
@@ -765,11 +791,18 @@ pub fn encode_message(msg: &Message) -> Result<Vec<u8>, WireError> {
             w.u64(stats.tombstone_rejections);
             w.u64(stats.staged);
             w.u64(stats.commits);
+            w.u64(stats.aborted);
+            w.u64(stats.staged_expired);
             w.u64(stats.bytes_sent);
             w.u64(stats.bytes_recv);
         }
         Message::NotOwner { shard } => w.u64(*shard),
         Message::Bad { detail } => w.str(detail)?,
+        Message::Abort { epoch } => w.u64(*epoch),
+        Message::Rejoin { node, addr } => {
+            w.u64(*node);
+            w.str(addr)?;
+        }
     }
     if w.0.len() > MAX_PAYLOAD as usize {
         return Err(WireError::Oversized {
@@ -899,12 +932,19 @@ pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
                 tombstone_rejections: r.u64()?,
                 staged: r.u64()?,
                 commits: r.u64()?,
+                aborted: r.u64()?,
+                staged_expired: r.u64()?,
                 bytes_sent: r.u64()?,
                 bytes_recv: r.u64()?,
             })
         }
         20 => Message::NotOwner { shard: r.u64()? },
         21 => Message::Bad { detail: r.str()? },
+        22 => Message::Abort { epoch: r.u64()? },
+        23 => Message::Rejoin {
+            node: r.u64()?,
+            addr: r.str()?,
+        },
         tag => return Err(WireError::BadTag { tag }),
     };
     r.finish()?;
@@ -987,6 +1027,11 @@ mod tests {
             epoch: 1,
             rank_epoch: 1,
             reply: SiteTopK::Entries(vec![(DocId(4), 0.5), (DocId(1), 0.25)]),
+        });
+        round_trip(&Message::Abort { epoch: 12 });
+        round_trip(&Message::Rejoin {
+            node: 3,
+            addr: "127.0.0.1:4078".into(),
         });
     }
 

@@ -7,18 +7,20 @@
 //! Everything binds 127.0.0.1:0 and spawns its own threads, so the suite
 //! is `RUST_TEST_THREADS=1`-safe.
 
+use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lmm_cluster::{
-    ClientConfig, ClusterClient, ClusterController, ClusterError, ControllerConfig, NodeConfig,
-    ShardNode,
+    ClientConfig, ClusterClient, ClusterController, ClusterError, ControllerConfig, FaultPlan,
+    FramedConn, Message, NodeConfig, ShardNode, WireCounters,
 };
 use lmm_engine::{BackendSpec, RankEngine, RankSnapshot};
 use lmm_graph::delta::GraphDelta;
 use lmm_graph::generator::CampusWebConfig;
 use lmm_graph::sharding::ShardMap;
 use lmm_graph::{DocGraph, DocId, SiteId};
-use lmm_serve::{ServeConfig, ShardQuery, ShardedServer};
+use lmm_serve::{ServeConfig, ShardQuery, ShardedServer, SwapGrade};
 
 fn campus(docs: usize, sites: usize) -> DocGraph {
     let mut cfg = CampusWebConfig::small();
@@ -77,6 +79,12 @@ fn fast_controller() -> ControllerConfig {
         miss_limit: 2,
         io_timeout: Duration::from_secs(2),
         auto_failover: true,
+        retry: lmm_cluster::RetryPolicy {
+            base: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(50),
+            max_attempts: 5,
+            ..lmm_cluster::RetryPolicy::default()
+        },
         fault: None,
     }
 }
@@ -299,6 +307,285 @@ fn node_kill_evicts_fails_over_and_serving_survives() {
     for node in nodes {
         node.kill();
     }
+}
+
+/// The shard ids `node` currently serves, read over the wire.
+fn shards_of(controller: &ClusterController, node: u64) -> BTreeSet<u64> {
+    controller
+        .stats()
+        .nodes
+        .iter()
+        .find(|n| n.node == node)
+        .and_then(|n| n.wire.as_ref())
+        .map(|w| w.shard_docs.iter().map(|&(s, _)| s).collect())
+        .unwrap_or_default()
+}
+
+#[test]
+fn killed_node_rejoins_and_serves_its_original_shards() {
+    let graph = campus(300, 8);
+    let engine = engine_for(&graph);
+    let map = ShardMap::balanced(&graph, 8).unwrap();
+
+    let controller = ClusterController::start(map, fast_controller()).unwrap();
+    let mut nodes: Vec<ShardNode> = (0..3)
+        .map(|_| ShardNode::start(controller.addr(), NodeConfig::default()).unwrap())
+        .collect();
+    controller
+        .wait_for_nodes(3, Duration::from_secs(5))
+        .unwrap();
+
+    let snapshot = engine.snapshot().unwrap();
+    controller.publish(&snapshot).unwrap();
+    let rank_epoch = snapshot.epoch();
+
+    let victim = nodes.remove(0);
+    let victim_id = victim.node_id();
+    let original = shards_of(&controller, victim_id);
+    assert!(!original.is_empty(), "victim owned no shards");
+
+    let client = ClusterClient::new(controller.addr(), ClientConfig::default());
+
+    // Kill it: heartbeats evict, failover republishes onto survivors.
+    let cepoch0 = controller.epochs().0;
+    victim.kill();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while controller.epochs().0 == cepoch0 || controller.n_nodes() != 2 {
+        assert!(Instant::now() < deadline, "failover never completed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (cepoch1, rank1) = controller.epochs();
+    assert_eq!(rank1, rank_epoch, "failover touched the rank epoch");
+
+    // Warm the client's placement cache at the failover epoch so the
+    // rejoin republish below provably invalidates it via `NotOwner`.
+    client.top_k(5).unwrap();
+
+    // Restart under the prior id: the controller re-admits it and the
+    // catch-up republish hands its original shards back.
+    let returned = ShardNode::restart(controller.addr(), victim_id, NodeConfig::default()).unwrap();
+    assert_eq!(returned.node_id(), victim_id);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "rejoin catch-up never restored the original shard range"
+        );
+        if controller.epochs().0 > cepoch1 && shards_of(&controller, victim_id) == original {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (_, rank2) = controller.epochs();
+    assert_eq!(rank2, rank_epoch, "rejoin touched the rank epoch");
+    assert_eq!(controller.n_nodes(), 3);
+
+    // The full surface still answers, at the unchanged rank epoch, with
+    // the returned node serving its shards — and the client crossed the
+    // move by evicting its stale placement, not by erroring.
+    let all: Vec<DocId> = (0..graph.n_docs()).map(DocId).collect();
+    let (epoch, scores) = client.score_batch(&all).unwrap();
+    assert_eq!(epoch, rank_epoch);
+    assert_eq!(scores.len(), all.len());
+    assert!(returned.local_stats().queries > 0 || client.top_k(5).is_ok());
+    assert!(
+        client.stats().placement_evictions >= 1,
+        "stale placement was never evicted: {:?}",
+        client.stats()
+    );
+    let stats = controller.stats();
+    assert!(stats.rejoins >= 1, "rejoin not counted");
+    assert!(stats.evictions >= 1, "eviction not counted");
+
+    drop(client);
+    controller.shutdown();
+    nodes.push(returned);
+    for node in nodes {
+        node.kill();
+    }
+}
+
+#[test]
+fn mid_publish_death_aborts_survivors_and_dead_epoch_never_serves() {
+    let mut graph = campus(200, 6);
+    let mut engine = engine_for(&graph);
+    let map = ShardMap::balanced(&graph, 6).unwrap();
+
+    // Slow heartbeats + no auto-failover: the dead node stays registered
+    // until the publish itself trips over it, which is the scenario under
+    // test (death in the stage/commit gap, not death noticed beforehand).
+    let cfg = ControllerConfig {
+        heartbeat_interval: Duration::from_millis(500),
+        miss_limit: 20,
+        auto_failover: false,
+        ..fast_controller()
+    };
+    let controller = ClusterController::start(map, cfg).unwrap();
+    let survivor = ShardNode::start(controller.addr(), NodeConfig::default()).unwrap();
+    let casualty = ShardNode::start(controller.addr(), NodeConfig::default()).unwrap();
+    controller
+        .wait_for_nodes(2, Duration::from_secs(5))
+        .unwrap();
+
+    let snap1 = engine.snapshot().unwrap();
+    controller.publish(&snap1).unwrap();
+    let (cepoch, _) = controller.epochs();
+
+    // Kill one node, then publish *new* data: attempt one stages on the
+    // survivor, fails on the casualty, aborts the survivor's staged set,
+    // and retries — burning the attempt's epoch forever.
+    casualty.kill();
+    let delta = delta_for_step(&graph, 1);
+    let (mutated, _) = graph.apply(&delta).unwrap();
+    engine.apply_delta(&delta).unwrap();
+    graph = mutated;
+    let snap2 = engine.snapshot().unwrap();
+    let report = controller.publish(&snap2).unwrap();
+    assert!(report.attempts >= 2, "publish never saw the death");
+
+    let aborted_epoch = cepoch + 1;
+    let (cepoch_after, rank_after) = controller.epochs();
+    assert!(cepoch_after > aborted_epoch, "the aborted epoch was reused");
+    assert_eq!(rank_after, snap2.epoch());
+
+    // The survivor recorded the abort and serves only the final epoch.
+    let stats = survivor.local_stats();
+    assert!(stats.aborted >= 1, "survivor never saw the abort");
+    assert_eq!(stats.epoch, cepoch_after);
+    assert!(controller.stats().publish_aborts >= 1);
+
+    // And it refuses the dead epoch outright — a resurrected (or
+    // confused) controller cannot stage or commit it later.
+    let mut conn = FramedConn::connect(
+        survivor.addr(),
+        Duration::from_secs(2),
+        Arc::new(WireCounters::default()),
+    )
+    .unwrap();
+    let reply = conn
+        .call(&Message::Commit {
+            epoch: aborted_epoch,
+            rank_epoch: snap2.epoch(),
+        })
+        .unwrap();
+    assert!(
+        matches!(reply, Message::Bad { .. }),
+        "dead epoch committed: {reply:?}"
+    );
+    let reply = conn
+        .call(&Message::Stage {
+            epoch: aborted_epoch,
+            shard: 0,
+            grade: SwapGrade::Repin,
+            segment: None,
+        })
+        .unwrap();
+    assert!(
+        matches!(reply, Message::Bad { .. }),
+        "dead epoch restaged: {reply:?}"
+    );
+    let _ = graph;
+
+    controller.shutdown();
+    survivor.kill();
+}
+
+#[test]
+fn staged_epochs_expire_by_ttl_when_the_commit_never_arrives() {
+    let graph = campus(120, 4);
+    let map = ShardMap::balanced(&graph, 2).unwrap();
+    let controller = ClusterController::start(map, fast_controller()).unwrap();
+    let node = ShardNode::start(
+        controller.addr(),
+        NodeConfig {
+            stage_ttl: Duration::from_millis(50),
+            ..NodeConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Pose as a publishing controller that dies in the stage/commit gap.
+    let mut conn = FramedConn::connect(
+        node.addr(),
+        Duration::from_secs(2),
+        Arc::new(WireCounters::default()),
+    )
+    .unwrap();
+    let stage = |conn: &mut FramedConn, epoch: u64| {
+        conn.call(&Message::Stage {
+            epoch,
+            shard: 0,
+            grade: SwapGrade::Repin,
+            segment: None,
+        })
+        .unwrap()
+    };
+    assert!(matches!(stage(&mut conn, 7), Message::Ack { epoch: 7 }));
+    std::thread::sleep(Duration::from_millis(120));
+    // The set outlived its TTL: a late commit must be refused.
+    let reply = conn
+        .call(&Message::Commit {
+            epoch: 7,
+            rank_epoch: 1,
+        })
+        .unwrap();
+    assert!(
+        matches!(reply, Message::Bad { .. }),
+        "expired stage committed: {reply:?}"
+    );
+    assert!(node.local_stats().staged_expired >= 1);
+
+    // Heartbeats double as the GC tick: an abandoned set is collected
+    // even if no commit (or further stage) ever arrives.
+    assert!(matches!(stage(&mut conn, 9), Message::Ack { epoch: 9 }));
+    std::thread::sleep(Duration::from_millis(120));
+    let reply = conn.call(&Message::Ping { seq: 1 }).unwrap();
+    assert!(matches!(reply, Message::Pong { .. }));
+    assert!(node.local_stats().staged_expired >= 2);
+
+    controller.shutdown();
+    node.kill();
+}
+
+#[test]
+fn slow_but_alive_node_is_not_spuriously_evicted() {
+    let graph = campus(120, 4);
+    let map = ShardMap::balanced(&graph, 2).unwrap();
+    let cfg = ControllerConfig {
+        heartbeat_interval: Duration::from_millis(40),
+        miss_limit: 2,
+        io_timeout: Duration::from_millis(500),
+        ..fast_controller()
+    };
+    let controller = ClusterController::start(map, cfg).unwrap();
+    // Every frame this node touches is delayed well past the heartbeat
+    // interval but well under `io_timeout`: slow, never silent. The
+    // failure detector must tell the difference.
+    let node = ShardNode::start(
+        controller.addr(),
+        NodeConfig {
+            fault: Some(FaultPlan {
+                delay_per_mille: 1000,
+                recv_delay_per_mille: 1000,
+                delay: Duration::from_millis(60),
+                ..FaultPlan::quiet(0xBEA7)
+            }),
+            ..NodeConfig::default()
+        },
+    )
+    .unwrap();
+    controller
+        .wait_for_nodes(1, Duration::from_secs(5))
+        .unwrap();
+    // Over ~17 heartbeat intervals every probe is slow; none may be
+    // counted as death.
+    std::thread::sleep(Duration::from_millis(700));
+    assert_eq!(controller.n_nodes(), 1, "slow node was evicted");
+    let stats = controller.stats();
+    assert_eq!(stats.evictions, 0, "slow node was evicted");
+
+    controller.shutdown();
+    node.kill();
 }
 
 #[test]

@@ -108,6 +108,11 @@ fn messages_from(seed: u64) -> Vec<Message> {
             epoch: xorshift(s),
             rank_epoch: xorshift(s),
         },
+        Message::Abort { epoch: xorshift(s) },
+        Message::Rejoin {
+            node: xorshift(s),
+            addr: format!("127.0.0.1:{}", xorshift(s) % 65536),
+        },
         Message::Ack { epoch: xorshift(s) },
         Message::ScoreBatch {
             shard: xorshift(s) % 16,
@@ -160,6 +165,8 @@ fn messages_from(seed: u64) -> Vec<Message> {
             tombstone_rejections: xorshift(s),
             staged: xorshift(s),
             commits: xorshift(s),
+            aborted: xorshift(s),
+            staged_expired: xorshift(s),
             bytes_sent: xorshift(s),
             bytes_recv: xorshift(s),
         }),
@@ -210,7 +217,7 @@ proptest! {
             decode_frame(&v),
             Err(WireError::BadVersion { version: bad_version })
         );
-        let bad_tag = 22u8.saturating_add((corrupt % 234) as u8); // past every tag
+        let bad_tag = 24u8.saturating_add((corrupt % 232) as u8); // past every tag
         let mut t = frame;
         t[5] = bad_tag;
         prop_assert_eq!(decode_frame(&t), Err(WireError::BadTag { tag: bad_tag }));

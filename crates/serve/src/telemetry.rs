@@ -125,6 +125,19 @@ impl ServeStatsSnapshot {
             + self.compare_queries
     }
 
+    /// Gather retries per answered query — the bounded-retries signal the
+    /// chaos harness asserts on: under a seeded fault schedule this must
+    /// stay a small constant instead of growing with run length (a retry
+    /// storm shows up here long before it shows up as latency). `0.0`
+    /// before any query.
+    #[must_use]
+    pub fn retries_per_query(&self) -> f64 {
+        if self.total_queries() == 0 {
+            return 0.0;
+        }
+        self.gather_retries as f64 / self.total_queries() as f64
+    }
+
     /// Per-shard document-count skew: the largest shard's live doc count
     /// over the mean — `1.0` is perfectly balanced, and a value drifting
     /// upward under churn (removal draining some shards, growth clamping
