@@ -500,8 +500,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // epoch never moved.
             let victim = nodes.remove(0);
             let victim_id = victim.node_id();
-            let owned = shards_of(&controller, victim_id);
-            assert!(!owned.is_empty(), "victim owned nothing");
+            // The ownership read goes over the fault-injected wire, so a
+            // single probe can come back empty without the victim owning
+            // nothing — loop it like every other lossy stats read.
+            let owned = {
+                let deadline = Instant::now() + Duration::from_secs(10);
+                loop {
+                    let owned = shards_of(&controller, victim_id);
+                    if !owned.is_empty() {
+                        break owned;
+                    }
+                    assert!(Instant::now() < deadline, "victim owned nothing");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            };
             let fault_index = kill_at
                 .iter()
                 .position(|&k| k == epoch)

@@ -117,6 +117,14 @@ struct ControlState {
     /// `placement[shard]` = owning node id. Empty until the first publish.
     placement: Vec<u64>,
     cepoch: u64,
+    /// Highest cluster epoch any publish attempt has ever staged at,
+    /// including attempts that failed and were aborted. Survivors of a
+    /// failed attempt remember it as their `last_aborted` watermark and
+    /// refuse stage/commit at or below it — so the next attempt must
+    /// start strictly above every number ever handed out, even across a
+    /// publish that exhausted its retry budget (where `cepoch` itself
+    /// never advanced).
+    burnt: u64,
     rank_epoch: u64,
     pinned: Option<RankSnapshot>,
     /// Shard claims of evicted nodes, keyed by node id: if the node
@@ -149,6 +157,7 @@ struct ControllerInner {
     failovers: AtomicU64,
     missed_heartbeats: AtomicU64,
     rejoins: AtomicU64,
+    rejoins_rejected: AtomicU64,
     publish_aborts: AtomicU64,
 }
 
@@ -213,6 +222,9 @@ pub struct ClusterStats {
     pub missed_heartbeats: u64,
     /// Restarted nodes re-admitted under their prior id.
     pub rejoins: u64,
+    /// Rejoin attempts refused because the claimed id was still live at
+    /// a different address (identity-hijack guard).
+    pub rejoins_rejected: u64,
     /// `Abort` messages delivered to survivors of failed publish
     /// attempts.
     pub publish_aborts: u64,
@@ -292,6 +304,7 @@ impl ClusterController {
             failovers: AtomicU64::new(0),
             missed_heartbeats: AtomicU64::new(0),
             rejoins: AtomicU64::new(0),
+            rejoins_rejected: AtomicU64::new(0),
             publish_aborts: AtomicU64::new(0),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
@@ -451,6 +464,7 @@ impl ClusterController {
             failovers: inner.failovers.load(Ordering::Relaxed),
             missed_heartbeats: inner.missed_heartbeats.load(Ordering::Relaxed),
             rejoins: inner.rejoins.load(Ordering::Relaxed),
+            rejoins_rejected: inner.rejoins_rejected.load(Ordering::Relaxed),
             publish_aborts: inner.publish_aborts.load(Ordering::Relaxed),
             nodes,
             doc_skew,
@@ -503,10 +517,17 @@ impl ControllerInner {
             attempts += 1;
             // --- plan under the state lock -------------------------------
             let (next_epoch, placement, jobs, reassigned, counts, claimed, fresh_used) = {
-                let state = lock_clean(&self.state);
+                let mut state = lock_clean(&self.state);
                 if state.nodes.is_empty() {
                     return Err(ClusterError::NoNodes);
                 }
+                // Burn this attempt's epoch *now*, while planning: whether
+                // the attempt commits, aborts, or dies silently, the
+                // number is never reused, so an `Abort` at it is final and
+                // a later publish always starts above every survivor's
+                // `last_aborted` watermark.
+                let next_epoch = state.cepoch.max(state.burnt) + 1;
+                state.burnt = next_epoch;
                 let survivors: Vec<u64> = state.nodes.keys().copied().collect();
                 let n_shards = self.map.n_shards();
                 // Claims of evicted-then-rejoined nodes: hand each such
@@ -610,9 +631,7 @@ impl ControllerInner {
                     job.stages.push((shard as u64, grades[shard], segment));
                 }
                 (
-                    // Per-attempt epochs: a failed attempt's number is
-                    // burnt, never reused, so an `Abort` at it is final.
-                    state.cepoch + attempts as u64,
+                    next_epoch,
                     placement,
                     jobs.into_values().collect::<Vec<_>>(),
                     reassigned,
@@ -944,32 +963,69 @@ fn serve_conn(stream: TcpStream, inner: &Arc<ControllerInner>) {
                 // background by republishing the pinned snapshot — its
                 // old shards come home via the `former` claim, under a
                 // bumped cluster epoch but the *same* rank epoch.
-                let has_pinned = {
-                    let mut state = lock_clean(&inner.state);
-                    state.next_node = state.next_node.max(node + 1);
-                    state.nodes.insert(
-                        node,
-                        NodeEntry {
-                            addr,
-                            missed: 0,
-                            rtt_us: 0,
-                            last_fanout_ms: 0.0,
-                        },
-                    );
-                    state.fresh.insert(node);
-                    state.pinned.is_some()
+                //
+                // The id may still be in the registry: a fast restart
+                // beats the heartbeat monitor to the eviction. That is
+                // legal only if the prior incarnation is actually dead —
+                // probe its old address (off-lock) and refuse the rejoin
+                // when it still answers, so a duplicate or spurious
+                // Rejoin cannot hijack a live node's identity. A re-sent
+                // Rejoin from the *same* address (a retry after a lost
+                // reply) is idempotent, not a hijack.
+                let prior_addr = {
+                    let state = lock_clean(&inner.state);
+                    state.nodes.get(&node).map(|entry| entry.addr.clone())
                 };
-                inner.rejoins.fetch_add(1, Ordering::Relaxed);
-                if has_pinned {
-                    let catcher = Arc::clone(inner);
-                    let handle = std::thread::spawn(move || {
-                        // NoNodes/NotPublished just mean the cluster moved
-                        // on; real publish failures surface via stats.
-                        let _ = catcher.republish_pinned();
-                    });
-                    lock_clean(&inner.aux).push(handle);
+                let prior_alive = prior_addr.as_deref().is_some_and(|old| {
+                    old != addr
+                        && inner
+                            .dial(old)
+                            .ok()
+                            .and_then(|mut conn| conn.call(&Message::Ping { seq: 0 }).ok())
+                            .is_some_and(|reply| matches!(reply, Message::Pong { .. }))
+                });
+                if prior_alive {
+                    inner.rejoins_rejected.fetch_add(1, Ordering::Relaxed);
+                    Message::Bad {
+                        detail: format!(
+                            "rejoin refused: node {node} is still live at {}",
+                            prior_addr.unwrap_or_default()
+                        ),
+                    }
+                } else {
+                    let has_pinned = {
+                        let mut state = lock_clean(&inner.state);
+                        state.next_node = state.next_node.max(node + 1);
+                        state.nodes.insert(
+                            node,
+                            NodeEntry {
+                                addr,
+                                missed: 0,
+                                rtt_us: 0,
+                                last_fanout_ms: 0.0,
+                            },
+                        );
+                        state.fresh.insert(node);
+                        state.pinned.is_some()
+                    };
+                    inner.rejoins.fetch_add(1, Ordering::Relaxed);
+                    if has_pinned {
+                        let catcher = Arc::clone(inner);
+                        let handle = std::thread::spawn(move || {
+                            // NoNodes/NotPublished just mean the cluster
+                            // moved on; real publish failures surface via
+                            // stats.
+                            let _ = catcher.republish_pinned();
+                        });
+                        // Reap finished catch-up threads while we are
+                        // here, so a long-lived controller under churn
+                        // does not hoard dead handles until shutdown.
+                        let mut aux = lock_clean(&inner.aux);
+                        aux.retain(|h| !h.is_finished());
+                        aux.push(handle);
+                    }
+                    Message::Registered { node }
                 }
-                Message::Registered { node }
             }
             Message::PlacementReq => {
                 let state = lock_clean(&inner.state);

@@ -332,6 +332,12 @@ fn accept_loop(
                 lock_clean(conns).push(handle);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // The idle poll doubles as a node-local GC tick: a staged
+                // set whose publisher died stage/commit-gap is reclaimed
+                // even if no controller ever connects again (the commit-
+                // time expiry check keeps the safety property; this keeps
+                // the memory from staying pinned indefinitely).
+                inner.expire_stale_stage();
                 std::thread::sleep(inner.cfg.poll);
             }
             Err(_) => break,

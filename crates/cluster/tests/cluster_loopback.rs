@@ -491,6 +491,132 @@ fn mid_publish_death_aborts_survivors_and_dead_epoch_never_serves() {
 }
 
 #[test]
+fn exhausted_publish_burns_its_epochs_and_survivors_stay_admitted() {
+    let mut graph = campus(200, 6);
+    let mut engine = engine_for(&graph);
+    let map = ShardMap::balanced(&graph, 6).unwrap();
+
+    // Zero publish retries and a sleepy failure detector: the first
+    // publish after the kill must *exhaust* its budget (aborting the
+    // survivor's staged epoch on the way out) rather than retry to
+    // success, and nothing in the background may clean up after it.
+    let cfg = ControllerConfig {
+        heartbeat_interval: Duration::from_millis(500),
+        miss_limit: 20,
+        auto_failover: false,
+        retry: lmm_cluster::RetryPolicy {
+            max_attempts: 0,
+            ..lmm_cluster::RetryPolicy::default()
+        },
+        ..fast_controller()
+    };
+    let controller = ClusterController::start(map, cfg).unwrap();
+    let survivor = ShardNode::start(controller.addr(), NodeConfig::default()).unwrap();
+    let casualty = ShardNode::start(controller.addr(), NodeConfig::default()).unwrap();
+    controller
+        .wait_for_nodes(2, Duration::from_secs(5))
+        .unwrap();
+
+    let snap1 = engine.snapshot().unwrap();
+    controller.publish(&snap1).unwrap();
+
+    casualty.kill();
+    let delta = delta_for_step(&graph, 1);
+    let (mutated, _) = graph.apply(&delta).unwrap();
+    engine.apply_delta(&delta).unwrap();
+    graph = mutated;
+    let snap2 = engine.snapshot().unwrap();
+    match controller.publish(&snap2) {
+        Err(ClusterError::RetryExhausted { op: "publish", .. }) => {}
+        other => panic!("expected publish retry exhaustion, got {other:?}"),
+    }
+    assert!(
+        survivor.local_stats().aborted >= 1,
+        "survivor never saw the abort"
+    );
+    assert_eq!(controller.n_nodes(), 1, "survivor was evicted");
+
+    // The burnt attempt epoch is persisted in controller state: the next
+    // publish must start above the survivor's `last_aborted` watermark,
+    // succeed, and keep the survivor registered — not mistake the
+    // survivor's "epoch was aborted" refusal for node death and brick
+    // the whole registry.
+    let report = controller.publish(&snap2).unwrap();
+    assert_eq!(report.rank_epoch, snap2.epoch());
+    assert_eq!(report.nodes, 1);
+    assert_eq!(controller.n_nodes(), 1, "survivor was evicted on retry");
+    assert_eq!(survivor.epochs(), (controller.epochs().0, snap2.epoch()));
+
+    // And the cluster actually serves the new epoch end to end.
+    let client = ClusterClient::new(controller.addr(), ClientConfig::default());
+    let (epoch, top) = client.top_k(5).unwrap();
+    assert_eq!(epoch, snap2.epoch());
+    assert!(!top.is_empty());
+    let _ = graph;
+
+    drop(client);
+    controller.shutdown();
+    survivor.kill();
+}
+
+#[test]
+fn rejoin_with_a_live_node_id_is_refused() {
+    let graph = campus(120, 4);
+    let map = ShardMap::balanced(&graph, 2).unwrap();
+    let controller = ClusterController::start(map, fast_controller()).unwrap();
+    let node = ShardNode::start(controller.addr(), NodeConfig::default()).unwrap();
+    controller
+        .wait_for_nodes(1, Duration::from_secs(5))
+        .unwrap();
+    let id = node.node_id();
+    let addr_before = controller.stats().nodes[0].addr.clone();
+
+    // A spurious Rejoin claiming a registered-and-answering node's id
+    // from some other address must not hijack it.
+    let mut conn = FramedConn::connect(
+        controller.addr(),
+        Duration::from_secs(2),
+        Arc::new(WireCounters::default()),
+    )
+    .unwrap();
+    let reply = conn
+        .call(&Message::Rejoin {
+            node: id,
+            addr: "127.0.0.1:1".into(),
+        })
+        .unwrap();
+    assert!(
+        matches!(reply, Message::Bad { .. }),
+        "live id hijacked: {reply:?}"
+    );
+    let stats = controller.stats();
+    assert_eq!(stats.rejoins_rejected, 1, "refusal not counted");
+    assert_eq!(stats.rejoins, 0);
+    assert_eq!(controller.n_nodes(), 1);
+    assert_eq!(
+        stats.nodes[0].addr, addr_before,
+        "live node's address was overwritten"
+    );
+
+    // A re-sent Rejoin from the node's *own* address (a retry after a
+    // lost reply) is idempotent, not a hijack.
+    let reply = conn
+        .call(&Message::Rejoin {
+            node: id,
+            addr: addr_before.clone(),
+        })
+        .unwrap();
+    assert!(
+        matches!(reply, Message::Registered { node } if node == id),
+        "idempotent rejoin refused: {reply:?}"
+    );
+    assert_eq!(controller.n_nodes(), 1);
+
+    controller.shutdown();
+    node.kill();
+}
+
+#[test]
 fn staged_epochs_expire_by_ttl_when_the_commit_never_arrives() {
     let graph = campus(120, 4);
     let map = ShardMap::balanced(&graph, 2).unwrap();
@@ -542,6 +668,22 @@ fn staged_epochs_expire_by_ttl_when_the_commit_never_arrives() {
     let reply = conn.call(&Message::Ping { seq: 1 }).unwrap();
     assert!(matches!(reply, Message::Pong { .. }));
     assert!(node.local_stats().staged_expired >= 2);
+
+    // And the node's own idle-poll tick collects with *no* inbound
+    // traffic at all — a controller that dies right after staging (so no
+    // heartbeats ever arrive again) must not pin the segments in node
+    // memory indefinitely. `local_stats` reads in-process, not over the
+    // wire, so nothing below touches the socket.
+    assert!(matches!(stage(&mut conn, 11), Message::Ack { epoch: 11 }));
+    drop(conn);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while node.local_stats().staged_expired < 3 {
+        assert!(
+            Instant::now() < deadline,
+            "idle-poll tick never reclaimed the orphaned staged set"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
 
     controller.shutdown();
     node.kill();
