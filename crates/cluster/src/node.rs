@@ -93,7 +93,9 @@ struct Staged {
 }
 
 struct NodeInner {
-    node_id: AtomicU64,
+    /// Assigned at construction and never reassigned (a rejoin keeps the
+    /// id), so no atomicity is needed.
+    node_id: u64,
     addr: String,
     cfg: NodeConfig,
     shutdown: AtomicBool,
@@ -172,7 +174,7 @@ impl ShardNode {
         // the TCP backlog until the accept loop spins up.
         let node = register_with_controller(controller_addr, &addr, prior, &cfg, &counters)?;
         let inner = Arc::new(NodeInner {
-            node_id: AtomicU64::new(node),
+            node_id: node,
             addr,
             cfg,
             shutdown: AtomicBool::new(false),
@@ -210,7 +212,7 @@ impl ShardNode {
     /// The controller-assigned node id.
     #[must_use]
     pub fn node_id(&self) -> u64 {
-        self.inner.node_id.load(Ordering::Relaxed)
+        self.inner.node_id
     }
 
     /// The committed `(cluster epoch, rank epoch)` pair.
@@ -422,7 +424,10 @@ impl NodeInner {
     /// that epoch (and everything older) forever after. Idempotent — a
     /// replayed abort re-acks.
     fn abort(&self, epoch: u64) -> Message {
-        self.last_aborted.fetch_max(epoch, Ordering::Relaxed);
+        // SeqCst: this watermark gates stage/commit acceptance — a Relaxed
+        // store could let a racing late Stage slip past the abort (the
+        // burnt-epoch class of bug from PR 7).
+        self.last_aborted.fetch_max(epoch, Ordering::SeqCst);
         let mut staged = lock_clean(&self.staged);
         if !staged.entries.is_empty() && staged.epoch <= epoch {
             staged.entries.clear();
@@ -464,7 +469,7 @@ impl NodeInner {
                 detail: format!("stage of shard {shard} grade {grade:?} carries no segment"),
             };
         }
-        let aborted = self.last_aborted.load(Ordering::Relaxed);
+        let aborted = self.last_aborted.load(Ordering::SeqCst);
         if epoch <= aborted && aborted > 0 {
             return Message::Bad {
                 detail: format!("stage epoch {epoch} was aborted (last aborted {aborted})"),
@@ -497,7 +502,7 @@ impl NodeInner {
             // Duplicate commit (a publish retry): already serving it.
             return Message::Ack { epoch };
         }
-        let aborted = self.last_aborted.load(Ordering::Relaxed);
+        let aborted = self.last_aborted.load(Ordering::SeqCst);
         if epoch <= aborted && aborted > 0 {
             return Message::Bad {
                 detail: format!("commit of epoch {epoch} refused: epoch was aborted"),
@@ -646,7 +651,7 @@ impl NodeInner {
         shard_docs.sort_unstable();
         let (bytes_sent, bytes_recv) = self.counters.totals();
         NodeWireStats {
-            node: self.node_id.load(Ordering::Relaxed),
+            node: self.node_id,
             epoch,
             rank_epoch,
             shard_docs,

@@ -1,0 +1,196 @@
+//! Wire-tag registry regression: every `Message` variant's tag byte must
+//! match the committed golden registry (`wire_tags.golden`) byte for
+//! byte. Tag numbering is wire-compat critical — a mixed-version cluster
+//! decodes frames by these bytes — so a failure here means a variant was
+//! renumbered, dropped, or added without updating the registry
+//! (`cargo run -p lmm-lint -- --update-golden`).
+
+use std::collections::BTreeMap;
+
+use lmm_cluster::{encode_message, Message, NodeWireStats, WIRE_VERSION};
+use lmm_engine::SnapshotSegment;
+use lmm_graph::{DocId, SiteId};
+use lmm_serve::{DocScore, SiteTopK, SwapGrade};
+
+fn golden() -> BTreeMap<u8, String> {
+    let text = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("wire_tags.golden"),
+    )
+    .expect("wire_tags.golden is committed next to Cargo.toml");
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let mut parts = l.split_whitespace();
+            let tag: u8 = parts.next().expect("tag").parse().expect("numeric tag");
+            let variant = parts.next().expect("variant name").to_string();
+            (tag, variant)
+        })
+        .collect()
+}
+
+fn segment() -> SnapshotSegment {
+    SnapshotSegment {
+        epoch: 9,
+        backend: "layered".into(),
+        sites: 2..3,
+        n_docs: 10,
+        n_sites: 5,
+        members: vec![vec![DocId(3)]],
+        member_scores: vec![vec![0.5]],
+        tombstoned: vec![(DocId(5), SiteId(2))],
+    }
+}
+
+/// One exemplar per variant, labeled with its golden registry name.
+fn exemplars() -> Vec<(&'static str, Message)> {
+    vec![
+        ("Register", Message::Register { addr: "a:1".into() }),
+        ("Registered", Message::Registered { node: 7 }),
+        (
+            "Rejoin",
+            Message::Rejoin {
+                node: 7,
+                addr: "a:2".into(),
+            },
+        ),
+        ("Ping", Message::Ping { seq: 1 }),
+        ("Pong", Message::Pong { seq: 1, epoch: 2 }),
+        ("PlacementReq", Message::PlacementReq),
+        (
+            "Placement",
+            Message::Placement {
+                epoch: 1,
+                rank_epoch: 2,
+                boundaries: vec![0, 3],
+                owners: vec!["a:1".into(), "b:2".into()],
+            },
+        ),
+        ("RoutingReq", Message::RoutingReq),
+        (
+            "Routing",
+            Message::Routing {
+                rank_epoch: 2,
+                site_of: vec![0, 0, 1],
+            },
+        ),
+        (
+            "Stage",
+            Message::Stage {
+                epoch: 3,
+                shard: 0,
+                grade: SwapGrade::Rebuild,
+                segment: Some(segment()),
+            },
+        ),
+        (
+            "Commit",
+            Message::Commit {
+                epoch: 3,
+                rank_epoch: 2,
+            },
+        ),
+        ("Abort", Message::Abort { epoch: 3 }),
+        ("Ack", Message::Ack { epoch: 3 }),
+        (
+            "ScoreBatch",
+            Message::ScoreBatch {
+                shard: 0,
+                docs: vec![1, 2],
+            },
+        ),
+        ("TopKReq", Message::TopKReq { shard: 0, k: 5 }),
+        (
+            "SiteTopKReq",
+            Message::SiteTopKReq {
+                shard: 0,
+                site: 1,
+                k: 5,
+            },
+        ),
+        (
+            "Scores",
+            Message::Scores {
+                epoch: 3,
+                rank_epoch: 2,
+                scores: vec![DocScore::Live(0.5), DocScore::Tombstoned, DocScore::Unknown],
+            },
+        ),
+        (
+            "Top",
+            Message::Top {
+                epoch: 3,
+                rank_epoch: 2,
+                entries: vec![(DocId(1), 0.5)],
+                complete: true,
+            },
+        ),
+        (
+            "SiteTop",
+            Message::SiteTop {
+                epoch: 3,
+                rank_epoch: 2,
+                reply: SiteTopK::Entries(vec![(DocId(1), 0.5)]),
+            },
+        ),
+        ("StatsReq", Message::StatsReq),
+        (
+            "Stats",
+            Message::Stats(NodeWireStats {
+                node: 7,
+                epoch: 3,
+                rank_epoch: 2,
+                shard_docs: vec![(0, 10)],
+                queries: 0,
+                tombstone_rejections: 0,
+                staged: 0,
+                commits: 0,
+                aborted: 0,
+                staged_expired: 0,
+                bytes_sent: 0,
+                bytes_recv: 0,
+            }),
+        ),
+        ("NotOwner", Message::NotOwner { shard: 0 }),
+        (
+            "Bad",
+            Message::Bad {
+                detail: "no".into(),
+            },
+        ),
+    ]
+}
+
+#[test]
+fn every_variant_tag_matches_the_golden_registry() {
+    let golden = golden();
+    let by_name: BTreeMap<&String, u8> = golden.iter().map(|(t, n)| (n, *t)).collect();
+    let mut seen = BTreeMap::new();
+    for (name, msg) in exemplars() {
+        let payload = encode_message(&msg).expect("encode");
+        assert_eq!(payload[0], WIRE_VERSION, "{name}: version byte");
+        let tag = payload[1];
+        let expected = *by_name
+            .get(&name.to_string())
+            .unwrap_or_else(|| panic!("{name} missing from wire_tags.golden"));
+        assert_eq!(tag, expected, "{name}: tag byte drifted from the registry");
+        assert!(
+            seen.insert(tag, name).is_none(),
+            "tag {tag} encoded by two variants"
+        );
+    }
+    assert_eq!(
+        seen.len(),
+        golden.len(),
+        "every registry entry must be exercised; registry has {} tags, test covers {}",
+        golden.len(),
+        seen.len()
+    );
+}
+
+#[test]
+fn registry_is_the_contiguous_range_1_to_23() {
+    let golden = golden();
+    let tags: Vec<u8> = golden.keys().copied().collect();
+    assert_eq!(tags, (1..=23).collect::<Vec<u8>>());
+}

@@ -1,0 +1,53 @@
+//! Rule `panic`: panic-freedom tiers for hot-path modules.
+//!
+//! Files listed in [`crate::config::LintConfig::hot_path`] serve queries
+//! or move publish epochs; a panic there takes down a worker thread or
+//! poisons a lock mid-publish. Unannotated `.unwrap()`, `.expect(…)`,
+//! `panic!`, `unreachable!`, `todo!`, and `unimplemented!` are violations
+//! outside `#[cfg(test)]`. Intentional sites (invariants the type system
+//! cannot carry) take `// lint: allow(panic, "reason")`.
+
+use crate::lexer::MaskedFile;
+use crate::report::Violation;
+use crate::rules::token_positions;
+
+const RULE: &str = "panic";
+
+/// Tokens that introduce a panic. `.expect(` will not match
+/// `.expect_err(` and `.unwrap()` will not match `.unwrap_or*` because
+/// the trailing delimiter is part of the token.
+const TOKENS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+pub fn check(file: &MaskedFile, path: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for token in TOKENS {
+        for at in token_positions(&file.masked, token) {
+            if file.in_test(at) {
+                continue;
+            }
+            let line = file.line_of(at);
+            if file.allowed(RULE, line) {
+                continue;
+            }
+            let shown = token.trim_end_matches('(');
+            out.push(Violation::new(
+                RULE,
+                path,
+                line,
+                format!(
+                    "hot-path module uses `{shown}` without a `lint: allow(panic, \"…\")` \
+                     annotation; return a typed error or justify the invariant"
+                ),
+            ));
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    out
+}

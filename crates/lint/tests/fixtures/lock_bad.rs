@@ -1,0 +1,16 @@
+//! Positive fixture: a lock-order inversion (order: gate before cell).
+
+fn inverted(s: &S) {
+    let cell = s.cell.lock().unwrap();
+    let gate = s.gate.lock().unwrap();
+    drop((cell, gate));
+}
+
+fn inverted_scrutinee(s: &S) {
+    match s.cell.lock() {
+        Ok(_c) => {
+            let _g = s.gate.lock().unwrap();
+        }
+        Err(_) => {}
+    }
+}

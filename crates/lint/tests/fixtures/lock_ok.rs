@@ -1,0 +1,26 @@
+//! Negative fixture: acquisitions in declared order (gate before cell),
+//! sequential (non-nested) acquisitions, and transient guards.
+
+fn ordered(s: &S) {
+    let gate = s.gate.lock().unwrap();
+    let cell = s.cell.lock().unwrap();
+    drop((gate, cell));
+}
+
+fn sequential(s: &S) {
+    {
+        let cell = s.cell.lock().unwrap();
+        drop(cell);
+    }
+    let gate = s.gate.lock().unwrap();
+    drop(gate);
+}
+
+fn transient_guard(s: &S) -> u64 {
+    // The guard is consumed by `.clone()` within the statement, so the
+    // later gate acquisition is not nested inside it.
+    let snapshot = s.cell.lock().unwrap().clone();
+    let gate = s.gate.lock().unwrap();
+    drop(gate);
+    snapshot
+}

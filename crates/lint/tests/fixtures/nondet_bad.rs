@@ -1,0 +1,9 @@
+//! Positive fixture: wall-clock and random hashing in a kernel.
+
+fn timed_kernel(x: &mut [f64]) {
+    let start = Instant::now();
+    let _stamp = SystemTime::now();
+    let mut seen: HashMap<u64, u64, RandomState> = HashMap::default();
+    seen.insert(0, 0);
+    x[0] += start.elapsed().as_secs_f64();
+}

@@ -1,0 +1,20 @@
+//! Negative fixture: deterministic code, annotated timing, tests.
+
+fn kernel(x: &mut [f64]) {
+    // Mentions of Instant::now in comments don't count.
+    let s = "neither does SystemTime in a string";
+    let _ = s;
+    for v in x.iter_mut() {
+        *v *= 0.85;
+    }
+    // lint: allow(nondet, "fixture: progress log only, never feeds results")
+    let _t = Instant::now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_allowed_in_tests() {
+        let _t = Instant::now();
+    }
+}

@@ -1,0 +1,14 @@
+//! Positive fixture: every panic site here must be flagged.
+
+fn hot_path(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a > b {
+        panic!("impossible");
+    }
+    match a {
+        0 => todo!(),
+        1 => unreachable!("one"),
+        _ => a,
+    }
+}

@@ -1,0 +1,36 @@
+//! Negative fixture: nothing here may be flagged — panics live in
+//! strings, comments, tests, or under reasoned allows.
+
+fn hot_path(x: Option<u32>) -> u32 {
+    // A commented-out panic!("boom") and x.unwrap() must not count.
+    let s = "a string containing panic! and x.unwrap() text";
+    let raw = r#"raw string with .unwrap() and unreachable!('x')"#;
+    let _quote = '"';
+    let _ = (s, raw);
+    // lint: allow(panic, "fixture: justified invariant")
+    let a = x.unwrap();
+    let b = x.expect("present"); // lint: allow(panic, "same-line allow")
+    a + b
+}
+
+fn nested_braces(x: Option<u32>) -> u32 {
+    {
+        {
+            // lint: allow(panic, "allow inside nested-brace fn scope")
+            x.unwrap()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        v.expect("tests are exempt");
+        if false {
+            panic!("fine in tests");
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Positive fixture: `Relaxed` on consistency-bearing atomics.
+
+fn flags(shutdown: &AtomicBool, epoch: &AtomicU64) {
+    shutdown.store(true, Ordering::Relaxed);
+    let _e = epoch.load(Ordering::Relaxed);
+}

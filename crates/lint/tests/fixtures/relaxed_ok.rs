@@ -1,0 +1,17 @@
+//! Negative fixture: allowlisted counters, annotated sites, and tests.
+
+fn counters(s: &Stats) {
+    s.queries.fetch_add(1, Ordering::Relaxed);
+    s.retry_count.fetch_add(1, Ordering::Relaxed);
+    s.staged_expired.load(Ordering::Relaxed);
+    // lint: allow(relaxed, "fixture: justified non-counter use")
+    s.epoch.load(Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn relaxed_is_fine_in_tests() {
+        FLAG.store(true, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,25 @@
+//! Positive fixture: tag 2 is claimed twice in encode, tag 3 decodes to
+//! the wrong variant, and tag 4 has no decode arm.
+
+impl Message {
+    fn tag(&self) -> u8 {
+        match self {
+            Message::Register { .. } => 1,
+            Message::Registered { .. } => 2,
+            Message::Ping { .. } => 2,
+            Message::Pong { .. } => 3,
+            Message::Abort { .. } => 4,
+        }
+    }
+}
+
+pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
+    let tag = payload[0];
+    let msg = match tag {
+        1 => Message::Register { addr: r.str()? },
+        2 => Message::Registered { node: r.u64()? },
+        3 => Message::Ping { seq: r.u64()? },
+        tag => return Err(WireError::BadTag { tag }),
+    };
+    Ok(msg)
+}

@@ -1,0 +1,30 @@
+//! Negative fixture: unique tags, symmetric arms, nested-match decode
+//! bodies whose inner numeric arms must not be mistaken for tags.
+
+impl Message {
+    fn tag(&self) -> u8 {
+        match self {
+            Message::Register { .. } => 1,
+            Message::Registered { .. } => 2,
+            Message::Stage { .. } => 3,
+        }
+    }
+}
+
+pub fn decode_message(payload: &[u8]) -> Result<Message, WireError> {
+    let tag = payload[0];
+    let msg = match tag {
+        1 => Message::Register { addr: r.str()? },
+        2 => Message::Registered { node: r.u64()? },
+        3 => {
+            let segment = match r.u8()? {
+                0 => None,
+                1 => Some(take_segment(&mut r)?),
+                b => return Err(WireError::Malformed { detail: format!("{b}") }),
+            };
+            Message::Stage { segment }
+        }
+        tag => return Err(WireError::BadTag { tag }),
+    };
+    Ok(msg)
+}

@@ -1,0 +1,31 @@
+//! Runs the full lint pass over the real workspace, so a plain
+//! `cargo test` fails locally on any new violation before CI does.
+
+#[test]
+fn workspace_is_clean() {
+    let cfg = lmm_lint::config::workspace();
+    let root = lmm_lint::workspace_root();
+    let violations = lmm_lint::run_workspace(&root, &cfg);
+    let mut rendered = String::new();
+    lmm_lint::report::render(&violations, &mut rendered);
+    assert!(violations.is_empty(), "\n{rendered}");
+}
+
+#[test]
+fn workspace_scan_covers_the_product_crates() {
+    let cfg = lmm_lint::config::workspace();
+    let root = lmm_lint::workspace_root();
+    let files = lmm_lint::collect_files(&root, &cfg);
+    for needle in [
+        "crates/serve/src/router.rs",
+        "crates/cluster/src/wire.rs",
+        "crates/par/src/lib.rs",
+        "crates/rank/src/lib.rs",
+    ] {
+        assert!(files.iter().any(|f| f == needle), "missing {needle}");
+    }
+    assert!(
+        files.iter().all(|f| !f.starts_with("crates/shims/")),
+        "shims must not be scanned"
+    );
+}

@@ -85,10 +85,19 @@ use std::marker::PhantomData;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+/// Sound for every mutex in this crate: they protect a latch counter, a
+/// panic payload slot, take-once task slots, and the pool registry — all
+/// of which stay valid across any panic point (jobs themselves run under
+/// `catch_unwind`, so a poisoned flag carries no extra information here).
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 thread_local! {
     /// Set while the current thread is a pool worker executing a job; used
@@ -173,6 +182,7 @@ impl ThreadPool {
                             }
                         }
                     })
+                    // lint: allow(panic, "thread spawn fails only on resource exhaustion at pool construction; no query path reaches this")
                     .expect("failed to spawn lmm-par worker")
             })
             .collect();
@@ -204,7 +214,7 @@ impl ThreadPool {
     pub fn shared(threads: usize) -> Arc<ThreadPool> {
         static REGISTRY: Mutex<Vec<(usize, Arc<ThreadPool>)>> = Mutex::new(Vec::new());
         let resolved = resolve_threads(threads);
-        let mut registry = REGISTRY.lock().expect("pool registry poisoned");
+        let mut registry = lock_clean(&REGISTRY);
         if let Some((_, pool)) = registry.iter().find(|(n, _)| *n == resolved) {
             return Arc::clone(pool);
         }
@@ -245,16 +255,16 @@ impl ThreadPool {
         let body = catch_unwind(AssertUnwindSafe(|| f(&scope)));
         // Soundness: block until every enqueued job has run, even when the
         // body panicked — jobs still hold borrows into `'env`.
-        let mut pending = scope.state.pending.lock().expect("scope latch poisoned");
+        let mut pending = lock_clean(&scope.state.pending);
         while *pending > 0 {
             pending = scope
                 .state
                 .done
                 .wait(pending)
-                .expect("scope latch poisoned");
+                .unwrap_or_else(PoisonError::into_inner);
         }
         drop(pending);
-        if let Some(payload) = scope.state.panic.lock().expect("scope panic slot").take() {
+        if let Some(payload) = lock_clean(&scope.state.panic).take() {
             resume_unwind(payload);
         }
         match body {
@@ -290,10 +300,9 @@ impl ThreadPool {
                     if i >= slots.len() {
                         break;
                     }
-                    let task = slots[i]
-                        .lock()
-                        .expect("par_tasks slot poisoned")
+                    let task = lock_clean(&slots[i])
                         .take()
+                        // lint: allow(panic, "the atomic cursor hands each index to exactly one worker; a refilled slot is a lint-crate bug worth crashing on")
                         .expect("task claimed twice");
                     f(task);
                 });
@@ -317,13 +326,14 @@ impl ThreadPool {
         let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
         self.par_tasks(items.iter().enumerate().collect(), |(i, item)| {
             let value = f(i, item);
-            *slots[i].lock().expect("par_map slot poisoned") = Some(value);
+            *lock_clean(&slots[i]) = Some(value);
         });
         slots
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("par_map slot poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
+                    // lint: allow(panic, "scope() resumes any job panic before this runs, so every slot was filled by its claiming worker")
                     .expect("par_map slot unfilled")
             })
             .collect()
@@ -414,15 +424,15 @@ impl<'env> Scope<'_, 'env> {
             f();
             return;
         }
-        *self.state.pending.lock().expect("scope latch poisoned") += 1;
+        *lock_clean(&self.state.pending) += 1;
         let state = Arc::clone(&self.state);
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
             let result = catch_unwind(AssertUnwindSafe(f));
             if let Err(payload) = result {
-                let mut slot = state.panic.lock().expect("scope panic slot");
+                let mut slot = lock_clean(&state.panic);
                 slot.get_or_insert(payload);
             }
-            let mut pending = state.pending.lock().expect("scope latch poisoned");
+            let mut pending = lock_clean(&state.pending);
             *pending -= 1;
             if *pending == 0 {
                 state.done.notify_all();
@@ -440,8 +450,10 @@ impl<'env> Scope<'_, 'env> {
         inner
             .sender
             .as_ref()
+            // lint: allow(panic, "the sender is only taken in Drop, which cannot run while this &self borrow is live")
             .expect("pool sender alive while pool is alive")
             .send(job)
+            // lint: allow(panic, "workers only exit after the sender hangs up; send can fail only if a worker died to a resource error, which must not be silent")
             .expect("pool workers alive while pool is alive");
     }
 }

@@ -58,6 +58,14 @@ pub enum ServeError {
         /// Index of the unreachable shard.
         shard: usize,
     },
+    /// The OS refused to spawn a shard worker thread at construction
+    /// (resource exhaustion) — the server cannot come up.
+    WorkerSpawn {
+        /// Shard whose worker failed to start.
+        shard: usize,
+        /// The OS error.
+        reason: String,
+    },
     /// The publish gate is poisoned: a publisher panicked mid-swap. The
     /// per-shard stores are individually intact (each swap is one `Arc`
     /// assignment), but the tier may be serving a mix of epochs that no
@@ -99,6 +107,9 @@ impl fmt::Display for ServeError {
             }
             ServeError::ShardDown { shard } => {
                 write!(f, "shard {shard} worker is no longer running")
+            }
+            ServeError::WorkerSpawn { shard, reason } => {
+                write!(f, "failed to spawn worker for shard {shard}: {reason}")
             }
             ServeError::PublishPoisoned => {
                 write!(f, "publish gate poisoned: a publisher panicked mid-swap")

@@ -25,7 +25,7 @@
 
 use std::collections::HashMap;
 use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 use crate::error::{Result, ServeError};
@@ -34,6 +34,17 @@ use crate::telemetry::{ServeStats, ServeStatsSnapshot};
 use lmm_engine::{RankSnapshot, Staleness};
 use lmm_graph::sharding::ShardMap;
 use lmm_graph::{DocId, SiteId};
+
+/// Locks a shard cell or the routing slot, recovering the guard when a
+/// previous holder panicked. Sound here because both kinds of mutex hold
+/// a single value replaced by one assignment (`Arc<ShardState>` /
+/// `RankSnapshot`): a panicking holder can poison the flag but can never
+/// leave the protected value mid-update. Publish *consistency* across
+/// shards is the gate's job, and the gate deliberately stays poisoning
+/// (see [`ServeError::PublishPoisoned`]).
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Tuning knobs of a [`ShardedServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -257,7 +268,7 @@ impl ShardedServer {
                     // persistent workers on a channel, specialized to one
                     // owner per queue.
                     while let Ok(ShardRequest { kind, reply }) = rx.recv() {
-                        let state = worker_cell.lock().expect("shard cell poisoned").clone();
+                        let state = lock_clean(&worker_cell).clone();
                         let answer = match kind {
                             RequestKind::Scores(docs) => ShardReply::Scores {
                                 epoch: state.epoch(),
@@ -279,7 +290,10 @@ impl ShardedServer {
                         let _ = reply.send(answer);
                     }
                 })
-                .expect("failed to spawn lmm-serve worker");
+                .map_err(|e| ServeError::WorkerSpawn {
+                    shard,
+                    reason: e.to_string(),
+                })?;
             cells.push(cell);
             queues.push(tx);
             workers.push(handle);
@@ -326,7 +340,7 @@ impl ShardedServer {
         snapshot.shard_docs = self
             .cells
             .iter()
-            .map(|cell| cell.lock().expect("shard cell poisoned").n_docs() as u64)
+            .map(|cell| lock_clean(cell).n_docs() as u64)
             .collect();
         snapshot
     }
@@ -393,20 +407,20 @@ impl ShardedServer {
                 }
                 SwapGrade::Refresh => {
                     refreshed += 1;
-                    let current = cell.lock().expect("shard cell poisoned").clone();
+                    let current = lock_clean(cell).clone();
                     Arc::new(current.refresh(snapshot, self.config.heap_k))
                 }
                 SwapGrade::Repin => {
                     repinned += 1;
-                    let current = cell.lock().expect("shard cell poisoned").clone();
+                    let current = lock_clean(cell).clone();
                     Arc::new(current.repin(snapshot))
                 }
             };
             // The swap itself: readers blocked only for this assignment.
-            *cell.lock().expect("shard cell poisoned") = next;
+            *lock_clean(cell) = next;
             swapped(shard);
         }
-        *self.routing.lock().expect("routing snapshot poisoned") = snapshot.clone();
+        *lock_clean(&self.routing) = snapshot.clone();
         *serving = snapshot.epoch();
         ServeStats::add(&self.stats.shards_rebuilt, rebuilt as u64);
         ServeStats::add(&self.stats.shards_repinned, repinned as u64);
@@ -433,6 +447,7 @@ impl ShardedServer {
         let shard = self.shard_of_doc(doc);
         let reply = self.request(shard, RequestKind::Scores(vec![doc]))?;
         let ShardReply::Scores { epoch, scores } = reply else {
+            // lint: allow(panic, "workers echo the request kind by construction; a mismatched reply is shard-worker memory corruption")
             unreachable!("scores request answered with a different reply kind");
         };
         self.doc_score_to_result(scores[0], doc, epoch)
@@ -484,6 +499,7 @@ impl ShardedServer {
                 entries, scanned, ..
             } = reply
             else {
+                // lint: allow(panic, "workers echo the request kind by construction; a mismatched reply is shard-worker memory corruption")
                 unreachable!("top-k request answered with a different reply kind");
             };
             if scanned {
@@ -493,6 +509,7 @@ impl ShardedServer {
         }
         merged.sort_unstable_by(|a, b| {
             b.1.partial_cmp(&a.1)
+                // lint: allow(panic, "scores come from a stochastic-matrix power iteration and are finite by construction; a NaN here means the kernel itself is broken")
                 .expect("ranking scores are finite")
                 .then(a.0.cmp(&b.0))
         });
@@ -512,6 +529,7 @@ impl ShardedServer {
         let shard = self.map.shard_of_site(site);
         let reply = self.request(shard, RequestKind::SiteTopK(site, k))?;
         let ShardReply::SiteTop { epoch, entries } = reply else {
+            // lint: allow(panic, "workers echo the request kind by construction; a mismatched reply is shard-worker memory corruption")
             unreachable!("site top-k request answered with a different reply kind");
         };
         match entries {
@@ -541,6 +559,7 @@ impl ShardedServer {
         let (epoch, scores) = self.score_batch_inner(&[a, b])?;
         let order = scores[0]
             .partial_cmp(&scores[1])
+            // lint: allow(panic, "scores come from a stochastic-matrix power iteration and are finite by construction; a NaN here means the kernel itself is broken")
             .expect("ranking scores are finite")
             // Equal scores: the lower doc id ranks first, matching the
             // serving order everywhere else in the tier.
@@ -561,7 +580,7 @@ impl ShardedServer {
 
     /// Shard owning a document, per the current routing snapshot.
     fn shard_of_doc(&self, doc: DocId) -> usize {
-        let routing = self.routing.lock().expect("routing snapshot poisoned");
+        let routing = lock_clean(&self.routing);
         self.shard_of_doc_in(&routing, doc)
     }
 
@@ -573,7 +592,7 @@ impl ShardedServer {
         // One routing pin for the whole batch, not one lock per document.
         let mut per_shard: HashMap<usize, (Vec<DocId>, Vec<usize>)> = HashMap::new();
         {
-            let routing = self.routing.lock().expect("routing snapshot poisoned");
+            let routing = lock_clean(&self.routing);
             for (pos, &doc) in docs.iter().enumerate() {
                 let entry = per_shard
                     .entry(self.shard_of_doc_in(&routing, doc))
@@ -593,6 +612,7 @@ impl ShardedServer {
         let mut out = vec![0.0f64; docs.len()];
         for (&shard, reply) in shards.iter().zip(replies) {
             let ShardReply::Scores { scores, .. } = reply else {
+                // lint: allow(panic, "workers echo the request kind by construction; a mismatched reply is shard-worker memory corruption")
                 unreachable!("scores request answered with a different reply kind");
             };
             for (&pos, score) in per_shard[&shard].1.iter().zip(scores) {

@@ -34,6 +34,7 @@ use lmm_graph::{DocId, SiteId};
 /// results are bitwise comparable with engine-cache results.
 fn serve_cmp(a: &(DocId, f64), b: &(DocId, f64)) -> Ordering {
     b.1.partial_cmp(&a.1)
+        // lint: allow(panic, "scores come from a stochastic-matrix power iteration and are finite by construction; a NaN here means the kernel itself is broken")
         .expect("ranking scores are finite")
         .then(a.0.cmp(&b.0))
 }
@@ -59,6 +60,7 @@ impl Ord for Weakest {
         other
             .1
             .partial_cmp(&self.1)
+            // lint: allow(panic, "scores come from a stochastic-matrix power iteration and are finite by construction; a NaN here means the kernel itself is broken")
             .expect("ranking scores are finite")
             .then(self.0.cmp(&other.0))
     }

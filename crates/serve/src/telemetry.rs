@@ -94,6 +94,7 @@ impl ServeStats {
     /// not a consistent cut, which is fine for counting).
     #[must_use]
     pub fn snapshot(&self) -> ServeStatsSnapshot {
+        // lint: allow(relaxed, "telemetry snapshot: every field read here is a monotonic counter")
         let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
         ServeStatsSnapshot {
             publishes: read(&self.publishes),
