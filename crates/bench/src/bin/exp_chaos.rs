@@ -356,6 +356,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServeConfig {
             heap_k: 128,
             max_gather_retries: 4,
+            direct_reads: true,
         },
     )?;
     let client = ClusterClient::new(

@@ -1,0 +1,541 @@
+//! Experiment PR10: open-loop query latency for the serving tier — the
+//! direct (lock-free) read path against the worker (mpsc) path.
+//!
+//! A closed-loop generator (`exp_serve`) back-pressures itself: when a
+//! swap stalls the server, the generator stops sending, and the stall
+//! disappears from the numbers (coordinated omission). This bench is
+//! **open-loop in virtual time**: a deterministic splitmix64 schedule
+//! draws exponential inter-arrival gaps for a fixed arrival rate, the
+//! generator issues queries back-to-back measuring each one's *real*
+//! service time, and latency comes from the single-server queue
+//! recurrence `depart_i = max(arrival_i, depart_{i-1}) + service_i` —
+//! a query's latency is `depart_i - arrival_i`, so queueing delay
+//! behind a slow response is charged to the responses that caused it.
+//! (Pacing with wall-clock sleeps instead would hand the measurement to
+//! the host scheduler: on a small box the sleep/spin pattern of the
+//! generator itself decides which phase gets starved around a publish,
+//! drowning the path under test. The virtual queue keeps the schedule
+//! exact and the generator's CPU profile identical across phases.) The
+//! virtual backlog `depart_{i-1} - arrival_i` is bounded
+//! (`BACKLOG_CAP`): a run more than the cap behind re-anchors its
+//! schedule and counts a clamp, so a saturated path terminates with its
+//! tail pinned at the cap instead of compounding forever.
+//!
+//! Two phases share one ranked snapshot sequence and one arrival
+//! schedule (same seed, same rate):
+//!
+//! * **direct** — `direct_reads: true`: point queries answer on the
+//!   caller's thread through `ArcCell` snapshot loads;
+//! * **mpsc** — `direct_reads: false`: every query hops through a shard
+//!   worker's request channel (the pre-PR10 path, kept as the compat
+//!   toggle).
+//!
+//! While the generator runs, a publisher thread hot-swaps the next
+//! snapshot each time the arrival stream crosses an even query-count
+//! threshold; samples overlapping a swap window are tagged so
+//! swap-induced tail shows up separately. Per query kind the bench
+//! reports p50/p90/p99/p999 (exact, from sorted samples), and the full
+//! run asserts the direct point-query p99 lands strictly below the mpsc
+//! point-query p99 at the same arrival rate. Every response's epoch must
+//! be one the publisher actually published — a wrong-epoch response
+//! fails the run.
+//!
+//! Writes `BENCH_pr10.json` (`--smoke` writes `BENCH_pr10_smoke.json`
+//! for CI so the committed measurements are never clobbered).
+//!
+//! Run: `cargo run --release -p lmm-bench --bin exp_latency`
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lmm_bench::{section, timed};
+use lmm_engine::{BackendSpec, RankEngine, RankSnapshot};
+use lmm_graph::delta::GraphDelta;
+use lmm_graph::generator::CampusWebConfig;
+use lmm_graph::sharding::ShardMap;
+use lmm_graph::{DocGraph, DocId, SiteId};
+use lmm_serve::{ServeConfig, ShardedServer};
+
+const OUT_PATH: &str = "BENCH_pr10.json";
+const SMOKE_OUT_PATH: &str = "BENCH_pr10_smoke.json";
+/// Max virtual-time backlog (`depart_{i-1} - arrival_i`) before the
+/// schedule re-anchors: queueing delay is measured up to this bound,
+/// then clamped (and counted), so a saturated path reports a tail pinned
+/// at the cap instead of a runaway queue.
+const BACKLOG_CAP: Duration = Duration::from_millis(200);
+const TOP_K: usize = 10;
+const SITE_K: usize = 5;
+const BATCH_LEN: usize = 4;
+
+/// Deterministic splitmix64: the arrival schedule and query mix are a
+/// pure function of the seed, so both phases replay the identical load.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    /// Uniform in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        ((self.next_u64() >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+    fn below(&mut self, m: usize) -> usize {
+        (self.next_u64() % m as u64) as usize
+    }
+}
+
+/// The query kinds, with their JSON names and whether they ride the
+/// direct path under `direct_reads: true`. `top_k` is the cross-shard
+/// gather — worker fan-out on both phases, the control group.
+const KINDS: [(&str, bool); 5] = [
+    ("score", true),
+    ("batch", true),
+    ("site_top_k", true),
+    ("compare", true),
+    ("top_k", false),
+];
+const N_KINDS: usize = KINDS.len();
+
+/// One measured arrival: nanoseconds from scheduled virtual arrival to
+/// completion, and whether it overlapped a publish swap window.
+type Sample = (u64, bool);
+
+struct PhaseResult {
+    name: &'static str,
+    samples: [Vec<Sample>; N_KINDS],
+    backlog_clamps: u64,
+    max_lag: Duration,
+    wall: Duration,
+    direct_hits: u64,
+    fanout_queries: u64,
+    gate_escalations: u64,
+    publishes: u64,
+}
+
+impl PhaseResult {
+    /// All point-query samples (everything but the cross-shard gather),
+    /// sorted — the population the direct-vs-mpsc p99 claim is made on.
+    fn point_ns_sorted(&self) -> Vec<u64> {
+        let mut all: Vec<u64> = KINDS
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, point))| *point)
+            .flat_map(|(k, _)| self.samples[k].iter().map(|&(ns, _)| ns))
+            .collect();
+        all.sort_unstable();
+        all
+    }
+}
+
+/// Exact quantile over a sorted sample set (nearest-rank).
+fn pctl(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Sites with at least `BATCH_LEN` docs, with their first docs — the
+/// single-shard batch and co-sharded compare populations.
+fn batch_sites(graph: &DocGraph) -> Vec<(SiteId, Vec<DocId>)> {
+    (0..graph.n_sites())
+        .map(SiteId)
+        .filter(|&s| graph.site_size(s) >= BATCH_LEN)
+        .map(|s| {
+            let docs = graph.docs_of_site(s)[..BATCH_LEN].to_vec();
+            (s, docs)
+        })
+        .collect()
+}
+
+/// An intra-site rewire plus one grown page: publishes stay cheap (graded
+/// rebuilds, no tombstones) so the swap window, not the rebuild, is what
+/// the tagged samples measure.
+fn local_delta(graph: &DocGraph, step: usize) -> GraphDelta {
+    let n_sites = graph.n_sites();
+    let mut delta = GraphDelta::for_graph(graph);
+    let mut site = (step * 7 + 3) % n_sites;
+    while graph.site_size(SiteId(site)) < 3 {
+        site = (site + 1) % n_sites;
+    }
+    let docs = graph.docs_of_site(SiteId(site));
+    delta.remove_link(docs[0], docs[1]).expect("in range");
+    delta.add_link(docs[1], docs[2]).expect("in range");
+    delta.add_link(docs[2], docs[0]).expect("in range");
+    let target = SiteId((step * 5 + 1) % n_sites);
+    let root = graph.docs_of_site(target)[0];
+    let p = delta
+        .add_page(target, &format!("http://latency-grow-{step}.page/"))
+        .expect("existing site");
+    delta.add_link(root, p).expect("in range");
+    delta.add_link(p, root).expect("in range");
+    delta
+}
+
+/// One open-loop phase: replay the arrival schedule drawn from `seed`
+/// against a fresh server over `snaps[0]`, while a publisher thread swaps
+/// in `snaps[1..]` at even query-count thresholds.
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+fn run_phase(
+    name: &'static str,
+    direct: bool,
+    base: &DocGraph,
+    snaps: &[RankSnapshot],
+    n_shards: usize,
+    rate_hz: f64,
+    arrivals: usize,
+    seed: u64,
+) -> PhaseResult {
+    let map = ShardMap::balanced(base, n_shards).expect("shard map");
+    let server = Arc::new(
+        ShardedServer::start(
+            map,
+            &snaps[0],
+            ServeConfig {
+                heap_k: 128,
+                max_gather_retries: 4,
+                direct_reads: direct,
+            },
+        )
+        .expect("server start"),
+    );
+    let published: Vec<u64> = snaps.iter().map(RankSnapshot::epoch).collect();
+
+    // Publisher: swap in the next snapshot each time the generator's
+    // progress crosses an even query-count threshold, raising the swap
+    // flag around each publish so overlapping samples get tagged. The
+    // publish itself runs concurrently with the query stream — its CPU
+    // contention lands in the measured service times, as it would in
+    // production.
+    let swap_flag = Arc::new(AtomicBool::new(false));
+    let progress = Arc::new(AtomicUsize::new(0));
+    let publisher = {
+        let server = Arc::clone(&server);
+        let swap_flag = Arc::clone(&swap_flag);
+        let progress = Arc::clone(&progress);
+        let snaps = snaps[1..].to_vec();
+        let stride = arrivals / (snaps.len() + 1);
+        std::thread::spawn(move || {
+            for (k, snap) in snaps.iter().enumerate() {
+                let threshold = (k + 1) * stride;
+                while progress.load(Ordering::SeqCst) < threshold {
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                swap_flag.store(true, Ordering::SeqCst);
+                server.publish(snap).expect("publish");
+                swap_flag.store(false, Ordering::SeqCst);
+            }
+        })
+    };
+
+    let sites = batch_sites(base);
+    assert!(!sites.is_empty(), "graph has no batch-sized sites");
+    let n_docs = base.n_docs();
+    let mut rng = SplitMix::new(seed);
+    let mut samples: [Vec<Sample>; N_KINDS] = std::array::from_fn(|_| Vec::new());
+    let mut backlog_clamps = 0u64;
+    let mut max_lag = Duration::ZERO;
+    let cap_ns = BACKLOG_CAP.as_nanos() as u64;
+    let mut sched_ns = 0u64; // virtual arrival clock
+    let mut shift_ns = 0u64; // backlog re-anchor accumulator
+    let mut depart_ns = 0u64; // virtual departure of the previous query
+
+    let start = Instant::now();
+    for i in 0..arrivals {
+        let gap = -(1.0 - rng.next_f64()).ln() / rate_hz;
+        sched_ns += (gap * 1e9) as u64;
+        let mut arrival_ns = sched_ns + shift_ns;
+        let backlog = depart_ns.saturating_sub(arrival_ns);
+        if backlog > cap_ns {
+            // Re-anchor: charge this (and implicitly every queued
+            // arrival) at most the cap, and slide the rest of the
+            // schedule forward so the backlog stays bounded.
+            shift_ns += backlog - cap_ns;
+            arrival_ns = sched_ns + shift_ns;
+            backlog_clamps += 1;
+            max_lag = max_lag.max(BACKLOG_CAP);
+        } else {
+            max_lag = max_lag.max(Duration::from_nanos(backlog));
+        }
+
+        let kind;
+        let issued = Instant::now();
+        let swap_before = swap_flag.load(Ordering::SeqCst);
+        let epoch = match rng.below(100) {
+            0..=39 => {
+                kind = 0; // score
+                let doc = DocId(rng.below(n_docs));
+                server.score(doc).expect("score").0
+            }
+            40..=59 => {
+                kind = 1; // single-shard batch
+                let (_, docs) = &sites[rng.below(sites.len())];
+                server.score_batch(docs).expect("batch").0
+            }
+            60..=74 => {
+                kind = 2; // site top-k
+                let (site, _) = sites[rng.below(sites.len())];
+                server.top_k_for_site(site, SITE_K).expect("site top_k").0
+            }
+            75..=89 => {
+                kind = 3; // co-sharded compare
+                let (_, docs) = &sites[rng.below(sites.len())];
+                server.compare(docs[0], docs[1]).expect("compare").0
+            }
+            _ => {
+                kind = 4; // cross-shard top-k (fan-out on both phases)
+                server.top_k(TOP_K).expect("top_k").0
+            }
+        };
+        let service_ns = issued.elapsed().as_nanos() as u64;
+        assert!(
+            published.binary_search(&epoch).is_ok(),
+            "{name}: response claimed unpublished epoch {epoch}"
+        );
+        let during_swap = swap_before || swap_flag.load(Ordering::SeqCst);
+        // Lindley recursion: the query starts when it arrives or when
+        // the previous one departs, whichever is later; its latency is
+        // queueing delay plus its own measured service time.
+        depart_ns = arrival_ns.max(depart_ns) + service_ns;
+        samples[kind].push((depart_ns - arrival_ns, during_swap));
+        progress.store(i + 1, Ordering::SeqCst);
+    }
+    let wall = start.elapsed();
+    publisher.join().expect("publisher panicked");
+
+    let stats = server.stats();
+    assert_eq!(
+        stats.publishes as usize,
+        snaps.len() - 1,
+        "{name}: publisher fell behind its snapshot sequence"
+    );
+    PhaseResult {
+        name,
+        samples,
+        backlog_clamps,
+        max_lag,
+        wall,
+        direct_hits: stats.direct_hits,
+        fanout_queries: stats.fanout_queries,
+        gate_escalations: stats.gate_escalations,
+        publishes: stats.publishes,
+    }
+}
+
+fn print_phase(r: &PhaseResult) {
+    println!(
+        "\n[{}] wall {:.2?}, {} publishes, direct {} / fanout {}, \
+         {} backlog clamps (max lag {:.1?}), {} gate escalations",
+        r.name,
+        r.wall,
+        r.publishes,
+        r.direct_hits,
+        r.fanout_queries,
+        r.backlog_clamps,
+        r.max_lag,
+        r.gate_escalations,
+    );
+    println!(
+        "{:>12} {:>7} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "kind", "n", "p50", "p90", "p99", "p999", "swap n/p99"
+    );
+    for (k, (kind_name, _)) in KINDS.iter().enumerate() {
+        let mut ns: Vec<u64> = r.samples[k].iter().map(|&(ns, _)| ns).collect();
+        ns.sort_unstable();
+        let mut swap_ns: Vec<u64> = r.samples[k]
+            .iter()
+            .filter(|&&(_, during)| during)
+            .map(|&(ns, _)| ns)
+            .collect();
+        swap_ns.sort_unstable();
+        let us = |v: u64| v as f64 / 1e3;
+        println!(
+            "{:>12} {:>7} {:>8.1}u {:>8.1}u {:>8.1}u {:>8.1}u {:>4}/{:.1}u",
+            kind_name,
+            ns.len(),
+            us(pctl(&ns, 0.50)),
+            us(pctl(&ns, 0.90)),
+            us(pctl(&ns, 0.99)),
+            us(pctl(&ns, 0.999)),
+            swap_ns.len(),
+            us(pctl(&swap_ns, 0.99)),
+        );
+    }
+}
+
+fn phase_json(r: &PhaseResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "    \"{}\": {{", r.name);
+    let _ = writeln!(out, "      \"wall_ms\": {:.3},", r.wall.as_secs_f64() * 1e3);
+    let _ = writeln!(out, "      \"publishes\": {},", r.publishes);
+    let _ = writeln!(out, "      \"direct_hits\": {},", r.direct_hits);
+    let _ = writeln!(out, "      \"fanout_queries\": {},", r.fanout_queries);
+    let _ = writeln!(out, "      \"gate_escalations\": {},", r.gate_escalations);
+    let _ = writeln!(out, "      \"backlog_clamps\": {},", r.backlog_clamps);
+    let _ = writeln!(
+        out,
+        "      \"max_lag_ms\": {:.3},",
+        r.max_lag.as_secs_f64() * 1e3
+    );
+    let _ = writeln!(out, "      \"kinds\": {{");
+    for (k, (kind_name, point)) in KINDS.iter().enumerate() {
+        let mut ns: Vec<u64> = r.samples[k].iter().map(|&(ns, _)| ns).collect();
+        ns.sort_unstable();
+        let swap_n = r.samples[k].iter().filter(|&&(_, d)| d).count();
+        let us = |q: f64| pctl(&ns, q) as f64 / 1e3;
+        let _ = write!(
+            out,
+            "        \"{}\": {{\"n\": {}, \"point_path\": {}, \
+             \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \
+             \"p999_us\": {:.1}, \"during_swap_n\": {}}}",
+            kind_name,
+            ns.len(),
+            point,
+            us(0.50),
+            us(0.90),
+            us(0.99),
+            us(0.999),
+            swap_n,
+        );
+        out.push_str(if k + 1 == N_KINDS { "\n" } else { ",\n" });
+    }
+    let _ = writeln!(out, "      }}");
+    let _ = write!(out, "    }}");
+    out
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // The full-run rate is chosen to *load* a small host: per-query the
+    // mpsc hop costs two scheduler round-trips, and at this arrival rate
+    // that service-time gap compounds into real queueing — the tail
+    // difference the open loop exists to expose. Smoke stays light so CI
+    // only checks the machinery.
+    let (rate_hz, arrivals, n_pubs, n_shards) = if smoke {
+        (1_500.0, 1_200usize, 2usize, 4usize)
+    } else {
+        (25_000.0, 150_000usize, 12usize, 8usize)
+    };
+
+    let mut cfg = CampusWebConfig::paper_scale();
+    cfg.spam_farms.clear();
+    cfg.seed = 23;
+    if smoke {
+        cfg.total_docs = 2_000;
+        cfg.n_sites = 40;
+    } else {
+        cfg.total_docs = 20_000;
+        cfg.n_sites = 200;
+    }
+    let base = cfg.generate()?;
+
+    section(&format!(
+        "Open-loop latency: {} docs, {} sites; {} shards, {:.0} arrivals/s x {} \
+         ({} swaps per phase, backlog cap {:?})",
+        base.n_docs(),
+        base.n_sites(),
+        n_shards,
+        rate_hz,
+        arrivals,
+        n_pubs,
+        BACKLOG_CAP,
+    ));
+
+    // One ranked snapshot sequence, shared by both phases: the engine
+    // work happens once, and the phases differ only in the read path.
+    let mut engine = RankEngine::builder()
+        .backend(BackendSpec::Incremental)
+        .damping(0.85)
+        .tolerance(1e-10)
+        .build()?;
+    let (result, warmup) = timed(|| engine.rank(&base).map(|_| ()));
+    result?;
+    println!("base rank (cold): {warmup:.2?}");
+    let mut snaps = vec![engine.snapshot()?];
+    let mut current = base.clone();
+    for step in 0..n_pubs {
+        let delta = local_delta(&current, step);
+        let (mutated, _) = current.apply(&delta)?;
+        engine.apply_delta(&delta)?;
+        snaps.push(engine.snapshot()?);
+        current = mutated;
+    }
+
+    let seed = 0x10_AD;
+    let direct = run_phase(
+        "direct", true, &base, &snaps, n_shards, rate_hz, arrivals, seed,
+    );
+    print_phase(&direct);
+    let mpsc = run_phase(
+        "mpsc", false, &base, &snaps, n_shards, rate_hz, arrivals, seed,
+    );
+    print_phase(&mpsc);
+
+    // The witnesses: the direct phase answered its point queries on the
+    // caller's thread; the mpsc phase hopped every query to a worker.
+    assert!(
+        direct.direct_hits > 0,
+        "direct phase never took the direct path"
+    );
+    assert_eq!(mpsc.direct_hits, 0, "compat toggle leaked direct reads");
+
+    let direct_point = direct.point_ns_sorted();
+    let mpsc_point = mpsc.point_ns_sorted();
+    let direct_p99 = pctl(&direct_point, 0.99);
+    let mpsc_p99 = pctl(&mpsc_point, 0.99);
+    println!(
+        "\npoint-query p99: direct {:.1}us vs mpsc {:.1}us ({:.2}x)",
+        direct_p99 as f64 / 1e3,
+        mpsc_p99 as f64 / 1e3,
+        mpsc_p99 as f64 / direct_p99.max(1) as f64,
+    );
+    // The headline claim, asserted on the full run only: smoke samples
+    // are too few for a stable p99 on a loaded CI core.
+    if !smoke {
+        assert!(
+            direct_p99 < mpsc_p99,
+            "direct point p99 ({direct_p99}ns) is not below mpsc p99 ({mpsc_p99}ns)"
+        );
+    }
+
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"exp_latency\",");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "  \"docs\": {},", base.n_docs());
+    let _ = writeln!(json, "  \"sites\": {},", base.n_sites());
+    let _ = writeln!(json, "  \"n_shards\": {n_shards},");
+    let _ = writeln!(json, "  \"arrival_rate_hz\": {rate_hz},");
+    let _ = writeln!(json, "  \"arrivals_per_phase\": {arrivals},");
+    let _ = writeln!(json, "  \"swaps_per_phase\": {n_pubs},");
+    let _ = writeln!(json, "  \"backlog_cap_ms\": {},", BACKLOG_CAP.as_millis());
+    let _ = writeln!(json, "  \"phases\": {{");
+    let _ = writeln!(json, "{},", phase_json(&direct));
+    let _ = writeln!(json, "{}", phase_json(&mpsc));
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"point_p99_us\": {{\"direct\": {:.1}, \"mpsc\": {:.1}}}",
+        direct_p99 as f64 / 1e3,
+        mpsc_p99 as f64 / 1e3,
+    );
+    json.push_str("}\n");
+
+    let out_path = if smoke { SMOKE_OUT_PATH } else { OUT_PATH };
+    std::fs::write(out_path, json)?;
+    println!("wrote {out_path}");
+    Ok(())
+}

@@ -325,6 +325,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ServeConfig {
             heap_k: 128,
             max_gather_retries: 4,
+            direct_reads: true,
         },
     )?);
 
@@ -495,7 +496,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nreaders verified {total_verified} responses ({:.0} q/s over {wall:.2?}); \
          {} answered during swaps from the pre-swap epoch; \
          gathers: {} retries, {} escalations",
-        qps, old_epoch_probes, stats.gather_retries, stats.gather_escalations
+        qps, old_epoch_probes, stats.gather_retries, stats.gate_escalations
     );
 
     let json = render_json(
@@ -549,11 +550,7 @@ fn stats_json(
     );
     let _ = writeln!(out, "    \"compare_queries\": {},", stats.compare_queries);
     let _ = writeln!(out, "    \"gather_retries\": {},", stats.gather_retries);
-    let _ = writeln!(
-        out,
-        "    \"gather_escalations\": {},",
-        stats.gather_escalations
-    );
+    let _ = writeln!(out, "    \"gate_escalations\": {},", stats.gate_escalations);
     let _ = writeln!(out, "    \"publishes\": {},", stats.publishes);
     let _ = writeln!(out, "    \"shards_rebuilt\": {},", stats.shards_rebuilt);
     let _ = writeln!(out, "    \"shards_repinned\": {}", stats.shards_repinned);

@@ -34,11 +34,13 @@ use std::cmp::Ordering as CmpOrdering;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lmm_graph::sharding::ShardMap;
 use lmm_graph::{DocId, SiteId};
-use lmm_serve::{DocScore, ServeError, ShardQuery, SiteTopK};
+use lmm_serve::{
+    DocScore, LatencyHistogram, LatencyHistogramSnapshot, ServeError, ShardQuery, SiteTopK,
+};
 
 use crate::error::{ClusterError, Result};
 use crate::retry::RetryPolicy;
@@ -120,6 +122,10 @@ pub struct ClientStats {
     pub reconnects: u64,
     /// Bytes written / read by this client.
     pub bytes: (u64, u64),
+    /// End-to-end latency of every `ShardQuery` call (success or error)
+    /// — the same log2 buckets the in-process tier reports, so a
+    /// dashboard can overlay the wire and in-process distributions.
+    pub query_latency: LatencyHistogramSnapshot,
 }
 
 /// A cluster query client. Cheap to share behind an `Arc`; all methods
@@ -141,6 +147,7 @@ pub struct ClusterClient {
     routing_refreshes: AtomicU64,
     placement_evictions: AtomicU64,
     reconnects: AtomicU64,
+    query_latency: LatencyHistogram,
 }
 
 fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -177,7 +184,17 @@ impl ClusterClient {
             routing_refreshes: AtomicU64::new(0),
             placement_evictions: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
+            query_latency: LatencyHistogram::default(),
         }
+    }
+
+    /// Times one query-surface call into the client's latency histogram.
+    /// Errors are recorded too: a failed gather is latency a caller paid.
+    fn timed<T>(&self, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        let start = Instant::now();
+        let out = f();
+        self.query_latency.record(start.elapsed());
+        out
     }
 
     /// This client's counters.
@@ -192,6 +209,7 @@ impl ClusterClient {
             placement_evictions: self.placement_evictions.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
             bytes: self.counters.totals(),
+            query_latency: self.query_latency.snapshot(),
         }
     }
 
@@ -466,8 +484,10 @@ impl ClusterClient {
     /// Typed `ServeError`s for unknown/tombstoned documents; retriable
     /// cluster errors for dead nodes and unsettled publishes.
     pub fn score(&self, doc: DocId) -> Result<(u64, f64)> {
-        let (epoch, scores) = self.score_batch(&[doc])?;
-        Ok((epoch, scores[0]))
+        self.timed(|| {
+            let (epoch, scores) = self.score_batch_inner(&[doc])?;
+            Ok((epoch, scores[0]))
+        })
     }
 
     /// Batched scores, grouped per shard, all answered from one cluster
@@ -476,6 +496,10 @@ impl ClusterClient {
     /// # Errors
     /// See [`ClusterClient::score`].
     pub fn score_batch(&self, docs: &[DocId]) -> Result<(u64, Vec<f64>)> {
+        self.timed(|| self.score_batch_inner(docs))
+    }
+
+    fn score_batch_inner(&self, docs: &[DocId]) -> Result<(u64, Vec<f64>)> {
         if docs.is_empty() {
             let view = self.placement(false)?;
             return Ok((view.rank_epoch, Vec::new()));
@@ -536,6 +560,10 @@ impl ClusterClient {
     /// # Errors
     /// Retriable cluster errors; see [`ClusterClient::score`].
     pub fn top_k(&self, k: usize) -> Result<(u64, Vec<(DocId, f64)>)> {
+        self.timed(|| self.top_k_inner(k))
+    }
+
+    fn top_k_inner(&self, k: usize) -> Result<(u64, Vec<(DocId, f64)>)> {
         let (_, rank_epoch, replies) = self.consistent_gather(&|view| {
             Ok((0..view.map.n_shards() as u64)
                 .map(|shard| (shard, Message::TopKReq { shard, k: k as u64 }))
@@ -561,6 +589,10 @@ impl ClusterClient {
     /// Typed `ServeError`s for unknown/tombstoned sites; see
     /// [`ClusterClient::score`].
     pub fn top_k_for_site(&self, site: SiteId, k: usize) -> Result<(u64, Vec<(DocId, f64)>)> {
+        self.timed(|| self.top_k_for_site_inner(site, k))
+    }
+
+    fn top_k_for_site_inner(&self, site: SiteId, k: usize) -> Result<(u64, Vec<(DocId, f64)>)> {
         let (_, rank_epoch, mut replies) = self.consistent_gather(&|view| {
             let shard = view.map.shard_of_site(site) as u64;
             Ok(vec![(
@@ -598,12 +630,14 @@ impl ClusterClient {
     /// # Errors
     /// See [`ClusterClient::score`].
     pub fn compare(&self, a: DocId, b: DocId) -> Result<(u64, CmpOrdering)> {
-        let (epoch, scores) = self.score_batch(&[a, b])?;
-        let order = scores[0]
-            .partial_cmp(&scores[1])
-            .unwrap_or(CmpOrdering::Equal)
-            .then(b.cmp(&a));
-        Ok((epoch, order))
+        self.timed(|| {
+            let (epoch, scores) = self.score_batch_inner(&[a, b])?;
+            let order = scores[0]
+                .partial_cmp(&scores[1])
+                .unwrap_or(CmpOrdering::Equal)
+                .then(b.cmp(&a));
+            Ok((epoch, order))
+        })
     }
 }
 

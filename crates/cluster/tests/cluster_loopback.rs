@@ -176,6 +176,7 @@ fn cluster_matches_in_process_tier_across_churn() {
         ServeConfig {
             heap_k: 64,
             max_gather_retries: 2,
+            direct_reads: true,
         },
     )
     .unwrap();
@@ -246,6 +247,7 @@ fn node_kill_evicts_fails_over_and_serving_survives() {
         ServeConfig {
             heap_k: 64,
             max_gather_retries: 2,
+            direct_reads: true,
         },
     )
     .unwrap();

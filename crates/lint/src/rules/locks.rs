@@ -22,12 +22,19 @@
 //!
 //! Unknown receivers (`reader.read()` on an io stream) are ignored; only
 //! names declared in a tier participate.
+//!
+//! This module also hosts the sibling rule `lock_free` (see
+//! [`check_lock_free`]): for functions declared lock-free in
+//! [`crate::config`], *any* blocking-synchronization token is a
+//! violation — no receiver allowlist, no ordering to get right.
 
-use crate::config::LockOrder;
+use crate::config::{LockFreePath, LockOrder};
 use crate::lexer::MaskedFile;
 use crate::report::Violation;
+use crate::rules::token_positions;
 
 const RULE: &str = "lock_order";
+const LOCK_FREE_RULE: &str = "lock_free";
 
 const ACQUIRE_TOKENS: &[&str] = &[".lock()", ".read()", ".write()"];
 
@@ -122,6 +129,49 @@ fn check_fn(
             held.push(a);
         }
     }
+}
+
+/// Tokens whose appearance inside a declared lock-free function is a
+/// violation: guard-producing calls plus the lock type names themselves
+/// (a local `Mutex::new` is just as blocking as a field).
+const BLOCKING_TOKENS: &[&str] = &[".lock()", ".read()", ".write()", "Mutex", "RwLock"];
+
+/// Rule `lock_free`: the functions named in `policy` must contain no
+/// blocking synchronization at all. Unlike [`check`], there is no
+/// receiver filter — on a declared lock-free path even an io-looking
+/// `.read()` is flagged, because the cost of a false positive (rename or
+/// annotate) is tiny next to the cost of a mutex quietly returning to
+/// the serve read path.
+pub fn check_lock_free(file: &MaskedFile, path: &str, policy: &LockFreePath) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in &file.fns {
+        if file.in_test(f.body.start) || !policy.fns.contains(&f.name.as_str()) {
+            continue;
+        }
+        for token in BLOCKING_TOKENS {
+            for off in token_positions(&file.masked[f.body.clone()], token) {
+                let at = f.body.start + off;
+                let line = file.line_of(at);
+                if file.allowed(LOCK_FREE_RULE, line) {
+                    continue;
+                }
+                out.push(Violation::new(
+                    LOCK_FREE_RULE,
+                    path,
+                    line,
+                    format!(
+                        "`{}` inside `{}`, which is declared lock-free: point reads must \
+                         complete while a publisher holds (or has poisoned) the gate — go \
+                         through the ArcCell snapshot instead, or remove `{}` from the \
+                         lock_free list in crates/lint/src/config.rs",
+                        token, f.name, f.name,
+                    ),
+                ));
+            }
+        }
+    }
+    out.sort_by_key(|v| v.line);
+    out
 }
 
 /// The field/binding name the call is made on: the last path segment

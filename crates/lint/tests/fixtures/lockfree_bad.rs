@@ -1,0 +1,27 @@
+//! Positive fixture: blocking synchronization inside functions the
+//! policy declares lock-free (`score`, `compare`, `top_k_for_site`,
+//! `stats`). `publish` is off the list and may lock freely.
+
+fn score(s: &S) -> u64 {
+    let state = s.cell.lock().unwrap(); // flagged: .lock()
+    *state
+}
+
+fn compare(s: &S) -> bool {
+    let snap = s.routing.read().unwrap(); // flagged: .read()
+    snap.ok
+}
+
+fn top_k_for_site(s: &S) -> u64 {
+    let local = std::sync::Mutex::new(0u64); // flagged: Mutex
+    *local.lock().unwrap() // flagged: .lock()
+}
+
+fn stats(s: &S) -> u64 {
+    // lint: allow(lock_free, "runs once at startup before any worker spawns")
+    *s.boot.lock().unwrap()
+}
+
+fn publish(s: &S) {
+    let _gate = s.gate.lock().unwrap();
+}

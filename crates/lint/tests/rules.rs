@@ -2,7 +2,7 @@
 //! must produce violations (so `cargo run -p lmm-lint` would exit
 //! non-zero on such code), the negative must be clean.
 
-use lmm_lint::config::{self, LockOrder};
+use lmm_lint::config::{self, LockFreePath, LockOrder};
 use lmm_lint::lexer::MaskedFile;
 use lmm_lint::rules;
 
@@ -45,6 +45,36 @@ fn lock_positive_flags_inversions() {
 #[test]
 fn lock_negative_is_clean() {
     let v = rules::locks::check(&fixture("lock_ok.rs"), "lock_ok.rs", &FIXTURE_ORDER);
+    assert!(v.is_empty(), "{v:#?}");
+}
+
+const FIXTURE_LOCK_FREE: LockFreePath = LockFreePath {
+    file: "lockfree fixture",
+    fns: &["score", "compare", "top_k_for_site", "stats"],
+};
+
+#[test]
+fn lock_free_positive_flags_every_blocking_token() {
+    let v = rules::locks::check_lock_free(
+        &fixture("lockfree_bad.rs"),
+        "lockfree_bad.rs",
+        &FIXTURE_LOCK_FREE,
+    );
+    // score: .lock(); compare: .read(); top_k_for_site: Mutex + .lock().
+    // stats carries a reasoned allow; publish is off the policy list.
+    assert_eq!(v.len(), 4, "{v:#?}");
+    assert!(v.iter().all(|v| v.rule == "lock_free"));
+    assert!(v.iter().any(|v| v.message.contains("`score`")), "{v:#?}");
+    assert!(v.iter().any(|v| v.message.contains("`Mutex`")), "{v:#?}");
+}
+
+#[test]
+fn lock_free_negative_is_clean() {
+    let v = rules::locks::check_lock_free(
+        &fixture("lockfree_ok.rs"),
+        "lockfree_ok.rs",
+        &FIXTURE_LOCK_FREE,
+    );
     assert!(v.is_empty(), "{v:#?}");
 }
 

@@ -15,10 +15,13 @@
 //!                                                         ▼  rebuild or re-pin)
 //!                 ┌───────────────────────────────────────────────┐
 //!                 │                ShardedServer                  │
-//!                 │  router ──┬── mpsc ──► worker 0 ── ShardState │
-//!   reader        │  (batch,  ├── mpsc ──► worker 1 ── ShardState │
-//!   threads ────► │  scatter- ├── mpsc ──► worker 2 ── ShardState │
-//!   score/top-k   │  gather)  └── mpsc ──► worker 3 ── ShardState │
+//!   point reads ──┼─► ArcCell load ─────────────► ShardState      │
+//!   (direct,      │      (lock-free, caller's thread)             │
+//!    lock-free)   │                                               │
+//!                 │  router ──┬── mpsc ──► worker 0 ── ArcCell    │
+//!   cross-shard   │  (scatter ├── mpsc ──► worker 1 ── ArcCell    │
+//!   gathers ────► │   gather, └── mpsc ──► worker n ── ArcCell    │
+//!   top-k/batch   │   epoch-checked, gate-escalated)              │
 //!                 └───────────────────────────────────────────────┘
 //! ```
 //!
@@ -28,9 +31,14 @@
 //!   shard invalidation sets.
 //! * **Per-shard stores** ([`ShardState`]): precomputed top-k heaps,
 //!   per-site serving orders, and score lookups over one pinned immutable
-//!   [`RankSnapshot`](lmm_engine::RankSnapshot).
+//!   [`RankSnapshot`](lmm_engine::RankSnapshot), each held in a lock-free
+//!   [`ArcCell`] swapped atomically by the publisher.
+//! * **Direct read path**: single-shard point queries (`score`, one-shard
+//!   batches, `top_k_for_site`) answer on the **caller's thread** from a
+//!   lock-free cell load — zero mutexes, zero mpsc hops.
 //! * **Fixed worker pool**: one persistent worker per shard parked on an
-//!   mpsc queue (the `lmm-par` idiom, specialized to long-lived serving).
+//!   mpsc queue (the `lmm-par` idiom, specialized to long-lived serving),
+//!   reserved for cross-shard scatter-gathers.
 //! * **Router**: batches point lookups per shard and scatter-gathers
 //!   cross-shard top-k from per-shard partial heaps, merging at the
 //!   router. Every response carries exactly one epoch; gathers that
@@ -79,19 +87,23 @@
 //! # }
 //! ```
 
+pub mod cell;
 pub mod error;
 pub mod query;
 pub mod router;
 pub mod shard;
 pub mod telemetry;
 
+pub use cell::ArcCell;
 pub use error::{Result, ServeError};
 pub use query::ShardQuery;
 pub use router::{
     publish_grades, shard_site_range, PublishReport, ServeConfig, ShardedServer, SwapGrade,
 };
 pub use shard::{DocScore, ShardState, SiteTopK};
-pub use telemetry::{ServeStats, ServeStatsSnapshot};
+pub use telemetry::{
+    LatencyHistogram, LatencyHistogramSnapshot, ServeStats, ServeStatsSnapshot, LATENCY_BUCKETS,
+};
 
 // Re-exported so downstream code can name the shard key without a direct
 // lmm-graph dependency.

@@ -1,50 +1,65 @@
-//! The sharded server: a fixed pool of shard workers fed by mpsc request
-//! queues, a router that batches point lookups and scatter-gathers
-//! cross-shard top-k, and an epoch-swap publisher that never blocks reads.
+//! The sharded server: a lock-free direct read path for single-shard
+//! point queries, a fixed pool of shard workers fed by mpsc request
+//! queues for cross-shard gathers, and an epoch-swap publisher that never
+//! blocks reads.
 //!
 //! # Concurrency design
 //!
-//! Each shard owns a **cell** (`Mutex<Arc<ShardState>>`) holding its
-//! current immutable state. Readers lock a cell only long enough to clone
-//! the `Arc` — a pointer copy — so a publish in progress never blocks a
-//! query, and a query never observes a half-built store. The publisher
-//! walks the shards one by one (the "shard-by-shard swap"), rebuilding the
-//! stores the snapshot's [`Staleness`] set names and re-pinning the rest,
-//! swapping each cell as it goes; throughout the walk, queries keep
-//! answering from whichever epoch their shard currently pins.
+//! Each shard owns a **cell** ([`ArcCell<ShardState>`]) holding its
+//! current immutable state. Loading a cell is lock-free (see
+//! [`crate::cell`] for the algorithm): no mutex, no syscall, no worker
+//! wakeup — so a publish in progress never blocks a query, and a query
+//! never observes a half-built store. The routing snapshot (doc → shard)
+//! lives in its own `ArcCell` and is read the same way.
 //!
-//! Every router-level response carries **exactly one epoch**. Single-shard
-//! queries get this for free. Cross-shard queries (global top-k, batched
-//! scores) scatter, then check that every partial answered from the same
-//! epoch; if a swap was straddled, the gather retries (the swap is short),
-//! and after `max_gather_retries` attempts it escalates: it takes the
-//! publish gate — the lock the publisher holds for the duration of a swap —
-//! so the cells are quiescent and one consistent gather is guaranteed.
-//! Escalation is the slow path by construction; the fast path takes no
-//! router-level lock beyond the per-cell pointer clone.
+//! Queries split by shape:
+//!
+//! * **Direct path** (single-shard point queries — [`score`], one-shard
+//!   [`score_batch`], [`top_k_for_site`], [`compare`] of co-sharded
+//!   docs): answered on the **caller's thread** against the loaded
+//!   `Arc<ShardState>`. Zero mutex acquisitions, zero mpsc sends. One
+//!   loaded state means exactly one epoch by construction.
+//! * **Fan-out path** (cross-shard gathers — [`top_k`], multi-shard
+//!   batches): scattered to the per-shard workers over mpsc and merged at
+//!   the router, because a gather wants the shards computing in parallel.
+//!
+//! The publisher walks the shards one by one (the "shard-by-shard swap"),
+//! rebuilding the stores the snapshot's [`Staleness`] set names and
+//! re-pinning the rest, storing each cell as it goes, and stores the
+//! routing snapshot **last** — so a reader that observes routing epoch
+//! N+1 is guaranteed every cell already serves ≥ N+1 (the torn-read
+//! hazard the old two-mutex design left open; now `debug_assert`ed on
+//! every direct read).
+//!
+//! Every router-level response carries **exactly one epoch**. Direct
+//! reads get this for free. Cross-shard gathers scatter, then check that
+//! every partial answered from the same epoch; if a swap was straddled,
+//! the gather retries (the swap is short), and after `max_gather_retries`
+//! attempts it escalates: it takes the publish gate — the lock the
+//! publisher holds for the duration of a swap — so the cells are
+//! quiescent and one consistent gather is guaranteed. Escalation is the
+//! slow path by construction; the read paths take no router-level lock.
+//!
+//! [`score`]: ShardedServer::score
+//! [`score_batch`]: ShardedServer::score_batch
+//! [`top_k_for_site`]: ShardedServer::top_k_for_site
+//! [`compare`]: ShardedServer::compare
+//! [`top_k`]: ShardedServer::top_k
+//! [`ArcCell<ShardState>`]: crate::cell::ArcCell
 
 use std::collections::HashMap;
 use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use crate::cell::ArcCell;
 use crate::error::{Result, ServeError};
 use crate::shard::{DocScore, ShardState, SiteTopK};
 use crate::telemetry::{ServeStats, ServeStatsSnapshot};
 use lmm_engine::{RankSnapshot, Staleness};
 use lmm_graph::sharding::ShardMap;
 use lmm_graph::{DocId, SiteId};
-
-/// Locks a shard cell or the routing slot, recovering the guard when a
-/// previous holder panicked. Sound here because both kinds of mutex hold
-/// a single value replaced by one assignment (`Arc<ShardState>` /
-/// `RankSnapshot`): a panicking holder can poison the flag but can never
-/// leave the protected value mid-update. Publish *consistency* across
-/// shards is the gate's job, and the gate deliberately stays poisoning
-/// (see [`ServeError::PublishPoisoned`]).
-fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
 
 /// Tuning knobs of a [`ShardedServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +71,13 @@ pub struct ServeConfig {
     /// Cross-shard gathers straddling a swap retry this many times before
     /// escalating to the publish gate.
     pub max_gather_retries: usize,
+    /// Answer single-shard point queries (`score`, one-shard batches,
+    /// `top_k_for_site`, co-sharded `compare`) directly on the caller's
+    /// thread from a lock-free cell load instead of hopping through the
+    /// shard worker's mpsc queue. On by default; the off position is the
+    /// measured baseline (`exp_latency` runs both in one process) and an
+    /// emergency chute, not a recommended mode.
+    pub direct_reads: bool,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +85,7 @@ impl Default for ServeConfig {
         Self {
             heap_k: 64,
             max_gather_retries: 4,
+            direct_reads: true,
         }
     }
 }
@@ -204,14 +227,17 @@ impl ShardReply {
 /// [`publish`](ShardedServer::publish).
 pub struct ShardedServer {
     map: ShardMap,
-    cells: Vec<Arc<Mutex<Arc<ShardState>>>>,
+    /// Per-shard lock-free state cells, shared with the shard workers.
+    cells: Vec<Arc<ArcCell<ShardState>>>,
     queues: Vec<Sender<ShardRequest>>,
     workers: Vec<JoinHandle<()>>,
-    /// Snapshot used only for routing decisions (doc → shard); refreshed
-    /// at the end of each publish.
-    routing: Mutex<RankSnapshot>,
+    /// Snapshot used only for routing decisions (doc → shard); stored
+    /// **after** every cell during a publish, so routing epoch N+1 implies
+    /// every cell serves ≥ N+1 (the direct-read coherence invariant).
+    routing: ArcCell<RankSnapshot>,
     /// The publish gate: guards the serving epoch and is held for the whole
-    /// shard-by-shard swap, giving escalated gathers a quiescent view.
+    /// shard-by-shard swap, giving escalated gathers a quiescent view. The
+    /// read paths never touch it.
     gate: Mutex<u64>,
     stats: Arc<ServeStats>,
     config: ServeConfig,
@@ -257,7 +283,7 @@ impl ShardedServer {
         for shard in 0..n_shards {
             let sites = shard_site_range(&map, shard, snapshot.n_sites());
             let state = Arc::new(ShardState::build(snapshot, sites, config.heap_k));
-            let cell = Arc::new(Mutex::new(state));
+            let cell = Arc::new(ArcCell::new(state));
             let (tx, rx) = mpsc::channel::<ShardRequest>();
             let worker_cell = Arc::clone(&cell);
             let handle = std::thread::Builder::new()
@@ -268,7 +294,7 @@ impl ShardedServer {
                     // persistent workers on a channel, specialized to one
                     // owner per queue.
                     while let Ok(ShardRequest { kind, reply }) = rx.recv() {
-                        let state = lock_clean(&worker_cell).clone();
+                        let state = worker_cell.load();
                         let answer = match kind {
                             RequestKind::Scores(docs) => ShardReply::Scores {
                                 epoch: state.epoch(),
@@ -303,7 +329,7 @@ impl ShardedServer {
             cells,
             queues,
             workers,
-            routing: Mutex::new(snapshot.clone()),
+            routing: ArcCell::new(Arc::new(snapshot.clone())),
             gate: Mutex::new(snapshot.epoch()),
             stats,
             config,
@@ -328,6 +354,23 @@ impl ShardedServer {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    /// The routing snapshot's epoch — always ≤ every cell's serving epoch
+    /// (cells are stored first during a publish). Exposed for the
+    /// coherence regression tests; not part of the stable API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn routing_epoch(&self) -> u64 {
+        self.routing.load().epoch()
+    }
+
+    /// The epoch shard `shard` currently serves. Exposed for the coherence
+    /// regression tests; not part of the stable API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn shard_epoch(&self, shard: usize) -> u64 {
+        self.cells[shard].load().epoch()
+    }
+
     /// The server's telemetry counters, plus the live per-shard document
     /// counts (read from the currently pinned stores) — the skew signal a
     /// rebalancer watches: removal drains shards in place and growth piles
@@ -340,7 +383,7 @@ impl ShardedServer {
         snapshot.shard_docs = self
             .cells
             .iter()
-            .map(|cell| lock_clean(cell).n_docs() as u64)
+            .map(|cell| cell.load().n_docs() as u64)
             .collect();
         snapshot
     }
@@ -366,8 +409,8 @@ impl ShardedServer {
 
     /// [`publish`](Self::publish) with a pacing hook invoked after each
     /// shard cell swap — lets tests construct deterministic straddling
-    /// interleavings (a gather racing a half-done swap). Not part of the
-    /// stable API.
+    /// interleavings (a gather racing a half-done swap, a direct read
+    /// while the gate is held). Not part of the stable API.
     ///
     /// # Errors
     /// As [`publish`](Self::publish).
@@ -407,20 +450,21 @@ impl ShardedServer {
                 }
                 SwapGrade::Refresh => {
                     refreshed += 1;
-                    let current = lock_clean(cell).clone();
-                    Arc::new(current.refresh(snapshot, self.config.heap_k))
+                    Arc::new(cell.load().refresh(snapshot, self.config.heap_k))
                 }
                 SwapGrade::Repin => {
                     repinned += 1;
-                    let current = lock_clean(cell).clone();
-                    Arc::new(current.repin(snapshot))
+                    Arc::new(cell.load().repin(snapshot))
                 }
             };
-            // The swap itself: readers blocked only for this assignment.
-            *lock_clean(cell) = next;
+            // The swap itself: lock-free, readers never blocked.
+            cell.store(next);
             swapped(shard);
         }
-        *lock_clean(&self.routing) = snapshot.clone();
+        // Routing is stored strictly after every cell: a reader that
+        // observes routing epoch N+1 therefore finds every cell at ≥ N+1
+        // (the direct path's coherence invariant).
+        self.routing.store(Arc::new(snapshot.clone()));
         *serving = snapshot.epoch();
         ServeStats::add(&self.stats.shards_rebuilt, rebuilt as u64);
         ServeStats::add(&self.stats.shards_repinned, repinned as u64);
@@ -434,8 +478,36 @@ impl ShardedServer {
         })
     }
 
+    /// Records a completed direct-path query (caller-thread, lock-free).
+    fn finish_direct(&self, start: Instant) {
+        ServeStats::bump(&self.stats.direct_hits);
+        self.stats.direct_latency.record(start.elapsed());
+    }
+
+    /// Records a completed fan-out query (worker scatter-gather).
+    fn finish_fanout(&self, start: Instant) {
+        ServeStats::bump(&self.stats.fanout_queries);
+        self.stats.fanout_latency.record(start.elapsed());
+    }
+
+    /// Loads shard `shard`'s state for a direct read, asserting the
+    /// coherence invariant against the routing epoch the caller routed
+    /// with: because a publish stores every cell before the routing
+    /// snapshot, a cell can never lag the routing that named it.
+    fn load_coherent(&self, shard: usize, routing_epoch: u64) -> Arc<ShardState> {
+        let state = self.cells[shard].load();
+        debug_assert!(
+            state.epoch() >= routing_epoch,
+            "epoch coherence violated: routed at epoch {routing_epoch}, \
+             shard {shard} still serving {}",
+            state.epoch()
+        );
+        state
+    }
+
     /// Global score of one document: routed to the shard owning its site
-    /// and answered from that shard's pinned snapshot.
+    /// and — on the direct path — answered on the calling thread from the
+    /// shard's loaded state, with zero locks and zero mpsc hops.
     ///
     /// # Errors
     /// [`ServeError::UnknownDoc`] when the answering epoch never ranked
@@ -444,13 +516,25 @@ impl ShardedServer {
     /// [`ServeError::ShardDown`] during shutdown.
     pub fn score(&self, doc: DocId) -> Result<(u64, f64)> {
         ServeStats::bump(&self.stats.score_queries);
-        let shard = self.shard_of_doc(doc);
-        let reply = self.request(shard, RequestKind::Scores(vec![doc]))?;
-        let ShardReply::Scores { epoch, scores } = reply else {
-            // lint: allow(panic, "workers echo the request kind by construction; a mismatched reply is shard-worker memory corruption")
-            unreachable!("scores request answered with a different reply kind");
+        let start = Instant::now();
+        let (epoch, score) = if self.config.direct_reads {
+            let routing = self.routing.load();
+            let shard = self.shard_of_doc_in(&routing, doc);
+            let state = self.load_coherent(shard, routing.epoch());
+            let answer = (state.epoch(), state.score(doc));
+            self.finish_direct(start);
+            answer
+        } else {
+            let shard = self.shard_of_doc(doc);
+            let reply = self.request(shard, RequestKind::Scores(vec![doc]))?;
+            let ShardReply::Scores { epoch, scores } = reply else {
+                // lint: allow(panic, "workers echo the request kind by construction; a mismatched reply is shard-worker memory corruption")
+                unreachable!("scores request answered with a different reply kind");
+            };
+            self.finish_fanout(start);
+            (epoch, scores[0])
         };
-        self.doc_score_to_result(scores[0], doc, epoch)
+        self.doc_score_to_result(score, doc, epoch)
             .map(|score| (epoch, score))
     }
 
@@ -472,27 +556,32 @@ impl ShardedServer {
         }
     }
 
-    /// Batched score lookups: grouped into one request per shard,
-    /// scatter-gathered, and reassembled in input order — all answered
-    /// from **one** epoch (the gather retries across swaps).
+    /// Batched score lookups: grouped per shard and reassembled in input
+    /// order, all answered from **one** epoch. A batch that lands entirely
+    /// in one shard takes the direct path; a cross-shard batch
+    /// scatter-gathers through the workers (the gather retries across
+    /// swaps).
     ///
     /// # Errors
     /// [`ServeError::UnknownDoc`] when the answering epoch does not rank
     /// some document; [`ServeError::ShardDown`] during shutdown.
     pub fn score_batch(&self, docs: &[DocId]) -> Result<(u64, Vec<f64>)> {
         ServeStats::bump(&self.stats.batch_queries);
-        self.score_batch_inner(docs)
+        self.score_batch_inner(docs, Instant::now())
     }
 
     /// Global top-`k`: per-shard partial heaps scatter-gathered and merged
-    /// at the router, epoch-consistent.
+    /// at the router, epoch-consistent. Always the fan-out path — a
+    /// cross-shard gather wants the shards computing in parallel.
     ///
     /// # Errors
     /// [`ServeError::ShardDown`] during shutdown.
     pub fn top_k(&self, k: usize) -> Result<(u64, Vec<(DocId, f64)>)> {
         ServeStats::bump(&self.stats.top_k_queries);
+        let start = Instant::now();
         let shards: Vec<usize> = (0..self.n_shards()).collect();
         let (epoch, replies) = self.consistent_gather(&shards, |_| RequestKind::TopK(k))?;
+        self.finish_fanout(start);
         let mut merged: Vec<(DocId, f64)> = Vec::with_capacity(k.saturating_mul(2));
         for reply in replies {
             let ShardReply::Top {
@@ -518,7 +607,8 @@ impl ShardedServer {
     }
 
     /// Top-`k` within one site: routed to the owning shard's precomputed
-    /// per-site ranking.
+    /// per-site ranking — on the direct path, straight off the loaded
+    /// shard state.
     ///
     /// # Errors
     /// [`ServeError::UnknownSite`] when the answering epoch never ranked
@@ -526,11 +616,22 @@ impl ShardedServer {
     /// [`ServeError::ShardDown`] during shutdown.
     pub fn top_k_for_site(&self, site: SiteId, k: usize) -> Result<(u64, Vec<(DocId, f64)>)> {
         ServeStats::bump(&self.stats.site_top_k_queries);
+        let start = Instant::now();
         let shard = self.map.shard_of_site(site);
-        let reply = self.request(shard, RequestKind::SiteTopK(site, k))?;
-        let ShardReply::SiteTop { epoch, entries } = reply else {
-            // lint: allow(panic, "workers echo the request kind by construction; a mismatched reply is shard-worker memory corruption")
-            unreachable!("site top-k request answered with a different reply kind");
+        let (epoch, entries) = if self.config.direct_reads {
+            let routing_epoch = self.routing.load().epoch();
+            let state = self.load_coherent(shard, routing_epoch);
+            let answer = (state.epoch(), state.site_top_k(site, k));
+            self.finish_direct(start);
+            answer
+        } else {
+            let reply = self.request(shard, RequestKind::SiteTopK(site, k))?;
+            let ShardReply::SiteTop { epoch, entries } = reply else {
+                // lint: allow(panic, "workers echo the request kind by construction; a mismatched reply is shard-worker memory corruption")
+                unreachable!("site top-k request answered with a different reply kind");
+            };
+            self.finish_fanout(start);
+            (epoch, entries)
         };
         match entries {
             SiteTopK::Entries(e) => Ok((epoch, e)),
@@ -549,14 +650,14 @@ impl ShardedServer {
     }
 
     /// Compares two documents at one epoch: `Greater` means `a` outranks
-    /// `b`.
+    /// `b`. Co-sharded documents compare on the direct path.
     ///
     /// # Errors
     /// [`ServeError::UnknownDoc`] when the answering epoch does not rank
     /// either document; [`ServeError::ShardDown`] during shutdown.
     pub fn compare(&self, a: DocId, b: DocId) -> Result<(u64, std::cmp::Ordering)> {
         ServeStats::bump(&self.stats.compare_queries);
-        let (epoch, scores) = self.score_batch_inner(&[a, b])?;
+        let (epoch, scores) = self.score_batch_inner(&[a, b], Instant::now())?;
         let order = scores[0]
             .partial_cmp(&scores[1])
             // lint: allow(panic, "scores come from a stochastic-matrix power iteration and are finite by construction; a NaN here means the kernel itself is broken")
@@ -580,27 +681,44 @@ impl ShardedServer {
 
     /// Shard owning a document, per the current routing snapshot.
     fn shard_of_doc(&self, doc: DocId) -> usize {
-        let routing = lock_clean(&self.routing);
+        let routing = self.routing.load();
         self.shard_of_doc_in(&routing, doc)
     }
 
-    fn score_batch_inner(&self, docs: &[DocId]) -> Result<(u64, Vec<f64>)> {
+    fn score_batch_inner(&self, docs: &[DocId], start: Instant) -> Result<(u64, Vec<f64>)> {
         if docs.is_empty() {
-            return Ok((self.epoch(), Vec::new()));
+            // Answer at the routing epoch: lock-free, and within one swap
+            // of the serving epoch by the publish ordering.
+            return Ok((self.routing.load().epoch(), Vec::new()));
         }
         // Group lookups per shard (the batching), remembering positions.
-        // One routing pin for the whole batch, not one lock per document.
+        // One routing load for the whole batch — lock-free.
+        let routing = self.routing.load();
         let mut per_shard: HashMap<usize, (Vec<DocId>, Vec<usize>)> = HashMap::new();
-        {
-            let routing = lock_clean(&self.routing);
-            for (pos, &doc) in docs.iter().enumerate() {
-                let entry = per_shard
-                    .entry(self.shard_of_doc_in(&routing, doc))
-                    .or_default();
-                entry.0.push(doc);
-                entry.1.push(pos);
+        for (pos, &doc) in docs.iter().enumerate() {
+            let entry = per_shard
+                .entry(self.shard_of_doc_in(&routing, doc))
+                .or_default();
+            entry.0.push(doc);
+            entry.1.push(pos);
+        }
+        // The whole batch lands in one shard: answer it directly on this
+        // thread. One loaded state = one epoch, no gather needed. (The
+        // `if let` can only miss when the map is empty, which the guard
+        // above rules out; falling through to the gather stays correct.)
+        if self.config.direct_reads && per_shard.len() == 1 {
+            if let Some(&shard) = per_shard.keys().next() {
+                let state = self.load_coherent(shard, routing.epoch());
+                let epoch = state.epoch();
+                self.finish_direct(start);
+                let mut out = Vec::with_capacity(docs.len());
+                for &doc in docs {
+                    out.push(self.doc_score_to_result(state.score(doc), doc, epoch)?);
+                }
+                return Ok((epoch, out));
             }
         }
+        drop(routing);
         let shards: Vec<usize> = {
             let mut s: Vec<usize> = per_shard.keys().copied().collect();
             s.sort_unstable();
@@ -609,6 +727,7 @@ impl ShardedServer {
         let (epoch, replies) = self.consistent_gather(&shards, |shard| {
             RequestKind::Scores(per_shard[&shard].0.clone())
         })?;
+        self.finish_fanout(start);
         let mut out = vec![0.0f64; docs.len()];
         for (&shard, reply) in shards.iter().zip(replies) {
             let ShardReply::Scores { scores, .. } = reply else {
@@ -681,7 +800,7 @@ impl ShardedServer {
         // see the escalation while it blocks on an in-flight swap. A
         // poisoned gate (publisher panicked mid-swap) degrades to a typed
         // error instead of propagating the panic into the reader.
-        ServeStats::bump(&self.stats.gather_escalations);
+        ServeStats::bump(&self.stats.gate_escalations);
         let _quiesce: MutexGuard<'_, u64> =
             self.gate.lock().map_err(|_| ServeError::PublishPoisoned)?;
         let (_, epoch, replies) = scatter(true)?;
@@ -728,9 +847,13 @@ mod tests {
     }
 
     fn server() -> ShardedServer {
+        server_with(ServeConfig::default())
+    }
+
+    fn server_with(config: ServeConfig) -> ShardedServer {
         let map = ShardMap::uniform(4, 2).unwrap();
         let snap = snapshot(1, base_scores(), Staleness::Full);
-        ShardedServer::start(map, &snap, ServeConfig::default()).unwrap()
+        ShardedServer::start(map, &snap, config).unwrap()
     }
 
     #[test]
@@ -752,6 +875,48 @@ mod tests {
         assert_eq!(order, std::cmp::Ordering::Greater);
         let (_, order) = srv.compare(DocId(2), DocId(6)).unwrap();
         assert_eq!(order, std::cmp::Ordering::Greater);
+    }
+
+    #[test]
+    fn direct_and_fanout_paths_answer_identically() {
+        let direct = server();
+        let fanout = server_with(ServeConfig {
+            direct_reads: false,
+            ..ServeConfig::default()
+        });
+        assert_eq!(
+            direct.score(DocId(5)).unwrap(),
+            fanout.score(DocId(5)).unwrap()
+        );
+        assert_eq!(
+            direct.top_k_for_site(SiteId(1), 2).unwrap(),
+            fanout.top_k_for_site(SiteId(1), 2).unwrap()
+        );
+        // Docs 0 and 1 share site 0 → one shard → direct-eligible batch.
+        let one_shard = [DocId(0), DocId(1)];
+        assert_eq!(
+            direct.score_batch(&one_shard).unwrap(),
+            fanout.score_batch(&one_shard).unwrap()
+        );
+        assert_eq!(
+            direct.compare(DocId(2), DocId(3)).unwrap(),
+            fanout.compare(DocId(2), DocId(3)).unwrap()
+        );
+        let d = direct.stats();
+        assert_eq!(d.direct_hits, 4);
+        assert_eq!(d.fanout_queries, 0);
+        assert_eq!(d.direct_latency.count(), 4);
+        let f = fanout.stats();
+        assert_eq!(f.direct_hits, 0);
+        assert_eq!(f.fanout_queries, 4);
+        assert_eq!(f.fanout_latency.count(), 4);
+        // A cross-shard batch fans out even with direct reads on.
+        let cross = [DocId(0), DocId(7)];
+        assert_eq!(
+            direct.score_batch(&cross).unwrap(),
+            fanout.score_batch(&cross).unwrap()
+        );
+        assert_eq!(direct.stats().fanout_queries, 1);
     }
 
     #[test]
@@ -864,8 +1029,9 @@ mod tests {
             .join()
         });
         assert!(poisoner.is_err(), "the poisoner must have panicked");
-        // Readers on the fast path keep answering, and the epoch read
-        // recovers (a u64 cannot be torn).
+        // Readers keep answering — the direct path never touches the gate
+        // and the worker path only takes it on escalation — and the epoch
+        // read recovers (a u64 cannot be torn).
         assert_eq!(srv.epoch(), 1);
         let (_, score) = srv.score(DocId(5)).unwrap();
         assert_eq!(score, 0.12);
@@ -878,6 +1044,23 @@ mod tests {
             Err(ServeError::PublishPoisoned)
         ));
         assert_eq!(srv.epoch(), 1, "a poisoned publish must swap nothing");
+    }
+
+    #[test]
+    fn routing_never_outruns_the_cells() {
+        let srv = server();
+        for epoch in 2..6 {
+            let snap = snapshot(epoch, base_scores(), Staleness::Full);
+            srv.publish_paced(&snap, &|_| {
+                // Mid-swap: cells may already be ahead, routing must not be.
+                let routed = srv.routing_epoch();
+                for shard in 0..srv.n_shards() {
+                    assert!(srv.shard_epoch(shard) >= routed);
+                }
+            })
+            .unwrap();
+            assert_eq!(srv.routing_epoch(), epoch);
+        }
     }
 
     #[test]

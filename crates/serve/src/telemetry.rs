@@ -1,7 +1,125 @@
-//! Serving-tier telemetry: lock-free counters the experiment harness (and
-//! any monitoring layer) reads while the server is hot.
+//! Serving-tier telemetry: lock-free counters and fixed-bucket latency
+//! histograms the experiment harness (and any monitoring layer) reads
+//! while the server is hot.
+//!
+//! The histograms make the read-path split observable in production, not
+//! just in the bench: every query records into either the **direct**
+//! histogram (answered on the caller's thread from a lock-free shard
+//! load) or the **fan-out** histogram (scatter-gathered across the shard
+//! workers), so a regression that silently demotes point lookups to the
+//! worker path shows up as a shifted distribution, not just a vibe.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 buckets: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` nanoseconds, so 40 buckets span 1ns to ~9 minutes —
+/// any serving latency beyond that is an outage, not a tail.
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// A fixed-bucket (log2), lock-free latency histogram. Std-only: an
+/// array of relaxed counters, no allocation after construction, safe to
+/// record into from any number of threads.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples with `floor(log2(ns)) == i`.
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one sample of `ns` nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        let idx = if ns == 0 {
+            0
+        } else {
+            ((63 - ns.leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one sample from a [`Duration`].
+    pub fn record(&self, elapsed: Duration) {
+        self.record_ns(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Plain-value copy of the buckets at one instant.
+    #[must_use]
+    pub fn snapshot(&self) -> LatencyHistogramSnapshot {
+        LatencyHistogramSnapshot {
+            // lint: allow(relaxed, "telemetry histogram buckets: monotonic counters, snapshot need not be a consistent cut")
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A plain-value copy of a [`LatencyHistogram`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogramSnapshot {
+    /// `buckets[i]` counts samples in `[2^i, 2^(i+1))` ns.
+    pub buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogramSnapshot {
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Exclusive upper bound (ns) of bucket `i`.
+    #[must_use]
+    pub fn bucket_upper_ns(i: usize) -> u64 {
+        if i + 1 >= LATENCY_BUCKETS {
+            u64::MAX
+        } else {
+            1u64 << (i + 1)
+        }
+    }
+
+    /// Upper bound (ns) of the bucket containing the `q`-quantile
+    /// (`0.0 < q <= 1.0`) — a conservative percentile: the true value is
+    /// at most this, and at least half of it. `None` when empty.
+    #[must_use]
+    pub fn quantile_upper_ns(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        // ceil(q * total), clamped to [1, total].
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::bucket_upper_ns(i));
+            }
+        }
+        Some(Self::bucket_upper_ns(LATENCY_BUCKETS - 1))
+    }
+
+    /// Merges another snapshot into this one (per-bucket sum).
+    pub fn merge(&mut self, other: &LatencyHistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
 
 /// Monotone counters accumulated over the server's lifetime. All updates
 /// are relaxed atomics: the counters order nothing, they only count.
@@ -31,14 +149,26 @@ pub struct ServeStats {
     pub site_top_k_queries: AtomicU64,
     /// Pairwise compare queries answered.
     pub compare_queries: AtomicU64,
+    /// Queries answered **directly** on the caller's thread from a
+    /// lock-free shard load — zero mutexes, zero mpsc hops. The hot-path
+    /// health signal: under a point-lookup workload this should track
+    /// `score/batch/site_top_k/compare` counts one-for-one.
+    pub direct_hits: AtomicU64,
+    /// Queries answered through the worker fan-out (cross-shard gathers,
+    /// or every query when `direct_reads` is disabled).
+    pub fanout_queries: AtomicU64,
     /// Scatter-gathers retried because shards straddled a swap.
     pub gather_retries: AtomicU64,
-    /// Scatter-gathers that escalated to the publish gate after exhausting
-    /// retries.
-    pub gather_escalations: AtomicU64,
+    /// Scatter-gathers that escalated to the publish gate after
+    /// exhausting retries.
+    pub gate_escalations: AtomicU64,
     /// Shard-local top-k scans taken because `k` exceeded the precomputed
     /// heap capacity.
     pub heap_overflow_scans: AtomicU64,
+    /// Latency of direct-path queries (caller-thread, lock-free).
+    pub direct_latency: LatencyHistogram,
+    /// Latency of fan-out queries (worker scatter-gather).
+    pub fanout_latency: LatencyHistogram,
 }
 
 /// A plain-value copy of [`ServeStats`] at one instant, extended by
@@ -71,12 +201,20 @@ pub struct ServeStatsSnapshot {
     pub site_top_k_queries: u64,
     /// See [`ServeStats::compare_queries`].
     pub compare_queries: u64,
+    /// See [`ServeStats::direct_hits`].
+    pub direct_hits: u64,
+    /// See [`ServeStats::fanout_queries`].
+    pub fanout_queries: u64,
     /// See [`ServeStats::gather_retries`].
     pub gather_retries: u64,
-    /// See [`ServeStats::gather_escalations`].
-    pub gather_escalations: u64,
+    /// See [`ServeStats::gate_escalations`].
+    pub gate_escalations: u64,
     /// See [`ServeStats::heap_overflow_scans`].
     pub heap_overflow_scans: u64,
+    /// See [`ServeStats::direct_latency`].
+    pub direct_latency: LatencyHistogramSnapshot,
+    /// See [`ServeStats::fanout_latency`].
+    pub fanout_latency: LatencyHistogramSnapshot,
 }
 
 impl ServeStats {
@@ -108,9 +246,13 @@ impl ServeStats {
             top_k_queries: read(&self.top_k_queries),
             site_top_k_queries: read(&self.site_top_k_queries),
             compare_queries: read(&self.compare_queries),
+            direct_hits: read(&self.direct_hits),
+            fanout_queries: read(&self.fanout_queries),
             gather_retries: read(&self.gather_retries),
-            gather_escalations: read(&self.gather_escalations),
+            gate_escalations: read(&self.gate_escalations),
             heap_overflow_scans: read(&self.heap_overflow_scans),
+            direct_latency: self.direct_latency.snapshot(),
+            fanout_latency: self.fanout_latency.snapshot(),
         }
     }
 }
@@ -169,11 +311,15 @@ mod tests {
         ServeStats::bump(&stats.tombstone_rejections);
         ServeStats::bump(&stats.top_k_queries);
         ServeStats::bump(&stats.score_queries);
+        ServeStats::bump(&stats.direct_hits);
+        ServeStats::bump(&stats.fanout_queries);
         let snap = stats.snapshot();
         assert_eq!(snap.publishes, 1);
         assert_eq!(snap.shards_rebuilt, 3);
         assert_eq!(snap.shards_refreshed, 2);
         assert_eq!(snap.tombstone_rejections, 1);
+        assert_eq!(snap.direct_hits, 1);
+        assert_eq!(snap.fanout_queries, 1);
         assert_eq!(snap.total_queries(), 2);
     }
 
@@ -188,5 +334,59 @@ mod tests {
         assert!((snap.doc_skew() - 1.6).abs() < 1e-12);
         snap.shard_docs = vec![0, 0];
         assert!((snap.doc_skew() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = LatencyHistogram::default();
+        h.record_ns(0); // bucket 0
+        h.record_ns(1); // bucket 0
+        h.record_ns(2); // bucket 1
+        h.record_ns(3); // bucket 1
+        h.record_ns(1024); // bucket 10
+        h.record_ns(u64::MAX); // clamped to the last bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 6);
+        assert_eq!(snap.buckets[0], 2);
+        assert_eq!(snap.buckets[1], 2);
+        assert_eq!(snap.buckets[10], 1);
+        assert_eq!(snap.buckets[LATENCY_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_conservative_upper_bounds() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.snapshot().quantile_upper_ns(0.99), None);
+        // 99 fast samples at ~1µs, one slow at ~1ms.
+        for _ in 0..99 {
+            h.record_ns(1_000); // bucket 9: [512, 1024)
+        }
+        h.record_ns(1_000_000); // bucket 19
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile_upper_ns(0.5), Some(1024));
+        assert_eq!(snap.quantile_upper_ns(0.99), Some(1024));
+        // The single outlier owns the p999.
+        assert_eq!(snap.quantile_upper_ns(0.999), Some(1 << 20));
+        assert_eq!(snap.quantile_upper_ns(1.0), Some(1 << 20));
+    }
+
+    #[test]
+    fn histogram_merge_sums_buckets() {
+        let a = LatencyHistogram::default();
+        let b = LatencyHistogram::default();
+        a.record_ns(10);
+        b.record_ns(10);
+        b.record_ns(100_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count(), 3);
+        assert_eq!(m.buckets[3], 2); // 10ns -> bucket 3: [8, 16)
+    }
+
+    #[test]
+    fn histogram_records_durations() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(3)); // 3000ns -> bucket 11
+        assert_eq!(h.snapshot().buckets[11], 1);
     }
 }

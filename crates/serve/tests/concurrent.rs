@@ -109,6 +109,7 @@ fn readers_never_observe_torn_state_across_swaps() {
             ServeConfig {
                 heap_k: 16,
                 max_gather_retries: 2,
+                direct_reads: true,
             },
         )
         .unwrap(),
@@ -228,7 +229,90 @@ fn readers_never_observe_torn_state_across_swaps() {
     assert_eq!(stats.publishes, 8);
     assert!(stats.shards_rebuilt > 0);
     assert!(stats.shards_repinned > 0);
-    assert_eq!(stats.gather_escalations, 0, "escalation is the rare path");
+    assert_eq!(stats.gate_escalations, 0, "escalation is the rare path");
+    assert!(
+        stats.direct_hits > 0,
+        "score/site lookups must ride the direct path"
+    );
+}
+
+/// The torn-read hazard the two-mutex design left open: routing epoch
+/// N+1 observed while some shard still serves epoch N would route a doc
+/// into a cell that does not yet rank it. The publisher now stores every
+/// shard cell *before* the routing snapshot, so `routing_epoch <=
+/// min(shard_epoch)` must hold at every observable instant. Readers
+/// sample the pair (routing first, exactly like the direct path does)
+/// while the writer publishes full-rebuild swaps as fast as it can.
+#[test]
+fn routing_epoch_never_leads_a_shard_epoch() {
+    let base = campus();
+    let mut engine = RankEngine::builder()
+        .backend(BackendSpec::Incremental)
+        .threads(1)
+        .build()
+        .unwrap();
+    engine.rank(&base).unwrap();
+    let server = Arc::new(
+        ShardedServer::start(
+            ShardMap::balanced(&base, 4).unwrap(),
+            &engine.snapshot().unwrap(),
+            ServeConfig::default(),
+        )
+        .unwrap(),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let samples = Arc::new(AtomicU64::new(0));
+    let mut checkers = Vec::new();
+    for _ in 0..2 {
+        let server = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        let samples = Arc::clone(&samples);
+        checkers.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                // Same order as the direct read path: routing, then cell.
+                let routed = server.routing_epoch();
+                for shard in 0..server.n_shards() {
+                    let serving = server.shard_epoch(shard);
+                    assert!(
+                        serving >= routed,
+                        "coherence violated: routing at epoch {routed}, \
+                         shard {shard} still at {serving}"
+                    );
+                }
+                samples.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+
+    let mut current = base;
+    for step in 0..6 {
+        let delta = delta_for_step(&current, step);
+        let (mutated, _) = current.apply(&delta).unwrap();
+        engine.apply_delta(&delta).unwrap();
+        // The pacing hook lands mid-swap (cells partially ahead): the
+        // invariant must hold there too, not just between publishes.
+        let srv = &server;
+        server
+            .publish_paced(&engine.snapshot().unwrap(), &|_| {
+                let routed = srv.routing_epoch();
+                for shard in 0..srv.n_shards() {
+                    assert!(srv.shard_epoch(shard) >= routed);
+                }
+            })
+            .unwrap();
+        current = mutated;
+    }
+    // Keep checking a little after the last swap, then stop.
+    let mark = samples.load(Ordering::Relaxed) + 5;
+    while samples.load(Ordering::Relaxed) < mark {
+        std::thread::yield_now();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for handle in checkers {
+        handle.join().expect("coherence checker panicked");
+    }
+    assert_eq!(server.routing_epoch(), engine.epoch());
 }
 
 #[test]

@@ -53,6 +53,7 @@ fn straddling_gather_retries_then_escalates_to_the_publish_gate() {
             ServeConfig {
                 heap_k: 8,
                 max_gather_retries: 2,
+                direct_reads: true,
             },
         )
         .unwrap(),
@@ -98,7 +99,7 @@ fn straddling_gather_retries_then_escalates_to_the_publish_gate() {
     // The escalation counter is bumped *before* the gate wait, so we can
     // observe the reader parked on the gate while the publisher is paused.
     let deadline = Instant::now() + Duration::from_secs(10);
-    while server.stats().gather_escalations == 0 {
+    while server.stats().gate_escalations == 0 {
         assert!(Instant::now() < deadline, "reader never escalated");
         std::thread::yield_now();
     }
@@ -123,7 +124,7 @@ fn straddling_gather_retries_then_escalates_to_the_publish_gate() {
         top,
         vec![(DocId(6), 0.35), (DocId(2), 0.30), (DocId(3), 0.15)]
     );
-    assert_eq!(server.stats().gather_escalations, 1);
+    assert_eq!(server.stats().gate_escalations, 1);
 }
 
 /// The retry path alone (no escalation): a gather straddling a brief swap
@@ -141,6 +142,7 @@ fn straddling_gather_recovers_within_its_retry_budget() {
                 // Effectively unbounded: the reader must ride out the
                 // paused swap on retries alone, never the gate.
                 max_gather_retries: usize::MAX,
+                direct_reads: true,
             },
         )
         .unwrap(),
@@ -185,7 +187,7 @@ fn straddling_gather_recovers_within_its_retry_budget() {
     assert_eq!(epoch, 2);
     assert!(server.stats().gather_retries >= 1);
     assert_eq!(
-        server.stats().gather_escalations,
+        server.stats().gate_escalations,
         0,
         "the retry budget must absorb a short swap without escalating"
     );
